@@ -1,0 +1,387 @@
+// Benchmarks regenerating the paper's evaluation artefacts, one benchmark
+// per table/figure, plus ablations for the design choices DESIGN.md calls
+// out. Sub-benchmarks encode the x-axis, so `go test -bench .` output reads
+// as the paper's series. Figure benchmarks report the figure's metric via
+// b.ReportMetric (normalisation happens in cmd/experiments, which prints the
+// exact rows); runtime benchmarks' ns/op are the Figure 9 series itself.
+//
+// The multi-user benchmarks run the reduced population {250, 500, 1000} to
+// keep `go test -bench .` under a few minutes; cmd/experiments runs the full
+// paper populations up to 5000 users.
+package copmecs
+
+import (
+	"fmt"
+	"testing"
+
+	"copmecs/internal/core"
+	"copmecs/internal/eigen"
+	"copmecs/internal/graph"
+	"copmecs/internal/lpa"
+	"copmecs/internal/matrix"
+	"copmecs/internal/mec"
+	"copmecs/internal/netgen"
+)
+
+const benchSeed = 7
+
+// benchSizes are the Table I graph sizes (full paper scale).
+var benchSizes = []int{250, 500, 1000, 2000, 5000}
+
+// benchUserCounts is the reduced population range for Figures 6–8 benches.
+var benchUserCounts = []int{250, 500, 1000}
+
+// benchGraph generates the Table I graph of the given size (or a scaled
+// equivalent) once per call; failures abort the benchmark.
+func benchGraph(b *testing.B, size int) *graph.Graph {
+	b.Helper()
+	for i := 0; i < netgen.TableIRows(); i++ {
+		cfg, err := netgen.TableIConfig(i, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cfg.Nodes == size {
+			g, err := netgen.Generate(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return g
+		}
+	}
+	g, err := netgen.Generate(netgen.Config{
+		Nodes: size, Edges: size * 24 / 5, Components: 4 + size/500, Seed: benchSeed,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// benchEngines are the paper's three cut engines.
+func benchEngines() []core.Engine {
+	return []core.Engine{core.SpectralEngine{}, core.MaxFlowEngine{}, core.KLEngine{}}
+}
+
+// BenchmarkTable1Compression regenerates Table I: Algorithm 1 on the five
+// NETGEN-scale graphs. nodes_after/edges_after are the table's right-hand
+// columns.
+func BenchmarkTable1Compression(b *testing.B) {
+	for _, size := range benchSizes {
+		size := size
+		b.Run(fmt.Sprintf("n=%d", size), func(b *testing.B) {
+			g := benchGraph(b, size)
+			b.ResetTimer()
+			var last *lpa.Result
+			for i := 0; i < b.N; i++ {
+				res, err := lpa.Compress(g, lpa.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(float64(last.NodesAfter), "nodes_after")
+			b.ReportMetric(float64(last.EdgesAfter), "edges_after")
+			b.ReportMetric(100*last.CompressionRatio(), "reduction_%")
+		})
+	}
+}
+
+// benchSingleUserEnergy runs the Figures 3–5 workload for one engine/size
+// and reports the requested metric.
+func benchSingleUserEnergy(b *testing.B, metric string) {
+	for _, size := range benchSizes {
+		for _, eng := range benchEngines() {
+			eng := eng
+			size := size
+			b.Run(fmt.Sprintf("%s/n=%d", eng.Name(), size), func(b *testing.B) {
+				g := benchGraph(b, size)
+				b.ResetTimer()
+				var ev *mec.Evaluation
+				for i := 0; i < b.N; i++ {
+					sol, err := core.Solve([]core.UserInput{{Graph: g}}, core.Options{Engine: eng})
+					if err != nil {
+						b.Fatal(err)
+					}
+					ev = sol.Eval
+				}
+				switch metric {
+				case "local":
+					b.ReportMetric(ev.LocalEnergy, "localE")
+				case "transmission":
+					b.ReportMetric(ev.TransmissionEnergy, "transmitE")
+				default:
+					b.ReportMetric(ev.Energy, "totalE")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig3LocalEnergy regenerates Figure 3 (single-user local energy).
+func BenchmarkFig3LocalEnergy(b *testing.B) { benchSingleUserEnergy(b, "local") }
+
+// BenchmarkFig4TransmissionEnergy regenerates Figure 4 (single-user
+// transmission energy).
+func BenchmarkFig4TransmissionEnergy(b *testing.B) { benchSingleUserEnergy(b, "transmission") }
+
+// BenchmarkFig5TotalEnergy regenerates Figure 5 (single-user total energy).
+func BenchmarkFig5TotalEnergy(b *testing.B) { benchSingleUserEnergy(b, "total") }
+
+// multiUserBenchParams mirrors experiments.MultiUserParams.
+func multiUserBenchParams() mec.Params {
+	p := mec.Defaults()
+	p.ServerCapacity = p.DeviceCompute * 5000
+	return p
+}
+
+// benchMultiUserEnergy runs the Figures 6–8 workload for one metric.
+func benchMultiUserEnergy(b *testing.B, metric string) {
+	const poolSize = 8
+	pool := make([]*graph.Graph, poolSize)
+	for i := range pool {
+		pool[i] = benchGraph(b, 1000)
+	}
+	params := multiUserBenchParams()
+	for _, n := range benchUserCounts {
+		for _, eng := range benchEngines() {
+			eng := eng
+			n := n
+			b.Run(fmt.Sprintf("%s/users=%d", eng.Name(), n), func(b *testing.B) {
+				users := make([]core.UserInput, n)
+				for i := range users {
+					users[i] = core.UserInput{Graph: pool[i%poolSize]}
+				}
+				b.ResetTimer()
+				var ev *mec.Evaluation
+				for i := 0; i < b.N; i++ {
+					sol, err := core.Solve(users, core.Options{Engine: eng, Params: params})
+					if err != nil {
+						b.Fatal(err)
+					}
+					ev = sol.Eval
+				}
+				switch metric {
+				case "local":
+					b.ReportMetric(ev.LocalEnergy, "localE")
+				case "transmission":
+					b.ReportMetric(ev.TransmissionEnergy, "transmitE")
+				default:
+					b.ReportMetric(ev.Energy, "totalE")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig6MultiUserLocal regenerates Figure 6 (multi-user local
+// energy).
+func BenchmarkFig6MultiUserLocal(b *testing.B) { benchMultiUserEnergy(b, "local") }
+
+// BenchmarkFig7MultiUserTransmission regenerates Figure 7 (multi-user
+// transmission energy).
+func BenchmarkFig7MultiUserTransmission(b *testing.B) { benchMultiUserEnergy(b, "transmission") }
+
+// BenchmarkFig8MultiUserTotal regenerates Figure 8 (multi-user total
+// energy).
+func BenchmarkFig8MultiUserTotal(b *testing.B) { benchMultiUserEnergy(b, "total") }
+
+// BenchmarkFig9RunningTime regenerates Figure 9: wall time of the solve per
+// engine configuration and graph size — ns/op is the figure's y value.
+func BenchmarkFig9RunningTime(b *testing.B) {
+	configs := []struct {
+		name string
+		opts core.Options
+	}{
+		{"ours-serial", core.Options{Engine: core.SpectralEngine{}, Workers: 1}},
+		{"maxflow", core.Options{Engine: core.MaxFlowEngine{}, Workers: 1}},
+		{"kernighan-lin", core.Options{Engine: core.KLEngine{}, Workers: 1}},
+		{"ours-parallel", core.Options{Engine: core.SpectralEngine{MatVecWorkers: 8}}},
+	}
+	for _, size := range benchSizes {
+		for _, cfg := range configs {
+			cfg := cfg
+			size := size
+			b.Run(fmt.Sprintf("%s/n=%d", cfg.name, size), func(b *testing.B) {
+				g := benchGraph(b, size)
+				users := []core.UserInput{{Graph: g}}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := core.Solve(users, cfg.opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationNoCompression contrasts the pipeline with and without
+// Algorithm 1 — the compression both accelerates the cut stage and changes
+// its quality (highly coupled pairs can no longer be separated).
+func BenchmarkAblationNoCompression(b *testing.B) {
+	g := benchGraph(b, 1000)
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"compressed", false}, {"raw", true}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			var ev *mec.Evaluation
+			for i := 0; i < b.N; i++ {
+				sol, err := core.Solve([]core.UserInput{{Graph: g}},
+					core.Options{DisableCompression: mode.disable})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ev = sol.Eval
+			}
+			b.ReportMetric(ev.TransmissionEnergy, "transmitE")
+			b.ReportMetric(ev.Objective, "objective")
+		})
+	}
+}
+
+// BenchmarkAblationSweepCut contrasts raw Fiedler sign splits with the
+// sweep-cut refinement.
+func BenchmarkAblationSweepCut(b *testing.B) {
+	g := benchGraph(b, 1000)
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"sweep", false}, {"sign-only", true}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			var ev *mec.Evaluation
+			for i := 0; i < b.N; i++ {
+				sol, err := core.Solve([]core.UserInput{{Graph: g}},
+					core.Options{Engine: core.SpectralEngine{DisableSweep: mode.disable}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ev = sol.Eval
+			}
+			b.ReportMetric(ev.TransmissionEnergy, "transmitE")
+		})
+	}
+}
+
+// BenchmarkAblationGreedy contrasts the full Algorithm 2 against stopping
+// at the initial cut split.
+func BenchmarkAblationGreedy(b *testing.B) {
+	g := benchGraph(b, 1000)
+	users := make([]core.UserInput, 64)
+	for i := range users {
+		users[i] = core.UserInput{Graph: g}
+	}
+	params := mec.Defaults()
+	params.ServerCapacity = 2000 // contended: the greedy has work to do
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"greedy", false}, {"cut-split-only", true}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			var obj float64
+			for i := 0; i < b.N; i++ {
+				sol, err := core.Solve(users, core.Options{Params: params, DisableGreedy: mode.disable})
+				if err != nil {
+					b.Fatal(err)
+				}
+				obj = sol.Eval.Objective
+			}
+			b.ReportMetric(obj, "objective")
+		})
+	}
+}
+
+// BenchmarkAblationEigen contrasts the dense Jacobi and sparse Lanczos
+// Fiedler paths on one Laplacian (the DenseCutoff design choice).
+func BenchmarkAblationEigen(b *testing.B) {
+	const n = 300
+	g := benchGraph(b, n)
+	comp := g.Components()[0]
+	sub, err := g.InducedSubgraph(comp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nodes := sub.Nodes()
+	index := make(map[graph.NodeID]int, len(nodes))
+	for i, id := range nodes {
+		index[id] = i
+	}
+	var wedges []matrix.WeightedEdge
+	for _, e := range sub.Edges() {
+		wedges = append(wedges, matrix.WeightedEdge{U: index[e.U], V: index[e.V], Weight: e.Weight})
+	}
+	lap, err := matrix.Laplacian(len(nodes), wedges)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name   string
+		cutoff int
+	}{{"jacobi-dense", len(nodes) + 1}, {"lanczos-sparse", 1}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := eigen.Fiedler(lap, eigen.FiedlerOptions{DenseCutoff: mode.cutoff}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSessionReuse contrasts cold solves against Session solves that
+// reuse the cached per-graph pipeline across population changes.
+func BenchmarkSessionReuse(b *testing.B) {
+	g := benchGraph(b, 1000)
+	users := make([]core.UserInput, 32)
+	for i := range users {
+		users[i] = core.UserInput{Graph: g}
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Solve(users, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("session", func(b *testing.B) {
+		sess := core.NewSession(core.Options{})
+		if _, err := sess.Solve(users); err != nil {
+			b.Fatal(err) // warm the cache outside the timer
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sess.Solve(users); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationBalancedCut contrasts the min-cut and ratio-cut sweep
+// objectives of the spectral engine.
+func BenchmarkAblationBalancedCut(b *testing.B) {
+	g := benchGraph(b, 1000)
+	for _, mode := range []struct {
+		name     string
+		balanced bool
+	}{{"min-cut", false}, {"ratio-cut", true}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			var ev *mec.Evaluation
+			for i := 0; i < b.N; i++ {
+				sol, err := core.Solve([]core.UserInput{{Graph: g}},
+					core.Options{Engine: core.SpectralEngine{Balanced: mode.balanced}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ev = sol.Eval
+			}
+			b.ReportMetric(ev.TransmissionEnergy, "transmitE")
+			b.ReportMetric(ev.LocalEnergy, "localE")
+		})
+	}
+}

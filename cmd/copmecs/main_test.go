@@ -1,0 +1,144 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"copmecs/internal/netgen"
+)
+
+func TestRunGenerated(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-nodes", "60", "-edges", "150", "-components", "2", "-users", "3"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	text := out.String()
+	for _, want := range []string{"engine:", "spectral", "users:", "3", "final objective:"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunEveryEngine(t *testing.T) {
+	for _, eng := range []string{"spectral", "maxflow", "kernighan-lin", "kl", "stoer-wagner", "sw"} {
+		var out bytes.Buffer
+		err := run([]string{"-nodes", "40", "-edges", "90", "-engine", eng}, &out)
+		if err != nil {
+			t.Errorf("engine %s: %v", eng, err)
+		}
+	}
+}
+
+func TestRunInputJSONAndBinary(t *testing.T) {
+	g, err := netgen.Generate(netgen.Config{Nodes: 30, Edges: 70, Components: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	jsonPath := filepath.Join(dir, "g.json")
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-input", jsonPath, "-v"}, &out); err != nil {
+		t.Fatalf("run json input: %v", err)
+	}
+	if !strings.Contains(out.String(), "local:") {
+		t.Errorf("verbose output missing placement:\n%s", out.String())
+	}
+
+	binPath := filepath.Join(dir, "g.bin")
+	f, err := os.Create(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteBinary(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-input", binPath}, &out); err != nil {
+		t.Fatalf("run binary input: %v", err)
+	}
+}
+
+func TestRunFlagsAffectModel(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run([]string{"-nodes", "40", "-edges", "90", "-seed", "3"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-nodes", "40", "-edges", "90", "-seed", "3", "-capacity", "50", "-device", "10", "-bandwidth", "5"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() == b.String() {
+		t.Error("model parameters had no effect on output")
+	}
+}
+
+func TestRunAblationFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-nodes", "40", "-edges", "90", "-no-compress", "-no-greedy", "-workers", "1"}, &out); err != nil {
+		t.Fatalf("run ablation flags: %v", err)
+	}
+	if !strings.Contains(out.String(), "greedy moved 0") {
+		t.Errorf("no-greedy ignored:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-users", "0"}, &out); err == nil {
+		t.Error("zero users accepted")
+	}
+	if err := run([]string{"-engine", "magic"}, &out); err == nil {
+		t.Error("unknown engine accepted")
+	}
+	if err := run([]string{"-input", "/nonexistent/g.json"}, &out); err == nil {
+		t.Error("missing input accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "junk")
+	if err := os.WriteFile(bad, []byte("not a graph"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-input", bad}, &out); err == nil {
+		t.Error("junk input accepted")
+	}
+}
+
+func TestRunDOTOutput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.dot")
+	var out bytes.Buffer
+	if err := run([]string{"-nodes", "30", "-edges", "70", "-dot", path}, &out); err != nil {
+		t.Fatalf("run -dot: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read dot: %v", err)
+	}
+	if !strings.Contains(string(data), "graph copmecs {") {
+		t.Errorf("dot output malformed:\n%s", data)
+	}
+}
+
+func TestRunSimReplay(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-nodes", "40", "-edges", "90", "-users", "4", "-sim"}, &out); err != nil {
+		t.Fatalf("run -sim: %v", err)
+	}
+	if !strings.Contains(out.String(), "simulated:") {
+		t.Errorf("sim replay missing:\n%s", out.String())
+	}
+}

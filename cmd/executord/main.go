@@ -1,0 +1,54 @@
+// Command executord runs one executor of the parallel substrate: it serves
+// spectral-cut jobs over TCP so a driver (e.g. examples/cluster or an
+// embedding application) can distribute the spectrum computations of the
+// offloading pipeline across machines — the deployment shape of the paper's
+// Spark cluster.
+//
+// Usage:
+//
+//	executord -addr 127.0.0.1:7077 -name exec-1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"copmecs/internal/jobs"
+	"copmecs/internal/parallel"
+)
+
+func main() {
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	if err := run(os.Args[1:], stop, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "executord:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until a value arrives on stop, printing the bound address to
+// stdout once the executor is listening.
+func run(args []string, stop <-chan os.Signal, stdout io.Writer) error {
+	fs := flag.NewFlagSet("executord", flag.ContinueOnError)
+	var (
+		addr = fs.String("addr", "127.0.0.1:0", "listen address (port 0 = ephemeral)")
+		name = fs.String("name", "executor", "executor name for logs")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ex, err := parallel.NewExecutor(*name, *addr, jobs.NewRegistry())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "executord %s listening on %s\n", *name, ex.Addr())
+
+	<-stop
+	fmt.Fprintln(stdout, "executord: shutting down")
+	return ex.Close()
+}

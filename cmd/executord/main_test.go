@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"regexp"
+	"testing"
+	"time"
+
+	"copmecs/internal/parallel"
+)
+
+func TestRunServesUntilStopped(t *testing.T) {
+	stop := make(chan os.Signal, 1)
+	var out bytes.Buffer
+	done := make(chan error, 1)
+	go func() { done <- run([]string{"-addr", "127.0.0.1:0", "-name", "t0"}, stop, &out) }()
+
+	// Wait for the listening banner, extract the address, ping it.
+	var addr string
+	deadline := time.Now().Add(2 * time.Second)
+	re := regexp.MustCompile(`listening on (\S+)`)
+	for time.Now().Before(deadline) {
+		if m := re.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatalf("no listening banner: %q", out.String())
+	}
+	if err := parallel.WaitReady(addr, 2*time.Second); err != nil {
+		t.Fatalf("executor not ready: %v", err)
+	}
+	stop <- os.Interrupt
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("run did not stop")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-zap"}, nil, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunBadAddr(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-addr", "256.0.0.1:bad"}, nil, &out); err == nil {
+		t.Error("bad address accepted")
+	}
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunQuick(t *testing.T) {
+	outdir := filepath.Join(t.TempDir(), "results")
+	var out bytes.Buffer
+	if err := run([]string{"-quick", "-outdir", outdir, "-seed", "3"}, &out); err != nil {
+		t.Fatalf("run -quick: %v", err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"Table I", "Figures 3-5", "Figures 6-8", "Figure 9",
+		"Network1", "spectral", "kernighan-lin", "ours-parallel",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	for _, f := range []string{"table1.csv", "fig3-5_single_user.csv", "fig6-8_multi_user.csv", "fig9_runtime.csv"} {
+		if _, err := os.Stat(filepath.Join(outdir, f)); err != nil {
+			t.Errorf("missing CSV %s: %v", f, err)
+		}
+	}
+}
+
+func TestRunQuickWithAblations(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-quick", "-ablations", "-seed", "3"}, &out); err != nil {
+		t.Fatalf("run -ablations: %v", err)
+	}
+	if !strings.Contains(out.String(), "sweep-cut") {
+		t.Errorf("ablations missing from output")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-zap"}, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"copmecs/internal/graph"
+)
+
+func TestRunJSONToStdout(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-nodes", "30", "-edges", "60", "-components", "2", "-seed", "5"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var g graph.Graph
+	if err := g.UnmarshalJSON(out.Bytes()); err != nil {
+		t.Fatalf("output not a JSON graph: %v", err)
+	}
+	if g.NumNodes() != 30 || g.NumEdges() != 60 {
+		t.Errorf("graph = %v, want 30/60", &g)
+	}
+}
+
+func TestRunBinaryToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.bin")
+	var out bytes.Buffer
+	err := run([]string{"-nodes", "20", "-edges", "40", "-format", "binary", "-o", path}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("open output: %v", err)
+	}
+	defer f.Close()
+	g, err := graph.ReadBinary(f)
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	if g.NumNodes() != 20 {
+		t.Errorf("nodes = %d, want 20", g.NumNodes())
+	}
+}
+
+func TestRunTableRow(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-table", "0", "-seed", "7"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var g graph.Graph
+	if err := g.UnmarshalJSON(out.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 250 || g.NumEdges() != 1214 {
+		t.Errorf("table row 0 graph = %v", &g)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-nodes", "0"}, &out); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if err := run([]string{"-format", "xml"}, &out); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if err := run([]string{"-table", "99"}, &out); err == nil {
+		t.Error("bad table row accepted")
+	}
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -1,0 +1,14 @@
+// Package copmecs reproduces "Computation Offloading for Mobile-Edge
+// Computing with Multi-user" (Dong, Satpute, Shan, Liu, Yu, Yan — ICDCS
+// 2019): function-level computation offloading for multiple users sharing
+// one edge server, via label-propagation graph compression (Algorithm 1),
+// spectral minimum-cut search (Theorems 1–3), and greedy offloading-scheme
+// generation (Algorithm 2).
+//
+// The implementation lives under internal/: see internal/core for the
+// solver, internal/lpa and internal/spectral for the two algorithmic
+// stages, internal/mincut for the paper's baselines, internal/mec for the
+// system model, and internal/experiments for the evaluation harness. The
+// benchmarks in this root package regenerate every table and figure of the
+// paper's §IV; cmd/experiments runs the same suite at full paper scale.
+package copmecs

@@ -1,0 +1,131 @@
+// Bytecode app: from "compiled executable" to offloading scheme.
+//
+// The paper extracts function graphs from compiled executables with Soot;
+// this repo's deepest substitute is a small stack-machine bytecode. The
+// example assembles an AR navigation app, validates the static analyser
+// against the reference interpreter, converts the analysis into the
+// function data-flow graph, and solves the offloading problem. Run with:
+//
+//	go run ./examples/bytecodeapp
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"copmecs/internal/bytecode"
+	"copmecs/internal/callgraph"
+	"copmecs/internal/core"
+)
+
+// arNav is an AR navigation app: the camera loop is device-bound; feature
+// extraction, map matching and the renderer are candidates for the edge.
+const arNav = `
+program ar-nav
+func main
+  io camera                 ; grab frames: unoffloadable
+  loop 30                   ; 30 fps
+    push 0
+    push 0
+    call features 2         ; ship the frame descriptor (2 words)
+    call match 1            ; match against the map
+    call render 1           ; draw the overlay
+    pop
+  endloop
+  io screen
+  ret
+func features
+  push 0
+  loop 800                  ; convolution-ish inner loop
+    push 3
+    add
+  endloop
+  ret
+func match
+  push 0
+  loop 1200                 ; nearest-neighbour search
+    push 1
+    add
+  endloop
+  call score 1
+  ret
+func score
+  loop 90
+    push 7
+    pop
+  endloop
+  push 1
+  ret
+func render
+  push 0
+  loop 250
+    push 2
+    add
+  endloop
+  ret
+`
+
+func main() {
+	prog, err := bytecode.Parse(strings.NewReader(arNav))
+	if err != nil {
+		log.Fatalf("assemble: %v", err)
+	}
+
+	// Static analysis (what Soot would derive from the executable).
+	analysis, err := bytecode.Analyze(prog)
+	if err != nil {
+		log.Fatalf("analyze: %v", err)
+	}
+	fmt.Println("static analysis:")
+	for _, f := range prog.Functions {
+		info := analysis.Funcs[f.Name]
+		tag := ""
+		if info.Local {
+			tag = fmt.Sprintf("  [unoffloadable: %v]", info.Devices)
+		}
+		fmt.Printf("  %-9s work %7.0f, %d call sites%s\n",
+			info.Name, info.Work, len(info.Calls), tag)
+	}
+
+	// Validate against the reference interpreter: static × invocations must
+	// equal the dynamic instruction counts.
+	dyn, err := bytecode.Exec(prog, 10_000_000)
+	if err != nil {
+		log.Fatalf("execute: %v", err)
+	}
+	fmt.Println("\ninterpreter validation (static × invocations = dynamic):")
+	for _, f := range prog.Functions {
+		static := analysis.Funcs[f.Name].Work * float64(dyn.Invocations[f.Name])
+		fmt.Printf("  %-9s %9.0f = %9d  (%d invocations)\n",
+			f.Name, static, dyn.PerFunc[f.Name], dyn.Invocations[f.Name])
+		if static != float64(dyn.PerFunc[f.Name]) {
+			log.Fatalf("analysis mismatch for %s", f.Name)
+		}
+	}
+
+	// Into the offloading pipeline.
+	app, err := analysis.ToApp()
+	if err != nil {
+		log.Fatalf("to app: %v", err)
+	}
+	ex, err := callgraph.Extract(app)
+	if err != nil {
+		log.Fatalf("extract: %v", err)
+	}
+	sol, err := core.Solve([]core.UserInput{{Graph: ex.Graph, FixedLocalWork: ex.LocalWork}}, core.Options{})
+	if err != nil {
+		log.Fatalf("solve: %v", err)
+	}
+	fmt.Println("\noffloading scheme:")
+	for _, id := range ex.Graph.Nodes() {
+		place := "device"
+		if sol.Placements[0].Remote[id] {
+			place = "edge server"
+		}
+		fmt.Printf("  %-9s -> %s\n", ex.NameOf[id], place)
+	}
+	fmt.Printf("(pinned to device: %v)\n", ex.LocalFunctions)
+	fmt.Printf("\nenergy %.3f, time %.3f, objective %.3f\n",
+		sol.Eval.Energy, sol.Eval.Time, sol.Eval.Objective)
+}

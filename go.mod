@@ -1,0 +1,3 @@
+module copmecs
+
+go 1.22

@@ -1,0 +1,112 @@
+package bytecode
+
+import (
+	"fmt"
+
+	"copmecs/internal/callgraph"
+)
+
+// CallSite is one static call with its loop-scaled execution count and data
+// volume.
+type CallSite struct {
+	Callee string
+	// Times is how often the site executes per invocation of the caller
+	// (the product of enclosing loop counts).
+	Times int64
+	// Data is the total data volume: (args + 1 return word) × Times.
+	Data float64
+}
+
+// FuncInfo is the static cost summary of one function.
+type FuncInfo struct {
+	Name string
+	// Work is the loop-scaled instruction count per invocation, excluding
+	// callees (matching the paper's per-node computation amount — callee
+	// work belongs to the callee's own node).
+	Work float64
+	// Local reports whether the function performs device I/O.
+	Local bool
+	// Devices lists the I/O devices touched (deduplicated, in first-use
+	// order).
+	Devices []string
+	// Calls are the function's call sites.
+	Calls []CallSite
+}
+
+// Analysis is the whole-program static analysis result.
+type Analysis struct {
+	Program *Program
+	// Funcs maps function name to its summary.
+	Funcs map[string]*FuncInfo
+}
+
+// Analyze computes per-function work, call-site data volumes and locality.
+// Loops multiply the cost of their bodies; the loop instruction itself
+// costs one unit per iteration check. The program must validate.
+func Analyze(p *Program) (*Analysis, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	a := &Analysis{Program: p, Funcs: make(map[string]*FuncInfo, len(p.Functions))}
+	for i := range p.Functions {
+		f := &p.Functions[i]
+		info := &FuncInfo{Name: f.Name}
+		devSeen := make(map[string]bool)
+
+		mult := int64(1)
+		var stack []int64
+		for _, in := range f.Instrs {
+			switch in.Op {
+			case OpLoop:
+				info.Work += float64(mult) // the loop bookkeeping itself
+				stack = append(stack, mult)
+				mult *= in.A
+			case OpEndLoop:
+				mult = stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+			case OpCall:
+				info.Work += float64(mult) // call dispatch overhead
+				info.Calls = append(info.Calls, CallSite{
+					Callee: in.Name,
+					Times:  mult,
+					Data:   float64(in.A+1) * float64(mult),
+				})
+			case OpIO:
+				info.Work += float64(mult)
+				info.Local = true
+				if !devSeen[in.Name] {
+					devSeen[in.Name] = true
+					info.Devices = append(info.Devices, in.Name)
+				}
+			default:
+				info.Work += float64(mult)
+			}
+		}
+		a.Funcs[f.Name] = info
+	}
+	return a, nil
+}
+
+// ToApp converts the analysis into a callgraph application: one function
+// per bytecode function with its static work, locality flag, and one call
+// per call site carrying the site's total data volume. The resulting app
+// feeds callgraph.Extract and then the offloading pipeline.
+func (a *Analysis) ToApp() (*callgraph.App, error) {
+	app := &callgraph.App{Name: a.Program.Name}
+	for _, f := range a.Program.Functions {
+		info := a.Funcs[f.Name]
+		fn := callgraph.Function{
+			Name:  info.Name,
+			Work:  info.Work,
+			Local: info.Local,
+		}
+		for _, c := range info.Calls {
+			fn.Calls = append(fn.Calls, callgraph.Call{Callee: c.Callee, Data: c.Data})
+		}
+		app.Functions = append(app.Functions, fn)
+	}
+	if err := app.Validate(); err != nil {
+		return nil, fmt.Errorf("bytecode: converted app invalid: %w", err)
+	}
+	return app, nil
+}

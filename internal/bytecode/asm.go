@@ -1,0 +1,171 @@
+package bytecode
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ErrSyntax is returned by Parse for malformed assembly.
+var ErrSyntax = errors.New("bytecode: syntax error")
+
+// Parse reads the textual assembly form:
+//
+//	program camera-app          ; optional
+//	entry main                  ; optional, default main
+//	func main
+//	  io camera
+//	  loop 30
+//	    call detect 256
+//	    pop
+//	  endloop
+//	  ret
+//	func detect
+//	  push 0
+//	  loop 500
+//	    push 1
+//	    add
+//	  endloop
+//	  ret
+//
+// Comments start with ';' or '#'; blank lines are ignored. The parsed
+// program is validated before return.
+func Parse(r io.Reader) (*Program, error) {
+	p := &Program{}
+	var cur *Func
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "program":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("%w: line %d: program wants a name", ErrSyntax, lineNo)
+			}
+			p.Name = fields[1]
+		case "entry":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("%w: line %d: entry wants a name", ErrSyntax, lineNo)
+			}
+			p.Entry = fields[1]
+		case "func":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("%w: line %d: func wants a name", ErrSyntax, lineNo)
+			}
+			p.Functions = append(p.Functions, Func{Name: fields[1]})
+			cur = &p.Functions[len(p.Functions)-1]
+		default:
+			if cur == nil {
+				return nil, fmt.Errorf("%w: line %d: instruction before any func", ErrSyntax, lineNo)
+			}
+			in, err := parseInstr(fields)
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: %v", ErrSyntax, lineNo, err)
+			}
+			cur.Instrs = append(cur.Instrs, in)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bytecode: read: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// parseInstr decodes one mnemonic line.
+func parseInstr(fields []string) (Instr, error) {
+	mnemonic := fields[0]
+	var op Op
+	for o, name := range opNames {
+		if name == mnemonic {
+			op = o
+			break
+		}
+	}
+	if op == 0 {
+		return Instr{}, fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+	in := Instr{Op: op}
+	switch op {
+	case OpPush, OpLoad, OpStore, OpLoop:
+		if len(fields) != 2 {
+			return Instr{}, fmt.Errorf("%s wants one numeric operand", mnemonic)
+		}
+		n, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return Instr{}, fmt.Errorf("%s operand %q: %v", mnemonic, fields[1], err)
+		}
+		in.A = n
+	case OpCall:
+		if len(fields) != 3 {
+			return Instr{}, fmt.Errorf("call wants callee and arg count")
+		}
+		in.Name = fields[1]
+		n, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return Instr{}, fmt.Errorf("call arg count %q: %v", fields[2], err)
+		}
+		in.A = n
+	case OpIO:
+		if len(fields) != 2 {
+			return Instr{}, fmt.Errorf("io wants a device name")
+		}
+		in.Name = fields[1]
+	default:
+		if len(fields) != 1 {
+			return Instr{}, fmt.Errorf("%s takes no operands", mnemonic)
+		}
+	}
+	return in, nil
+}
+
+// Format renders the program in the assembly accepted by Parse.
+func Format(p *Program, w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if p.Name != "" {
+		fmt.Fprintf(bw, "program %s\n", p.Name)
+	}
+	if p.Entry != "" && p.Entry != "main" {
+		fmt.Fprintf(bw, "entry %s\n", p.Entry)
+	}
+	for _, f := range p.Functions {
+		fmt.Fprintf(bw, "func %s\n", f.Name)
+		indent := 1
+		for _, in := range f.Instrs {
+			if in.Op == OpEndLoop && indent > 1 {
+				indent--
+			}
+			fmt.Fprint(bw, strings.Repeat("  ", indent))
+			switch in.Op {
+			case OpPush, OpLoad, OpStore, OpLoop:
+				fmt.Fprintf(bw, "%s %d\n", in.Op, in.A)
+			case OpCall:
+				fmt.Fprintf(bw, "call %s %d\n", in.Name, in.A)
+			case OpIO:
+				fmt.Fprintf(bw, "io %s\n", in.Name)
+			default:
+				fmt.Fprintf(bw, "%s\n", in.Op)
+			}
+			if in.Op == OpLoop {
+				indent++
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("bytecode: write: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+// Package bytecode deepens the repo's Soot substitution: instead of
+// hand-annotated function IR, applications can be written in a small
+// stack-machine assembly. A static analyser derives exactly what the paper
+// extracts from compiled executables — per-function computation amounts,
+// call-site data volumes, and unoffloadable (I/O-bound) functions — and a
+// reference interpreter executes programs so the analyser's numbers can be
+// validated against dynamic counts.
+//
+// The pipeline is: Parse (assembly → Program) → Analyze (static costs) →
+// ToApp (callgraph.App) → callgraph.Extract (function data-flow graph) →
+// core.Solve.
+package bytecode
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Op is one instruction opcode.
+type Op int
+
+// Opcodes. Arithmetic and stack traffic cost one work unit each; Call
+// transfers its operand count as data; IO pins the function to the device.
+const (
+	// OpPush pushes an immediate (operand A).
+	OpPush Op = iota + 1
+	// OpPop discards the top of stack.
+	OpPop
+	// OpDup duplicates the top of stack.
+	OpDup
+	// OpAdd, OpSub, OpMul, OpDiv pop two values and push the result.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	// OpLoad pushes local slot A.
+	OpLoad
+	// OpStore pops into local slot A.
+	OpStore
+	// OpCall invokes function Name passing A stack words (popped) and
+	// pushing one result word. The data volume of the call site is A+1.
+	OpCall
+	// OpRet returns from the function (top of stack is the result; an empty
+	// stack returns 0).
+	OpRet
+	// OpLoop repeats the instructions up to the matching OpEndLoop A times.
+	OpLoop
+	// OpEndLoop closes the innermost OpLoop.
+	OpEndLoop
+	// OpIO performs device I/O (Name names the device, e.g. "camera",
+	// "gps", "screen", "disk"). Any OpIO makes the function unoffloadable.
+	OpIO
+)
+
+// opNames maps opcodes to their assembly mnemonics.
+var opNames = map[Op]string{
+	OpPush: "push", OpPop: "pop", OpDup: "dup",
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div",
+	OpLoad: "load", OpStore: "store",
+	OpCall: "call", OpRet: "ret",
+	OpLoop: "loop", OpEndLoop: "endloop",
+	OpIO: "io",
+}
+
+// String returns the assembly mnemonic.
+func (op Op) String() string {
+	if s, ok := opNames[op]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", int(op))
+}
+
+// Instr is one decoded instruction.
+type Instr struct {
+	Op Op
+	// A is the numeric operand (immediate, slot, arg count, loop count).
+	A int64
+	// Name is the symbolic operand (callee or device).
+	Name string
+}
+
+// Func is one function's body.
+type Func struct {
+	Name   string
+	Instrs []Instr
+}
+
+// Program is a parsed unit: functions in declaration order; execution
+// starts at Entry (default "main").
+type Program struct {
+	Name      string
+	Entry     string
+	Functions []Func
+}
+
+// Validation errors.
+var (
+	// ErrNoEntry is returned when the entry function is missing.
+	ErrNoEntry = errors.New("bytecode: entry function not found")
+	// ErrUnknownCallee is returned for a call to an undefined function.
+	ErrUnknownCallee = errors.New("bytecode: unknown callee")
+	// ErrUnbalancedLoop is returned for loop/endloop mismatches.
+	ErrUnbalancedLoop = errors.New("bytecode: unbalanced loop/endloop")
+	// ErrDuplicateFunc is returned for duplicate function names.
+	ErrDuplicateFunc = errors.New("bytecode: duplicate function")
+	// ErrBadOperand is returned for negative loop counts or arg counts.
+	ErrBadOperand = errors.New("bytecode: bad operand")
+)
+
+// Lookup returns the named function.
+func (p *Program) Lookup(name string) (*Func, bool) {
+	for i := range p.Functions {
+		if p.Functions[i].Name == name {
+			return &p.Functions[i], true
+		}
+	}
+	return nil, false
+}
+
+// Validate checks structural invariants: a present entry point, unique
+// names, known callees, balanced loops, sane operands.
+func (p *Program) Validate() error {
+	if p.Entry == "" {
+		p.Entry = "main"
+	}
+	seen := make(map[string]bool, len(p.Functions))
+	for _, f := range p.Functions {
+		if seen[f.Name] {
+			return fmt.Errorf("%w: %q", ErrDuplicateFunc, f.Name)
+		}
+		seen[f.Name] = true
+	}
+	if !seen[p.Entry] {
+		return fmt.Errorf("%w: %q", ErrNoEntry, p.Entry)
+	}
+	for _, f := range p.Functions {
+		depth := 0
+		for i, in := range f.Instrs {
+			switch in.Op {
+			case OpLoop:
+				if in.A < 0 {
+					return fmt.Errorf("%w: %s instr %d: loop count %d", ErrBadOperand, f.Name, i, in.A)
+				}
+				depth++
+			case OpEndLoop:
+				depth--
+				if depth < 0 {
+					return fmt.Errorf("%w: %s instr %d", ErrUnbalancedLoop, f.Name, i)
+				}
+			case OpCall:
+				if in.A < 0 {
+					return fmt.Errorf("%w: %s instr %d: %d args", ErrBadOperand, f.Name, i, in.A)
+				}
+				if !seen[in.Name] {
+					return fmt.Errorf("%w: %s instr %d: %q", ErrUnknownCallee, f.Name, i, in.Name)
+				}
+			}
+		}
+		if depth != 0 {
+			return fmt.Errorf("%w: %s: %d unclosed loops", ErrUnbalancedLoop, f.Name, depth)
+		}
+	}
+	return nil
+}

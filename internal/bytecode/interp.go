@@ -1,0 +1,205 @@
+package bytecode
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Interpreter errors.
+var (
+	// ErrFuel is returned when execution exceeds its instruction budget.
+	ErrFuel = errors.New("bytecode: out of fuel")
+	// ErrStackUnderflow is returned when an instruction pops an empty stack.
+	ErrStackUnderflow = errors.New("bytecode: stack underflow")
+	// ErrDivByZero is returned by div with a zero divisor.
+	ErrDivByZero = errors.New("bytecode: division by zero")
+	// ErrCallDepth is returned when the call stack exceeds its limit.
+	ErrCallDepth = errors.New("bytecode: call depth exceeded")
+)
+
+// maxCallDepth bounds recursion in the reference interpreter.
+const maxCallDepth = 256
+
+// ExecResult is the dynamic profile of one run.
+type ExecResult struct {
+	// Return is the entry function's result.
+	Return int64
+	// Executed counts every retired instruction.
+	Executed int64
+	// PerFunc counts retired instructions per function (the dynamic
+	// counterpart of FuncInfo.Work × invocation count).
+	PerFunc map[string]int64
+	// Invocations counts calls per function (the entry counts once).
+	Invocations map[string]int64
+	// IOEvents counts io instructions per device.
+	IOEvents map[string]int64
+}
+
+// Exec runs the program's entry function with the given instruction budget
+// and returns the dynamic profile. The interpreter is the ground truth the
+// static analyser is validated against: for this loop-based instruction set
+// (no data-dependent branches), static Work × invocations must equal the
+// dynamic per-function counts exactly.
+func Exec(p *Program, fuel int64) (*ExecResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	res := &ExecResult{
+		PerFunc:     make(map[string]int64, len(p.Functions)),
+		Invocations: make(map[string]int64, len(p.Functions)),
+		IOEvents:    make(map[string]int64),
+	}
+	ret, err := execFunc(p, p.Entry, nil, fuel, 0, res)
+	if err != nil {
+		return nil, err
+	}
+	res.Return = ret
+	return res, nil
+}
+
+// execFunc runs one function invocation with the given arguments in its
+// local slots 0..len(args)−1.
+func execFunc(p *Program, name string, args []int64, fuel int64, depth int, res *ExecResult) (int64, error) {
+	if depth > maxCallDepth {
+		return 0, fmt.Errorf("%w: %d frames at %s", ErrCallDepth, depth, name)
+	}
+	f, ok := p.Lookup(name)
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownCallee, name)
+	}
+	res.Invocations[name]++
+
+	locals := make(map[int64]int64, len(args))
+	for i, a := range args {
+		locals[int64(i)] = a
+	}
+	var stack []int64
+	pop := func() (int64, error) {
+		if len(stack) == 0 {
+			return 0, fmt.Errorf("%w: in %s", ErrStackUnderflow, name)
+		}
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		return v, nil
+	}
+
+	// Loop state: for each active loop, the pc of its OpLoop and the
+	// remaining iterations.
+	type loopFrame struct {
+		pc        int
+		remaining int64
+	}
+	var loops []loopFrame
+
+	charge := func() error {
+		res.Executed++
+		res.PerFunc[name]++
+		if res.Executed > fuel {
+			return fmt.Errorf("%w: %d instructions", ErrFuel, fuel)
+		}
+		return nil
+	}
+
+	for pc := 0; pc < len(f.Instrs); pc++ {
+		in := f.Instrs[pc]
+		switch in.Op {
+		case OpEndLoop:
+			// Free: the per-iteration charge is on the OpLoop check.
+			top := &loops[len(loops)-1]
+			top.remaining--
+			if top.remaining > 0 {
+				pc = top.pc // re-run body (OpLoop charges again)
+			} else {
+				loops = loops[:len(loops)-1]
+			}
+			continue
+		}
+		if err := charge(); err != nil {
+			return 0, err
+		}
+		switch in.Op {
+		case OpPush:
+			stack = append(stack, in.A)
+		case OpPop:
+			if _, err := pop(); err != nil {
+				return 0, err
+			}
+		case OpDup:
+			if len(stack) == 0 {
+				return 0, fmt.Errorf("%w: in %s", ErrStackUnderflow, name)
+			}
+			stack = append(stack, stack[len(stack)-1])
+		case OpAdd, OpSub, OpMul, OpDiv:
+			b, err := pop()
+			if err != nil {
+				return 0, err
+			}
+			a, err := pop()
+			if err != nil {
+				return 0, err
+			}
+			switch in.Op {
+			case OpAdd:
+				stack = append(stack, a+b)
+			case OpSub:
+				stack = append(stack, a-b)
+			case OpMul:
+				stack = append(stack, a*b)
+			default:
+				if b == 0 {
+					return 0, fmt.Errorf("%w: in %s", ErrDivByZero, name)
+				}
+				stack = append(stack, a/b)
+			}
+		case OpLoad:
+			stack = append(stack, locals[in.A])
+		case OpStore:
+			v, err := pop()
+			if err != nil {
+				return 0, err
+			}
+			locals[in.A] = v
+		case OpCall:
+			nargs := int(in.A)
+			if len(stack) < nargs {
+				return 0, fmt.Errorf("%w: call %s wants %d args", ErrStackUnderflow, in.Name, nargs)
+			}
+			callArgs := make([]int64, nargs)
+			copy(callArgs, stack[len(stack)-nargs:])
+			stack = stack[:len(stack)-nargs]
+			ret, err := execFunc(p, in.Name, callArgs, fuel, depth+1, res)
+			if err != nil {
+				return 0, err
+			}
+			stack = append(stack, ret)
+		case OpRet:
+			if len(stack) == 0 {
+				return 0, nil
+			}
+			return stack[len(stack)-1], nil
+		case OpLoop:
+			if in.A <= 0 {
+				// Zero-iteration loop: skip to the matching endloop.
+				depth := 1
+				for pc++; pc < len(f.Instrs) && depth > 0; pc++ {
+					switch f.Instrs[pc].Op {
+					case OpLoop:
+						depth++
+					case OpEndLoop:
+						depth--
+					}
+				}
+				pc-- // the outer loop's pc++ steps past the endloop
+				continue
+			}
+			loops = append(loops, loopFrame{pc: pc, remaining: in.A})
+		case OpIO:
+			res.IOEvents[in.Name]++
+		}
+	}
+	// Fall off the end: implicit ret 0 (or top of stack).
+	if len(stack) > 0 {
+		return stack[len(stack)-1], nil
+	}
+	return 0, nil
+}

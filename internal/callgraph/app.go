@@ -1,0 +1,161 @@
+// Package callgraph extracts function data-flow graphs from application
+// descriptions. It substitutes Soot, which the paper uses to "get the
+// internal functions and their calling relationships from the compiled
+// executable" (§II): instead of JVM bytecode we consume a small textual
+// application IR (functions, instruction counts, call sites with data
+// volumes, and locality annotations) and emit the same weighted undirected
+// graph the offloading pipeline consumes, with unoffloadable functions
+// excluded exactly as the paper prescribes.
+package callgraph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"copmecs/internal/graph"
+)
+
+// Errors returned by the package.
+var (
+	// ErrDuplicateFunction is returned when an app declares a name twice.
+	ErrDuplicateFunction = errors.New("callgraph: duplicate function")
+	// ErrUnknownCallee is returned when a call site references a missing
+	// function.
+	ErrUnknownCallee = errors.New("callgraph: unknown callee")
+	// ErrNoFunctions is returned for an app with no functions.
+	ErrNoFunctions = errors.New("callgraph: app has no functions")
+	// ErrBadValue is returned for negative instruction or data amounts.
+	ErrBadValue = errors.New("callgraph: negative value")
+)
+
+// Call is one call site: the callee name and the volume of data exchanged
+// across the call (arguments plus return value), which becomes edge weight.
+type Call struct {
+	Callee string
+	// Data is the communication volume of the call site.
+	Data float64
+}
+
+// Function is one application function.
+type Function struct {
+	Name string
+	// Work is the computation amount of the function (node weight).
+	Work float64
+	// Local marks the function unoffloadable: it reads sensors, touches
+	// local I/O devices, or otherwise depends on on-device state. Local
+	// functions are excluded from the extracted graph (paper §II).
+	Local bool
+	// Calls are the function's outgoing call sites.
+	Calls []Call
+}
+
+// App is a whole application: a named list of functions.
+type App struct {
+	Name      string
+	Functions []Function
+}
+
+// Validate checks internal consistency: unique names, known callees,
+// non-negative amounts, at least one function.
+func (a *App) Validate() error {
+	if len(a.Functions) == 0 {
+		return fmt.Errorf("app %q: %w", a.Name, ErrNoFunctions)
+	}
+	byName := make(map[string]bool, len(a.Functions))
+	for _, f := range a.Functions {
+		if byName[f.Name] {
+			return fmt.Errorf("app %q: %w: %q", a.Name, ErrDuplicateFunction, f.Name)
+		}
+		byName[f.Name] = true
+		if f.Work < 0 {
+			return fmt.Errorf("app %q func %q: work %g: %w", a.Name, f.Name, f.Work, ErrBadValue)
+		}
+	}
+	for _, f := range a.Functions {
+		for _, c := range f.Calls {
+			if !byName[c.Callee] {
+				return fmt.Errorf("app %q func %q: %w: %q", a.Name, f.Name, ErrUnknownCallee, c.Callee)
+			}
+			if c.Data < 0 {
+				return fmt.Errorf("app %q func %q calls %q: data %g: %w",
+					a.Name, f.Name, c.Callee, c.Data, ErrBadValue)
+			}
+		}
+	}
+	return nil
+}
+
+// Extraction is the result of Extract: the offloadable function data-flow
+// graph plus the bookkeeping to map graph nodes back to functions.
+type Extraction struct {
+	// Graph holds one node per offloadable function; edge weights sum the
+	// data volumes of all call sites between the two functions (in either
+	// direction).
+	Graph *graph.Graph
+	// NameOf maps each graph node to its function name.
+	NameOf map[graph.NodeID]string
+	// NodeOf maps each offloadable function name to its node.
+	NodeOf map[string]graph.NodeID
+	// LocalFunctions lists the unoffloadable functions that were excluded,
+	// sorted by name. They always execute on the device.
+	LocalFunctions []string
+	// LocalWork is the total computation amount of the excluded functions.
+	LocalWork float64
+}
+
+// Extract validates the app and builds its function data-flow graph.
+// Self-calls (recursion) carry no communication and are dropped. Calls
+// between an offloadable and a local function are dropped from the graph —
+// the local side is pinned to the device, so that communication never
+// crosses the network regardless of the offloading decision.
+func Extract(a *App) (*Extraction, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	ex := &Extraction{
+		Graph:  graph.New(len(a.Functions)),
+		NameOf: make(map[graph.NodeID]string, len(a.Functions)),
+		NodeOf: make(map[string]graph.NodeID, len(a.Functions)),
+	}
+	// Deterministic node numbering: sort offloadable names.
+	names := make([]string, 0, len(a.Functions))
+	localOf := make(map[string]bool, len(a.Functions))
+	workOf := make(map[string]float64, len(a.Functions))
+	for _, f := range a.Functions {
+		localOf[f.Name] = f.Local
+		workOf[f.Name] = f.Work
+		if f.Local {
+			ex.LocalFunctions = append(ex.LocalFunctions, f.Name)
+			ex.LocalWork += f.Work
+			continue
+		}
+		names = append(names, f.Name)
+	}
+	sort.Strings(names)
+	sort.Strings(ex.LocalFunctions)
+	for i, name := range names {
+		id := graph.NodeID(i)
+		if err := ex.Graph.AddNode(id, workOf[name]); err != nil {
+			return nil, fmt.Errorf("extract %q: %w", a.Name, err)
+		}
+		ex.NameOf[id] = name
+		ex.NodeOf[name] = id
+	}
+	for _, f := range a.Functions {
+		if f.Local {
+			continue
+		}
+		u := ex.NodeOf[f.Name]
+		for _, c := range f.Calls {
+			if c.Callee == f.Name || localOf[c.Callee] || c.Data == 0 {
+				continue
+			}
+			v := ex.NodeOf[c.Callee]
+			if err := ex.Graph.AddEdge(u, v, c.Data); err != nil {
+				return nil, fmt.Errorf("extract %q: %w", a.Name, err)
+			}
+		}
+	}
+	return ex, nil
+}

@@ -1,0 +1,90 @@
+package callgraph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SynthConfig parameterises Synthesize.
+type SynthConfig struct {
+	// Name of the generated app; empty means "synthetic".
+	Name string
+	// Pipelines is the number of processing pipelines (e.g. capture →
+	// preprocess → infer → render chains). Must be ≥ 1.
+	Pipelines int
+	// StagesPerPipeline is the length of each pipeline. Must be ≥ 1.
+	StagesPerPipeline int
+	// HelpersPerStage attaches this many helper functions to each stage.
+	HelpersPerStage int
+	// LocalFraction is the probability that a pipeline's first stage is
+	// pinned local (sensor/IO bound), as in real capture stages.
+	LocalFraction float64
+	// Seed drives the deterministic RNG.
+	Seed int64
+}
+
+// Synthesize builds a synthetic application whose call structure resembles
+// the mobile workloads the paper motivates (camera/VR/recognition apps):
+// pipelines of heavy stages with light helpers, where capture stages touch
+// sensors and are therefore unoffloadable. It exercises the same extraction
+// path as hand-written IR.
+func Synthesize(cfg SynthConfig) (*App, error) {
+	if cfg.Pipelines < 1 || cfg.StagesPerPipeline < 1 || cfg.HelpersPerStage < 0 {
+		return nil, fmt.Errorf("%w: %+v", ErrBadValue, cfg)
+	}
+	if cfg.Name == "" {
+		cfg.Name = "synthetic"
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	app := &App{Name: cfg.Name}
+
+	main := Function{Name: "main", Work: 10 + rng.Float64()*20, Local: true}
+	for p := 0; p < cfg.Pipelines; p++ {
+		prev := ""
+		for s := 0; s < cfg.StagesPerPipeline; s++ {
+			name := fmt.Sprintf("p%d_stage%d", p, s)
+			fn := Function{
+				Name: name,
+				// Later stages do the heavy lifting (inference, encoding).
+				Work: 100 + rng.Float64()*400*float64(s+1),
+			}
+			if s == 0 && rng.Float64() < cfg.LocalFraction {
+				fn.Local = true // capture stage touching a sensor
+			}
+			// Stage-to-stage links carry bulk data (frames, tensors).
+			if prev == "" {
+				main.Calls = append(main.Calls, Call{Callee: name, Data: 1 + rng.Float64()*4})
+			} else {
+				app.setCall(prev, Call{Callee: name, Data: 200 + rng.Float64()*800})
+			}
+			for h := 0; h < cfg.HelpersPerStage; h++ {
+				helper := Function{
+					Name: fmt.Sprintf("%s_h%d", name, h),
+					Work: 5 + rng.Float64()*30,
+				}
+				// Helper links are chatty but small.
+				fn.Calls = append(fn.Calls, Call{Callee: helper.Name, Data: 1 + rng.Float64()*10})
+				app.Functions = append(app.Functions, helper)
+			}
+			app.Functions = append(app.Functions, fn)
+			prev = name
+		}
+	}
+	app.Functions = append(app.Functions, main)
+	if err := app.Validate(); err != nil {
+		return nil, fmt.Errorf("synthesize: %w", err)
+	}
+	return app, nil
+}
+
+// setCall appends a call site to the named function, which must exist.
+func (a *App) setCall(name string, c Call) {
+	for i := range a.Functions {
+		if a.Functions[i].Name == name {
+			a.Functions[i].Calls = append(a.Functions[i].Calls, c)
+			return
+		}
+	}
+	// Unknown names indicate a bug in the synthesiser; Validate would also
+	// catch the resulting dangling call, so just drop it.
+}

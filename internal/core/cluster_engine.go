@@ -1,0 +1,42 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"copmecs/internal/graph"
+	"copmecs/internal/jobs"
+	"copmecs/internal/parallel"
+)
+
+// ClusterEngine runs spectral cuts on a parallel.Runner — an in-process
+// pool or a TCP executor cluster — shipping each compressed sub-graph as a
+// serialised job. This is the deployment shape of the paper's Spark usage:
+// the driver owns the pipeline, executors own the spectrum computations.
+//
+// Latency note: for loopback pools the serialisation overhead usually
+// exceeds the eigenwork on well-compressed sub-graphs; the engine earns its
+// keep when executors are remote machines or sub-graphs are large.
+type ClusterEngine struct {
+	// Runner executes the jobs (required).
+	Runner parallel.Runner
+	// DisableSweep turns off sweep-cut refinement on the executors.
+	DisableSweep bool
+}
+
+var _ Engine = ClusterEngine{}
+
+// Name implements Engine.
+func (ClusterEngine) Name() string { return "spectral-cluster" }
+
+// Bisect implements Engine by submitting a single cut job.
+func (e ClusterEngine) Bisect(g *graph.Graph) ([]graph.NodeID, []graph.NodeID, error) {
+	if e.Runner == nil {
+		return nil, nil, fmt.Errorf("cluster engine: %w", parallel.ErrNoWorkers)
+	}
+	cuts, err := jobs.SubmitCuts(context.Background(), e.Runner, []*graph.Graph{g}, e.DisableSweep)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cluster engine: %w", err)
+	}
+	return cuts[0].SideA, cuts[0].SideB, nil
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"copmecs/internal/jobs"
+	"copmecs/internal/netgen"
+	"copmecs/internal/parallel"
+)
+
+func TestClusterEngineOnPool(t *testing.T) {
+	g, err := netgen.Generate(netgen.Config{Nodes: 120, Edges: 360, Components: 3, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := parallel.NewPool(2, jobs.NewRegistry())
+	clustered, err := Solve([]UserInput{{Graph: g}}, Options{Engine: ClusterEngine{Runner: pool}})
+	if err != nil {
+		t.Fatalf("Solve(cluster): %v", err)
+	}
+	local, err := Solve([]UserInput{{Graph: g}}, Options{Engine: SpectralEngine{}})
+	if err != nil {
+		t.Fatalf("Solve(local): %v", err)
+	}
+	// The cluster engine runs the same spectral cut remotely: identical
+	// deterministic outcome.
+	if math.Abs(clustered.Eval.Objective-local.Eval.Objective) > 1e-9*(1+local.Eval.Objective) {
+		t.Errorf("cluster objective %v ≠ local %v", clustered.Eval.Objective, local.Eval.Objective)
+	}
+	if clustered.Stats.EngineName != "spectral-cluster" {
+		t.Errorf("engine name = %q", clustered.Stats.EngineName)
+	}
+	if clustered.Stats.PipelineTime <= 0 || clustered.Stats.GreedyTime < 0 {
+		t.Errorf("stage timings missing: %+v", clustered.Stats)
+	}
+}
+
+func TestClusterEngineOverTCP(t *testing.T) {
+	g, err := netgen.Generate(netgen.Config{Nodes: 80, Edges: 240, Components: 2, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		ex, err := parallel.NewExecutor(fmt.Sprintf("e%d", i), "127.0.0.1:0", jobs.NewRegistry())
+		if err != nil {
+			t.Fatalf("NewExecutor: %v", err)
+		}
+		t.Cleanup(func() { _ = ex.Close() })
+		addrs = append(addrs, ex.Addr())
+	}
+	driver, err := parallel.NewDriver(addrs, 0)
+	if err != nil {
+		t.Fatalf("NewDriver: %v", err)
+	}
+	t.Cleanup(func() { _ = driver.Close() })
+
+	sol, err := Solve([]UserInput{{Graph: g}}, Options{Engine: ClusterEngine{Runner: driver}})
+	if err != nil {
+		t.Fatalf("Solve over TCP: %v", err)
+	}
+	serial, err := Solve([]UserInput{{Graph: g}}, Options{Engine: SpectralEngine{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Eval.Objective-serial.Eval.Objective) > 1e-9*(1+serial.Eval.Objective) {
+		t.Errorf("TCP cluster objective %v ≠ serial %v", sol.Eval.Objective, serial.Eval.Objective)
+	}
+}
+
+func TestClusterEngineNilRunner(t *testing.T) {
+	g := fig1Graph(t)
+	_, err := Solve([]UserInput{{Graph: g}}, Options{Engine: ClusterEngine{}})
+	if !errors.Is(err, parallel.ErrNoWorkers) {
+		t.Errorf("nil runner error = %v, want ErrNoWorkers", err)
+	}
+}

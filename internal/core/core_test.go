@@ -1,0 +1,557 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"copmecs/internal/graph"
+	"copmecs/internal/mec"
+	"copmecs/internal/netgen"
+)
+
+func buildGraph(t *testing.T, weights []float64, edges []graph.Edge) *graph.Graph {
+	t.Helper()
+	g := graph.New(len(weights))
+	for i, w := range weights {
+		if err := g.AddNode(graph.NodeID(i), w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range edges {
+		if err := g.AddEdge(e.U, e.V, e.Weight); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+// fig1Graph is the paper's Figure 1 example.
+func fig1Graph(t *testing.T) *graph.Graph {
+	t.Helper()
+	return buildGraph(t, []float64{5, 4, 3, 2, 1}, []graph.Edge{
+		{U: 0, V: 1, Weight: 10}, {U: 0, V: 2, Weight: 8},
+		{U: 1, V: 3, Weight: 12}, {U: 1, V: 4, Weight: 7},
+	})
+}
+
+// engines lists every cut engine for cross-engine tests.
+func engines() []Engine {
+	return []Engine{SpectralEngine{}, MaxFlowEngine{}, KLEngine{}, StoerWagnerEngine{}}
+}
+
+func TestSolveSingleUserAllEngines(t *testing.T) {
+	for _, eng := range engines() {
+		t.Run(eng.Name(), func(t *testing.T) {
+			sol, err := Solve([]UserInput{{Graph: fig1Graph(t)}}, Options{Engine: eng})
+			if err != nil {
+				t.Fatalf("Solve: %v", err)
+			}
+			if sol.Stats.EngineName != eng.Name() {
+				t.Errorf("engine name = %q", sol.Stats.EngineName)
+			}
+			if len(sol.Placements) != 1 {
+				t.Fatalf("placements = %d", len(sol.Placements))
+			}
+			if sol.Eval == nil || sol.Eval.Objective < 0 {
+				t.Fatalf("bad eval: %+v", sol.Eval)
+			}
+			// Every node is placed exactly once (remote set ⊆ nodes).
+			for id := range sol.Placements[0].Remote {
+				if !sol.Placements[0].Graph.HasNode(id) {
+					t.Errorf("remote set has foreign node %d", id)
+				}
+			}
+		})
+	}
+}
+
+func TestSolveNilGraph(t *testing.T) {
+	if _, err := Solve([]UserInput{{}}, Options{}); !errors.Is(err, ErrNilGraph) {
+		t.Errorf("nil graph error = %v, want ErrNilGraph", err)
+	}
+}
+
+func TestSolveBadParams(t *testing.T) {
+	opts := Options{Params: mec.Params{ServerCapacity: -1, DeviceCompute: 1, PowerCompute: 1, PowerTransmit: 1, Bandwidth: 1}}
+	if _, err := Solve([]UserInput{{Graph: fig1Graph(t)}}, opts); !errors.Is(err, mec.ErrBadParams) {
+		t.Errorf("bad params error = %v, want ErrBadParams", err)
+	}
+}
+
+func TestSolveEmptyUsers(t *testing.T) {
+	sol, err := Solve(nil, Options{})
+	if err != nil {
+		t.Fatalf("Solve(empty): %v", err)
+	}
+	if len(sol.Placements) != 0 || sol.Eval.Objective != 0 {
+		t.Errorf("empty solve = %+v", sol)
+	}
+}
+
+func TestSolveEmptyUserGraph(t *testing.T) {
+	sol, err := Solve([]UserInput{{Graph: graph.New(0), FixedLocalWork: 100}}, Options{})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Eval.LocalTime <= 0 {
+		t.Errorf("fixed local work ignored: %+v", sol.Eval)
+	}
+	if sol.Stats.Parts != 0 {
+		t.Errorf("parts = %d, want 0", sol.Stats.Parts)
+	}
+}
+
+func TestSolveEvalMatchesIncrementalObjective(t *testing.T) {
+	// The greedy's O(1) bookkeeping must agree with the full model: the
+	// final Eval.Objective equals the greedy state's view of the scheme.
+	g, err := netgen.Generate(netgen.Config{Nodes: 120, Edges: 420, Components: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := []UserInput{{Graph: g}, {Graph: g.Clone(), FixedLocalWork: 50}}
+	sol, err := Solve(users, Options{})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	// Recompute the objective from scratch through the public model.
+	states := make([]mec.UserState, len(sol.Placements))
+	for i, pl := range sol.Placements {
+		states[i] = pl.State()
+		states[i].LocalWork += users[i].FixedLocalWork
+	}
+	ev, err := mec.Evaluate(mec.Defaults(), states)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ev.Objective-sol.Eval.Objective) > 1e-9*(1+ev.Objective) {
+		t.Errorf("Eval.Objective = %v, recomputed %v", sol.Eval.Objective, ev.Objective)
+	}
+}
+
+func TestSolveGreedyImprovesOverAllRemote(t *testing.T) {
+	// With many users hammering a small server, the greedy must pull work
+	// back to devices: the solution beats the all-remote starting point.
+	g, err := netgen.Generate(netgen.Config{Nodes: 60, Edges: 150, Components: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := make([]UserInput, 30)
+	for i := range users {
+		users[i] = UserInput{Graph: g}
+	}
+	params := mec.Defaults()
+	params.ServerCapacity = 300 // heavily contended
+	sol, err := Solve(users, Options{Params: params})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All-remote evaluation for comparison.
+	allRemote := make([]mec.UserState, len(users))
+	for i := range users {
+		allRemote[i] = mec.UserState{RemoteWork: g.TotalNodeWeight()}
+	}
+	evRemote, err := mec.Evaluate(params, allRemote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Eval.Objective > evRemote.Objective+1e-9 {
+		t.Errorf("greedy objective %v worse than all-remote %v", sol.Eval.Objective, evRemote.Objective)
+	}
+	if sol.Stats.GreedyMoves == 0 {
+		t.Error("no greedy moves under heavy contention")
+	}
+}
+
+func TestSolveStrictAndBatchAgreeOnObjectiveDirection(t *testing.T) {
+	g, err := netgen.Generate(netgen.Config{Nodes: 100, Edges: 300, Components: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := make([]UserInput, 10)
+	for i := range users {
+		users[i] = UserInput{Graph: g}
+	}
+	params := mec.Defaults()
+	params.ServerCapacity = 500
+	strict, err := Solve(users, Options{Params: params, Greedy: GreedyStrict})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := Solve(users, Options{Params: params, Greedy: GreedyBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Batch is a relaxation of strict ordering; both must land close (same
+	// local-optimum family). Allow 10% slack.
+	if batch.Eval.Objective > strict.Eval.Objective*1.10+1e-9 {
+		t.Errorf("batch objective %v far above strict %v", batch.Eval.Objective, strict.Eval.Objective)
+	}
+}
+
+func TestSolvePartsConsistency(t *testing.T) {
+	g, err := netgen.Generate(netgen.Config{Nodes: 80, Edges: 200, Components: 2, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := Solve([]UserInput{{Graph: g}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parts partition the node set.
+	seen := make(map[graph.NodeID]bool)
+	var work float64
+	for _, p := range sol.Parts {
+		for _, id := range p.Nodes {
+			if seen[id] {
+				t.Fatalf("node %d in two parts", id)
+			}
+			seen[id] = true
+		}
+		work += p.Work
+	}
+	if len(seen) != g.NumNodes() {
+		t.Errorf("parts cover %d nodes, want %d", len(seen), g.NumNodes())
+	}
+	if math.Abs(work-g.TotalNodeWeight()) > 1e-6 {
+		t.Errorf("parts work %v ≠ graph work %v", work, g.TotalNodeWeight())
+	}
+	// Sibling links are mutual and share CrossWeight.
+	for i, p := range sol.Parts {
+		if p.Sibling < 0 {
+			continue
+		}
+		s := sol.Parts[p.Sibling]
+		if s.Sibling != i {
+			t.Errorf("sibling link broken: %d → %d → %d", i, p.Sibling, s.Sibling)
+		}
+		if s.CrossWeight != p.CrossWeight {
+			t.Errorf("sibling cross weights differ: %v vs %v", p.CrossWeight, s.CrossWeight)
+		}
+	}
+}
+
+func TestSolveDisableCompression(t *testing.T) {
+	g, err := netgen.Generate(netgen.Config{Nodes: 60, Edges: 150, Components: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withC, err := Solve([]UserInput{{Graph: g}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Solve([]UserInput{{Graph: g}}, Options{DisableCompression: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withC.Stats.NodesAfter >= without.Stats.NodesAfter {
+		t.Errorf("compression did not shrink: %d vs %d",
+			withC.Stats.NodesAfter, without.Stats.NodesAfter)
+	}
+	if without.Stats.NodesAfter != g.NumNodes() {
+		t.Errorf("uncompressed nodes = %d, want %d", without.Stats.NodesAfter, g.NumNodes())
+	}
+}
+
+func TestSolveSerialMatchesParallelWorkers(t *testing.T) {
+	g, err := netgen.Generate(netgen.Config{Nodes: 150, Edges: 500, Components: 5, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := []UserInput{{Graph: g}, {Graph: g.Clone()}}
+	serial, err := Solve(users, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Solve(users, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(serial.Eval.Objective-par.Eval.Objective) > 1e-9*(1+serial.Eval.Objective) {
+		t.Errorf("serial %v vs parallel %v objectives differ", serial.Eval.Objective, par.Eval.Objective)
+	}
+}
+
+func TestSolveSpectralBeatsBaselinesOnTransmission(t *testing.T) {
+	// The paper's headline (Figs 3–5): the spectral scheme transmits no
+	// more than the baselines. Allow slack for ties.
+	g, err := netgen.Generate(netgen.Config{Nodes: 250, Edges: 1214, Components: 4, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make(map[string]float64)
+	for _, eng := range []Engine{SpectralEngine{}, MaxFlowEngine{}, KLEngine{}} {
+		sol, err := Solve([]UserInput{{Graph: g}}, Options{Engine: eng})
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		results[eng.Name()] = sol.Eval.TransmissionEnergy
+	}
+	if results["spectral"] > results["kernighan-lin"]*1.05+1e-9 {
+		t.Errorf("spectral transmission %v exceeds KL %v", results["spectral"], results["kernighan-lin"])
+	}
+}
+
+func TestGreedyDeltaMatchesFullRecompute(t *testing.T) {
+	// Every accepted greedy move's predicted delta must equal the actual
+	// objective change when recomputed from scratch.
+	g, err := netgen.Generate(netgen.Config{Nodes: 50, Edges: 120, Components: 2, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := []UserInput{{Graph: g}, {Graph: g.Clone(), DeviceCompute: 50}}
+	opts := Options{Params: mec.Defaults()}
+	opts.Engine = SpectralEngine{}
+	parts, _, err := buildParts(users, Options{Engine: SpectralEngine{}, Params: mec.Defaults(), Workers: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := newGreedyState(users, parts, mec.Defaults())
+	for step := 0; step < len(parts); step++ {
+		// Pick any remote part.
+		idx := -1
+		for i := range parts {
+			if parts[i].Remote {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			break
+		}
+		before := st.objective()
+		delta, cutDelta := st.moveDelta(parts, idx)
+		st.apply(parts, idx, cutDelta)
+		after := st.objective()
+		if math.Abs((after-before)-delta) > 1e-9*(1+math.Abs(delta)) {
+			t.Fatalf("step %d: predicted delta %v, actual %v", step, delta, after-before)
+		}
+	}
+}
+
+func TestSolveSharedGraphMatchesClones(t *testing.T) {
+	// The per-graph pipeline cache must be invisible: users sharing one
+	// *Graph and users with equal clones produce the same evaluation.
+	g, err := netgen.Generate(netgen.Config{Nodes: 90, Edges: 250, Components: 3, Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := make([]UserInput, 6)
+	cloned := make([]UserInput, 6)
+	for i := range shared {
+		shared[i] = UserInput{Graph: g}
+		cloned[i] = UserInput{Graph: g.Clone()}
+	}
+	a, err := Solve(shared, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(cloned, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Eval.Objective-b.Eval.Objective) > 1e-9*(1+a.Eval.Objective) {
+		t.Errorf("shared %v vs cloned %v objectives differ", a.Eval.Objective, b.Eval.Objective)
+	}
+	if a.Stats.Parts != b.Stats.Parts {
+		t.Errorf("parts differ: %d vs %d", a.Stats.Parts, b.Stats.Parts)
+	}
+}
+
+func TestSolveGreedyNeverWorseThanInitial(t *testing.T) {
+	g, err := netgen.Generate(netgen.Config{Nodes: 140, Edges: 400, Components: 4, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eng := range engines() {
+		sol, err := Solve([]UserInput{{Graph: g}}, Options{Engine: eng})
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		if sol.Eval.Objective > sol.InitialObjective+1e-9 {
+			t.Errorf("%s: final %v worse than initial %v",
+				eng.Name(), sol.Eval.Objective, sol.InitialObjective)
+		}
+	}
+}
+
+func TestSolveDisableGreedy(t *testing.T) {
+	g, err := netgen.Generate(netgen.Config{Nodes: 100, Edges: 280, Components: 3, Seed: 29})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := Solve([]UserInput{{Graph: g}}, Options{DisableGreedy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Stats.GreedyMoves != 0 {
+		t.Errorf("moves = %d with greedy disabled", sol.Stats.GreedyMoves)
+	}
+	// The incremental initial objective equals the full model evaluation of
+	// the initial placement.
+	if math.Abs(sol.Eval.Objective-sol.InitialObjective) > 1e-9*(1+sol.Eval.Objective) {
+		t.Errorf("Eval %v ≠ InitialObjective %v with greedy disabled",
+			sol.Eval.Objective, sol.InitialObjective)
+	}
+	// The initial split puts the lighter side of every cut sub-graph local.
+	for _, p := range sol.Parts {
+		if p.Sibling < 0 {
+			continue
+		}
+		s := sol.Parts[p.Sibling]
+		if p.Remote == s.Remote {
+			t.Fatalf("sibling parts share placement before greedy")
+		}
+		remote, local := p, s
+		if !p.Remote {
+			remote, local = s, p
+		}
+		if remote.Work < local.Work {
+			t.Errorf("heavier side local: remote %v < local %v", remote.Work, local.Work)
+		}
+	}
+}
+
+func TestSolveMaxPartsMultiway(t *testing.T) {
+	g, err := netgen.Generate(netgen.Config{Nodes: 150, Edges: 450, Components: 3, Seed: 37})
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := Solve([]UserInput{{Graph: g}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := Solve([]UserInput{{Graph: g}}, Options{MaxParts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if four.Stats.Parts <= two.Stats.Parts {
+		t.Errorf("MaxParts=4 produced %d parts vs %d at 2", four.Stats.Parts, two.Stats.Parts)
+	}
+	// Finer parts usually help but are not formally dominated (the greedy
+	// is one-directional and starts from a different split); on this
+	// deterministic instance they must stay in the same ballpark.
+	if four.Eval.Objective > two.Eval.Objective*1.25 {
+		t.Errorf("multiway objective %v far above bisection %v",
+			four.Eval.Objective, two.Eval.Objective)
+	}
+	// Parts still partition each user's node set.
+	seen := make(map[graph.NodeID]bool)
+	for _, p := range four.Parts {
+		for _, id := range p.Nodes {
+			if seen[id] {
+				t.Fatalf("node %d in two parts", id)
+			}
+			seen[id] = true
+		}
+	}
+	if len(seen) != g.NumNodes() {
+		t.Errorf("parts cover %d of %d nodes", len(seen), g.NumNodes())
+	}
+	// The incremental objective still matches the full model.
+	states := make([]mec.UserState, len(four.Placements))
+	for i, pl := range four.Placements {
+		states[i] = pl.State()
+	}
+	ev, err := mec.Evaluate(mec.Defaults(), states)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ev.Objective-four.Eval.Objective) > 1e-9*(1+ev.Objective) {
+		t.Errorf("multiway Eval %v ≠ recomputed %v", four.Eval.Objective, ev.Objective)
+	}
+}
+
+func TestSolveMaxPartsAdjacencySymmetric(t *testing.T) {
+	g, err := netgen.Generate(netgen.Config{Nodes: 100, Edges: 300, Components: 2, Seed: 39})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := Solve([]UserInput{{Graph: g}}, Options{MaxParts: 3, DisableGreedy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range sol.Parts {
+		for _, e := range p.Adj {
+			if e.Other < 0 || e.Other >= len(sol.Parts) {
+				t.Fatalf("part %d adj target %d out of range", i, e.Other)
+			}
+			if sol.Parts[e.Other].User != p.User {
+				t.Fatalf("adjacency crosses users: %d ↔ %d", i, e.Other)
+			}
+			// Symmetric back edge with equal weight.
+			found := false
+			for _, back := range sol.Parts[e.Other].Adj {
+				if back.Other == i && back.Weight == e.Weight {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("missing symmetric edge %d ↔ %d", i, e.Other)
+			}
+		}
+	}
+	// Exactly one part per multi-part sub-graph starts local: count via
+	// connected components of the part-adjacency graph.
+	localParts := 0
+	for _, p := range sol.Parts {
+		if !p.Remote {
+			localParts++
+		}
+	}
+	if localParts == 0 {
+		t.Error("no initial local parts despite cut sub-graphs")
+	}
+}
+
+func TestSolveHeterogeneousRadios(t *testing.T) {
+	g, err := netgen.Generate(netgen.Config{Nodes: 80, Edges: 220, Components: 2, Seed: 61})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One user on a terrible link: offloading costs it far more per unit of
+	// cut, so its scheme should transmit no more than the well-connected
+	// user's.
+	users := []UserInput{
+		{Graph: g},
+		{Graph: g.Clone(), Bandwidth: 2, PowerTransmit: 60},
+	}
+	sol, err := Solve(users, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := sol.Placements[0].State()
+	bad := sol.Placements[1].State()
+	if bad.CutWeight > good.CutWeight {
+		t.Errorf("poor-link user cuts %v > good-link user %v", bad.CutWeight, good.CutWeight)
+	}
+	// Incremental objective still matches the full model with overrides.
+	states := []mec.UserState{good, bad}
+	ev, err := mec.Evaluate(mec.Defaults(), states)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ev.Objective-sol.Eval.Objective) > 1e-9*(1+ev.Objective) {
+		t.Errorf("heterogeneous Eval %v ≠ recomputed %v", sol.Eval.Objective, ev.Objective)
+	}
+}
+
+func TestSolveBalancedSpectral(t *testing.T) {
+	g, err := netgen.Generate(netgen.Config{Nodes: 100, Edges: 300, Components: 2, Seed: 67})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := Solve([]UserInput{{Graph: g}}, Options{Engine: SpectralEngine{Balanced: true}})
+	if err != nil {
+		t.Fatalf("Solve(balanced): %v", err)
+	}
+	if sol.Stats.EngineName != "spectral-balanced" {
+		t.Errorf("engine name = %q", sol.Stats.EngineName)
+	}
+	// Balanced cuts produce sibling parts of comparable work more often
+	// than lopsided min cuts; at minimum the solve is valid and evaluated.
+	if sol.Eval.Objective <= 0 {
+		t.Errorf("objective = %v", sol.Eval.Objective)
+	}
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"copmecs/internal/graph"
+	"copmecs/internal/mec"
+	"copmecs/internal/mincut"
+	"copmecs/internal/netgen"
+)
+
+// randConnected builds a random connected graph with unit-positive weights.
+func randConnected(rng *rand.Rand, n, extra int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		if err := g.AddNode(graph.NodeID(i), rng.Float64()*50+1); err != nil {
+			panic(err)
+		}
+	}
+	for i := 1; i < n; i++ {
+		if err := g.AddEdge(graph.NodeID(rng.Intn(i)), graph.NodeID(i), rng.Float64()*9+1); err != nil {
+			panic(err)
+		}
+	}
+	for k := 0; k < extra; k++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		if _, ok := g.EdgeWeight(graph.NodeID(u), graph.NodeID(v)); ok {
+			continue
+		}
+		if err := g.AddEdge(graph.NodeID(u), graph.NodeID(v), rng.Float64()*9+1); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+func TestPropertyEngineCutsBoundedBelowByGlobalMin(t *testing.T) {
+	// Every engine's bisection is a valid cut, so its weight can never be
+	// below the exact global minimum cut (Stoer–Wagner).
+	f := func(seed int64, nn uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nn%12) + 4
+		g := randConnected(rng, n, rng.Intn(2*n))
+		_, _, globalMin, err := mincut.GlobalMinCut(g)
+		if err != nil {
+			return false
+		}
+		for _, eng := range engines() {
+			a, b, err := eng.Bisect(g)
+			if err != nil {
+				return false
+			}
+			if len(a) == 0 || len(b) == 0 || len(a)+len(b) != n {
+				return false
+			}
+			side := make(map[graph.NodeID]bool, len(a))
+			for _, id := range a {
+				side[id] = true
+			}
+			if g.CutWeight(side) < globalMin-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySpectralFindsPlantedBridge(t *testing.T) {
+	// Two dense random clusters joined by one weak edge: the spectral
+	// engine must recover the bridge as the cut.
+	f := func(seed int64, nn uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		half := int(nn%8) + 4
+		g := graph.New(2 * half)
+		for i := 0; i < 2*half; i++ {
+			if err := g.AddNode(graph.NodeID(i), 1); err != nil {
+				return false
+			}
+		}
+		for c := 0; c < 2; c++ {
+			base := c * half
+			for i := 0; i < half; i++ {
+				for j := i + 1; j < half; j++ {
+					if err := g.AddEdge(graph.NodeID(base+i), graph.NodeID(base+j), 5+rng.Float64()*5); err != nil {
+						return false
+					}
+				}
+			}
+		}
+		bridge := 0.01 + rng.Float64()*0.1
+		if err := g.AddEdge(0, graph.NodeID(half), bridge); err != nil {
+			return false
+		}
+		a, _, err := SpectralEngine{}.Bisect(g)
+		if err != nil {
+			return false
+		}
+		side := make(map[graph.NodeID]bool, len(a))
+		for _, id := range a {
+			side[id] = true
+		}
+		return math.Abs(g.CutWeight(side)-bridge) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySolveDeterministic(t *testing.T) {
+	f := func(seed int64, nn uint8) bool {
+		n := int(nn%80) + 20
+		cfg := netgen.Config{Nodes: n, Edges: n * 2, Components: 2, Seed: seed}
+		g1, err := netgen.Generate(cfg)
+		if err != nil {
+			return true // some (n, edges) combos are invalid; not this test's concern
+		}
+		g2, err := netgen.Generate(cfg)
+		if err != nil {
+			return false
+		}
+		s1, err := Solve([]UserInput{{Graph: g1}}, Options{})
+		if err != nil {
+			return false
+		}
+		s2, err := Solve([]UserInput{{Graph: g2}}, Options{})
+		if err != nil {
+			return false
+		}
+		if s1.Eval.Objective != s2.Eval.Objective {
+			return false
+		}
+		if len(s1.Placements[0].Remote) != len(s2.Placements[0].Remote) {
+			return false
+		}
+		for id := range s1.Placements[0].Remote {
+			if !s2.Placements[0].Remote[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyObjectiveMatchesModel(t *testing.T) {
+	// For arbitrary workloads and engines the incremental objective always
+	// equals the full mec.Evaluate of the produced placements.
+	f := func(seed int64, nn, uu uint8, engIdx uint8) bool {
+		n := int(nn%60) + 20
+		users := int(uu%5) + 1
+		g, err := netgen.Generate(netgen.Config{Nodes: n, Edges: n * 2, Components: 2, Seed: seed})
+		if err != nil {
+			return true
+		}
+		eng := engines()[int(engIdx)%len(engines())]
+		inputs := make([]UserInput, users)
+		for i := range inputs {
+			inputs[i] = UserInput{Graph: g, FixedLocalWork: float64(i) * 10}
+		}
+		sol, err := Solve(inputs, Options{Engine: eng})
+		if err != nil {
+			return false
+		}
+		states := make([]mec.UserState, users)
+		for i, pl := range sol.Placements {
+			states[i] = pl.State()
+			states[i].LocalWork += inputs[i].FixedLocalWork
+		}
+		ev, err := mec.Evaluate(mec.Defaults(), states)
+		if err != nil {
+			return false
+		}
+		return math.Abs(ev.Objective-sol.Eval.Objective) < 1e-9*(1+ev.Objective)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"sync"
+
+	"copmecs/internal/graph"
+)
+
+// Session runs repeated solves over a changing user population while
+// caching the per-graph pipeline (compression + cuts). An edge server
+// re-planning as users join and leave only pays for Algorithm 2's greedy on
+// each solve; the expensive spectral work per distinct application graph
+// runs once per Session.
+//
+// Cache entries are keyed by *graph.Graph identity: callers must not mutate
+// a graph after passing it to Solve (Invalidate drops a stale entry if they
+// must). A Session is safe for concurrent use.
+type Session struct {
+	opts Options
+
+	mu     sync.Mutex
+	protos map[*graph.Graph][]protoPart
+	stats  map[*graph.Graph]pipelineStats
+}
+
+// NewSession returns a session solving with the given options. Options that
+// affect the pipeline (engine, LPA, compression, MaxParts) are fixed for
+// the session's lifetime; changing them requires a new Session.
+func NewSession(opts Options) *Session {
+	return &Session{
+		opts:   opts,
+		protos: make(map[*graph.Graph][]protoPart),
+		stats:  make(map[*graph.Graph]pipelineStats),
+	}
+}
+
+// Solve plans the current population, reusing cached pipeline results for
+// graphs seen in earlier solves.
+func (s *Session) Solve(users []UserInput) (*Solution, error) {
+	return solve(users, s.opts, s)
+}
+
+// CachedGraphs reports how many distinct graphs the session has pipelined.
+func (s *Session) CachedGraphs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.protos)
+}
+
+// Invalidate drops the cache entry for g (after the caller mutated it),
+// reporting whether one existed.
+func (s *Session) Invalidate(g *graph.Graph) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.protos[g]
+	delete(s.protos, g)
+	delete(s.stats, g)
+	return ok
+}
+
+// lookup returns the cached pipeline output for g.
+func (s *Session) lookup(g *graph.Graph) ([]protoPart, pipelineStats, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pp, ok := s.protos[g]
+	if !ok {
+		return nil, pipelineStats{}, false
+	}
+	return pp, s.stats[g], true
+}
+
+// store caches the pipeline output for g.
+func (s *Session) store(g *graph.Graph, pp []protoPart, ps pipelineStats) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.protos[g] = pp
+	s.stats[g] = ps
+}

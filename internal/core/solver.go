@@ -1,0 +1,529 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"copmecs/internal/graph"
+	"copmecs/internal/lpa"
+	"copmecs/internal/mec"
+	"copmecs/internal/parallel"
+)
+
+// Solver errors.
+var (
+	// ErrNilGraph is returned when a user has no graph.
+	ErrNilGraph = errors.New("core: user graph is nil")
+)
+
+// GreedyMode selects the scheme-generation strategy of Algorithm 2.
+type GreedyMode int
+
+// Greedy modes.
+const (
+	// GreedyAuto picks Strict for small instances and Batch at scale.
+	GreedyAuto GreedyMode = iota
+	// GreedyStrict is the paper's Algorithm 2 verbatim: each iteration
+	// scans every remote part and moves the single best one. O(moves ×
+	// parts); exact but quadratic.
+	GreedyStrict
+	// GreedyBatch applies improving moves in rounds, re-validating each
+	// candidate's delta against the live state immediately before applying
+	// it. The objective decreases monotonically, convergence is to the same
+	// kind of local optimum, and large multi-user fleets stay tractable.
+	GreedyBatch
+)
+
+// greedyAutoCutoff is the part count above which GreedyAuto switches from
+// the quadratic strict scan to batch rounds.
+const greedyAutoCutoff = 4096
+
+// Options configures Solve. The zero value uses the spectral engine with
+// compression, default LPA and MEC parameters, and auto greedy.
+type Options struct {
+	// Engine is the minimum-cut engine (nil = SpectralEngine{}).
+	Engine Engine
+	// LPA tunes the compression stage.
+	LPA lpa.Options
+	// Params are the MEC system constants (zero value = mec.Defaults()).
+	Params mec.Params
+	// DisableCompression skips Algorithm 1 and cuts the raw component
+	// sub-graphs (ablation; the paper's motivation for compressing is both
+	// speed and avoiding cuts through highly coupled pairs).
+	DisableCompression bool
+	// Greedy selects the scheme-generation strategy.
+	Greedy GreedyMode
+	// DisableGreedy stops after the initial cut split (ablation: measures
+	// what Algorithm 2's greedy pass adds over the raw minimum cuts).
+	DisableGreedy bool
+	// MaxParts caps the number of parts each compressed sub-graph is split
+	// into. The paper bisects (2); values above 2 enable recursive
+	// bisection — the "reduce the computational complexity / finer
+	// placement" direction the paper's conclusion points to. 0 means 2.
+	MaxParts int
+	// Workers bounds the number of concurrent per-sub-graph cut jobs
+	// (0 = GOMAXPROCS; 1 = serial, the Fig. 9 "without Spark" mode).
+	Workers int
+}
+
+// UserInput is one user's workload.
+type UserInput struct {
+	// Graph is the user's offloadable function data-flow graph.
+	Graph *graph.Graph
+	// FixedLocalWork is computation pinned to the device regardless of the
+	// scheme (the unoffloadable functions callgraph.Extract strips).
+	FixedLocalWork float64
+	// DeviceCompute optionally overrides Params.DeviceCompute.
+	DeviceCompute float64
+	// Bandwidth optionally overrides Params.Bandwidth (heterogeneous radio
+	// links; the paper assumes a uniform b).
+	Bandwidth float64
+	// PowerTransmit optionally overrides Params.PowerTransmit.
+	PowerTransmit float64
+}
+
+// Part is one movable unit of Algorithm 2: a cut side of one compressed
+// sub-graph of one user.
+type Part struct {
+	// User indexes the owning user.
+	User int
+	// Nodes are the original graph nodes in the part, sorted.
+	Nodes []graph.NodeID
+	// Work is the part's total computation amount.
+	Work float64
+	// CrossWeight is the communication between this part and its sibling
+	// (populated for two-way splits; multiway splits use Adj).
+	CrossWeight float64
+	// Sibling is the index (into Solution.Parts) of the other side of a
+	// two-way split, or -1 for uncut or multiway sub-graphs.
+	Sibling int
+	// Adj lists communication to every other part of the same sub-graph.
+	Adj []PartEdge
+	// Remote reports the current placement (initially the cut split of
+	// Algorithm 2: the heavier side of each sub-graph offloads, the lighter
+	// side stays on the device; after Solve it is the final placement).
+	Remote bool
+	// InitialRemote records the pre-greedy placement for diagnostics.
+	InitialRemote bool
+}
+
+// PartEdge is the communication between two parts of one sub-graph.
+type PartEdge struct {
+	// Other indexes the adjacent part (into the same parts slice).
+	Other int
+	// Weight is the total edge weight between the two parts.
+	Weight float64
+}
+
+// Stats summarises a solve.
+type Stats struct {
+	EngineName       string
+	Users            int
+	Parts            int
+	GreedyMoves      int
+	GreedyIterations int
+	NodesBefore      int
+	NodesAfter       int
+	EdgesBefore      int
+	EdgesAfter       int
+	// PipelineTime covers compression plus the cut stage (the part Fig. 9
+	// parallelises); GreedyTime covers Algorithm 2's scheme generation.
+	PipelineTime time.Duration
+	GreedyTime   time.Duration
+}
+
+// Solution is the final offloading scheme.
+type Solution struct {
+	// Placements has one entry per user, aligned with the input.
+	Placements []mec.Placement
+	// Eval is the full model evaluation of the final scheme.
+	Eval *mec.Evaluation
+	// Parts exposes Algorithm 2's movable units and their placements.
+	Parts []Part
+	// InitialObjective is E + T of the pre-greedy cut split; comparing it
+	// with Eval.Objective shows what the greedy pass earned.
+	InitialObjective float64
+	// Stats carries pipeline counters.
+	Stats Stats
+}
+
+// Solve runs the full pipeline — compression, per-sub-graph minimum cut,
+// greedy scheme generation — over all users simultaneously (the multi-user
+// coupling is the shared edge-server capacity).
+func Solve(users []UserInput, opts Options) (*Solution, error) {
+	return solve(users, opts, nil)
+}
+
+// solve is the shared implementation behind Solve and Session.Solve; cache
+// may be nil.
+func solve(users []UserInput, opts Options, cache *Session) (*Solution, error) {
+	if opts.Engine == nil {
+		opts.Engine = SpectralEngine{}
+	}
+	if opts.Params == (mec.Params{}) {
+		opts.Params = mec.Defaults()
+	}
+	if err := opts.Params.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if opts.Workers == 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	for i, u := range users {
+		if u.Graph == nil {
+			return nil, fmt.Errorf("%w: user %d", ErrNilGraph, i)
+		}
+	}
+
+	pipelineStart := time.Now()
+	parts, stats, err := buildParts(users, opts, cache)
+	if err != nil {
+		return nil, err
+	}
+	stats.PipelineTime = time.Since(pipelineStart)
+	stats.EngineName = opts.Engine.Name()
+	stats.Users = len(users)
+
+	greedyStart := time.Now()
+	initialObj, moves, iters := runGreedy(users, parts, opts)
+	stats.GreedyTime = time.Since(greedyStart)
+	stats.GreedyMoves = moves
+	stats.GreedyIterations = iters
+
+	sol := &Solution{Parts: parts, Stats: *stats, InitialObjective: initialObj}
+	sol.Placements = make([]mec.Placement, len(users))
+	for i, u := range users {
+		sol.Placements[i] = mec.Placement{
+			Graph:         u.Graph,
+			Remote:        make(map[graph.NodeID]bool),
+			DeviceCompute: u.DeviceCompute,
+			Bandwidth:     u.Bandwidth,
+			PowerTransmit: u.PowerTransmit,
+		}
+	}
+	for _, p := range parts {
+		if p.Remote {
+			for _, id := range p.Nodes {
+				sol.Placements[p.User].Remote[id] = true
+			}
+		}
+	}
+	eval, err := evaluateWithFixedWork(opts.Params, users, sol.Placements)
+	if err != nil {
+		return nil, err
+	}
+	sol.Eval = eval
+	return sol, nil
+}
+
+// evaluateWithFixedWork evaluates placements, folding each user's pinned
+// local work into the model.
+func evaluateWithFixedWork(p mec.Params, users []UserInput, placements []mec.Placement) (*mec.Evaluation, error) {
+	states := make([]mec.UserState, len(placements))
+	for i, pl := range placements {
+		states[i] = pl.State()
+		states[i].LocalWork += users[i].FixedLocalWork
+	}
+	return mec.Evaluate(p, states)
+}
+
+// protoPart is a user-independent part template produced by the pipeline
+// for one distinct graph. Sibling indexes into the same template slice.
+type protoPart struct {
+	nodes       []graph.NodeID
+	work        float64
+	crossWeight float64
+	sibling     int
+	adj         []PartEdge // Other indexes within the same proto slice
+	remote      bool
+}
+
+// pipelineStats carries the per-graph compression counters.
+type pipelineStats struct {
+	nodesAfter, edgesAfter int
+}
+
+// buildParts runs compression and the cut engine for every user, returning
+// the movable parts in Algorithm 2's initial placement (each sub-graph's
+// lighter cut side on the device, heavier side offloaded).
+//
+// Users frequently share a graph (a fleet running the same application —
+// the regime of the paper's multi-user experiments). The pipeline output
+// depends only on the graph, so it is computed once per distinct *Graph
+// pointer and instantiated per user. Graphs must not be mutated during
+// Solve.
+func buildParts(users []UserInput, opts Options, cache *Session) ([]Part, *Stats, error) {
+	stats := &Stats{}
+
+	// Identify distinct graphs, preserving first-appearance order.
+	graphIdx := make(map[*graph.Graph]int)
+	var distinct []*graph.Graph
+	userGraph := make([]int, len(users))
+	for ui, u := range users {
+		stats.NodesBefore += u.Graph.NumNodes()
+		stats.EdgesBefore += u.Graph.NumEdges()
+		gi, ok := graphIdx[u.Graph]
+		if !ok {
+			gi = len(distinct)
+			graphIdx[u.Graph] = gi
+			distinct = append(distinct, u.Graph)
+		}
+		userGraph[ui] = gi
+	}
+
+	// Run the pipeline once per distinct graph, in parallel, consulting the
+	// session cache when one is attached.
+	protos := make([][]protoPart, len(distinct))
+	pstats := make([]pipelineStats, len(distinct))
+	if err := parallelForEach(opts.Workers, len(distinct), func(i int) error {
+		if cache != nil {
+			if pp, ps, ok := cache.lookup(distinct[i]); ok {
+				protos[i] = pp
+				pstats[i] = ps
+				return nil
+			}
+		}
+		pp, ps, err := runPipeline(distinct[i], opts)
+		if err != nil {
+			return err
+		}
+		protos[i] = pp
+		pstats[i] = ps
+		if cache != nil {
+			cache.store(distinct[i], pp, ps)
+		}
+		return nil
+	}); err != nil {
+		return nil, nil, err
+	}
+
+	// Instantiate per user.
+	var parts []Part
+	for ui := range users {
+		gi := userGraph[ui]
+		stats.NodesAfter += pstats[gi].nodesAfter
+		stats.EdgesAfter += pstats[gi].edgesAfter
+		base := len(parts)
+		for _, pp := range protos[gi] {
+			p := Part{
+				User: ui, Nodes: pp.nodes, Work: pp.work,
+				CrossWeight: pp.crossWeight, Sibling: -1,
+				Remote: pp.remote, InitialRemote: pp.remote,
+			}
+			if pp.sibling >= 0 {
+				p.Sibling = base + pp.sibling
+			}
+			if len(pp.adj) > 0 {
+				p.Adj = make([]PartEdge, len(pp.adj))
+				for i, e := range pp.adj {
+					p.Adj[i] = PartEdge{Other: base + e.Other, Weight: e.Weight}
+				}
+			}
+			parts = append(parts, p)
+		}
+	}
+	stats.Parts = len(parts)
+	return parts, stats, nil
+}
+
+// runPipeline compresses one graph (unless disabled) and cuts every
+// sub-graph, returning part templates.
+func runPipeline(g *graph.Graph, opts Options) ([]protoPart, pipelineStats, error) {
+	type job struct {
+		sub       *graph.Graph
+		membersOf map[graph.NodeID][]graph.NodeID // nil when uncompressed
+	}
+	var (
+		jobs []job
+		ps   pipelineStats
+	)
+	if opts.DisableCompression {
+		for _, comp := range g.Components() {
+			sub, err := g.InducedSubgraph(comp)
+			if err != nil {
+				return nil, ps, fmt.Errorf("core: %w", err)
+			}
+			ps.nodesAfter += sub.NumNodes()
+			ps.edgesAfter += sub.NumEdges()
+			jobs = append(jobs, job{sub: sub})
+		}
+	} else {
+		if opts.LPA.Workers == 0 {
+			// Inherit the solver's parallelism so Workers=1 (the Fig. 9
+			// "without Spark" mode) is serial end to end.
+			opts.LPA.Workers = opts.Workers
+		}
+		res, err := lpa.Compress(g, opts.LPA)
+		if err != nil {
+			return nil, ps, fmt.Errorf("core: %w", err)
+		}
+		ps.nodesAfter = res.NodesAfter
+		ps.edgesAfter = res.EdgesAfter
+		for si := range res.Subgraphs {
+			sub := &res.Subgraphs[si]
+			jobs = append(jobs, job{sub: sub.Graph, membersOf: sub.MembersOf})
+		}
+	}
+
+	maxParts := opts.MaxParts
+	if maxParts < 2 {
+		maxParts = 2
+	}
+	blocksOf := make([][][]graph.NodeID, len(jobs))
+	if err := parallelForEach(opts.Workers, len(jobs), func(i int) error {
+		blocks, err := partitionSubgraph(jobs[i].sub, opts.Engine, maxParts)
+		if err != nil {
+			return fmt.Errorf("core: cut sub-graph: %w", err)
+		}
+		blocksOf[i] = blocks
+		return nil
+	}); err != nil {
+		return nil, ps, err
+	}
+
+	var protos []protoPart
+	expand := func(j job, side []graph.NodeID) ([]graph.NodeID, float64) {
+		var nodes []graph.NodeID
+		var work float64
+		for _, super := range side {
+			w, err := j.sub.NodeWeight(super)
+			if err == nil {
+				work += w
+			}
+			if j.membersOf != nil {
+				nodes = append(nodes, j.membersOf[super]...)
+			} else {
+				nodes = append(nodes, super)
+			}
+		}
+		sort.Slice(nodes, func(a, b int) bool { return nodes[a] < nodes[b] })
+		return nodes, work
+	}
+	for i, j := range jobs {
+		blocks := blocksOf[i]
+		base := len(protos)
+		blockOf := make(map[graph.NodeID]int, j.sub.NumNodes())
+		lightest, lightestWork := -1, 0.0
+		for bi, block := range blocks {
+			nodes, work := expand(j, block)
+			protos = append(protos, protoPart{
+				nodes: nodes, work: work, sibling: -1, remote: true,
+			})
+			for _, id := range block {
+				blockOf[id] = bi
+			}
+			if lightest < 0 || work < lightestWork {
+				lightest, lightestWork = bi, work
+			}
+		}
+		// Pairwise communication between blocks of this sub-graph.
+		if len(blocks) > 1 {
+			cross := make(map[[2]int]float64)
+			for _, e := range j.sub.Edges() {
+				a, b := blockOf[e.U], blockOf[e.V]
+				if a == b {
+					continue
+				}
+				if a > b {
+					a, b = b, a
+				}
+				cross[[2]int{a, b}] += e.Weight
+			}
+			for pair, w := range cross {
+				pa, pb := base+pair[0], base+pair[1]
+				// adj targets are proto-slice indices; instantiation adds
+				// the per-user offset on top.
+				protos[pa].adj = append(protos[pa].adj, PartEdge{Other: pb, Weight: w})
+				protos[pb].adj = append(protos[pb].adj, PartEdge{Other: pa, Weight: w})
+			}
+			for bi := range blocks {
+				sortPartEdges(protos[base+bi].adj)
+			}
+			// Algorithm 2's initial scheme generalised: the lightest part
+			// stays on the device, every other part offloads (for two-way
+			// splits this is exactly "lighter side local, heavier remote").
+			protos[base+lightest].remote = false
+			if len(blocks) == 2 {
+				protos[base].sibling = base + 1
+				protos[base+1].sibling = base
+				w := 0.0
+				if len(protos[base].adj) > 0 {
+					w = protos[base].adj[0].Weight
+				}
+				protos[base].crossWeight = w
+				protos[base+1].crossWeight = w
+			}
+		}
+	}
+	return protos, ps, nil
+}
+
+// sortPartEdges orders adjacency deterministically by target index.
+func sortPartEdges(edges []PartEdge) {
+	sort.Slice(edges, func(a, b int) bool { return edges[a].Other < edges[b].Other })
+}
+
+// partitionSubgraph splits g into at most k parts by recursive bisection
+// with the given engine: the heaviest divisible part is bisected until k
+// parts exist or nothing can be split further. k ≥ 2; a single-node graph
+// yields one part.
+func partitionSubgraph(g *graph.Graph, engine Engine, k int) ([][]graph.NodeID, error) {
+	blocks := [][]graph.NodeID{g.Nodes()}
+	indivisible := make(map[int]bool)
+	for len(blocks) < k {
+		// Heaviest splittable block.
+		best, bestWork := -1, -1.0
+		for bi, block := range blocks {
+			if indivisible[bi] || len(block) < 2 {
+				continue
+			}
+			var work float64
+			for _, id := range block {
+				w, err := g.NodeWeight(id)
+				if err != nil {
+					return nil, err
+				}
+				work += w
+			}
+			if work > bestWork {
+				best, bestWork = bi, work
+			}
+		}
+		if best < 0 {
+			break
+		}
+		sub, err := g.InducedSubgraph(blocks[best])
+		if err != nil {
+			return nil, err
+		}
+		sideA, sideB, err := engine.Bisect(sub)
+		if err != nil {
+			return nil, err
+		}
+		if len(sideA) == 0 || len(sideB) == 0 {
+			indivisible[best] = true
+			continue
+		}
+		blocks[best] = sideA
+		blocks = append(blocks, sideB)
+		// Indices shifted only at the tail; indivisible marks stay valid.
+	}
+	return blocks, nil
+}
+
+// parallelForEach runs fn over [0, n) with bounded parallelism; workers == 1
+// stays on the calling goroutine (deterministic serial mode).
+func parallelForEach(workers, n int, fn func(int) error) error {
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return parallel.ForEach(workers, n, fn)
+}

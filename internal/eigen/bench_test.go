@@ -1,0 +1,61 @@
+package eigen
+
+import (
+	"testing"
+
+	"copmecs/internal/matrix"
+)
+
+func benchLaplacian(b *testing.B, n int) *matrix.CSR {
+	b.Helper()
+	edges := make([]matrix.WeightedEdge, 0, 3*n)
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, matrix.WeightedEdge{U: i, V: i + 1, Weight: 1})
+		if i+7 < n {
+			edges = append(edges, matrix.WeightedEdge{U: i, V: i + 7, Weight: 0.5})
+		}
+	}
+	l, err := matrix.Laplacian(n, edges)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return l
+}
+
+func BenchmarkJacobi64(b *testing.B) {
+	l := benchLaplacian(b, 64)
+	d := l.Dense()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Jacobi(d, 1e-9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLanczosFiedler512(b *testing.B) {
+	l := benchLaplacian(b, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Fiedler(l, FiedlerOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSymTridiagEigen256(b *testing.B) {
+	n := 256
+	for i := 0; i < b.N; i++ {
+		d := make([]float64, n)
+		e := make([]float64, n-1)
+		for j := range d {
+			d[j] = float64(j%13) + 1
+		}
+		for j := range e {
+			e[j] = 0.5
+		}
+		if err := SymTridiagEigen(d, e, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

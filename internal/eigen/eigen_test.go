@@ -1,0 +1,428 @@
+package eigen
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"copmecs/internal/matrix"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// mustDense builds a dense matrix from rows.
+func mustDense(t *testing.T, rows [][]float64) *matrix.Dense {
+	t.Helper()
+	m, err := matrix.DenseFromRows(rows)
+	if err != nil {
+		t.Fatalf("DenseFromRows: %v", err)
+	}
+	return m
+}
+
+// pathLaplacian returns the Laplacian of the unweighted path 0-1-…-(n−1).
+// Its eigenvalues are known in closed form: λ_k = 2−2·cos(πk/n), k=0..n−1.
+func pathLaplacian(t *testing.T, n int) *matrix.CSR {
+	t.Helper()
+	edges := make([]matrix.WeightedEdge, 0, n-1)
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, matrix.WeightedEdge{U: i, V: i + 1, Weight: 1})
+	}
+	l, err := matrix.Laplacian(n, edges)
+	if err != nil {
+		t.Fatalf("Laplacian: %v", err)
+	}
+	return l
+}
+
+func pathEigenvalue(n, k int) float64 {
+	return 2 - 2*math.Cos(math.Pi*float64(k)/float64(n))
+}
+
+func TestJacobiDiagonal(t *testing.T) {
+	m := mustDense(t, [][]float64{{3, 0}, {0, 1}})
+	vals, vecs, err := Jacobi(m, 0)
+	if err != nil {
+		t.Fatalf("Jacobi: %v", err)
+	}
+	if !almostEqual(vals[0], 1, 1e-12) || !almostEqual(vals[1], 3, 1e-12) {
+		t.Errorf("vals = %v, want [1 3]", vals)
+	}
+	// Eigenvector for λ=1 is e₂ (up to sign).
+	if math.Abs(vecs.At(1, 0)) < 0.99 {
+		t.Errorf("eigenvector for λ=1 = %v", vecs.Col(0))
+	}
+}
+
+func TestJacobiKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3.
+	m := mustDense(t, [][]float64{{2, 1}, {1, 2}})
+	vals, vecs, err := Jacobi(m, 0)
+	if err != nil {
+		t.Fatalf("Jacobi: %v", err)
+	}
+	if !almostEqual(vals[0], 1, 1e-12) || !almostEqual(vals[1], 3, 1e-12) {
+		t.Errorf("vals = %v, want [1 3]", vals)
+	}
+	// Check A·v = λ·v for both pairs.
+	for i := 0; i < 2; i++ {
+		v := vecs.Col(i)
+		av, err := m.MulVec(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := av.Axpy(-vals[i], v); err != nil {
+			t.Fatal(err)
+		}
+		if av.Norm() > 1e-10 {
+			t.Errorf("residual for pair %d = %v", i, av.Norm())
+		}
+	}
+}
+
+func TestJacobiRejectsAsymmetric(t *testing.T) {
+	m := mustDense(t, [][]float64{{1, 2}, {3, 4}})
+	if _, _, err := Jacobi(m, 1e-12); !errors.Is(err, ErrNotSymmetric) {
+		t.Errorf("asymmetric error = %v, want ErrNotSymmetric", err)
+	}
+	if _, _, err := Jacobi(matrix.NewDense(0, 0), 0); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty error = %v, want ErrEmpty", err)
+	}
+}
+
+func TestJacobiRandomResiduals(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5; trial++ {
+		n := 3 + rng.Intn(12)
+		m := matrix.NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				x := rng.NormFloat64()
+				m.Set(i, j, x)
+				m.Set(j, i, x)
+			}
+		}
+		vals, vecs, err := Jacobi(m, 1e-12)
+		if err != nil {
+			t.Fatalf("Jacobi n=%d: %v", n, err)
+		}
+		for i := 1; i < n; i++ {
+			if vals[i] < vals[i-1] {
+				t.Fatalf("eigenvalues not ascending: %v", vals)
+			}
+		}
+		for i := 0; i < n; i++ {
+			v := vecs.Col(i)
+			av, err := m.MulVec(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := av.Axpy(-vals[i], v); err != nil {
+				t.Fatal(err)
+			}
+			if av.Norm() > 1e-8 {
+				t.Errorf("n=%d pair %d residual = %v", n, i, av.Norm())
+			}
+		}
+	}
+}
+
+func TestSymTridiagEigenKnown(t *testing.T) {
+	// Tridiagonal of the path graph Laplacian P3: diag [1,2,1], sub [-1,-1].
+	// Eigenvalues are 0, 1, 3.
+	d := []float64{1, 2, 1}
+	e := []float64{-1, -1}
+	vecs := [][]float64{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}
+	if err := SymTridiagEigen(d, e, vecs); err != nil {
+		t.Fatalf("SymTridiagEigen: %v", err)
+	}
+	want := []float64{0, 1, 3}
+	for i := range want {
+		if !almostEqual(d[i], want[i], 1e-10) {
+			t.Errorf("λ[%d] = %v, want %v", i, d[i], want[i])
+		}
+	}
+}
+
+func TestSymTridiagEigenVectors(t *testing.T) {
+	// Verify T·v = λ·v for a random tridiagonal.
+	rng := rand.New(rand.NewSource(3))
+	n := 8
+	diag := make([]float64, n)
+	sub := make([]float64, n-1)
+	for i := range diag {
+		diag[i] = rng.NormFloat64() * 3
+	}
+	for i := range sub {
+		sub[i] = rng.NormFloat64()
+	}
+	d := append([]float64(nil), diag...)
+	e := append([]float64(nil), sub...)
+	vecs := make([][]float64, n)
+	for i := range vecs {
+		vecs[i] = make([]float64, n)
+		vecs[i][i] = 1
+	}
+	if err := SymTridiagEigen(d, e, vecs); err != nil {
+		t.Fatalf("SymTridiagEigen: %v", err)
+	}
+	mulT := func(v []float64) []float64 {
+		out := make([]float64, n)
+		for i := 0; i < n; i++ {
+			out[i] = diag[i] * v[i]
+			if i > 0 {
+				out[i] += sub[i-1] * v[i-1]
+			}
+			if i < n-1 {
+				out[i] += sub[i] * v[i+1]
+			}
+		}
+		return out
+	}
+	for col := 0; col < n; col++ {
+		v := make([]float64, n)
+		for row := 0; row < n; row++ {
+			v[row] = vecs[row][col]
+		}
+		tv := mulT(v)
+		var res float64
+		for i := range tv {
+			r := tv[i] - d[col]*v[i]
+			res += r * r
+		}
+		if math.Sqrt(res) > 1e-8 {
+			t.Errorf("pair %d residual = %v", col, math.Sqrt(res))
+		}
+	}
+	for i := 1; i < n; i++ {
+		if d[i] < d[i-1] {
+			t.Fatalf("eigenvalues not ascending: %v", d)
+		}
+	}
+}
+
+func TestSymTridiagEigenErrors(t *testing.T) {
+	if err := SymTridiagEigen(nil, nil, nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty error = %v", err)
+	}
+	if err := SymTridiagEigen([]float64{1, 2}, nil, nil); err == nil {
+		t.Error("short sub-diagonal accepted")
+	}
+	if err := SymTridiagEigen([]float64{5}, nil, nil); err != nil {
+		t.Errorf("1x1 error = %v, want nil", err)
+	}
+}
+
+func TestLanczosMatchesJacobiOnPath(t *testing.T) {
+	n := 30
+	l := pathLaplacian(t, n)
+	pairs, err := Lanczos(CSROperator{M: l}, 3, LanczosOptions{MaxIter: n})
+	if err != nil {
+		t.Fatalf("Lanczos: %v", err)
+	}
+	for k := 0; k < 3; k++ {
+		want := pathEigenvalue(n, k)
+		if !almostEqual(pairs[k].Value, want, 1e-6) {
+			t.Errorf("λ[%d] = %v, want %v", k, pairs[k].Value, want)
+		}
+	}
+}
+
+func TestLanczosResiduals(t *testing.T) {
+	n := 50
+	l := pathLaplacian(t, n)
+	op := CSROperator{M: l}
+	pairs, err := Lanczos(op, 4, LanczosOptions{MaxIter: n})
+	if err != nil {
+		t.Fatalf("Lanczos: %v", err)
+	}
+	out := make(matrix.Vector, n)
+	for i, p := range pairs {
+		op.Apply(p.Vector, out)
+		if err := out.Axpy(-p.Value, p.Vector); err != nil {
+			t.Fatal(err)
+		}
+		if out.Norm() > 1e-6 {
+			t.Errorf("pair %d residual = %v", i, out.Norm())
+		}
+		if !almostEqual(p.Vector.Norm(), 1, 1e-9) {
+			t.Errorf("pair %d not unit norm", i)
+		}
+	}
+}
+
+func TestLanczosErrors(t *testing.T) {
+	l := pathLaplacian(t, 5)
+	if _, err := Lanczos(CSROperator{M: l}, 0, LanczosOptions{}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	empty, err := matrix.NewCSR(0, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lanczos(CSROperator{M: empty}, 1, LanczosOptions{}); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty error = %v", err)
+	}
+}
+
+func TestLanczosKClamped(t *testing.T) {
+	l := pathLaplacian(t, 4)
+	pairs, err := Lanczos(CSROperator{M: l}, 99, LanczosOptions{})
+	if err != nil {
+		t.Fatalf("Lanczos: %v", err)
+	}
+	if len(pairs) > 4 {
+		t.Errorf("returned %d pairs from a 4-dim operator", len(pairs))
+	}
+}
+
+func TestDeflatedRemovesNullspace(t *testing.T) {
+	n := 12
+	l := pathLaplacian(t, n)
+	ones := make(matrix.Vector, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	defl := NewDeflated(CSROperator{M: l}, ones)
+	out := make(matrix.Vector, n)
+	defl.Apply(ones, out)
+	if out.Norm() > 1e-10 {
+		t.Errorf("deflated operator does not annihilate 1: %v", out.Norm())
+	}
+	pairs, err := Lanczos(defl, 1, LanczosOptions{MaxIter: n})
+	if err != nil {
+		t.Fatalf("Lanczos on deflated: %v", err)
+	}
+	want := pathEigenvalue(n, 1)
+	if !almostEqual(pairs[0].Value, want, 1e-6) {
+		t.Errorf("smallest deflated eigenvalue = %v, want λ₂ = %v", pairs[0].Value, want)
+	}
+}
+
+func TestShiftedOperator(t *testing.T) {
+	l := pathLaplacian(t, 6)
+	sh := Shifted{Op: CSROperator{M: l}, C: 10}
+	in := make(matrix.Vector, 6)
+	in[0] = 1
+	direct := make(matrix.Vector, 6)
+	CSROperator{M: l}.Apply(in, direct)
+	out := make(matrix.Vector, 6)
+	sh.Apply(in, out)
+	for i := range out {
+		want := 10*in[i] - direct[i]
+		if !almostEqual(out[i], want, 1e-12) {
+			t.Errorf("shifted[%d] = %v, want %v", i, out[i], want)
+		}
+	}
+}
+
+func TestFiedlerPathDense(t *testing.T) {
+	n := 20 // below the dense cutoff
+	l := pathLaplacian(t, n)
+	lam, vec, err := Fiedler(l, FiedlerOptions{})
+	if err != nil {
+		t.Fatalf("Fiedler: %v", err)
+	}
+	if !almostEqual(lam, pathEigenvalue(n, 1), 1e-8) {
+		t.Errorf("λ₂ = %v, want %v", lam, pathEigenvalue(n, 1))
+	}
+	// The Fiedler vector of a path is monotone: sign split = half/half.
+	neg := 0
+	for _, x := range vec {
+		if x < 0 {
+			neg++
+		}
+	}
+	if neg != n/2 {
+		t.Errorf("sign split = %d negative, want %d", neg, n/2)
+	}
+}
+
+func TestFiedlerPathLanczos(t *testing.T) {
+	n := 150 // above the dense cutoff
+	l := pathLaplacian(t, n)
+	lam, vec, err := Fiedler(l, FiedlerOptions{})
+	if err != nil {
+		t.Fatalf("Fiedler: %v", err)
+	}
+	if !almostEqual(lam, pathEigenvalue(n, 1), 1e-5) {
+		t.Errorf("λ₂ = %v, want %v", lam, pathEigenvalue(n, 1))
+	}
+	var dot float64
+	for _, x := range vec {
+		dot += x
+	}
+	if math.Abs(dot) > 1e-6 {
+		t.Errorf("Fiedler vector not ⟂ 1: Σ = %v", dot)
+	}
+}
+
+func TestFiedlerDumbbell(t *testing.T) {
+	// Two dense K5 cliques joined by one weak edge: the Fiedler sign split
+	// must separate the cliques.
+	var edges []matrix.WeightedEdge
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			edges = append(edges,
+				matrix.WeightedEdge{U: i, V: j, Weight: 10},
+				matrix.WeightedEdge{U: 5 + i, V: 5 + j, Weight: 10})
+		}
+	}
+	edges = append(edges, matrix.WeightedEdge{U: 0, V: 5, Weight: 0.1})
+	l, err := matrix.Laplacian(10, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, vec, err := Fiedler(l, FiedlerOptions{})
+	if err != nil {
+		t.Fatalf("Fiedler: %v", err)
+	}
+	for i := 1; i < 5; i++ {
+		if (vec[i] >= 0) != (vec[0] >= 0) {
+			t.Errorf("clique A split: vec[%d]=%v vec[0]=%v", i, vec[i], vec[0])
+		}
+		if (vec[5+i] >= 0) != (vec[5] >= 0) {
+			t.Errorf("clique B split: vec[%d]=%v vec[5]=%v", 5+i, vec[5+i], vec[5])
+		}
+	}
+	if (vec[0] >= 0) == (vec[5] >= 0) {
+		t.Error("cliques on the same side")
+	}
+}
+
+func TestFiedlerErrors(t *testing.T) {
+	one, err := matrix.NewCSR(1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Fiedler(one, FiedlerOptions{}); !errors.Is(err, ErrEmpty) {
+		t.Errorf("1-node error = %v, want ErrEmpty", err)
+	}
+	rect, err := matrix.NewCSR(2, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Fiedler(rect, FiedlerOptions{}); !errors.Is(err, matrix.ErrDimension) {
+		t.Errorf("rect error = %v, want ErrDimension", err)
+	}
+}
+
+func TestFiedlerDisconnected(t *testing.T) {
+	// Two components → λ₂ = 0 and the Fiedler vector separates them.
+	edges := []matrix.WeightedEdge{{U: 0, V: 1, Weight: 1}, {U: 2, V: 3, Weight: 1}}
+	l, err := matrix.Laplacian(4, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lam, vec, err := Fiedler(l, FiedlerOptions{})
+	if err != nil {
+		t.Fatalf("Fiedler: %v", err)
+	}
+	if !almostEqual(lam, 0, 1e-9) {
+		t.Errorf("λ₂ = %v, want 0 for disconnected graph", lam)
+	}
+	if (vec[0] >= 0) != (vec[1] >= 0) || (vec[2] >= 0) != (vec[3] >= 0) {
+		t.Errorf("components internally split: %v", vec)
+	}
+}

@@ -1,0 +1,203 @@
+package eigen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"copmecs/internal/matrix"
+)
+
+// LanczosOptions tunes the Lanczos iteration. The zero value picks sensible
+// defaults.
+type LanczosOptions struct {
+	// MaxIter caps the Krylov dimension; 0 means min(n, 2k+80).
+	MaxIter int
+	// Tol is the residual tolerance for accepting a Ritz pair; 0 means 1e-8.
+	Tol float64
+	// Seed drives the deterministic starting vector.
+	Seed int64
+}
+
+// Pair is one eigenpair.
+type Pair struct {
+	Value  float64
+	Vector matrix.Vector
+}
+
+// Lanczos computes the k smallest eigenpairs of the symmetric operator op
+// using the Lanczos iteration with full reorthogonalisation. The returned
+// pairs are ascending by eigenvalue and the vectors have unit norm.
+//
+// Full reorthogonalisation costs O(m²·n) but keeps the basis orthogonal in
+// floating point, which is what makes the small end of a graph Laplacian's
+// spectrum (the paper's target, Theorem 1) reliably reachable without
+// shift-invert machinery.
+func Lanczos(op Operator, k int, opts LanczosOptions) ([]Pair, error) {
+	n := op.Dim()
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("lanczos: k = %d, want ≥ 1", k)
+	}
+	if k > n {
+		k = n
+	}
+	maxIter := opts.MaxIter
+	if maxIter <= 0 {
+		maxIter = 2*k + 80
+	}
+	if maxIter > n {
+		maxIter = n
+	}
+	if maxIter < k {
+		maxIter = k
+	}
+	tol := opts.Tol
+	if tol <= 0 {
+		tol = 1e-8
+	}
+	rng := rand.New(rand.NewSource(opts.Seed + 0x5eed))
+
+	var (
+		basis  []matrix.Vector // orthonormal Lanczos vectors v₁..v_m
+		alphas []float64       // diagonal of T
+		betas  []float64       // sub-diagonal of T (betas[j] couples v_j, v_{j+1})
+	)
+
+	// When the operator deflates directions (e.g. the Laplacian's constant
+	// null vector), keep every basis vector inside the complement so the
+	// deflated eigenpairs can never re-enter the Krylov space.
+	project := func(matrix.Vector) {}
+	if p, ok := op.(interface{ Project(matrix.Vector) }); ok {
+		project = p.Project
+	}
+
+	newDirection := func() (matrix.Vector, error) {
+		// Random vector orthogonalised against the existing basis.
+		for attempt := 0; attempt < 8; attempt++ {
+			v := make(matrix.Vector, n)
+			for i := range v {
+				v[i] = rng.NormFloat64()
+			}
+			project(v)
+			for _, u := range basis {
+				if err := v.ProjectOut(u); err != nil {
+					return nil, err
+				}
+			}
+			if v.Normalize() > 1e-10 {
+				return v, nil
+			}
+		}
+		return nil, fmt.Errorf("lanczos: cannot extend basis beyond %d: %w", len(basis), ErrNoConvergence)
+	}
+
+	v, err := newDirection()
+	if err != nil {
+		return nil, err
+	}
+	basis = append(basis, v)
+	w := make(matrix.Vector, n)
+
+	for len(basis) <= maxIter {
+		j := len(basis) - 1
+		op.Apply(basis[j], w)
+		alpha, err := w.Dot(basis[j])
+		if err != nil {
+			return nil, err
+		}
+		alphas = append(alphas, alpha)
+		if len(basis) == maxIter {
+			break
+		}
+		// w ← w − α·v_j − β_{j−1}·v_{j−1}, then full reorthogonalisation.
+		if err := w.Axpy(-alpha, basis[j]); err != nil {
+			return nil, err
+		}
+		if j > 0 {
+			if err := w.Axpy(-betas[j-1], basis[j-1]); err != nil {
+				return nil, err
+			}
+		}
+		for _, u := range basis {
+			if err := w.ProjectOut(u); err != nil {
+				return nil, err
+			}
+		}
+		// Keep w exactly inside the deflated complement: dividing by a small
+		// β below would otherwise amplify round-off components along the
+		// deflated directions back into the basis.
+		project(w)
+		beta := w.Norm()
+		if beta < 1e-12 {
+			// Invariant subspace: either we are done, or we restart in the
+			// orthogonal complement to keep gathering eigenpairs.
+			if len(basis) >= k && len(basis) >= maxIter/2 {
+				break
+			}
+			nv, err := newDirection()
+			if err != nil {
+				break // complement exhausted; T is complete
+			}
+			betas = append(betas, 0)
+			basis = append(basis, nv)
+			w = make(matrix.Vector, n)
+			continue
+		}
+		betas = append(betas, beta)
+		next := w.Clone()
+		next.Scale(1 / beta)
+		basis = append(basis, next)
+	}
+
+	m := len(alphas)
+	if m == 0 {
+		return nil, ErrNoConvergence
+	}
+	// Eigen-decompose T in the Lanczos basis.
+	d := make([]float64, m)
+	copy(d, alphas)
+	e := make([]float64, m)
+	copy(e, betas)
+	s := make([][]float64, m)
+	for i := range s {
+		s[i] = make([]float64, m)
+		s[i][i] = 1
+	}
+	if err := SymTridiagEigen(d, e, s); err != nil {
+		return nil, fmt.Errorf("lanczos ritz step: %w", err)
+	}
+
+	if k > m {
+		k = m
+	}
+	pairs := make([]Pair, 0, k)
+	for i := 0; i < k; i++ {
+		// Ritz vector x = Σ_j s[j][i]·v_j.
+		x := make(matrix.Vector, n)
+		for j := 0; j < m; j++ {
+			if err := x.Axpy(s[j][i], basis[j][:n]); err != nil {
+				return nil, err
+			}
+		}
+		x.Normalize()
+		// Residual ‖A·x − θ·x‖ as the convergence certificate.
+		op.Apply(x, w)
+		if err := w.Axpy(-d[i], x); err != nil {
+			return nil, err
+		}
+		if res := w.Norm(); res > tol*(1+absf(d[i])) {
+			return nil, fmt.Errorf("lanczos pair %d residual %.3g: %w", i, res, ErrNoConvergence)
+		}
+		pairs = append(pairs, Pair{Value: d[i], Vector: x})
+	}
+	return pairs, nil
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

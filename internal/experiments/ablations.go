@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"copmecs/internal/core"
+	"copmecs/internal/mec"
+)
+
+// AblationRow is one configuration's outcome on the shared workload.
+type AblationRow struct {
+	Study  string
+	Config string
+	// Objective, LocalEnergy, TransmissionEnergy summarise the scheme.
+	Objective          float64
+	LocalEnergy        float64
+	TransmissionEnergy float64
+	// Seconds is the solve wall time.
+	Seconds float64
+}
+
+// Ablations measures the design choices DESIGN.md calls out, all on one
+// deterministic workload (graphSize nodes, `users` users, a moderately
+// contended server):
+//
+//   - compression on/off (Algorithm 1's value);
+//   - sweep cut vs raw eigenvector sign split;
+//   - greedy on/off (Algorithm 2's value over the initial cut split);
+//   - bisection vs 4-way recursive partitioning (the paper's future-work
+//     direction).
+func Ablations(seed int64, graphSize, users int) ([]AblationRow, error) {
+	if graphSize < 2 || users < 1 {
+		return nil, fmt.Errorf("%w: graph size %d, users %d", ErrBadInput, graphSize, users)
+	}
+	g, err := graphForSize(graphSize, seed)
+	if err != nil {
+		return nil, fmt.Errorf("ablations: %w", err)
+	}
+	params := mec.Defaults()
+	// Provision the server at one device-equivalent per user: offloading
+	// stays worthwhile (k/capacity = 1/device < (pᶜ+1)/device) so the cut
+	// structure matters, while contention still gives the greedy real work.
+	params.ServerCapacity = params.DeviceCompute * float64(users)
+
+	inputs := make([]core.UserInput, users)
+	for i := range inputs {
+		inputs[i] = core.UserInput{Graph: g}
+	}
+
+	// The greedy study runs on a deliberately scarce server (a quarter
+	// device-equivalent per user): Algorithm 2's pass matters exactly when
+	// offloading everything would overload S.
+	scarce := params
+	scarce.ServerCapacity = params.DeviceCompute * float64(users) / 4
+
+	configs := []struct {
+		study, name string
+		opts        core.Options
+	}{
+		{"compression", "on", core.Options{Params: params}},
+		{"compression", "off", core.Options{Params: params, DisableCompression: true}},
+		{"sweep-cut", "sweep", core.Options{Params: params, Engine: core.SpectralEngine{}}},
+		{"sweep-cut", "sign-only", core.Options{Params: params, Engine: core.SpectralEngine{DisableSweep: true}}},
+		{"balance", "min-cut", core.Options{Params: params}},
+		{"balance", "ratio-cut", core.Options{Params: params, Engine: core.SpectralEngine{Balanced: true}}},
+		{"greedy", "on", core.Options{Params: scarce}},
+		{"greedy", "off", core.Options{Params: scarce, DisableGreedy: true}},
+		{"partitioning", "bisect", core.Options{Params: params}},
+		{"partitioning", "4-way", core.Options{Params: params, MaxParts: 4}},
+	}
+	rows := make([]AblationRow, 0, len(configs))
+	for _, c := range configs {
+		start := time.Now()
+		sol, err := core.Solve(inputs, c.opts)
+		if err != nil {
+			return nil, fmt.Errorf("ablations %s/%s: %w", c.study, c.name, err)
+		}
+		rows = append(rows, AblationRow{
+			Study:              c.study,
+			Config:             c.name,
+			Objective:          sol.Eval.Objective,
+			LocalEnergy:        sol.Eval.LocalEnergy,
+			TransmissionEnergy: sol.Eval.TransmissionEnergy,
+			Seconds:            time.Since(start).Seconds(),
+		})
+	}
+	return rows, nil
+}
+
+// RenderAblations renders the ablation table.
+func RenderAblations(rows []AblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %-10s %14s %12s %12s %10s\n",
+		"study", "config", "objective", "localE", "transmitE", "seconds")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %-10s %14.2f %12.2f %12.2f %10.4f\n",
+			r.Study, r.Config, r.Objective, r.LocalEnergy, r.TransmissionEnergy, r.Seconds)
+	}
+	return b.String()
+}

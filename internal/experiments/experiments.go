@@ -1,0 +1,356 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§IV): Table I (graph compression), Figures 3–5 (single-user
+// energy vs graph size), Figures 6–8 (energy vs user count) and Figure 9
+// (running time vs graph size, serial and parallel). Results are plain data
+// structures plus text/CSV renderers; cmd/experiments drives the full suite
+// and bench_test.go exposes one benchmark per artefact.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"copmecs/internal/core"
+	"copmecs/internal/graph"
+	"copmecs/internal/lpa"
+	"copmecs/internal/mec"
+	"copmecs/internal/netgen"
+)
+
+// ErrBadInput is returned for empty size/user lists.
+var ErrBadInput = errors.New("experiments: invalid input")
+
+// PaperSizes are the graph sizes of Table I and Figures 3–5 and 9.
+func PaperSizes() []int { return []int{250, 500, 1000, 2000, 5000} }
+
+// PaperUserCounts are the user counts of Figures 6–8.
+func PaperUserCounts() []int { return []int{250, 500, 1000, 2000, 5000} }
+
+// EngineNames lists the three §IV algorithms in paper order.
+func EngineNames() []string { return []string{"spectral", "maxflow", "kernighan-lin"} }
+
+// engineByName returns the cut engine for one of EngineNames.
+func engineByName(name string) (core.Engine, error) {
+	switch name {
+	case "spectral":
+		return core.SpectralEngine{}, nil
+	case "maxflow":
+		return core.MaxFlowEngine{}, nil
+	case "kernighan-lin":
+		return core.KLEngine{}, nil
+	case "stoer-wagner":
+		return core.StoerWagnerEngine{}, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown engine %q", ErrBadInput, name)
+	}
+}
+
+// graphForSize generates the experiment graph for a node count: the Table I
+// edge counts when the size matches a paper row, otherwise ≈4.8 edges/node.
+func graphForSize(nodes int, seed int64) (*graph.Graph, error) {
+	for i := 0; i < netgen.TableIRows(); i++ {
+		cfg, err := netgen.TableIConfig(i, seed)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Nodes == nodes {
+			return netgen.Generate(cfg)
+		}
+	}
+	components := 4 + nodes/500
+	if limit := nodes / 20; components > limit {
+		components = limit
+	}
+	if components < 1 {
+		components = 1
+	}
+	return netgen.Generate(netgen.Config{
+		Nodes:      nodes,
+		Edges:      nodes * 24 / 5,
+		Components: components,
+		Seed:       seed,
+	})
+}
+
+// TableIRow is one row of the paper's Table I.
+type TableIRow struct {
+	Name          string
+	Nodes, Edges  int
+	NodesAfter    int
+	EdgesAfter    int
+	NodeReduction float64 // 1 − after/before
+}
+
+// TableI regenerates the compression table: the five NETGEN-scale graphs
+// compressed by Algorithm 1 with default options.
+func TableI(seed int64) ([]TableIRow, error) {
+	rows := make([]TableIRow, 0, netgen.TableIRows())
+	for i := 0; i < netgen.TableIRows(); i++ {
+		cfg, err := netgen.TableIConfig(i, seed)
+		if err != nil {
+			return nil, fmt.Errorf("table I: %w", err)
+		}
+		g, err := netgen.Generate(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("table I: %w", err)
+		}
+		res, err := lpa.Compress(g, lpa.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("table I: %w", err)
+		}
+		rows = append(rows, TableIRow{
+			Name:          fmt.Sprintf("Network%d", i+1),
+			Nodes:         res.NodesBefore,
+			Edges:         res.EdgesBefore,
+			NodesAfter:    res.NodesAfter,
+			EdgesAfter:    res.EdgesAfter,
+			NodeReduction: res.CompressionRatio(),
+		})
+	}
+	return rows, nil
+}
+
+// Metric selects one energy component (one paper figure each).
+type Metric int
+
+// Metrics: Figures 3/6, 4/7 and 5/8 respectively.
+const (
+	LocalEnergy Metric = iota + 1
+	TransmissionEnergy
+	TotalEnergy
+)
+
+// String names the metric as in the figure captions.
+func (m Metric) String() string {
+	switch m {
+	case LocalEnergy:
+		return "local"
+	case TransmissionEnergy:
+		return "transmission"
+	case TotalEnergy:
+		return "total"
+	default:
+		return fmt.Sprintf("metric(%d)", int(m))
+	}
+}
+
+// EnergyCell is one (engine, x) measurement.
+type EnergyCell struct {
+	Local        float64
+	Transmission float64
+	Total        float64
+}
+
+// value extracts one metric.
+func (c EnergyCell) value(m Metric) float64 {
+	switch m {
+	case LocalEnergy:
+		return c.Local
+	case TransmissionEnergy:
+		return c.Transmission
+	default:
+		return c.Total
+	}
+}
+
+// EnergyResult holds a whole figure family (Figs 3–5 or 6–8): raw energies
+// for every engine at every x.
+type EnergyResult struct {
+	// XLabel is "original graph size" (Figs 3–5) or "user size" (Figs 6–8).
+	XLabel string
+	// Xs are the x-axis values.
+	Xs []int
+	// Engines are the series, in EngineNames order.
+	Engines []string
+	// Cells maps engine → per-x measurements (aligned with Xs).
+	Cells map[string][]EnergyCell
+}
+
+// Normalized returns metric values scaled so the global maximum across all
+// engines and xs is 1.00, matching the paper's normalised bar charts.
+func (r *EnergyResult) Normalized(m Metric) map[string][]float64 {
+	var maxV float64
+	for _, cells := range r.Cells {
+		for _, c := range cells {
+			if v := c.value(m); v > maxV {
+				maxV = v
+			}
+		}
+	}
+	out := make(map[string][]float64, len(r.Cells))
+	for eng, cells := range r.Cells {
+		vals := make([]float64, len(cells))
+		for i, c := range cells {
+			if maxV > 0 {
+				vals[i] = c.value(m) / maxV
+			}
+		}
+		out[eng] = vals
+	}
+	return out
+}
+
+// SingleUserEnergy regenerates Figures 3–5: one user, graphs of the Table I
+// sizes, the three cut engines, default MEC parameters.
+func SingleUserEnergy(seed int64, sizes []int) (*EnergyResult, error) {
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("%w: no sizes", ErrBadInput)
+	}
+	res := &EnergyResult{
+		XLabel:  "original graph size",
+		Xs:      sizes,
+		Engines: EngineNames(),
+		Cells:   make(map[string][]EnergyCell, len(EngineNames())),
+	}
+	for _, size := range sizes {
+		g, err := graphForSize(size, seed)
+		if err != nil {
+			return nil, fmt.Errorf("single-user energy: %w", err)
+		}
+		for _, name := range res.Engines {
+			eng, err := engineByName(name)
+			if err != nil {
+				return nil, err
+			}
+			sol, err := core.Solve([]core.UserInput{{Graph: g}}, core.Options{Engine: eng})
+			if err != nil {
+				return nil, fmt.Errorf("single-user energy %s@%d: %w", name, size, err)
+			}
+			res.Cells[name] = append(res.Cells[name], EnergyCell{
+				Local:        sol.Eval.LocalEnergy,
+				Transmission: sol.Eval.TransmissionEnergy,
+				Total:        sol.Eval.Energy,
+			})
+		}
+	}
+	return res, nil
+}
+
+// multiUserPoolSize is the number of distinct application graphs the user
+// population draws from; users cycle through the pool, so the per-graph
+// pipeline runs once per pool entry regardless of the user count.
+const multiUserPoolSize = 16
+
+// MultiUserParams returns the system constants for Figures 6–8. The server
+// is provisioned for the full population (offloading a unit of work costs
+// k/capacity at population k against (pᶜ+1)/device locally, so capacity =
+// 5000 device-equivalents keeps offloading viable even at 5000 users while
+// the per-user waiting time still grows with k). Under-provisioning instead
+// tips the whole population to local execution at once — the linear
+// contention term makes the offloading decision all-or-nothing — which
+// collapses every engine onto the same degenerate scheme; the paper's
+// curves stay engine-differentiated at every population, so its testbed
+// plainly kept the server viable.
+func MultiUserParams() mec.Params {
+	p := mec.Defaults()
+	p.ServerCapacity = p.DeviceCompute * 5000
+	return p
+}
+
+// MultiUserEnergy regenerates Figures 6–8: graphs of graphSize nodes (the
+// paper fixes 1000), increasing user counts, the three engines.
+func MultiUserEnergy(seed int64, userCounts []int, graphSize int) (*EnergyResult, error) {
+	if len(userCounts) == 0 || graphSize < 1 {
+		return nil, fmt.Errorf("%w: user counts %v, graph size %d", ErrBadInput, userCounts, graphSize)
+	}
+	pool := make([]*graph.Graph, multiUserPoolSize)
+	for i := range pool {
+		g, err := graphForSize(graphSize, seed+int64(i))
+		if err != nil {
+			return nil, fmt.Errorf("multi-user energy: %w", err)
+		}
+		pool[i] = g
+	}
+	params := MultiUserParams()
+	res := &EnergyResult{
+		XLabel:  "user size",
+		Xs:      userCounts,
+		Engines: EngineNames(),
+		Cells:   make(map[string][]EnergyCell, len(EngineNames())),
+	}
+	for _, n := range userCounts {
+		users := make([]core.UserInput, n)
+		for i := range users {
+			users[i] = core.UserInput{Graph: pool[i%len(pool)]}
+		}
+		for _, name := range res.Engines {
+			eng, err := engineByName(name)
+			if err != nil {
+				return nil, err
+			}
+			sol, err := core.Solve(users, core.Options{Engine: eng, Params: params})
+			if err != nil {
+				return nil, fmt.Errorf("multi-user energy %s@%d: %w", name, n, err)
+			}
+			res.Cells[name] = append(res.Cells[name], EnergyCell{
+				Local:        sol.Eval.LocalEnergy,
+				Transmission: sol.Eval.TransmissionEnergy,
+				Total:        sol.Eval.Energy,
+			})
+		}
+	}
+	return res, nil
+}
+
+// RuntimeResult holds Figure 9: seconds per series per graph size.
+type RuntimeResult struct {
+	Xs     []int
+	Series []string
+	// Seconds maps series → per-x wall-clock solve time.
+	Seconds map[string][]float64
+}
+
+// Runtime series names.
+const (
+	SeriesSpectralSerial   = "ours-serial"
+	SeriesMaxFlow          = "max-flow min-cut"
+	SeriesKernighanLin     = "kernighan-lin"
+	SeriesSpectralParallel = "ours-parallel"
+)
+
+// Runtime regenerates Figure 9: single-user solve wall time for the
+// spectral pipeline without parallelism ("without Spark"), the two
+// combinatorial baselines, and the spectral pipeline with per-sub-graph and
+// matvec parallelism ("with Spark" — internal/parallel standing in for the
+// Spark cluster).
+func Runtime(seed int64, sizes []int) (*RuntimeResult, error) {
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("%w: no sizes", ErrBadInput)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	configs := []struct {
+		name string
+		opts core.Options
+	}{
+		{SeriesSpectralSerial, core.Options{Engine: core.SpectralEngine{}, Workers: 1}},
+		{SeriesMaxFlow, core.Options{Engine: core.MaxFlowEngine{}, Workers: 1}},
+		{SeriesKernighanLin, core.Options{Engine: core.KLEngine{}, Workers: 1}},
+		{SeriesSpectralParallel, core.Options{
+			Engine:  core.SpectralEngine{MatVecWorkers: workers},
+			Workers: workers,
+		}},
+	}
+	res := &RuntimeResult{
+		Xs:      sizes,
+		Seconds: make(map[string][]float64, len(configs)),
+	}
+	for _, c := range configs {
+		res.Series = append(res.Series, c.name)
+	}
+	for _, size := range sizes {
+		g, err := graphForSize(size, seed)
+		if err != nil {
+			return nil, fmt.Errorf("runtime: %w", err)
+		}
+		for _, c := range configs {
+			start := time.Now()
+			if _, err := core.Solve([]core.UserInput{{Graph: g}}, c.opts); err != nil {
+				return nil, fmt.Errorf("runtime %s@%d: %w", c.name, size, err)
+			}
+			res.Seconds[c.name] = append(res.Seconds[c.name], time.Since(start).Seconds())
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RenderTableI renders the compression table in the paper's column layout.
+func RenderTableI(rows []TableIRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %10s %12s %22s %22s %8s\n",
+		"Network", "functions", "edges", "functions after", "edges after", "reduced")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %10d %12d %22d %22d %7.1f%%\n",
+			r.Name, r.Nodes, r.Edges, r.NodesAfter, r.EdgesAfter, 100*r.NodeReduction)
+	}
+	return b.String()
+}
+
+// RenderEnergy renders one figure (one metric of an EnergyResult) as the
+// normalised series table the paper plots.
+func RenderEnergy(r *EnergyResult, m Metric) string {
+	norm := r.Normalized(m)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s energy (normalized) by %s\n", m, r.XLabel)
+	fmt.Fprintf(&b, "%-18s", r.XLabel)
+	for _, x := range r.Xs {
+		fmt.Fprintf(&b, " %8d", x)
+	}
+	b.WriteByte('\n')
+	for _, eng := range r.Engines {
+		fmt.Fprintf(&b, "%-18s", eng)
+		for _, v := range norm[eng] {
+			fmt.Fprintf(&b, " %8.2f", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderRuntime renders Figure 9's series.
+func RenderRuntime(r *RuntimeResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "running time (s) by original graph size\n")
+	fmt.Fprintf(&b, "%-18s", "graph size")
+	for _, x := range r.Xs {
+		fmt.Fprintf(&b, " %10d", x)
+	}
+	b.WriteByte('\n')
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, "%-18s", s)
+		for _, v := range r.Seconds[s] {
+			fmt.Fprintf(&b, " %10.4f", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// WriteTableICSV writes the compression table as CSV.
+func WriteTableICSV(w io.Writer, rows []TableIRow) error {
+	if _, err := fmt.Fprintln(w, "network,functions,edges,functions_after,edges_after,node_reduction"); err != nil {
+		return fmt.Errorf("experiments csv: %w", err)
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%s,%d,%d,%d,%d,%.4f\n",
+			r.Name, r.Nodes, r.Edges, r.NodesAfter, r.EdgesAfter, r.NodeReduction); err != nil {
+			return fmt.Errorf("experiments csv: %w", err)
+		}
+	}
+	return nil
+}
+
+// WriteEnergyCSV writes all three metrics of an energy result as CSV, one
+// row per (engine, x).
+func WriteEnergyCSV(w io.Writer, r *EnergyResult) error {
+	if _, err := fmt.Fprintf(w, "engine,%s,local,transmission,total\n",
+		strings.ReplaceAll(r.XLabel, " ", "_")); err != nil {
+		return fmt.Errorf("experiments csv: %w", err)
+	}
+	for _, eng := range r.Engines {
+		for i, x := range r.Xs {
+			c := r.Cells[eng][i]
+			if _, err := fmt.Fprintf(w, "%s,%d,%.6g,%.6g,%.6g\n",
+				eng, x, c.Local, c.Transmission, c.Total); err != nil {
+				return fmt.Errorf("experiments csv: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// WriteRuntimeCSV writes Figure 9's series as CSV.
+func WriteRuntimeCSV(w io.Writer, r *RuntimeResult) error {
+	if _, err := fmt.Fprintln(w, "series,graph_size,seconds"); err != nil {
+		return fmt.Errorf("experiments csv: %w", err)
+	}
+	for _, s := range r.Series {
+		for i, x := range r.Xs {
+			if _, err := fmt.Fprintf(w, "%s,%d,%.6f\n", s, x, r.Seconds[s][i]); err != nil {
+				return fmt.Errorf("experiments csv: %w", err)
+			}
+		}
+	}
+	return nil
+}

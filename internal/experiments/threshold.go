@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"copmecs/internal/core"
+	"copmecs/internal/lpa"
+	"copmecs/internal/mec"
+)
+
+// ThresholdRow is one point of the compression-threshold sweep.
+type ThresholdRow struct {
+	// Quantile is the edge-weight quantile used as the coupling threshold w.
+	Quantile float64
+	// NodesAfter is the compressed size at this threshold.
+	NodesAfter int
+	// Reduction is 1 − after/before.
+	Reduction float64
+	// Objective and TransmissionEnergy summarise the solved scheme.
+	Objective          float64
+	TransmissionEnergy float64
+}
+
+// ThresholdSweep measures the sensitivity of the whole pipeline to the
+// label-propagation coupling threshold w (the paper introduces w but never
+// reports a value). For each edge-weight quantile the graph is compressed
+// with that threshold, solved with the spectral engine, and the compressed
+// size plus scheme quality recorded. Low thresholds over-merge (cheap cuts
+// disappear inside super-nodes); high thresholds stop compressing (slow and
+// cut-happy); the default 0.75 sits on the plateau between.
+func ThresholdSweep(seed int64, graphSize, users int, quantiles []float64) ([]ThresholdRow, error) {
+	if graphSize < 2 || users < 1 || len(quantiles) == 0 {
+		return nil, fmt.Errorf("%w: size %d users %d quantiles %v",
+			ErrBadInput, graphSize, users, quantiles)
+	}
+	g, err := graphForSize(graphSize, seed)
+	if err != nil {
+		return nil, fmt.Errorf("threshold sweep: %w", err)
+	}
+	params := mec.Defaults()
+	params.ServerCapacity = params.DeviceCompute * float64(users)
+	inputs := make([]core.UserInput, users)
+	for i := range inputs {
+		inputs[i] = core.UserInput{Graph: g}
+	}
+	rows := make([]ThresholdRow, 0, len(quantiles))
+	for _, q := range quantiles {
+		if q < 0 || q > 1 {
+			return nil, fmt.Errorf("%w: quantile %g", ErrBadInput, q)
+		}
+		threshold := lpa.AutoThreshold(g, q)
+		opts := core.Options{
+			Params: params,
+			LPA:    lpa.Options{WeightThreshold: threshold},
+		}
+		sol, err := core.Solve(inputs, opts)
+		if err != nil {
+			return nil, fmt.Errorf("threshold sweep q=%g: %w", q, err)
+		}
+		row := ThresholdRow{
+			Quantile:           q,
+			NodesAfter:         sol.Stats.NodesAfter / users,
+			Objective:          sol.Eval.Objective,
+			TransmissionEnergy: sol.Eval.TransmissionEnergy,
+		}
+		if before := g.NumNodes(); before > 0 {
+			row.Reduction = 1 - float64(row.NodesAfter)/float64(before)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderThresholdSweep renders the sweep table.
+func RenderThresholdSweep(rows []ThresholdRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %12s %10s %14s %12s\n",
+		"quantile", "nodes after", "reduced", "objective", "transmitE")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10.2f %12d %9.1f%% %14.2f %12.2f\n",
+			r.Quantile, r.NodesAfter, 100*r.Reduction, r.Objective, r.TransmissionEnergy)
+	}
+	return b.String()
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"copmecs/internal/core"
+	"copmecs/internal/sim"
+)
+
+// ValidationRow compares the analytic server model against the
+// discrete-event simulator for one population size.
+type ValidationRow struct {
+	Users int
+	// ModelWait and SimPSWait are total waiting times: analytic processor
+	// sharing vs simulated processor sharing (they must agree when uploads
+	// complete together; staggered uploads cause small divergence).
+	ModelWait float64
+	SimPSWait float64
+	// SimFIFOWait is the waiting total under FIFO, bounding how much
+	// discipline choice matters.
+	SimFIFOWait float64
+	// ModelRemote and SimPSRemote are the Σtˢ totals.
+	ModelRemote float64
+	SimPSRemote float64
+}
+
+// ModelValidation is an extension artefact (not in the paper): it solves
+// the offloading instance for each population, replays every user's
+// offloaded work and cut transmission through the internal/sim queue, and
+// reports analytic-vs-simulated waiting and remote times side by side.
+func ModelValidation(seed int64, userCounts []int, graphSize int) ([]ValidationRow, error) {
+	if len(userCounts) == 0 || graphSize < 2 {
+		return nil, fmt.Errorf("%w: users %v, graph size %d", ErrBadInput, userCounts, graphSize)
+	}
+	g, err := graphForSize(graphSize, seed)
+	if err != nil {
+		return nil, fmt.Errorf("model validation: %w", err)
+	}
+	params := MultiUserParams()
+	rows := make([]ValidationRow, 0, len(userCounts))
+	for _, n := range userCounts {
+		users := make([]core.UserInput, n)
+		for i := range users {
+			users[i] = core.UserInput{Graph: g}
+		}
+		sol, err := core.Solve(users, core.Options{Params: params})
+		if err != nil {
+			return nil, fmt.Errorf("model validation @%d users: %w", n, err)
+		}
+		jobsIn := make([]sim.Job, n)
+		for i, pl := range sol.Placements {
+			st := pl.State()
+			jobsIn[i] = sim.Job{User: i, RemoteWork: st.RemoteWork, CutData: st.CutWeight}
+		}
+		cfg := sim.Config{ServerCapacity: params.ServerCapacity, Bandwidth: params.Bandwidth}
+		psRes, err := sim.Run(cfg, jobsIn)
+		if err != nil {
+			return nil, fmt.Errorf("model validation sim @%d users: %w", n, err)
+		}
+		cfg.Discipline = sim.FIFO
+		fifoRes, err := sim.Run(cfg, jobsIn)
+		if err != nil {
+			return nil, fmt.Errorf("model validation fifo @%d users: %w", n, err)
+		}
+		row := ValidationRow{
+			Users:       n,
+			ModelWait:   sol.Eval.WaitTime,
+			ModelRemote: sol.Eval.RemoteTime,
+		}
+		for i := range psRes {
+			row.SimPSWait += psRes[i].WaitTime
+			row.SimPSRemote += psRes[i].RemoteTime
+			row.SimFIFOWait += fifoRes[i].WaitTime
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderValidation renders the model-vs-sim table.
+func RenderValidation(rows []ValidationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %14s %14s %14s %14s %14s\n",
+		"users", "model wait", "sim PS wait", "sim FIFO wait", "model Σts", "sim PS Σts")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8d %14.2f %14.2f %14.2f %14.2f %14.2f\n",
+			r.Users, r.ModelWait, r.SimPSWait, r.SimFIFOWait, r.ModelRemote, r.SimPSRemote)
+	}
+	return b.String()
+}

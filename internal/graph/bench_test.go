@@ -1,0 +1,75 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchGraph(b *testing.B, n, edges int) *Graph {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	g := New(n)
+	for i := 0; i < n; i++ {
+		if err := g.AddNode(NodeID(i), rng.Float64()*100); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for k := 0; k < edges; k++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		if err := g.AddEdge(NodeID(u), NodeID(v), rng.Float64()*10); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return g
+}
+
+func BenchmarkComponents(b *testing.B) {
+	g := benchGraph(b, 2000, 6000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := g.Components(); len(got) == 0 {
+			b.Fatal("no components")
+		}
+	}
+}
+
+func BenchmarkContract(b *testing.B) {
+	g := benchGraph(b, 2000, 6000)
+	cluster := make(map[NodeID]int, g.NumNodes())
+	for _, id := range g.Nodes() {
+		cluster[id] = int(id) / 10
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Contract(cluster); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCutWeight(b *testing.B) {
+	g := benchGraph(b, 2000, 6000)
+	side := make(map[NodeID]bool, g.NumNodes()/2)
+	for _, id := range g.Nodes() {
+		if id%2 == 0 {
+			side[id] = true
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.CutWeight(side)
+	}
+}
+
+func BenchmarkEdges(b *testing.B) {
+	g := benchGraph(b, 2000, 6000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if es := g.Edges(); len(es) == 0 {
+			b.Fatal("no edges")
+		}
+	}
+}

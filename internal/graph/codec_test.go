@@ -1,0 +1,122 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := paperFig1(t)
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var back Graph
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if !g.Equal(&back) {
+		t.Errorf("JSON round trip lost data:\n in: %v\nout: %v", g, &back)
+	}
+}
+
+func TestJSONEmptyGraph(t *testing.T) {
+	g := New(0)
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var back Graph
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if back.NumNodes() != 0 || back.NumEdges() != 0 {
+		t.Errorf("empty round trip = %v", &back)
+	}
+}
+
+func TestJSONRejectsGarbage(t *testing.T) {
+	var g Graph
+	if err := json.Unmarshal([]byte(`{"nodes": "x"}`), &g); err == nil {
+		t.Error("garbage JSON accepted")
+	}
+	// Edge referencing a missing node must fail.
+	bad := `{"nodes":[{"id":0,"weight":1}],"edges":[{"u":0,"v":9,"weight":1}]}`
+	if err := json.Unmarshal([]byte(bad), &g); err == nil {
+		t.Error("edge to missing node accepted")
+	}
+}
+
+func TestJSONDeterministic(t *testing.T) {
+	g := paperFig1(t)
+	a, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("MarshalJSON not deterministic")
+	}
+	if !strings.Contains(string(a), `"nodes"`) {
+		t.Errorf("unexpected JSON shape: %s", a)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := paperFig1(t)
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	if !g.Equal(back) {
+		t.Errorf("binary round trip lost data:\n in: %v\nout: %v", g, back)
+	}
+}
+
+func TestBinaryEmpty(t *testing.T) {
+	g := New(0)
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != 0 {
+		t.Errorf("empty binary round trip = %v", back)
+	}
+}
+
+func TestBinaryRejectsForeign(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("not a graph at all....."))); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("foreign input error = %v, want ErrBadFormat", err)
+	}
+	if _, err := ReadBinary(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestBinaryTruncated(t *testing.T) {
+	g := paperFig1(t)
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{5, 10, len(full) / 2, len(full) - 1} {
+		if _, err := ReadBinary(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncated input at %d bytes accepted", cut)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// DOTOptions customises WriteDOT output.
+type DOTOptions struct {
+	// Name is the graph name in the DOT header (default "G").
+	Name string
+	// Labels optionally names nodes (default: the numeric ID).
+	Labels map[NodeID]string
+	// Highlight optionally marks a node set (rendered filled); used to
+	// visualise offloaded functions.
+	Highlight map[NodeID]bool
+}
+
+// WriteDOT renders the graph in Graphviz DOT form: node labels carry the
+// computation weight, edge labels the communication weight, and highlighted
+// nodes (e.g. the offloaded side of a scheme) are filled.
+func (g *Graph) WriteDOT(w io.Writer, opts DOTOptions) error {
+	name := opts.Name
+	if name == "" {
+		name = "G"
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "graph %s {\n", sanitizeDOTID(name))
+	fmt.Fprintf(bw, "  node [shape=ellipse];\n")
+	for _, id := range g.Nodes() {
+		weight, err := g.NodeWeight(id)
+		if err != nil {
+			return err
+		}
+		label := fmt.Sprintf("%d", id)
+		if l, ok := opts.Labels[id]; ok {
+			label = l
+		}
+		attrs := fmt.Sprintf("label=\"%s\\nw=%.4g\"", escapeDOT(label), weight)
+		if opts.Highlight[id] {
+			attrs += `, style=filled, fillcolor=lightblue`
+		}
+		fmt.Fprintf(bw, "  n%d [%s];\n", id, attrs)
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(bw, "  n%d -- n%d [label=\"%.4g\"];\n", e.U, e.V, e.Weight)
+	}
+	fmt.Fprintln(bw, "}")
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("write dot: %w", err)
+	}
+	return nil
+}
+
+// escapeDOT escapes quotes and backslashes inside a DOT string literal.
+func escapeDOT(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// sanitizeDOTID strips characters that would break a bare DOT identifier.
+func sanitizeDOTID(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "G"
+	}
+	return b.String()
+}

@@ -1,0 +1,56 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := paperFig1(t)
+	var buf bytes.Buffer
+	err := g.WriteDOT(&buf, DOTOptions{
+		Name:      "fig-1",
+		Labels:    map[NodeID]string{0: "f1", 1: "f2"},
+		Highlight: map[NodeID]bool{1: true},
+	})
+	if err != nil {
+		t.Fatalf("WriteDOT: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"graph fig_1 {",
+		"n0 [label=\"f1\\nw=5\"]",
+		"fillcolor=lightblue",
+		"n0 -- n1 [label=\"10\"]",
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	// Unlabelled nodes fall back to IDs.
+	if !strings.Contains(out, "label=\"3\\nw=2\"") {
+		t.Errorf("fallback label missing:\n%s", out)
+	}
+}
+
+func TestWriteDOTEmptyAndDefaults(t *testing.T) {
+	g := New(0)
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf, DOTOptions{}); err != nil {
+		t.Fatalf("WriteDOT(empty): %v", err)
+	}
+	if !strings.Contains(buf.String(), "graph G {") {
+		t.Errorf("default name missing:\n%s", buf.String())
+	}
+}
+
+func TestSanitizeDOTID(t *testing.T) {
+	if got := sanitizeDOTID("a b/c-1"); got != "a_b_c_1" {
+		t.Errorf("sanitize = %q", got)
+	}
+	if got := sanitizeDOTID("—"); got != "G" && got != "_" {
+		t.Errorf("non-ascii sanitize = %q", got)
+	}
+}

@@ -1,0 +1,317 @@
+// Package graph implements the weighted undirected graphs that COPMECS
+// operates on: function data-flow graphs in which each node is a function
+// whose weight is its computation amount, and each edge weight is the
+// communication volume between the two incident functions (paper §II).
+//
+// The representation is an adjacency map keyed by NodeID. Parallel edges are
+// coalesced by summing their weights, matching the paper's model where the
+// edge weight is the total data exchanged between two functions. Self-loops
+// are rejected: a function does not transmit to itself.
+//
+// All accessors that return collections return fresh copies; callers may
+// mutate the results freely (see "Copy Slices and Maps at Boundaries").
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node within a single Graph. IDs are assigned by the
+// caller (or by AddNodeAuto) and are stable across all operations except
+// Contract, which returns an explicit old→new mapping.
+type NodeID int
+
+// Errors returned by graph mutators and accessors.
+var (
+	// ErrNodeExists is returned by AddNode when the node is already present.
+	ErrNodeExists = errors.New("graph: node already exists")
+	// ErrNodeNotFound is returned when an operation references a missing node.
+	ErrNodeNotFound = errors.New("graph: node not found")
+	// ErrSelfLoop is returned by AddEdge when both endpoints are equal.
+	ErrSelfLoop = errors.New("graph: self-loops are not allowed")
+	// ErrNegativeWeight is returned when a node or edge weight is negative.
+	ErrNegativeWeight = errors.New("graph: negative weight")
+)
+
+// Edge is one undirected weighted edge. For deterministic processing the
+// invariant U < V holds for every Edge returned by this package.
+type Edge struct {
+	U, V   NodeID
+	Weight float64
+}
+
+type nodeRec struct {
+	weight float64
+	adj    map[NodeID]float64
+}
+
+// Graph is a mutable weighted undirected graph. The zero value is not usable;
+// construct with New. Graph is not safe for concurrent mutation; concurrent
+// readers are safe once mutation has stopped.
+type Graph struct {
+	nodes           map[NodeID]*nodeRec
+	edgeCount       int
+	totalEdgeWeight float64
+}
+
+// New returns an empty graph with capacity hints for n nodes.
+func New(n int) *Graph {
+	if n < 0 {
+		n = 0
+	}
+	return &Graph{nodes: make(map[NodeID]*nodeRec, n)}
+}
+
+// NumNodes reports the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges reports the number of distinct undirected edges.
+func (g *Graph) NumEdges() int { return g.edgeCount }
+
+// HasNode reports whether id is present.
+func (g *Graph) HasNode(id NodeID) bool {
+	_, ok := g.nodes[id]
+	return ok
+}
+
+// AddNode inserts a node with the given computation weight.
+func (g *Graph) AddNode(id NodeID, weight float64) error {
+	if weight < 0 {
+		return fmt.Errorf("add node %d: %w", id, ErrNegativeWeight)
+	}
+	if _, ok := g.nodes[id]; ok {
+		return fmt.Errorf("add node %d: %w", id, ErrNodeExists)
+	}
+	g.nodes[id] = &nodeRec{weight: weight, adj: make(map[NodeID]float64)}
+	return nil
+}
+
+// AddNodeAuto inserts a node with the smallest unused non-negative ID and
+// returns that ID.
+func (g *Graph) AddNodeAuto(weight float64) (NodeID, error) {
+	id := NodeID(len(g.nodes))
+	for g.HasNode(id) {
+		id++
+	}
+	if err := g.AddNode(id, weight); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// NodeWeight returns the computation weight of id.
+func (g *Graph) NodeWeight(id NodeID) (float64, error) {
+	rec, ok := g.nodes[id]
+	if !ok {
+		return 0, fmt.Errorf("node weight %d: %w", id, ErrNodeNotFound)
+	}
+	return rec.weight, nil
+}
+
+// SetNodeWeight replaces the computation weight of id.
+func (g *Graph) SetNodeWeight(id NodeID, weight float64) error {
+	if weight < 0 {
+		return fmt.Errorf("set node weight %d: %w", id, ErrNegativeWeight)
+	}
+	rec, ok := g.nodes[id]
+	if !ok {
+		return fmt.Errorf("set node weight %d: %w", id, ErrNodeNotFound)
+	}
+	rec.weight = weight
+	return nil
+}
+
+// AddEdge adds weight w to the undirected edge {u, v}, creating it if absent.
+// Both endpoints must already exist. Summing matches the data-flow model:
+// two call sites between the same pair of functions exchange the combined
+// volume.
+func (g *Graph) AddEdge(u, v NodeID, w float64) error {
+	if u == v {
+		return fmt.Errorf("add edge {%d,%d}: %w", u, v, ErrSelfLoop)
+	}
+	if w < 0 {
+		return fmt.Errorf("add edge {%d,%d}: %w", u, v, ErrNegativeWeight)
+	}
+	ru, ok := g.nodes[u]
+	if !ok {
+		return fmt.Errorf("add edge {%d,%d}: endpoint %d: %w", u, v, u, ErrNodeNotFound)
+	}
+	rv, ok := g.nodes[v]
+	if !ok {
+		return fmt.Errorf("add edge {%d,%d}: endpoint %d: %w", u, v, v, ErrNodeNotFound)
+	}
+	if _, exists := ru.adj[v]; !exists {
+		g.edgeCount++
+	}
+	ru.adj[v] += w
+	rv.adj[u] += w
+	g.totalEdgeWeight += w
+	return nil
+}
+
+// EdgeWeight returns the weight of edge {u, v} and whether it exists.
+func (g *Graph) EdgeWeight(u, v NodeID) (float64, bool) {
+	rec, ok := g.nodes[u]
+	if !ok {
+		return 0, false
+	}
+	w, ok := rec.adj[v]
+	return w, ok
+}
+
+// RemoveEdge deletes edge {u, v} if present, reporting whether it existed.
+func (g *Graph) RemoveEdge(u, v NodeID) bool {
+	ru, ok := g.nodes[u]
+	if !ok {
+		return false
+	}
+	w, ok := ru.adj[v]
+	if !ok {
+		return false
+	}
+	delete(ru.adj, v)
+	delete(g.nodes[v].adj, u)
+	g.edgeCount--
+	g.totalEdgeWeight -= w
+	return true
+}
+
+// RemoveNode deletes id and every incident edge, reporting whether it existed.
+func (g *Graph) RemoveNode(id NodeID) bool {
+	rec, ok := g.nodes[id]
+	if !ok {
+		return false
+	}
+	for nb, w := range rec.adj {
+		delete(g.nodes[nb].adj, id)
+		g.edgeCount--
+		g.totalEdgeWeight -= w
+	}
+	delete(g.nodes, id)
+	return true
+}
+
+// Nodes returns all node IDs in ascending order.
+func (g *Graph) Nodes() []NodeID {
+	ids := make([]NodeID, 0, len(g.nodes))
+	for id := range g.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Neighbors returns the neighbors of id in ascending order.
+func (g *Graph) Neighbors(id NodeID) []NodeID {
+	rec, ok := g.nodes[id]
+	if !ok {
+		return nil
+	}
+	nbs := make([]NodeID, 0, len(rec.adj))
+	for nb := range rec.adj {
+		nbs = append(nbs, nb)
+	}
+	sort.Slice(nbs, func(i, j int) bool { return nbs[i] < nbs[j] })
+	return nbs
+}
+
+// Degree returns the number of edges incident to id.
+func (g *Graph) Degree(id NodeID) int {
+	rec, ok := g.nodes[id]
+	if !ok {
+		return 0
+	}
+	return len(rec.adj)
+}
+
+// WeightedDegree returns the sum of weights of edges incident to id
+// (the node's volume in spectral terminology). Summation follows ascending
+// neighbor order so results are bitwise deterministic across runs (float
+// addition is not associative; map iteration order is random).
+func (g *Graph) WeightedDegree(id NodeID) float64 {
+	rec, ok := g.nodes[id]
+	if !ok {
+		return 0
+	}
+	var sum float64
+	for _, nb := range g.Neighbors(id) {
+		sum += rec.adj[nb]
+	}
+	return sum
+}
+
+// Edges returns every undirected edge exactly once, sorted by (U, V).
+func (g *Graph) Edges() []Edge {
+	es := make([]Edge, 0, g.edgeCount)
+	for u, rec := range g.nodes {
+		for v, w := range rec.adj {
+			if u < v {
+				es = append(es, Edge{U: u, V: v, Weight: w})
+			}
+		}
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].U != es[j].U {
+			return es[i].U < es[j].U
+		}
+		return es[i].V < es[j].V
+	})
+	return es
+}
+
+// TotalNodeWeight returns the sum of all node weights (total computation),
+// accumulated in ascending node order for bitwise determinism.
+func (g *Graph) TotalNodeWeight() float64 {
+	var sum float64
+	for _, id := range g.Nodes() {
+		sum += g.nodes[id].weight
+	}
+	return sum
+}
+
+// TotalEdgeWeight returns the sum of all edge weights (total communication).
+func (g *Graph) TotalEdgeWeight() float64 { return g.totalEdgeWeight }
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := New(len(g.nodes))
+	c.edgeCount = g.edgeCount
+	c.totalEdgeWeight = g.totalEdgeWeight
+	for id, rec := range g.nodes {
+		adj := make(map[NodeID]float64, len(rec.adj))
+		for nb, w := range rec.adj {
+			adj[nb] = w
+		}
+		c.nodes[id] = &nodeRec{weight: rec.weight, adj: adj}
+	}
+	return c
+}
+
+// Equal reports whether g and h have identical node sets, node weights,
+// edge sets and edge weights.
+func (g *Graph) Equal(h *Graph) bool {
+	if g.NumNodes() != h.NumNodes() || g.NumEdges() != h.NumEdges() {
+		return false
+	}
+	for id, rec := range g.nodes {
+		hrec, ok := h.nodes[id]
+		if !ok || hrec.weight != rec.weight || len(hrec.adj) != len(rec.adj) {
+			return false
+		}
+		for nb, w := range rec.adj {
+			hw, ok := hrec.adj[nb]
+			if !ok || hw != w {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String summarises the graph for debugging.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{nodes: %d, edges: %d, comp: %.3g, comm: %.3g}",
+		g.NumNodes(), g.NumEdges(), g.TotalNodeWeight(), g.TotalEdgeWeight())
+}

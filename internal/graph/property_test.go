@@ -1,0 +1,253 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomGraph builds a pseudo-random graph with n nodes and roughly density·n
+// edges from the given source.
+func randomGraph(rng *rand.Rand, n int, density float64) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		if err := g.AddNode(NodeID(i), rng.Float64()*100); err != nil {
+			panic(err)
+		}
+	}
+	edges := int(float64(n) * density)
+	for i := 0; i < edges; i++ {
+		u := NodeID(rng.Intn(n))
+		v := NodeID(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		if err := g.AddEdge(u, v, rng.Float64()*10+0.1); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+// graphSpec is a quick.Generator-friendly seed for a random graph.
+type graphSpec struct {
+	Seed    int64
+	N       uint8
+	Density uint8
+}
+
+func (s graphSpec) build() *Graph {
+	n := int(s.N%40) + 2
+	density := float64(s.Density%50)/10 + 0.5
+	return randomGraph(rand.New(rand.NewSource(s.Seed)), n, density)
+}
+
+func TestPropertyCutSymmetry(t *testing.T) {
+	f := func(s graphSpec) bool {
+		g := s.build()
+		rng := rand.New(rand.NewSource(s.Seed + 1))
+		side := make(map[NodeID]bool)
+		comp := make(map[NodeID]bool)
+		for _, id := range g.Nodes() {
+			if rng.Intn(2) == 0 {
+				side[id] = true
+			} else {
+				comp[id] = true
+			}
+		}
+		return math.Abs(g.CutWeight(side)-g.CutWeight(comp)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCutMatchesEdgeSum(t *testing.T) {
+	f := func(s graphSpec) bool {
+		g := s.build()
+		rng := rand.New(rand.NewSource(s.Seed + 2))
+		side := make(map[NodeID]bool)
+		for _, id := range g.Nodes() {
+			if rng.Intn(2) == 0 {
+				side[id] = true
+			}
+		}
+		var want float64
+		for _, e := range g.Edges() {
+			if side[e.U] != side[e.V] {
+				want += e.Weight
+			}
+		}
+		return math.Abs(g.CutWeight(side)-want) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyContractPreservesTotals(t *testing.T) {
+	f := func(s graphSpec) bool {
+		g := s.build()
+		rng := rand.New(rand.NewSource(s.Seed + 3))
+		k := rng.Intn(g.NumNodes()) + 1
+		cluster := make(map[NodeID]int, g.NumNodes())
+		for _, id := range g.Nodes() {
+			cluster[id] = rng.Intn(k)
+		}
+		res, err := g.Contract(cluster)
+		if err != nil {
+			return false
+		}
+		// Node weight is always preserved.
+		if math.Abs(res.Graph.TotalNodeWeight()-g.TotalNodeWeight()) > 1e-9 {
+			return false
+		}
+		// Cross-cluster edge weight is preserved: the contracted graph's
+		// total edge weight equals the sum over original edges whose
+		// endpoints land in different clusters.
+		var cross float64
+		for _, e := range g.Edges() {
+			if cluster[e.U] != cluster[e.V] {
+				cross += e.Weight
+			}
+		}
+		return math.Abs(res.Graph.TotalEdgeWeight()-cross) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyContractCutInvariant(t *testing.T) {
+	// Cutting the contracted graph along super-node sides equals cutting the
+	// original along the corresponding member sides: contraction never
+	// changes inter-cluster cut structure.
+	f := func(s graphSpec) bool {
+		g := s.build()
+		rng := rand.New(rand.NewSource(s.Seed + 4))
+		k := rng.Intn(4) + 2
+		cluster := make(map[NodeID]int, g.NumNodes())
+		for _, id := range g.Nodes() {
+			cluster[id] = rng.Intn(k)
+		}
+		res, err := g.Contract(cluster)
+		if err != nil {
+			return false
+		}
+		superSide := make(map[NodeID]bool)
+		for _, sid := range res.Graph.Nodes() {
+			if rng.Intn(2) == 0 {
+				superSide[sid] = true
+			}
+		}
+		origSide := make(map[NodeID]bool)
+		for orig, super := range res.NodeOf {
+			if superSide[super] {
+				origSide[orig] = true
+			}
+		}
+		return math.Abs(res.Graph.CutWeight(superSide)-g.CutWeight(origSide)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyComponentsPartition(t *testing.T) {
+	f := func(s graphSpec) bool {
+		g := s.build()
+		comps := g.Components()
+		seen := make(map[NodeID]int)
+		total := 0
+		for _, comp := range comps {
+			total += len(comp)
+			for _, id := range comp {
+				seen[id]++
+			}
+		}
+		if total != g.NumNodes() {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		// No edge crosses two components.
+		compOf := make(map[NodeID]int)
+		for i, comp := range comps {
+			for _, id := range comp {
+				compOf[id] = i
+			}
+		}
+		for _, e := range g.Edges() {
+			if compOf[e.U] != compOf[e.V] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyJSONRoundTrip(t *testing.T) {
+	f := func(s graphSpec) bool {
+		g := s.build()
+		data, err := json.Marshal(g)
+		if err != nil {
+			return false
+		}
+		var back Graph
+		if err := json.Unmarshal(data, &back); err != nil {
+			return false
+		}
+		return g.Equal(&back)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyBinaryRoundTrip(t *testing.T) {
+	f := func(s graphSpec) bool {
+		g := s.build()
+		var buf bytes.Buffer
+		if err := g.WriteBinary(&buf); err != nil {
+			return false
+		}
+		back, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		return g.Equal(back)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyBFSReachesComponent(t *testing.T) {
+	f := func(s graphSpec) bool {
+		g := s.build()
+		comps := g.Components()
+		for _, comp := range comps {
+			order, err := g.BFSOrder(comp[0])
+			if err != nil || len(order) != len(comp) {
+				return false
+			}
+			dfs, err := g.DFSOrder(comp[0])
+			if err != nil || len(dfs) != len(comp) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,100 @@
+// Package jobs defines the serialisable job kinds that run on the
+// internal/parallel substrate (in-process pool or TCP executor cluster):
+// spectral cuts and Fiedler-pair computations over JSON-encoded graphs.
+// cmd/executord serves these kinds; drivers submit them with the helpers
+// here. This is the wire-level face of the Spark substitution — the unit of
+// distribution is one compressed sub-graph's spectrum problem, exactly the
+// work the paper ships to its Spark cluster.
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"copmecs/internal/graph"
+	"copmecs/internal/parallel"
+	"copmecs/internal/spectral"
+)
+
+// Job kinds served by executors.
+const (
+	// KindSpectralCut bisects a graph with the spectral engine.
+	KindSpectralCut = "spectral-cut"
+)
+
+// ErrDecode is returned when a payload cannot be decoded.
+var ErrDecode = errors.New("jobs: cannot decode payload")
+
+// CutRequest is the payload of a KindSpectralCut job.
+type CutRequest struct {
+	// Graph is the (compressed) sub-graph to bisect.
+	Graph *graph.Graph `json:"graph"`
+	// DisableSweep turns off sweep-cut refinement.
+	DisableSweep bool `json:"disableSweep,omitempty"`
+}
+
+// CutResponse is the result of a KindSpectralCut job.
+type CutResponse struct {
+	SideA   []graph.NodeID `json:"sideA"`
+	SideB   []graph.NodeID `json:"sideB"`
+	Weight  float64        `json:"weight"`
+	Lambda2 float64        `json:"lambda2"`
+}
+
+// NewRegistry returns a registry serving all job kinds.
+func NewRegistry() *parallel.Registry {
+	r := parallel.NewRegistry()
+	r.Register(KindSpectralCut, handleSpectralCut)
+	return r
+}
+
+func handleSpectralCut(payload []byte) ([]byte, error) {
+	var req CutRequest
+	if err := json.Unmarshal(payload, &req); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDecode, err)
+	}
+	if req.Graph == nil {
+		return nil, fmt.Errorf("%w: missing graph", ErrDecode)
+	}
+	cut, err := spectral.Bisect(req.Graph, spectral.Options{DisableSweep: req.DisableSweep})
+	if err != nil {
+		return nil, fmt.Errorf("spectral cut job: %w", err)
+	}
+	resp := CutResponse{
+		SideA:   cut.SideA,
+		SideB:   cut.SideB,
+		Weight:  cut.Weight,
+		Lambda2: cut.Lambda2,
+	}
+	out, err := json.Marshal(resp)
+	if err != nil {
+		return nil, fmt.Errorf("spectral cut job: encode: %w", err)
+	}
+	return out, nil
+}
+
+// SubmitCuts bisects every graph on the given runner (pool or cluster) and
+// returns the responses in input order.
+func SubmitCuts(ctx context.Context, r parallel.Runner, graphs []*graph.Graph, disableSweep bool) ([]CutResponse, error) {
+	reqs := make([]parallel.Job, len(graphs))
+	for i, g := range graphs {
+		payload, err := json.Marshal(CutRequest{Graph: g, DisableSweep: disableSweep})
+		if err != nil {
+			return nil, fmt.Errorf("jobs: encode cut %d: %w", i, err)
+		}
+		reqs[i] = parallel.Job{Kind: KindSpectralCut, Payload: payload}
+	}
+	results, err := r.RunJobs(ctx, reqs)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: %w", err)
+	}
+	out := make([]CutResponse, len(results))
+	for i, res := range results {
+		if err := json.Unmarshal(res.Payload, &out[i]); err != nil {
+			return nil, fmt.Errorf("jobs: decode cut %d: %w", i, err)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,99 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"copmecs/internal/graph"
+	"copmecs/internal/parallel"
+)
+
+func dumbbell(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New(8)
+	for i := 0; i < 8; i++ {
+		if err := g.AddNode(graph.NodeID(i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			if err := g.AddEdge(graph.NodeID(i), graph.NodeID(j), 10); err != nil {
+				t.Fatal(err)
+			}
+			if err := g.AddEdge(graph.NodeID(4+i), graph.NodeID(4+j), 10); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := g.AddEdge(0, 4, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSpectralCutJobOnPool(t *testing.T) {
+	pool := parallel.NewPool(2, NewRegistry())
+	g := dumbbell(t)
+	res, err := SubmitCuts(context.Background(), pool, []*graph.Graph{g, g}, false)
+	if err != nil {
+		t.Fatalf("SubmitCuts: %v", err)
+	}
+	for i, r := range res {
+		if r.Weight != 0.5 {
+			t.Errorf("cut %d weight = %v, want 0.5", i, r.Weight)
+		}
+		if len(r.SideA)+len(r.SideB) != 8 {
+			t.Errorf("cut %d sides cover %d nodes", i, len(r.SideA)+len(r.SideB))
+		}
+	}
+}
+
+func TestSpectralCutJobOnCluster(t *testing.T) {
+	ex, err := parallel.NewExecutor("e0", "127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatalf("NewExecutor: %v", err)
+	}
+	defer ex.Close()
+	driver, err := parallel.NewDriver([]string{ex.Addr()}, 0)
+	if err != nil {
+		t.Fatalf("NewDriver: %v", err)
+	}
+	defer driver.Close()
+	res, err := SubmitCuts(context.Background(), driver, []*graph.Graph{dumbbell(t)}, false)
+	if err != nil {
+		t.Fatalf("SubmitCuts over TCP: %v", err)
+	}
+	if res[0].Weight != 0.5 {
+		t.Errorf("cut weight = %v, want 0.5", res[0].Weight)
+	}
+	if res[0].Lambda2 <= 0 {
+		t.Errorf("lambda2 = %v, want > 0", res[0].Lambda2)
+	}
+}
+
+func TestHandlerRejectsGarbage(t *testing.T) {
+	if _, err := handleSpectralCut([]byte("{nope")); !errors.Is(err, ErrDecode) {
+		t.Errorf("garbage payload error = %v, want ErrDecode", err)
+	}
+	if _, err := handleSpectralCut([]byte("{}")); !errors.Is(err, ErrDecode) {
+		t.Errorf("missing graph error = %v, want ErrDecode", err)
+	}
+	// Empty graph: the spectral engine refuses it.
+	empty, err := json.Marshal(CutRequest{Graph: graph.New(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := handleSpectralCut(empty); err == nil {
+		t.Error("empty graph accepted")
+	}
+}
+
+func TestRegistryKinds(t *testing.T) {
+	r := NewRegistry()
+	if _, ok := r.Lookup(KindSpectralCut); !ok {
+		t.Error("spectral-cut not registered")
+	}
+}

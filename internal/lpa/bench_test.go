@@ -1,0 +1,25 @@
+package lpa
+
+import (
+	"testing"
+
+	"copmecs/internal/netgen"
+)
+
+func benchCompress(b *testing.B, nodes, edges, comps int, workers int) {
+	b.Helper()
+	g, err := netgen.Generate(netgen.Config{Nodes: nodes, Edges: edges, Components: comps, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress(g, Options{Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompress1000Serial(b *testing.B)   { benchCompress(b, 1000, 4912, 6, 1) }
+func BenchmarkCompress1000Parallel(b *testing.B) { benchCompress(b, 1000, 4912, 6, 0) }
+func BenchmarkCompress5000Serial(b *testing.B)   { benchCompress(b, 5000, 40243, 12, 1) }

@@ -1,0 +1,172 @@
+package lpa
+
+import (
+	"fmt"
+	"sync"
+
+	"copmecs/internal/graph"
+)
+
+// Subgraph is one component's compression outcome.
+type Subgraph struct {
+	// Graph is the compressed sub-graph (super-node IDs 0..k−1).
+	Graph *graph.Graph
+	// MembersOf maps each super-node to the original nodes it absorbed.
+	MembersOf map[graph.NodeID][]graph.NodeID
+	// NodeOf maps each original node to its super-node.
+	NodeOf map[graph.NodeID]graph.NodeID
+	// Labels is the raw label assignment from propagation (diagnostics).
+	Labels map[graph.NodeID]int
+	// Rounds is the number of propagation rounds the component needed.
+	Rounds int
+	// Threshold is the coupling threshold used for this component.
+	Threshold float64
+}
+
+// Result is the outcome of Compress over a whole function data-flow graph.
+type Result struct {
+	// Subgraphs holds one entry per connected component of the input,
+	// ordered by the component's smallest original node ID.
+	Subgraphs []Subgraph
+	// NodesBefore/NodesAfter and EdgesBefore/EdgesAfter summarise the
+	// compression (the paper's Table I columns).
+	NodesBefore, NodesAfter int
+	EdgesBefore, EdgesAfter int
+}
+
+// CompressionRatio returns 1 − after/before in nodes (0 for empty input).
+func (r *Result) CompressionRatio() float64 {
+	if r.NodesBefore == 0 {
+		return 0
+	}
+	return 1 - float64(r.NodesAfter)/float64(r.NodesBefore)
+}
+
+// Compress runs Algorithm 1: splits g into components, propagates labels in
+// parallel within each, and contracts directly-connected same-label nodes.
+// The input graph must already have unoffloadable functions removed
+// (callgraph.Extract does this).
+func Compress(g *graph.Graph, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	comps := g.Components()
+	res := &Result{
+		Subgraphs:   make([]Subgraph, len(comps)),
+		NodesBefore: g.NumNodes(),
+		EdgesBefore: g.NumEdges(),
+	}
+
+	sem := make(chan struct{}, opts.Workers)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for i, comp := range comps {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, comp []graph.NodeID) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			sub, err := compressComponent(g, comp, opts)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			res.Subgraphs[i] = *sub
+		}(i, comp)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	for i := range res.Subgraphs {
+		res.NodesAfter += res.Subgraphs[i].Graph.NumNodes()
+		res.EdgesAfter += res.Subgraphs[i].Graph.NumEdges()
+	}
+	return res, nil
+}
+
+// compressComponent runs propagation + contraction for one component.
+func compressComponent(g *graph.Graph, comp []graph.NodeID, opts Options) (*Subgraph, error) {
+	cg, err := g.InducedSubgraph(comp)
+	if err != nil {
+		return nil, fmt.Errorf("lpa compress: %w", err)
+	}
+	prop, err := Propagate(cg, opts)
+	if err != nil {
+		return nil, fmt.Errorf("lpa compress: %w", err)
+	}
+	// The paper merges nodes that share a label AND are connected directly.
+	// Same-label classes are normally edge-connected, but round interleaving
+	// can strand a node, so cluster by connectivity within label classes.
+	clusters := connectedSameLabelClusters(cg, prop.Labels)
+	contracted, err := cg.Contract(clusters)
+	if err != nil {
+		return nil, fmt.Errorf("lpa compress: %w", err)
+	}
+	return &Subgraph{
+		Graph:     contracted.Graph,
+		MembersOf: contracted.MembersOf,
+		NodeOf:    contracted.NodeOf,
+		Labels:    prop.Labels,
+		Rounds:    prop.Rounds,
+		Threshold: prop.Threshold,
+	}, nil
+}
+
+// connectedSameLabelClusters returns a cluster assignment in which two nodes
+// share a cluster iff they are connected through edges whose endpoints carry
+// equal labels (union-find over same-label edges).
+func connectedSameLabelClusters(g *graph.Graph, labels map[graph.NodeID]int) map[graph.NodeID]int {
+	parent := make(map[graph.NodeID]graph.NodeID, g.NumNodes())
+	var find func(graph.NodeID) graph.NodeID
+	find = func(x graph.NodeID) graph.NodeID {
+		p, ok := parent[x]
+		if !ok || p == x {
+			parent[x] = x
+			return x
+		}
+		root := find(p)
+		parent[x] = root
+		return root
+	}
+	union := func(a, b graph.NodeID) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if ra < rb { // deterministic roots
+				parent[rb] = ra
+			} else {
+				parent[ra] = rb
+			}
+		}
+	}
+	for _, id := range g.Nodes() {
+		find(id)
+	}
+	for _, e := range g.Edges() {
+		if labels[e.U] == labels[e.V] {
+			union(e.U, e.V)
+		}
+	}
+	clusters := make(map[graph.NodeID]int, g.NumNodes())
+	next := 0
+	rootCluster := make(map[graph.NodeID]int)
+	for _, id := range g.Nodes() {
+		r := find(id)
+		c, ok := rootCluster[r]
+		if !ok {
+			c = next
+			next++
+			rootCluster[r] = c
+		}
+		clusters[id] = c
+	}
+	return clusters
+}

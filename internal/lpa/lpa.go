@@ -1,0 +1,213 @@
+// Package lpa implements the paper's Algorithm 1: label-propagation-based
+// compression of function data-flow graphs.
+//
+// The pipeline per the paper (§III-A):
+//
+//  1. split the graph into component sub-graphs (compression never crosses
+//     component boundaries because inter-component coupling is small);
+//  2. inside each sub-graph, label the maximum-degree node first (the
+//     "starter") and propagate labels breadth- or depth-first: a label
+//     crosses an edge only when the edge weight exceeds the threshold w,
+//     otherwise the far node receives a fresh label;
+//  3. repeat propagation rounds until the update rate α drops to αt or βt
+//     rounds have run;
+//  4. contract directly-connected same-label nodes into super-nodes, so
+//     highly coupled functions can never be separated by a later cut.
+//
+// Sub-graphs are processed in parallel, mirroring "one new process will be
+// generated for each sub-graph" in Algorithm 1.
+package lpa
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+
+	"copmecs/internal/graph"
+)
+
+// Traversal selects the propagation order within a round.
+type Traversal int
+
+// Traversal kinds. The paper allows "depth-first or breadth-first policies".
+const (
+	BFS Traversal = iota + 1
+	DFS
+)
+
+// ErrBadOptions is returned for inconsistent options.
+var ErrBadOptions = errors.New("lpa: invalid options")
+
+// Options tunes Algorithm 1. The zero value picks the paper-flavoured
+// defaults: automatic threshold at the 0.75 edge-weight quantile, αt = 0.02,
+// βt = 20, BFS order, parallelism = GOMAXPROCS.
+type Options struct {
+	// WeightThreshold is w: a label propagates across an edge only if the
+	// edge weight is strictly larger. 0 means automatic (the 0.75 quantile
+	// of the sub-graph's edge weights); negative is invalid.
+	WeightThreshold float64
+	// MinUpdateRate is αt: propagation stops once the fraction of nodes
+	// whose label changed in a round is ≤ αt. 0 means 0.02.
+	MinUpdateRate float64
+	// MaxRounds is βt: the hard cap on propagation rounds. 0 means 20.
+	MaxRounds int
+	// Traversal is the per-round visit order. 0 means BFS.
+	Traversal Traversal
+	// Workers bounds the number of sub-graphs compressed concurrently.
+	// 0 means GOMAXPROCS; 1 forces serial execution.
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinUpdateRate == 0 {
+		o.MinUpdateRate = 0.02
+	}
+	if o.MaxRounds == 0 {
+		o.MaxRounds = 20
+	}
+	if o.Traversal == 0 {
+		o.Traversal = BFS
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	switch {
+	case o.WeightThreshold < 0:
+		return fmt.Errorf("%w: weight threshold %g", ErrBadOptions, o.WeightThreshold)
+	case o.MinUpdateRate < 0 || o.MinUpdateRate > 1:
+		return fmt.Errorf("%w: min update rate %g", ErrBadOptions, o.MinUpdateRate)
+	case o.MaxRounds < 1:
+		return fmt.Errorf("%w: max rounds %d", ErrBadOptions, o.MaxRounds)
+	case o.Traversal != BFS && o.Traversal != DFS:
+		return fmt.Errorf("%w: traversal %d", ErrBadOptions, o.Traversal)
+	case o.Workers < 1:
+		return fmt.Errorf("%w: workers %d", ErrBadOptions, o.Workers)
+	}
+	return nil
+}
+
+// AutoThreshold returns the q-quantile (0 ≤ q ≤ 1) of g's edge weights,
+// which Compress uses as the coupling threshold when none is given. A graph
+// without edges yields 0.
+func AutoThreshold(g *graph.Graph, q float64) float64 {
+	edges := g.Edges()
+	if len(edges) == 0 {
+		return 0
+	}
+	ws := make([]float64, len(edges))
+	for i, e := range edges {
+		ws[i] = e.Weight
+	}
+	sort.Float64s(ws)
+	if q <= 0 {
+		return ws[0]
+	}
+	if q >= 1 {
+		return ws[len(ws)-1]
+	}
+	return ws[int(q*float64(len(ws)-1))]
+}
+
+// PropagateResult reports one sub-graph's label propagation outcome.
+type PropagateResult struct {
+	// Labels assigns every node of the sub-graph a label; equal labels mean
+	// "highly coupled, execute on the same device".
+	Labels map[graph.NodeID]int
+	// Rounds is the number of propagation rounds run.
+	Rounds int
+	// Threshold is the coupling threshold that was applied.
+	Threshold float64
+}
+
+// Propagate runs the label rule of Algorithm 1 on a connected sub-graph.
+// The caller is responsible for passing one component at a time (Compress
+// does); unreachable nodes would keep fresh singleton labels.
+func Propagate(g *graph.Graph, opts Options) (*PropagateResult, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if g.NumNodes() == 0 {
+		return &PropagateResult{Labels: map[graph.NodeID]int{}}, nil
+	}
+	threshold := opts.WeightThreshold
+	if threshold == 0 {
+		threshold = AutoThreshold(g, 0.75)
+	}
+
+	starter, _ := g.MaxDegreeNode()
+	var order []graph.NodeID
+	var err error
+	if opts.Traversal == BFS {
+		order, err = g.BFSOrder(starter)
+	} else {
+		order, err = g.DFSOrder(starter)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lpa order: %w", err)
+	}
+	// Nodes unreachable from the starter (disconnected input) still need
+	// labels; append them in ID order so every node is visited.
+	if len(order) < g.NumNodes() {
+		inOrder := make(map[graph.NodeID]bool, len(order))
+		for _, id := range order {
+			inOrder[id] = true
+		}
+		for _, id := range g.Nodes() {
+			if !inOrder[id] {
+				order = append(order, id)
+			}
+		}
+	}
+
+	labels := make(map[graph.NodeID]int, g.NumNodes())
+	nextLabel := 0
+	fresh := func() int {
+		l := nextLabel
+		nextLabel++
+		return l
+	}
+
+	total := g.NumNodes()
+	res := &PropagateResult{Threshold: threshold}
+	for round := 0; round < opts.MaxRounds; round++ {
+		updates := 0
+		for _, u := range order {
+			lu, ok := labels[u]
+			if !ok {
+				// First visit (round 1): the starter — and any node no
+				// neighbor labelled before we reached it — opens a label.
+				lu = fresh()
+				labels[u] = lu
+				updates++
+			}
+			for _, v := range g.Neighbors(u) {
+				w, _ := g.EdgeWeight(u, v)
+				lv, seen := labels[v]
+				if w > threshold {
+					// Highly coupled: v joins u's cluster.
+					if !seen || lv != lu {
+						labels[v] = lu
+						updates++
+					}
+				} else if !seen {
+					// Weak coupling: v opens its own label (paper: "it will
+					// be given different label").
+					labels[v] = fresh()
+					updates++
+				}
+			}
+		}
+		res.Rounds = round + 1
+		if float64(updates)/float64(total) <= opts.MinUpdateRate {
+			break
+		}
+	}
+	res.Labels = labels
+	return res, nil
+}

@@ -1,0 +1,142 @@
+package matrix
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Triplet is one (row, col, value) entry used to assemble a sparse matrix.
+type Triplet struct {
+	Row, Col int
+	Val      float64
+}
+
+// CSR is a compressed sparse row matrix. It is immutable after construction,
+// which makes concurrent MulVec calls safe — the parallel engine relies on
+// this when fanning a matvec across workers.
+type CSR struct {
+	rows, cols int
+	rowPtr     []int
+	colIdx     []int
+	vals       []float64
+}
+
+// NewCSR assembles a CSR matrix from triplets. Duplicate (row, col) entries
+// are summed. Entries out of range are an error.
+func NewCSR(rows, cols int, entries []Triplet) (*CSR, error) {
+	if rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("csr %dx%d: %w", rows, cols, ErrDimension)
+	}
+	counts := make([]int, rows+1)
+	for _, e := range entries {
+		if e.Row < 0 || e.Row >= rows || e.Col < 0 || e.Col >= cols {
+			return nil, fmt.Errorf("csr entry (%d,%d) outside %dx%d: %w",
+				e.Row, e.Col, rows, cols, ErrDimension)
+		}
+		counts[e.Row+1]++
+	}
+	for i := 1; i <= rows; i++ {
+		counts[i] += counts[i-1]
+	}
+	// Bucket entries per row, then sort each row by column and coalesce.
+	colIdx := make([]int, len(entries))
+	vals := make([]float64, len(entries))
+	next := make([]int, rows)
+	copy(next, counts[:rows])
+	for _, e := range entries {
+		p := next[e.Row]
+		colIdx[p] = e.Col
+		vals[p] = e.Val
+		next[e.Row]++
+	}
+	m := &CSR{
+		rows:   rows,
+		cols:   cols,
+		rowPtr: make([]int, rows+1),
+		colIdx: make([]int, 0, len(entries)),
+		vals:   make([]float64, 0, len(entries)),
+	}
+	for r := 0; r < rows; r++ {
+		lo, hi := counts[r], counts[r+1]
+		row := make([]Triplet, 0, hi-lo)
+		for k := lo; k < hi; k++ {
+			row = append(row, Triplet{Row: r, Col: colIdx[k], Val: vals[k]})
+		}
+		sort.Slice(row, func(i, j int) bool { return row[i].Col < row[j].Col })
+		for _, e := range row {
+			if n := len(m.colIdx); n > m.rowPtr[r] && m.colIdx[n-1] == e.Col {
+				m.vals[n-1] += e.Val // coalesce duplicate within the row
+				continue
+			}
+			m.colIdx = append(m.colIdx, e.Col)
+			m.vals = append(m.vals, e.Val)
+		}
+		m.rowPtr[r+1] = len(m.colIdx)
+	}
+	return m, nil
+}
+
+// Rows returns the number of rows.
+func (m *CSR) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *CSR) Cols() int { return m.cols }
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.vals) }
+
+// At returns m[i, j] (zero when the entry is not stored).
+func (m *CSR) At(i, j int) float64 {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		return 0
+	}
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	idx := sort.SearchInts(m.colIdx[lo:hi], j)
+	if idx < hi-lo && m.colIdx[lo+idx] == j {
+		return m.vals[lo+idx]
+	}
+	return 0
+}
+
+// MulVec returns m·v. Safe for concurrent use.
+func (m *CSR) MulVec(v Vector) (Vector, error) {
+	if len(v) != m.cols {
+		return nil, fmt.Errorf("csr mulvec %dx%d by %d: %w", m.rows, m.cols, len(v), ErrDimension)
+	}
+	out := make(Vector, m.rows)
+	m.MulVecRange(v, out, 0, m.rows)
+	return out, nil
+}
+
+// MulVecRange computes rows [lo, hi) of m·v into out[lo:hi]. It performs no
+// allocation, enabling the parallel engine to split a matvec across workers.
+// The caller guarantees len(v) == Cols, len(out) == Rows and 0 ≤ lo ≤ hi ≤ Rows.
+func (m *CSR) MulVecRange(v, out Vector, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		var sum float64
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			sum += m.vals[k] * v[m.colIdx[k]]
+		}
+		out[i] = sum
+	}
+}
+
+// Dense expands m into a dense matrix (small matrices / tests only).
+func (m *CSR) Dense() *Dense {
+	d := NewDense(m.rows, m.cols)
+	for i := 0; i < m.rows; i++ {
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			d.Set(i, m.colIdx[k], m.vals[k])
+		}
+	}
+	return d
+}
+
+// QuadForm returns qᵀ·m·q.
+func (m *CSR) QuadForm(q Vector) (float64, error) {
+	mv, err := m.MulVec(q)
+	if err != nil {
+		return 0, err
+	}
+	return q.Dot(mv)
+}

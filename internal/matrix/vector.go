@@ -1,0 +1,115 @@
+// Package matrix provides the dense and sparse linear algebra needed by the
+// spectral offloading pipeline: vectors, dense matrices, CSR sparse matrices
+// and graph Laplacians. Only float64 is supported; everything is stdlib-only.
+//
+// The package exists because the paper's minimum-cut search (Section III-B)
+// reduces to eigencomputation on the Laplace matrix of each compressed
+// sub-graph, and the evaluation (Fig. 9) additionally parallelises the matrix
+// work "using the Spark framework", which internal/parallel substitutes.
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrDimension is returned when operand shapes are incompatible.
+var ErrDimension = errors.New("matrix: dimension mismatch")
+
+// Vector is a dense column vector.
+type Vector []float64
+
+// NewVector returns a zero vector of length n.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// Clone returns a copy of v.
+func (v Vector) Clone() Vector {
+	c := make(Vector, len(v))
+	copy(c, v)
+	return c
+}
+
+// Dot returns ⟨v, w⟩.
+func (v Vector) Dot(w Vector) (float64, error) {
+	if len(v) != len(w) {
+		return 0, fmt.Errorf("dot %d×%d: %w", len(v), len(w), ErrDimension)
+	}
+	var sum float64
+	for i, x := range v {
+		sum += x * w[i]
+	}
+	return sum, nil
+}
+
+// Norm returns the Euclidean norm ‖v‖₂.
+func (v Vector) Norm() float64 {
+	var sum float64
+	for _, x := range v {
+		sum += x * x
+	}
+	return math.Sqrt(sum)
+}
+
+// Scale multiplies v by a in place and returns v.
+func (v Vector) Scale(a float64) Vector {
+	for i := range v {
+		v[i] *= a
+	}
+	return v
+}
+
+// Axpy adds a·x to v in place (v ← v + a·x).
+func (v Vector) Axpy(a float64, x Vector) error {
+	if len(v) != len(x) {
+		return fmt.Errorf("axpy %d×%d: %w", len(v), len(x), ErrDimension)
+	}
+	for i := range v {
+		v[i] += a * x[i]
+	}
+	return nil
+}
+
+// Normalize scales v to unit norm in place and returns the original norm.
+// A zero vector is left untouched and reported as norm 0.
+func (v Vector) Normalize() float64 {
+	n := v.Norm()
+	if n == 0 {
+		return 0
+	}
+	v.Scale(1 / n)
+	return n
+}
+
+// Sub returns v − w as a new vector.
+func (v Vector) Sub(w Vector) (Vector, error) {
+	if len(v) != len(w) {
+		return nil, fmt.Errorf("sub %d×%d: %w", len(v), len(w), ErrDimension)
+	}
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] - w[i]
+	}
+	return out, nil
+}
+
+// ProjectOut removes from v its component along the unit vector u in place:
+// v ← v − ⟨v,u⟩·u. u must have unit norm for the projection to be exact.
+func (v Vector) ProjectOut(u Vector) error {
+	d, err := v.Dot(u)
+	if err != nil {
+		return err
+	}
+	return v.Axpy(-d, u)
+}
+
+// MaxAbs returns the largest absolute entry of v (0 for empty).
+func (v Vector) MaxAbs() float64 {
+	var m float64
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}

@@ -1,0 +1,326 @@
+package mec
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"copmecs/internal/graph"
+)
+
+const tol = 1e-10
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b)) }
+
+func TestFormulas(t *testing.T) {
+	if got := LocalTime(200, 100); got != 2 {
+		t.Errorf("LocalTime = %v, want 2", got)
+	}
+	if got := LocalTime(200, 0); got != 0 {
+		t.Errorf("LocalTime(zero device) = %v, want 0", got)
+	}
+	if got := RemoteTime(300, 100, 5); got != 8 {
+		t.Errorf("RemoteTime = %v, want 8", got)
+	}
+	if got := RemoteTime(300, 0, 5); got != 5 {
+		t.Errorf("RemoteTime(zero share) = %v, want 5", got)
+	}
+	if got := LocalEnergy(2, 3); got != 6 {
+		t.Errorf("LocalEnergy = %v, want 6", got)
+	}
+	if got := TransmissionEnergy(100, 6, 200); got != 3 {
+		t.Errorf("TransmissionEnergy = %v, want 3", got)
+	}
+	if got := TransmissionTime(100, 200); got != 0.5 {
+		t.Errorf("TransmissionTime = %v, want 0.5", got)
+	}
+	if got := TransmissionEnergy(100, 6, 0); got != 0 {
+		t.Errorf("TransmissionEnergy(zero bw) = %v, want 0", got)
+	}
+	if got := TransmissionTime(100, 0); got != 0 {
+		t.Errorf("TransmissionTime(zero bw) = %v, want 0", got)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := Defaults().Validate(); err != nil {
+		t.Errorf("Defaults invalid: %v", err)
+	}
+	bad := []Params{
+		{ServerCapacity: 0, DeviceCompute: 1, PowerCompute: 1, PowerTransmit: 1, Bandwidth: 1},
+		{ServerCapacity: 1, DeviceCompute: -1, PowerCompute: 1, PowerTransmit: 1, Bandwidth: 1},
+		{ServerCapacity: 1, DeviceCompute: 1, PowerCompute: 0, PowerTransmit: 1, Bandwidth: 1},
+		{ServerCapacity: 1, DeviceCompute: 1, PowerCompute: 1, PowerTransmit: 0, Bandwidth: 1},
+		{ServerCapacity: 1, DeviceCompute: 1, PowerCompute: 1, PowerTransmit: 1, Bandwidth: -9},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); !errors.Is(err, ErrBadParams) {
+			t.Errorf("case %d: Validate = %v, want ErrBadParams", i, err)
+		}
+		if _, err := Evaluate(p, nil); !errors.Is(err, ErrBadParams) {
+			t.Errorf("case %d: Evaluate = %v, want ErrBadParams", i, err)
+		}
+	}
+}
+
+func TestEvaluateAllLocal(t *testing.T) {
+	p := Defaults()
+	users := []UserState{{LocalWork: 200}, {LocalWork: 300}}
+	ev, err := Evaluate(p, users)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if ev.ActiveUsers != 0 {
+		t.Errorf("ActiveUsers = %d, want 0", ev.ActiveUsers)
+	}
+	wantLocalT := 200.0/p.DeviceCompute + 300.0/p.DeviceCompute
+	if !almostEqual(ev.LocalTime, wantLocalT) {
+		t.Errorf("LocalTime = %v, want %v", ev.LocalTime, wantLocalT)
+	}
+	if ev.TransmissionEnergy != 0 || ev.RemoteTime != 0 || ev.WaitTime != 0 {
+		t.Errorf("all-local has remote costs: %+v", ev)
+	}
+	if !almostEqual(ev.Energy, ev.LocalEnergy) {
+		t.Errorf("Energy = %v, want %v", ev.Energy, ev.LocalEnergy)
+	}
+	if !almostEqual(ev.Objective, ev.Energy+ev.Time) {
+		t.Errorf("Objective = %v, want E+T = %v", ev.Objective, ev.Energy+ev.Time)
+	}
+}
+
+func TestEvaluateProcessorSharing(t *testing.T) {
+	p := Params{ServerCapacity: 100, DeviceCompute: 10, PowerCompute: 1, PowerTransmit: 5, Bandwidth: 50}
+	users := []UserState{
+		{RemoteWork: 100, CutWeight: 10},
+		{RemoteWork: 200, CutWeight: 20},
+		{LocalWork: 50}, // inactive at the server
+	}
+	ev, err := Evaluate(p, users)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.ActiveUsers != 2 {
+		t.Fatalf("ActiveUsers = %d, want 2", ev.ActiveUsers)
+	}
+	// share = 50; user0: ts = 100/50 = 2, of which wait = 2 − 1 = 1.
+	u0 := ev.PerUser[0]
+	if !almostEqual(u0.ServerShare, 50) {
+		t.Errorf("share = %v, want 50", u0.ServerShare)
+	}
+	if !almostEqual(u0.RemoteTime, 2) {
+		t.Errorf("user0 RemoteTime = %v, want 2", u0.RemoteTime)
+	}
+	if !almostEqual(u0.WaitTime, 1) {
+		t.Errorf("user0 WaitTime = %v, want 1", u0.WaitTime)
+	}
+	// Formula (2) decomposition: ts = remote/capacity + wait.
+	if !almostEqual(u0.RemoteTime, 100.0/100+u0.WaitTime) {
+		t.Errorf("formula (2) decomposition broken: %+v", u0)
+	}
+	// Transmission for user1: et = 20·5/50 = 2; tt = 0.4.
+	u1 := ev.PerUser[1]
+	if !almostEqual(u1.TransmissionEnergy, 2) || !almostEqual(u1.TransmissionTime, 0.4) {
+		t.Errorf("user1 transmission = %+v", u1)
+	}
+	// Inactive user pays no server costs.
+	u2 := ev.PerUser[2]
+	if u2.RemoteTime != 0 || u2.WaitTime != 0 || u2.ServerShare != 0 {
+		t.Errorf("inactive user has server costs: %+v", u2)
+	}
+}
+
+func TestEvaluateContentionGrows(t *testing.T) {
+	// Adding more offloading users must increase each user's remote time
+	// (the paper's overload argument).
+	p := Defaults()
+	mk := func(k int) float64 {
+		users := make([]UserState, k)
+		for i := range users {
+			users[i] = UserState{RemoteWork: 500}
+		}
+		ev, err := Evaluate(p, users)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ev.PerUser[0].RemoteTime
+	}
+	t1, t4, t16 := mk(1), mk(4), mk(16)
+	if !(t1 < t4 && t4 < t16) {
+		t.Errorf("remote time not increasing with load: %v %v %v", t1, t4, t16)
+	}
+}
+
+func TestEvaluateDeviceOverride(t *testing.T) {
+	p := Defaults()
+	ev, err := Evaluate(p, []UserState{
+		{LocalWork: 100},
+		{LocalWork: 100, DeviceCompute: p.DeviceCompute * 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(ev.PerUser[0].LocalTime, 2*ev.PerUser[1].LocalTime) {
+		t.Errorf("device override not applied: %+v", ev.PerUser)
+	}
+}
+
+func buildGraph(t *testing.T, weights []float64, edges []graph.Edge) *graph.Graph {
+	t.Helper()
+	g := graph.New(len(weights))
+	for i, w := range weights {
+		if err := g.AddNode(graph.NodeID(i), w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range edges {
+		if err := g.AddEdge(e.U, e.V, e.Weight); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestPlacementState(t *testing.T) {
+	g := buildGraph(t, []float64{5, 4, 3, 2, 1}, []graph.Edge{
+		{U: 0, V: 1, Weight: 10}, {U: 0, V: 2, Weight: 8},
+		{U: 1, V: 3, Weight: 12}, {U: 1, V: 4, Weight: 7},
+	})
+	pl := Placement{Graph: g, Remote: map[graph.NodeID]bool{1: true, 3: true, 4: true}}
+	st := pl.State()
+	if st.LocalWork != 8 { // nodes 0 and 2
+		t.Errorf("LocalWork = %v, want 8", st.LocalWork)
+	}
+	if st.RemoteWork != 7 { // nodes 1, 3, 4
+		t.Errorf("RemoteWork = %v, want 7", st.RemoteWork)
+	}
+	if st.CutWeight != 10 { // only edge {0,1} crosses
+		t.Errorf("CutWeight = %v, want 10", st.CutWeight)
+	}
+}
+
+func TestEvaluatePlacements(t *testing.T) {
+	g := buildGraph(t, []float64{100, 200}, []graph.Edge{{U: 0, V: 1, Weight: 50}})
+	p := Defaults()
+	ev, err := EvaluatePlacements(p, []Placement{
+		{Graph: g, Remote: map[graph.NodeID]bool{1: true}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.ActiveUsers != 1 {
+		t.Errorf("ActiveUsers = %d, want 1", ev.ActiveUsers)
+	}
+	if !almostEqual(ev.LocalTime, 100/p.DeviceCompute) {
+		t.Errorf("LocalTime = %v", ev.LocalTime)
+	}
+	if !almostEqual(ev.TransmissionEnergy, 50*p.PowerTransmit/p.Bandwidth) {
+		t.Errorf("TransmissionEnergy = %v", ev.TransmissionEnergy)
+	}
+}
+
+func TestPropertyEvaluateNonNegativeAndAdditive(t *testing.T) {
+	f := func(seed int64, kk uint8) bool {
+		k := int(kk%20) + 1
+		users := make([]UserState, k)
+		s := seed
+		next := func() float64 {
+			s = s*6364136223846793005 + 1442695040888963407
+			return float64(uint16(s>>32)) / 65535 * 1000
+		}
+		for i := range users {
+			users[i] = UserState{LocalWork: next(), RemoteWork: next(), CutWeight: next()}
+		}
+		ev, err := Evaluate(Defaults(), users)
+		if err != nil {
+			return false
+		}
+		if ev.Energy < 0 || ev.Time < 0 || ev.Objective < 0 {
+			return false
+		}
+		// Aggregates equal the per-user sums.
+		var le, te, lt, rt, tt float64
+		for _, c := range ev.PerUser {
+			le += c.LocalEnergy
+			te += c.TransmissionEnergy
+			lt += c.LocalTime
+			rt += c.RemoteTime
+			tt += c.TransmissionTime
+		}
+		return almostEqual(le, ev.LocalEnergy) && almostEqual(te, ev.TransmissionEnergy) &&
+			almostEqual(lt, ev.LocalTime) && almostEqual(rt, ev.RemoteTime) &&
+			almostEqual(tt, ev.TransmissionTime) &&
+			almostEqual(ev.Objective, ev.Energy+ev.Time)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyOffloadEverythingVsNothing(t *testing.T) {
+	// With transmission far more expensive than computing and a slow server
+	// share, keeping everything local beats offloading everything when the
+	// cut is large — and vice versa for free cuts on a fast server. This
+	// pins the balance behaviour the paper's §III motivates.
+	p := Params{ServerCapacity: 10000, DeviceCompute: 10, PowerCompute: 1, PowerTransmit: 50, Bandwidth: 10}
+	heavyCut := []UserState{{RemoteWork: 100, CutWeight: 1000}}
+	allLocal := []UserState{{LocalWork: 100}}
+	evR, err := Evaluate(p, heavyCut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evL, err := Evaluate(p, allLocal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evR.Objective <= evL.Objective {
+		t.Errorf("heavy-cut offload %v should lose to local %v", evR.Objective, evL.Objective)
+	}
+	freeCut := []UserState{{RemoteWork: 100, CutWeight: 0}}
+	evF, err := Evaluate(p, freeCut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evF.Objective >= evL.Objective {
+		t.Errorf("free-cut offload %v should beat local %v", evF.Objective, evL.Objective)
+	}
+}
+
+func TestEvaluateRadioOverrides(t *testing.T) {
+	p := Defaults()
+	ev, err := Evaluate(p, []UserState{
+		{RemoteWork: 10, CutWeight: 100},
+		{RemoteWork: 10, CutWeight: 100, Bandwidth: p.Bandwidth / 2},
+		{RemoteWork: 10, CutWeight: 100, PowerTransmit: p.PowerTransmit * 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := ev.PerUser[0]
+	halfBW := ev.PerUser[1]
+	triplePT := ev.PerUser[2]
+	if !almostEqual(halfBW.TransmissionTime, 2*base.TransmissionTime) {
+		t.Errorf("half bandwidth tx time = %v, want %v", halfBW.TransmissionTime, 2*base.TransmissionTime)
+	}
+	if !almostEqual(halfBW.TransmissionEnergy, 2*base.TransmissionEnergy) {
+		t.Errorf("half bandwidth tx energy = %v, want %v", halfBW.TransmissionEnergy, 2*base.TransmissionEnergy)
+	}
+	if !almostEqual(triplePT.TransmissionEnergy, 3*base.TransmissionEnergy) {
+		t.Errorf("triple power tx energy = %v, want %v", triplePT.TransmissionEnergy, 3*base.TransmissionEnergy)
+	}
+	if !almostEqual(triplePT.TransmissionTime, base.TransmissionTime) {
+		t.Errorf("power override changed tx time: %v vs %v", triplePT.TransmissionTime, base.TransmissionTime)
+	}
+}
+
+func TestPlacementStateCarriesOverrides(t *testing.T) {
+	g := buildGraph(t, []float64{1, 2}, []graph.Edge{{U: 0, V: 1, Weight: 5}})
+	pl := Placement{
+		Graph: g, Remote: map[graph.NodeID]bool{1: true},
+		DeviceCompute: 7, Bandwidth: 9, PowerTransmit: 11,
+	}
+	st := pl.State()
+	if st.DeviceCompute != 7 || st.Bandwidth != 9 || st.PowerTransmit != 11 {
+		t.Errorf("overrides lost: %+v", st)
+	}
+}

@@ -1,0 +1,44 @@
+package mincut
+
+import (
+	"math/rand"
+	"testing"
+
+	"copmecs/internal/graph"
+)
+
+func benchRandGraph(b *testing.B, n, extra int) *graph.Graph {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	return randConnected(rng, n, extra)
+}
+
+func BenchmarkMaxFlowBisect200(b *testing.B) {
+	g := benchRandGraph(b, 200, 400)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := MaxFlowBisect(g, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernighanLin200(b *testing.B) {
+	g := benchRandGraph(b, 200, 400)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := KernighanLin(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStoerWagner200(b *testing.B) {
+	g := benchRandGraph(b, 200, 400)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := GlobalMinCut(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

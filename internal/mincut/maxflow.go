@@ -1,0 +1,220 @@
+// Package mincut implements the combinatorial cut baselines the paper
+// evaluates against (§IV): the Ford–Fulkerson / Edmonds–Karp maximum-flow
+// minimum-cut algorithm and the Kernighan–Lin bisection heuristic, plus the
+// Stoer–Wagner exact global minimum cut used for cross-validation.
+package mincut
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"copmecs/internal/graph"
+)
+
+// Errors returned by the package.
+var (
+	// ErrEmptyGraph is returned when there is nothing to cut.
+	ErrEmptyGraph = errors.New("mincut: empty graph")
+	// ErrSameNode is returned when source and sink coincide.
+	ErrSameNode = errors.New("mincut: source equals sink")
+	// ErrNodeNotFound is returned when an endpoint is missing.
+	ErrNodeNotFound = errors.New("mincut: node not found")
+)
+
+// flowNet is a residual network over dense indices.
+type flowNet struct {
+	n     int
+	cap   [][]float64 // cap[u][v] residual capacity
+	adj   [][]int     // adjacency (both directions)
+	index map[graph.NodeID]int
+	ids   []graph.NodeID
+}
+
+func newFlowNet(g *graph.Graph) *flowNet {
+	ids := g.Nodes()
+	net := &flowNet{
+		n:     len(ids),
+		index: make(map[graph.NodeID]int, len(ids)),
+		ids:   ids,
+	}
+	for i, id := range ids {
+		net.index[id] = i
+	}
+	net.cap = make([][]float64, net.n)
+	net.adj = make([][]int, net.n)
+	for i := range net.cap {
+		net.cap[i] = make([]float64, net.n)
+	}
+	for _, e := range g.Edges() {
+		u, v := net.index[e.U], net.index[e.V]
+		// An undirected edge of weight w admits w units in either direction.
+		if net.cap[u][v] == 0 && net.cap[v][u] == 0 {
+			net.adj[u] = append(net.adj[u], v)
+			net.adj[v] = append(net.adj[v], u)
+		}
+		net.cap[u][v] += e.Weight
+		net.cap[v][u] += e.Weight
+	}
+	return net
+}
+
+// bfsAugment finds a shortest augmenting path s→t; returns parent links and
+// whether t was reached.
+func (net *flowNet) bfsAugment(s, t int) ([]int, bool) {
+	parent := make([]int, net.n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[s] = s
+	queue := []int{s}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range net.adj[u] {
+			if parent[v] < 0 && net.cap[u][v] > 1e-12 {
+				parent[v] = u
+				if v == t {
+					return parent, true
+				}
+				queue = append(queue, v)
+			}
+		}
+	}
+	return parent, false
+}
+
+// MaxFlowResult reports a maximum flow and the matching minimum s-t cut.
+type MaxFlowResult struct {
+	// Value is the maximum flow = minimum cut capacity (duality).
+	Value float64
+	// SourceSide holds the nodes reachable from the source in the residual
+	// network: the source side of a minimum s-t cut.
+	SourceSide map[graph.NodeID]bool
+}
+
+// MaxFlow computes the maximum flow between s and t on the undirected
+// weighted graph g with the Edmonds–Karp algorithm (BFS augmenting paths,
+// guaranteeing termination — the paper's noted fix over plain
+// Ford–Fulkerson for non-integral capacities).
+func MaxFlow(g *graph.Graph, s, t graph.NodeID) (*MaxFlowResult, error) {
+	if g.NumNodes() == 0 {
+		return nil, ErrEmptyGraph
+	}
+	if s == t {
+		return nil, fmt.Errorf("%w: %d", ErrSameNode, s)
+	}
+	if !g.HasNode(s) {
+		return nil, fmt.Errorf("%w: source %d", ErrNodeNotFound, s)
+	}
+	if !g.HasNode(t) {
+		return nil, fmt.Errorf("%w: sink %d", ErrNodeNotFound, t)
+	}
+	net := newFlowNet(g)
+	si, ti := net.index[s], net.index[t]
+
+	var value float64
+	for {
+		parent, ok := net.bfsAugment(si, ti)
+		if !ok {
+			break
+		}
+		// Bottleneck along the path.
+		bottleneck := math.Inf(1)
+		for v := ti; v != si; v = parent[v] {
+			u := parent[v]
+			if net.cap[u][v] < bottleneck {
+				bottleneck = net.cap[u][v]
+			}
+		}
+		for v := ti; v != si; v = parent[v] {
+			u := parent[v]
+			net.cap[u][v] -= bottleneck
+			net.cap[v][u] += bottleneck
+		}
+		value += bottleneck
+	}
+
+	// Residual reachability from s defines the cut's source side.
+	side := make(map[graph.NodeID]bool)
+	seen := make([]bool, net.n)
+	stack := []int{si}
+	seen[si] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		side[net.ids[u]] = true
+		for _, v := range net.adj[u] {
+			if !seen[v] && net.cap[u][v] > 1e-12 {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return &MaxFlowResult{Value: value, SourceSide: side}, nil
+}
+
+// STMinCut is a convenience wrapper returning the two sides of the minimum
+// s-t cut as sorted slices plus its weight.
+func STMinCut(g *graph.Graph, s, t graph.NodeID) (sideA, sideB []graph.NodeID, weight float64, err error) {
+	res, err := MaxFlow(g, s, t)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	for _, id := range g.Nodes() {
+		if res.SourceSide[id] {
+			sideA = append(sideA, id)
+		} else {
+			sideB = append(sideB, id)
+		}
+	}
+	return sideA, sideB, res.Value, nil
+}
+
+// MaxFlowBisect approximates the global minimum cut the way the paper's
+// baseline uses max-flow: it fixes the highest-degree node as the source
+// (the hub a real application's entry function resembles) and tries the k
+// nodes farthest from it (BFS depth) as sinks, keeping the best cut. k ≤ 0
+// means 3. Disconnected graphs short-circuit to a free cut along component
+// lines.
+func MaxFlowBisect(g *graph.Graph, k int) (sideA, sideB []graph.NodeID, weight float64, err error) {
+	n := g.NumNodes()
+	switch n {
+	case 0:
+		return nil, nil, 0, ErrEmptyGraph
+	case 1:
+		return g.Nodes(), nil, 0, nil
+	}
+	if comps := g.Components(); len(comps) > 1 {
+		sideA = append(sideA, comps[0]...)
+		for _, comp := range comps[1:] {
+			sideB = append(sideB, comp...)
+		}
+		sort.Slice(sideB, func(i, j int) bool { return sideB[i] < sideB[j] })
+		return sideA, sideB, 0, nil
+	}
+	if k <= 0 {
+		k = 3
+	}
+	s, _ := g.MaxDegreeNode()
+	order, err := g.BFSOrder(s)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("mincut bisect: %w", err)
+	}
+	best := math.Inf(1)
+	for i := 0; i < k && i < len(order)-1; i++ {
+		t := order[len(order)-1-i]
+		a, b, w, err := STMinCut(g, s, t)
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("mincut bisect: %w", err)
+		}
+		if w < best && len(a) > 0 && len(b) > 0 {
+			best, sideA, sideB = w, a, b
+		}
+	}
+	if math.IsInf(best, 1) {
+		return nil, nil, 0, fmt.Errorf("mincut bisect: no candidate sink produced a cut")
+	}
+	return sideA, sideB, best, nil
+}

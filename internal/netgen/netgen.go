@@ -1,0 +1,271 @@
+// Package netgen generates random weighted graphs shaped like function
+// data-flow graphs of mobile applications. It substitutes the NETGEN tool
+// the paper uses for its experiments ("we set the number of edges and values
+// of weights in the graph so that the generated random graph is similar to
+// the actual function data flow graph of mobile applications", §IV).
+//
+// Every graph is deterministic for a given Config (including Seed), so
+// experiments are reproducible run to run.
+package netgen
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"copmecs/internal/graph"
+)
+
+// Errors returned by Generate.
+var (
+	// ErrBadConfig is returned when the configuration is inconsistent.
+	ErrBadConfig = errors.New("netgen: invalid config")
+)
+
+// Config parameterises one generated graph.
+type Config struct {
+	// Nodes is the number of functions. Must be ≥ 1.
+	Nodes int
+	// Edges is the number of communication edges. Must admit a spanning
+	// forest (≥ Nodes−Components) and fit the component sizes.
+	Edges int
+	// Components is the number of application components (Algorithm 1
+	// splits on their boundaries). 0 means 1.
+	Components int
+	// NodeWeightMin/Max bound the computation amount per function.
+	// Zero values default to [10, 1000].
+	NodeWeightMin, NodeWeightMax float64
+	// EdgeWeightMin/Max bound the communication amount per edge.
+	// Zero values default to [1, 100].
+	EdgeWeightMin, EdgeWeightMax float64
+	// HotFraction is the fraction of edges drawn from the top of the weight
+	// range, modelling highly coupled function pairs that the label
+	// propagation should fuse. Defaults to 0.3 when zero; set negative for
+	// exactly none.
+	HotFraction float64
+	// Seed drives the deterministic RNG.
+	Seed int64
+}
+
+// withDefaults returns a copy of c with zero values replaced.
+func (c Config) withDefaults() Config {
+	if c.Components == 0 {
+		c.Components = 1
+	}
+	if c.NodeWeightMin == 0 && c.NodeWeightMax == 0 {
+		c.NodeWeightMin, c.NodeWeightMax = 10, 1000
+	}
+	if c.EdgeWeightMin == 0 && c.EdgeWeightMax == 0 {
+		c.EdgeWeightMin, c.EdgeWeightMax = 1, 100
+	}
+	if c.HotFraction == 0 {
+		c.HotFraction = 0.3
+	}
+	if c.HotFraction < 0 {
+		c.HotFraction = 0
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Nodes < 1:
+		return fmt.Errorf("%w: nodes = %d", ErrBadConfig, c.Nodes)
+	case c.Components < 1 || c.Components > c.Nodes:
+		return fmt.Errorf("%w: components = %d with %d nodes", ErrBadConfig, c.Components, c.Nodes)
+	case c.Edges < c.Nodes-c.Components:
+		return fmt.Errorf("%w: %d edges cannot connect %d nodes in %d components",
+			ErrBadConfig, c.Edges, c.Nodes, c.Components)
+	case c.NodeWeightMin < 0 || c.NodeWeightMax < c.NodeWeightMin:
+		return fmt.Errorf("%w: node weight range [%g, %g]", ErrBadConfig, c.NodeWeightMin, c.NodeWeightMax)
+	case c.EdgeWeightMin < 0 || c.EdgeWeightMax < c.EdgeWeightMin:
+		return fmt.Errorf("%w: edge weight range [%g, %g]", ErrBadConfig, c.EdgeWeightMin, c.EdgeWeightMax)
+	case c.HotFraction > 1:
+		return fmt.Errorf("%w: hot fraction %g > 1", ErrBadConfig, c.HotFraction)
+	}
+	if max := maxEdges(c.Nodes, c.Components); c.Edges > max {
+		return fmt.Errorf("%w: %d edges exceed the %d possible across %d components",
+			ErrBadConfig, c.Edges, max, c.Components)
+	}
+	return nil
+}
+
+// maxEdges returns the maximum simple-edge count over the component split
+// produced by componentSizes.
+func maxEdges(nodes, components int) int {
+	var total int
+	for _, sz := range componentSizes(nodes, components) {
+		total += sz * (sz - 1) / 2
+	}
+	return total
+}
+
+// componentSizes splits n nodes into k near-equal components.
+func componentSizes(n, k int) []int {
+	sizes := make([]int, k)
+	base, rem := n/k, n%k
+	for i := range sizes {
+		sizes[i] = base
+		if i < rem {
+			sizes[i]++
+		}
+	}
+	return sizes
+}
+
+// Generate builds a random function data-flow graph per cfg. Node IDs are
+// 0..Nodes−1, grouped contiguously by component. Each component is connected
+// (a random call tree plus extra cross edges), mirroring the shape of a real
+// application whose component's functions reach each other through calls.
+func Generate(cfg Config) (*graph.Graph, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := graph.New(cfg.Nodes)
+
+	nodeSpan := cfg.NodeWeightMax - cfg.NodeWeightMin
+	for i := 0; i < cfg.Nodes; i++ {
+		w := cfg.NodeWeightMin + rng.Float64()*nodeSpan
+		if err := g.AddNode(graph.NodeID(i), w); err != nil {
+			return nil, fmt.Errorf("netgen: %w", err)
+		}
+	}
+
+	sizes := componentSizes(cfg.Nodes, cfg.Components)
+	budget := cfg.Edges
+
+	// Spanning trees first: each component must stay connected.
+	type span struct{ lo, hi int } // node ID range [lo, hi)
+	spans := make([]span, len(sizes))
+	lo := 0
+	for ci, sz := range sizes {
+		spans[ci] = span{lo: lo, hi: lo + sz}
+		for i := lo + 1; i < lo+sz; i++ {
+			// Attach to a random earlier node, biased toward the component
+			// root to imitate shallow call hierarchies.
+			parent := lo + biasedIndex(rng, i-lo)
+			if err := g.AddEdge(graph.NodeID(parent), graph.NodeID(i), cfg.edgeWeight(rng)); err != nil {
+				return nil, fmt.Errorf("netgen tree: %w", err)
+			}
+			budget--
+		}
+		lo += sz
+	}
+
+	// Extra edges: random intra-component pairs. Components are processed
+	// round-robin proportionally to remaining capacity so dense configs fill
+	// evenly.
+	capacity := make([]int, len(sizes))
+	for ci, sz := range sizes {
+		capacity[ci] = sz*(sz-1)/2 - (sz - 1)
+	}
+	for ci := 0; budget > 0; ci = (ci + 1) % len(spans) {
+		if capacity[ci] == 0 {
+			if allZero(capacity) {
+				break
+			}
+			continue
+		}
+		s := spans[ci]
+		sz := s.hi - s.lo
+		added := false
+		for attempt := 0; attempt < 32; attempt++ {
+			u := s.lo + rng.Intn(sz)
+			v := s.lo + rng.Intn(sz)
+			if u == v {
+				continue
+			}
+			if _, exists := g.EdgeWeight(graph.NodeID(u), graph.NodeID(v)); exists {
+				continue
+			}
+			if err := g.AddEdge(graph.NodeID(u), graph.NodeID(v), cfg.edgeWeight(rng)); err != nil {
+				return nil, fmt.Errorf("netgen extra: %w", err)
+			}
+			budget--
+			capacity[ci]--
+			added = true
+			break
+		}
+		if !added {
+			// Dense component: scan for any free slot instead of sampling.
+			if !fillOneSystematically(g, s.lo, s.hi, cfg.edgeWeight(rng)) {
+				capacity[ci] = 0
+				continue
+			}
+			budget--
+			capacity[ci]--
+		}
+	}
+	return g, nil
+}
+
+// edgeWeight draws one edge weight: hot edges land in the top fifth of the
+// range, cold edges in the bottom three fifths, giving the label propagation
+// a bimodal coupling distribution to separate.
+func (c Config) edgeWeight(rng *rand.Rand) float64 {
+	span := c.EdgeWeightMax - c.EdgeWeightMin
+	if rng.Float64() < c.HotFraction {
+		return c.EdgeWeightMin + span*(0.8+0.2*rng.Float64())
+	}
+	return c.EdgeWeightMin + span*0.6*rng.Float64()
+}
+
+// biasedIndex returns an index in [0, n) biased toward 0 (the component
+// root), giving call-tree-like shallow hierarchies.
+func biasedIndex(rng *rand.Rand, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	a, b := rng.Intn(n), rng.Intn(n)
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func allZero(xs []int) bool {
+	for _, x := range xs {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// fillOneSystematically adds the first missing intra-range edge, returning
+// whether one was added.
+func fillOneSystematically(g *graph.Graph, lo, hi int, weight float64) bool {
+	for u := lo; u < hi; u++ {
+		for v := u + 1; v < hi; v++ {
+			if _, exists := g.EdgeWeight(graph.NodeID(u), graph.NodeID(v)); !exists {
+				if err := g.AddEdge(graph.NodeID(u), graph.NodeID(v), weight); err != nil {
+					return false
+				}
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TableIConfig returns the generator configuration for row idx (0-based) of
+// the paper's Table I: node counts {250, 500, 1000, 2000, 5000} with edge
+// counts {1214, 2643, 4912, 9578, 40243}.
+func TableIConfig(idx int, seed int64) (Config, error) {
+	nodes := []int{250, 500, 1000, 2000, 5000}
+	edges := []int{1214, 2643, 4912, 9578, 40243}
+	if idx < 0 || idx >= len(nodes) {
+		return Config{}, fmt.Errorf("%w: table I row %d", ErrBadConfig, idx)
+	}
+	return Config{
+		Nodes:      nodes[idx],
+		Edges:      edges[idx],
+		Components: 4 + 2*idx, // larger apps have more components
+		Seed:       seed,
+	}, nil
+}
+
+// TableIRows reports how many rows Table I has.
+func TableIRows() int { return 5 }

@@ -1,0 +1,344 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+	"time"
+)
+
+// Cluster-mode errors.
+var (
+	// ErrNoExecutors is returned when a driver has no live executors.
+	ErrNoExecutors = errors.New("parallel: no executors registered")
+	// ErrJobFailed is returned when a job exhausts its retries.
+	ErrJobFailed = errors.New("parallel: job failed on all attempts")
+)
+
+// rpc wire types. Exported fields only; carried over encoding/gob inside
+// net/rpc.
+
+// ExecRequest is one job dispatched to an executor.
+type ExecRequest struct {
+	Kind    string
+	Payload []byte
+}
+
+// ExecReply is the executor's answer.
+type ExecReply struct {
+	Payload []byte
+	// Err is a handler failure rendered as text (rpc cannot carry error
+	// values); empty means success.
+	Err string
+}
+
+// PingArgs/PingReply implement the liveness probe.
+type PingArgs struct{}
+
+// PingReply reports executor identity and capacity.
+type PingReply struct {
+	Name  string
+	Kinds []string
+}
+
+// ExecutorService is the RPC surface an executor exposes.
+type ExecutorService struct {
+	name     string
+	registry *Registry
+}
+
+// Exec runs one job through the executor's registry.
+func (s *ExecutorService) Exec(req ExecRequest, reply *ExecReply) error {
+	h, ok := s.registry.Lookup(req.Kind)
+	if !ok {
+		reply.Err = fmt.Sprintf("unknown job kind %q", req.Kind)
+		return nil
+	}
+	out, err := h(req.Payload)
+	if err != nil {
+		reply.Err = err.Error()
+		return nil
+	}
+	reply.Payload = out
+	return nil
+}
+
+// Ping answers the liveness probe.
+func (s *ExecutorService) Ping(PingArgs, *PingReply) error {
+	return nil
+}
+
+// Executor is one worker process serving jobs over TCP.
+type Executor struct {
+	name     string
+	listener net.Listener
+	server   *rpc.Server
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// NewExecutor starts an executor serving registry on addr (e.g.
+// "127.0.0.1:0"). The returned executor is already accepting connections.
+func NewExecutor(name, addr string, registry *Registry) (*Executor, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("parallel executor listen %s: %w", addr, err)
+	}
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Executor", &ExecutorService{name: name, registry: registry}); err != nil {
+		_ = ln.Close()
+		return nil, fmt.Errorf("parallel executor register: %w", err)
+	}
+	ex := &Executor{name: name, listener: ln, server: srv, conns: make(map[net.Conn]struct{})}
+	ex.wg.Add(1)
+	go ex.acceptLoop()
+	return ex, nil
+}
+
+// Addr returns the executor's listen address.
+func (e *Executor) Addr() string { return e.listener.Addr().String() }
+
+func (e *Executor) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		conn, err := e.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		e.conns[conn] = struct{}{}
+		e.mu.Unlock()
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			e.server.ServeConn(conn)
+			e.mu.Lock()
+			delete(e.conns, conn)
+			e.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops accepting and tears down open connections.
+func (e *Executor) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	for conn := range e.conns {
+		_ = conn.Close()
+	}
+	e.mu.Unlock()
+	err := e.listener.Close()
+	e.wg.Wait()
+	return err
+}
+
+// Driver schedules jobs across remote executors with round-robin dispatch
+// and per-job retry on a different executor (the Spark-style resilience the
+// substitution needs: a dead executor must not fail the stage).
+type Driver struct {
+	mu      sync.Mutex
+	clients []*rpc.Client
+	addrs   []string
+	next    int
+	retries int
+}
+
+var _ Runner = (*Driver)(nil)
+
+// NewDriver connects to the given executor addresses. retries is the number
+// of additional executors tried per failing job (≤ 0 means one attempt per
+// live executor).
+func NewDriver(addrs []string, retries int) (*Driver, error) {
+	if len(addrs) == 0 {
+		return nil, ErrNoExecutors
+	}
+	d := &Driver{retries: retries}
+	var errs []error
+	for _, addr := range addrs {
+		client, err := rpc.Dial("tcp", addr)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("dial %s: %w", addr, err))
+			continue
+		}
+		d.clients = append(d.clients, client)
+		d.addrs = append(d.addrs, addr)
+	}
+	if len(d.clients) == 0 {
+		return nil, fmt.Errorf("parallel driver: %w: %v", ErrNoExecutors, errors.Join(errs...))
+	}
+	if d.retries <= 0 {
+		d.retries = len(d.clients)
+	}
+	return d, nil
+}
+
+// Executors reports the number of connected executors.
+func (d *Driver) Executors() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.clients)
+}
+
+// Close disconnects from all executors.
+func (d *Driver) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var errs []error
+	for _, c := range d.clients {
+		if err := c.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	d.clients = nil
+	return errors.Join(errs...)
+}
+
+// pick returns the next client round-robin, skipping an optional excluded
+// index; ok is false when no clients remain.
+func (d *Driver) pick(exclude int) (*rpc.Client, int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.clients)
+	if n == 0 {
+		return nil, -1, false
+	}
+	for tries := 0; tries < n; tries++ {
+		i := d.next % n
+		d.next++
+		if i == exclude && n > 1 {
+			continue
+		}
+		if d.clients[i] != nil {
+			return d.clients[i], i, true
+		}
+	}
+	return nil, -1, false
+}
+
+// drop removes a failed client.
+func (d *Driver) drop(i int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if i >= 0 && i < len(d.clients) && d.clients[i] != nil {
+		_ = d.clients[i].Close()
+		d.clients = append(d.clients[:i], d.clients[i+1:]...)
+		d.addrs = append(d.addrs[:i], d.addrs[i+1:]...)
+	}
+}
+
+// RunJobs dispatches jobs across executors, retrying each failed job on
+// other executors before giving up. Handler errors (ExecReply.Err) are
+// permanent and fail the batch; transport errors trigger retry with the
+// offending executor dropped.
+func (d *Driver) RunJobs(ctx context.Context, jobs []Job) ([]Result, error) {
+	if len(jobs) == 0 {
+		return nil, nil
+	}
+	results := make([]Result, len(jobs))
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	setErr := func(err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	sem := make(chan struct{}, 4*max(1, d.Executors()))
+	for i := range jobs {
+		if ctx.Err() != nil {
+			setErr(ctx.Err())
+			break
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			payload, err := d.runOne(ctx, jobs[i])
+			if err != nil {
+				setErr(fmt.Errorf("job %d (%s): %w", i, jobs[i].Kind, err))
+				return
+			}
+			results[i] = Result{Index: i, Payload: payload}
+		}(i)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+func (d *Driver) runOne(ctx context.Context, job Job) ([]byte, error) {
+	var lastErr error
+	exclude := -1
+	for attempt := 0; attempt <= d.retries; attempt++ {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		client, idx, ok := d.pick(exclude)
+		if !ok {
+			return nil, ErrNoExecutors
+		}
+		var reply ExecReply
+		call := client.Go("Executor.Exec", ExecRequest(job), &reply, nil)
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-call.Done:
+		}
+		if call.Error != nil {
+			// Transport failure: drop the executor, try another.
+			lastErr = call.Error
+			d.drop(idx)
+			exclude = -1
+			continue
+		}
+		if reply.Err != "" {
+			// Handler failure: deterministic, no point retrying elsewhere.
+			return nil, errors.New(reply.Err)
+		}
+		return reply.Payload, nil
+	}
+	return nil, fmt.Errorf("%w: %v", ErrJobFailed, lastErr)
+}
+
+// WaitReady blocks until the executor at addr answers a ping or the timeout
+// elapses; used by process supervisors (cmd/executord clients).
+func WaitReady(addr string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		client, err := rpc.Dial("tcp", addr)
+		if err == nil {
+			var reply PingReply
+			err = client.Call("Executor.Ping", PingArgs{}, &reply)
+			_ = client.Close()
+			if err == nil {
+				return nil
+			}
+		}
+		lastErr = err
+		time.Sleep(20 * time.Millisecond)
+	}
+	return fmt.Errorf("parallel: executor %s not ready: %w", addr, lastErr)
+}

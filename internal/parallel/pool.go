@@ -1,0 +1,218 @@
+// Package parallel is the repo's Apache-Spark substitute: the paper runs its
+// Laplacian eigencomputations "using Spark framework which can significantly
+// reduce the computing time" (§III-B) and reports the parallel variant in
+// Fig. 9. This package provides the two execution substrates the pipeline
+// can run on:
+//
+//   - Pool: an in-process worker pool for data-parallel map/reduce over
+//     cores (the mode the Fig. 9 "with spark" series uses);
+//   - Cluster: a driver/executor architecture over TCP (net/rpc) with
+//     executor registration, round-robin dispatch, per-task retry and
+//     straggler-tolerant error collection, for running the same jobs across
+//     machines.
+//
+// Both implement Runner, so callers are agnostic to the substrate.
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// ErrNoWorkers is returned when a runner has no execution capacity.
+var ErrNoWorkers = errors.New("parallel: no workers")
+
+// Job is one unit of distributable work: a named kind plus an opaque
+// payload. Kinds are bound to handlers via a Registry.
+type Job struct {
+	// Kind selects the registered handler.
+	Kind string
+	// Payload is the handler input, typically JSON.
+	Payload []byte
+}
+
+// Result is a completed job's output payload.
+type Result struct {
+	// Index is the position of the job in the submitted batch.
+	Index int
+	// Payload is the handler output.
+	Payload []byte
+}
+
+// Handler executes one job kind.
+type Handler func(payload []byte) ([]byte, error)
+
+// Registry maps job kinds to handlers. It is safe for concurrent use after
+// all Register calls complete (register at startup, then share).
+type Registry struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{handlers: make(map[string]Handler)}
+}
+
+// Register binds kind to h, replacing any previous binding.
+func (r *Registry) Register(kind string, h Handler) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.handlers[kind] = h
+}
+
+// Lookup returns the handler for kind.
+func (r *Registry) Lookup(kind string) (Handler, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	h, ok := r.handlers[kind]
+	return h, ok
+}
+
+// Kinds returns the registered kinds (order unspecified).
+func (r *Registry) Kinds() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	kinds := make([]string, 0, len(r.handlers))
+	for k := range r.handlers {
+		kinds = append(kinds, k)
+	}
+	return kinds
+}
+
+// Runner executes a batch of jobs, returning results in job order.
+type Runner interface {
+	RunJobs(ctx context.Context, jobs []Job) ([]Result, error)
+}
+
+// Pool is an in-process Runner executing jobs on a bounded set of
+// goroutines.
+type Pool struct {
+	workers  int
+	registry *Registry
+}
+
+var _ Runner = (*Pool)(nil)
+
+// NewPool returns a pool with the given parallelism (≤ 0 means GOMAXPROCS)
+// executing handlers from registry.
+func NewPool(workers int, registry *Registry) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers, registry: registry}
+}
+
+// Workers reports the pool's parallelism.
+func (p *Pool) Workers() int { return p.workers }
+
+// RunJobs executes the batch, failing fast on the first handler error or
+// context cancellation.
+func (p *Pool) RunJobs(ctx context.Context, jobs []Job) ([]Result, error) {
+	if len(jobs) == 0 {
+		return nil, nil
+	}
+	results := make([]Result, len(jobs))
+	idx := make(chan int)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	setErr := func(err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	for w := 0; w < p.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if ctx.Err() != nil {
+					setErr(ctx.Err())
+					return
+				}
+				job := jobs[i]
+				h, ok := p.registry.Lookup(job.Kind)
+				if !ok {
+					setErr(fmt.Errorf("parallel: unknown job kind %q", job.Kind))
+					return
+				}
+				out, err := h(job.Payload)
+				if err != nil {
+					setErr(fmt.Errorf("parallel: job %d (%s): %w", i, job.Kind, err))
+					return
+				}
+				results[i] = Result{Index: i, Payload: out}
+			}
+		}()
+	}
+feed:
+	for i := range jobs {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			setErr(ctx.Err())
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// ForEach runs fn(i) for i in [0, n) on at most workers goroutines and
+// returns the first error. It is the zero-serialisation path used for
+// in-process data parallelism (e.g. per-sub-graph eigen jobs).
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		next     int
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if firstErr != nil || next >= n {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,138 @@
+// Package radio models the wireless uplinks between users and the edge
+// server. The paper assumes a uniform bandwidth b "for the simplicity of
+// discussion"; real MEC deployments see per-user rates spread over an order
+// of magnitude with distance and fading. This package derives per-user
+// bandwidths from a standard narrowband link budget — log-distance path
+// loss plus Shannon capacity — so experiments can exercise the solver's
+// heterogeneous-radio support with physically plausible spreads.
+//
+// The model is deliberately simple (no fast fading, no interference
+// coordination): it exists to generate defensible heterogeneity, not to
+// simulate a radio access network.
+package radio
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ErrBadParams is returned for non-positive model parameters.
+var ErrBadParams = errors.New("radio: invalid parameters")
+
+// Params describes the cell and the link-budget constants.
+type Params struct {
+	// CellRadius is the maximum user distance from the server (meters).
+	CellRadius float64
+	// ReferenceRate is the data rate (in the model's data units per second)
+	// at ReferenceDistance with unit SNR margin — it anchors the Shannon
+	// curve to the solver's abstract bandwidth units.
+	ReferenceRate float64
+	// ReferenceDistance is where the reference SNR is measured (meters).
+	ReferenceDistance float64
+	// PathLossExponent is the log-distance exponent (2 = free space,
+	// 3–4 = urban). Higher values spread user rates wider.
+	PathLossExponent float64
+	// ReferenceSNR is the linear signal-to-noise ratio at the reference
+	// distance.
+	ReferenceSNR float64
+	// TransmitPowerPerRate is the radio energy per data unit sent; exposed
+	// so placements can also carry a power override. Zero disables it.
+	TransmitPowerPerRate float64
+}
+
+// DefaultParams returns a small urban cell: 200 m radius, path-loss
+// exponent 3.2, and a reference rate chosen so a mid-cell user lands near
+// the solver's default bandwidth of 200 units/s.
+func DefaultParams() Params {
+	return Params{
+		CellRadius:        200,
+		ReferenceRate:     60,
+		ReferenceDistance: 10,
+		PathLossExponent:  3.2,
+		ReferenceSNR:      1000, // 30 dB at 10 m
+	}
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	switch {
+	case p.CellRadius <= 0:
+		return fmt.Errorf("%w: cell radius %g", ErrBadParams, p.CellRadius)
+	case p.ReferenceRate <= 0:
+		return fmt.Errorf("%w: reference rate %g", ErrBadParams, p.ReferenceRate)
+	case p.ReferenceDistance <= 0:
+		return fmt.Errorf("%w: reference distance %g", ErrBadParams, p.ReferenceDistance)
+	case p.PathLossExponent < 1:
+		return fmt.Errorf("%w: path loss exponent %g", ErrBadParams, p.PathLossExponent)
+	case p.ReferenceSNR <= 0:
+		return fmt.Errorf("%w: reference SNR %g", ErrBadParams, p.ReferenceSNR)
+	}
+	return nil
+}
+
+// SNRAt returns the linear SNR at the given distance under log-distance
+// path loss: SNR(d) = SNR₀ · (d₀/d)^γ. Distances inside the reference
+// distance clamp to the reference SNR (near-field).
+func (p Params) SNRAt(distance float64) float64 {
+	if distance <= p.ReferenceDistance {
+		return p.ReferenceSNR
+	}
+	return p.ReferenceSNR * math.Pow(p.ReferenceDistance/distance, p.PathLossExponent)
+}
+
+// RateAt returns the Shannon-shaped data rate at the given distance:
+// rate = ReferenceRate · log₂(1 + SNR(d)). The reference rate calibrates
+// the (abstract) spectral bandwidth.
+func (p Params) RateAt(distance float64) float64 {
+	return p.ReferenceRate * math.Log2(1+p.SNRAt(distance))
+}
+
+// Link is one user's radio situation.
+type Link struct {
+	// Distance from the edge server (meters).
+	Distance float64
+	// SNR is the linear signal-to-noise ratio at that distance.
+	SNR float64
+	// Bandwidth is the achievable uplink rate (solver data units/second).
+	Bandwidth float64
+	// PowerTransmit is the per-data-unit radio energy (0 when the model's
+	// TransmitPowerPerRate is unset).
+	PowerTransmit float64
+}
+
+// PlaceUsers draws n user positions uniformly over the cell disk (area-
+// uniform, so the density is constant per m²) and returns their links,
+// deterministically for a given seed.
+func PlaceUsers(p Params, n int, seed int64) ([]Link, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("%w: %d users", ErrBadParams, n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	links := make([]Link, n)
+	for i := range links {
+		// Area-uniform radius: r = R·√u.
+		d := p.CellRadius * math.Sqrt(rng.Float64())
+		links[i] = p.LinkAt(d)
+	}
+	return links, nil
+}
+
+// LinkAt returns the link for a user at the given distance.
+func (p Params) LinkAt(distance float64) Link {
+	l := Link{
+		Distance:  distance,
+		SNR:       p.SNRAt(distance),
+		Bandwidth: p.RateAt(distance),
+	}
+	if p.TransmitPowerPerRate > 0 {
+		// Poorer links burn more energy per unit of data: inversely
+		// proportional to achievable rate, anchored at the reference.
+		l.PowerTransmit = p.TransmitPowerPerRate * p.RateAt(p.ReferenceDistance) / l.Bandwidth
+	}
+	return l
+}

@@ -1,0 +1,141 @@
+package radio
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Errorf("DefaultParams invalid: %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	base := DefaultParams()
+	cases := []func(*Params){
+		func(p *Params) { p.CellRadius = 0 },
+		func(p *Params) { p.ReferenceRate = -1 },
+		func(p *Params) { p.ReferenceDistance = 0 },
+		func(p *Params) { p.PathLossExponent = 0.5 },
+		func(p *Params) { p.ReferenceSNR = 0 },
+	}
+	for i, mutate := range cases {
+		p := base
+		mutate(&p)
+		if err := p.Validate(); !errors.Is(err, ErrBadParams) {
+			t.Errorf("case %d: Validate = %v, want ErrBadParams", i, err)
+		}
+	}
+	if _, err := PlaceUsers(Params{}, 3, 1); !errors.Is(err, ErrBadParams) {
+		t.Errorf("PlaceUsers with zero params error = %v", err)
+	}
+	if _, err := PlaceUsers(base, -1, 1); !errors.Is(err, ErrBadParams) {
+		t.Errorf("negative users error = %v", err)
+	}
+}
+
+func TestSNRMonotoneInDistance(t *testing.T) {
+	p := DefaultParams()
+	prev := math.Inf(1)
+	for d := 1.0; d <= p.CellRadius; d += 5 {
+		snr := p.SNRAt(d)
+		if snr > prev+1e-12 {
+			t.Fatalf("SNR increased with distance at %vm", d)
+		}
+		prev = snr
+	}
+	// Near-field clamp.
+	if p.SNRAt(p.ReferenceDistance/2) != p.ReferenceSNR {
+		t.Errorf("near-field SNR not clamped")
+	}
+}
+
+func TestRateShannonShape(t *testing.T) {
+	p := DefaultParams()
+	// At the reference distance: rate = ref · log2(1 + SNR₀).
+	want := p.ReferenceRate * math.Log2(1+p.ReferenceSNR)
+	if got := p.RateAt(p.ReferenceDistance); math.Abs(got-want) > 1e-9 {
+		t.Errorf("RateAt(ref) = %v, want %v", got, want)
+	}
+	// Rates decrease with distance but stay positive across the cell.
+	edge := p.RateAt(p.CellRadius)
+	if edge <= 0 {
+		t.Errorf("edge rate %v not positive", edge)
+	}
+	if edge >= p.RateAt(p.ReferenceDistance) {
+		t.Errorf("edge rate %v not below near rate", edge)
+	}
+}
+
+func TestPlaceUsersDeterministicAndBounded(t *testing.T) {
+	p := DefaultParams()
+	a, err := PlaceUsers(p, 200, 7)
+	if err != nil {
+		t.Fatalf("PlaceUsers: %v", err)
+	}
+	b, err := PlaceUsers(p, 200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("placement %d differs between identical seeds", i)
+		}
+		if a[i].Distance < 0 || a[i].Distance > p.CellRadius {
+			t.Errorf("user %d outside cell: %v", i, a[i].Distance)
+		}
+		if a[i].Bandwidth <= 0 {
+			t.Errorf("user %d nonpositive bandwidth", i)
+		}
+	}
+	c, err := PlaceUsers(p, 200, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical placements")
+	}
+}
+
+func TestPowerOverrideScalesInversely(t *testing.T) {
+	p := DefaultParams()
+	p.TransmitPowerPerRate = 2
+	near := p.LinkAt(p.ReferenceDistance)
+	far := p.LinkAt(p.CellRadius)
+	if near.PowerTransmit <= 0 || far.PowerTransmit <= near.PowerTransmit {
+		t.Errorf("power not inversely scaled: near %v, far %v",
+			near.PowerTransmit, far.PowerTransmit)
+	}
+	// Anchor: at the reference distance, power = TransmitPowerPerRate.
+	if math.Abs(near.PowerTransmit-2) > 1e-9 {
+		t.Errorf("reference power = %v, want 2", near.PowerTransmit)
+	}
+	noPower := DefaultParams()
+	if noPower.LinkAt(50).PowerTransmit != 0 {
+		t.Error("power set despite zero TransmitPowerPerRate")
+	}
+}
+
+func TestPropertyFartherIsSlower(t *testing.T) {
+	f := func(seedA, seedB uint16) bool {
+		p := DefaultParams()
+		d1 := 1 + float64(seedA)/65535*(p.CellRadius-1)
+		d2 := 1 + float64(seedB)/65535*(p.CellRadius-1)
+		if d1 > d2 {
+			d1, d2 = d2, d1
+		}
+		return p.RateAt(d1) >= p.RateAt(d2)-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,252 @@
+// Package sim is a discrete-event simulator of the offloaded half of the
+// MEC system: each user uploads its cut data over its own wireless link,
+// then the shared edge server processes the offloaded work under a queueing
+// discipline. It exists to validate the analytic contention model of
+// internal/mec — the paper treats the waiting time wtᵢ as given (§II), and
+// mec realises it with processor sharing; this simulator executes the same
+// workloads event by event and confirms the closed forms.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Discipline is the server's scheduling policy.
+type Discipline int
+
+// Disciplines.
+const (
+	// ProcessorSharing splits capacity equally among resident jobs — the
+	// analytic model of internal/mec.
+	ProcessorSharing Discipline = iota + 1
+	// FIFO runs jobs one at a time at full capacity in arrival order.
+	FIFO
+)
+
+// Errors returned by Run.
+var (
+	// ErrBadConfig is returned for non-positive capacity or bandwidth.
+	ErrBadConfig = errors.New("sim: invalid config")
+	// ErrBadJob is returned for negative work, data or arrival times.
+	ErrBadJob = errors.New("sim: invalid job")
+)
+
+// Config parameterises a run.
+type Config struct {
+	// ServerCapacity is the edge server's processing rate (work/second).
+	ServerCapacity float64
+	// Bandwidth is each user's uplink rate (data/second).
+	Bandwidth float64
+	// Discipline selects the queueing policy (0 = ProcessorSharing).
+	Discipline Discipline
+}
+
+// Job is one user's offloaded workload.
+type Job struct {
+	// User identifies the job in results.
+	User int
+	// RemoteWork is the computation offloaded to the server.
+	RemoteWork float64
+	// CutData is the data transmitted before processing can start.
+	CutData float64
+	// Arrival is when the user begins transmitting.
+	Arrival float64
+}
+
+// Result is one job's measured timeline.
+type Result struct {
+	User int
+	// TransmitDone is when the upload finished (= processing eligibility).
+	TransmitDone float64
+	// Finish is when the server completed the job.
+	Finish float64
+	// RemoteTime is Finish − TransmitDone: the tˢ the analytic model
+	// predicts (service + waiting).
+	RemoteTime float64
+	// WaitTime is RemoteTime minus the job's solo service time — the wtᵢ of
+	// formula (2).
+	WaitTime float64
+}
+
+// Run simulates the jobs and returns per-job results ordered by User.
+func Run(cfg Config, jobs []Job) ([]Result, error) {
+	if cfg.Discipline == 0 {
+		cfg.Discipline = ProcessorSharing
+	}
+	if cfg.ServerCapacity <= 0 || cfg.Bandwidth <= 0 {
+		return nil, fmt.Errorf("%w: capacity %g bandwidth %g",
+			ErrBadConfig, cfg.ServerCapacity, cfg.Bandwidth)
+	}
+	if cfg.Discipline != ProcessorSharing && cfg.Discipline != FIFO {
+		return nil, fmt.Errorf("%w: discipline %d", ErrBadConfig, cfg.Discipline)
+	}
+	for _, j := range jobs {
+		if j.RemoteWork < 0 || j.CutData < 0 || j.Arrival < 0 {
+			return nil, fmt.Errorf("%w: %+v", ErrBadJob, j)
+		}
+	}
+	switch cfg.Discipline {
+	case FIFO:
+		return runFIFO(cfg, jobs), nil
+	default:
+		return runPS(cfg, jobs), nil
+	}
+}
+
+// arrivalOf computes when a job becomes eligible at the server.
+func arrivalOf(cfg Config, j Job) float64 {
+	return j.Arrival + j.CutData/cfg.Bandwidth
+}
+
+func runFIFO(cfg Config, jobs []Job) []Result {
+	type pending struct {
+		job   Job
+		ready float64
+	}
+	ps := make([]pending, len(jobs))
+	for i, j := range jobs {
+		ps[i] = pending{job: j, ready: arrivalOf(cfg, j)}
+	}
+	sort.SliceStable(ps, func(a, b int) bool {
+		if ps[a].ready != ps[b].ready {
+			return ps[a].ready < ps[b].ready
+		}
+		return ps[a].job.User < ps[b].job.User
+	})
+	results := make([]Result, 0, len(jobs))
+	var serverFree float64
+	for _, p := range ps {
+		start := math.Max(p.ready, serverFree)
+		service := p.job.RemoteWork / cfg.ServerCapacity
+		finish := start + service
+		serverFree = finish
+		results = append(results, Result{
+			User:         p.job.User,
+			TransmitDone: p.ready,
+			Finish:       finish,
+			RemoteTime:   finish - p.ready,
+			WaitTime:     (finish - p.ready) - service,
+		})
+	}
+	sort.Slice(results, func(a, b int) bool { return results[a].User < results[b].User })
+	return results
+}
+
+// psEvent is an arrival in the processor-sharing simulation.
+type psEvent struct {
+	at  float64
+	idx int
+}
+
+type psEventHeap []psEvent
+
+func (h psEventHeap) Len() int { return len(h) }
+func (h psEventHeap) Less(a, b int) bool {
+	if h[a].at != h[b].at {
+		return h[a].at < h[b].at
+	}
+	return h[a].idx < h[b].idx
+}
+func (h psEventHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
+func (h *psEventHeap) Push(x any)   { *h = append(*h, x.(psEvent)) }
+func (h *psEventHeap) Pop() (out any) {
+	old := *h
+	n := len(old)
+	out = old[n-1]
+	*h = old[:n-1]
+	return
+}
+
+func runPS(cfg Config, jobs []Job) []Result {
+	n := len(jobs)
+	ready := make([]float64, n)
+	remaining := make([]float64, n)
+	finish := make([]float64, n)
+	arrivals := &psEventHeap{}
+	for i, j := range jobs {
+		ready[i] = arrivalOf(cfg, j)
+		remaining[i] = j.RemoteWork
+		heap.Push(arrivals, psEvent{at: ready[i], idx: i})
+	}
+	active := make(map[int]bool, n)
+	now := 0.0
+	for arrivals.Len() > 0 || len(active) > 0 {
+		// Next arrival time, if any.
+		nextArrival := math.Inf(1)
+		if arrivals.Len() > 0 {
+			nextArrival = (*arrivals)[0].at
+		}
+		if len(active) == 0 {
+			// Jump to the next arrival.
+			ev := heap.Pop(arrivals).(psEvent)
+			now = ev.at
+			if remaining[ev.idx] <= 0 {
+				finish[ev.idx] = now // zero-work job completes on arrival
+			} else {
+				active[ev.idx] = true
+			}
+			continue
+		}
+		// Rate per active job and the earliest completion at that rate.
+		rate := cfg.ServerCapacity / float64(len(active))
+		nextDone := math.Inf(1)
+		doneIdx := -1
+		for i := range active {
+			t := now + remaining[i]/rate
+			if t < nextDone || (t == nextDone && i < doneIdx) {
+				nextDone = t
+				doneIdx = i
+			}
+		}
+		if nextArrival < nextDone {
+			// Advance to the arrival, draining work at the current rate.
+			dt := nextArrival - now
+			for i := range active {
+				remaining[i] -= rate * dt
+			}
+			ev := heap.Pop(arrivals).(psEvent)
+			now = nextArrival
+			if remaining[ev.idx] <= 0 {
+				finish[ev.idx] = now
+			} else {
+				active[ev.idx] = true
+			}
+			continue
+		}
+		// Advance to the completion.
+		dt := nextDone - now
+		for i := range active {
+			remaining[i] -= rate * dt
+		}
+		now = nextDone
+		remaining[doneIdx] = 0
+		finish[doneIdx] = now
+		delete(active, doneIdx)
+		// Numerical cleanup: complete any job that hit zero simultaneously.
+		for i := range active {
+			if remaining[i] <= 1e-12 {
+				remaining[i] = 0
+				finish[i] = now
+				delete(active, i)
+			}
+		}
+	}
+	results := make([]Result, n)
+	for i, j := range jobs {
+		solo := j.RemoteWork / cfg.ServerCapacity
+		rt := finish[i] - ready[i]
+		results[i] = Result{
+			User:         j.User,
+			TransmitDone: ready[i],
+			Finish:       finish[i],
+			RemoteTime:   rt,
+			WaitTime:     rt - solo,
+		}
+	}
+	sort.Slice(results, func(a, b int) bool { return results[a].User < results[b].User })
+	return results
+}

@@ -1,0 +1,287 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"copmecs/internal/mec"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b)) }
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{ServerCapacity: 0, Bandwidth: 1}, nil); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("zero capacity error = %v", err)
+	}
+	if _, err := Run(Config{ServerCapacity: 1, Bandwidth: -1}, nil); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("negative bandwidth error = %v", err)
+	}
+	if _, err := Run(Config{ServerCapacity: 1, Bandwidth: 1, Discipline: 99}, nil); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("bad discipline error = %v", err)
+	}
+	bad := []Job{{RemoteWork: -1}}
+	if _, err := Run(Config{ServerCapacity: 1, Bandwidth: 1}, bad); !errors.Is(err, ErrBadJob) {
+		t.Errorf("negative work error = %v", err)
+	}
+}
+
+func TestFIFOSingleJob(t *testing.T) {
+	cfg := Config{ServerCapacity: 100, Bandwidth: 50, Discipline: FIFO}
+	res, err := Run(cfg, []Job{{User: 0, RemoteWork: 200, CutData: 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res[0]
+	if !almostEqual(r.TransmitDone, 2) {
+		t.Errorf("TransmitDone = %v, want 2", r.TransmitDone)
+	}
+	if !almostEqual(r.Finish, 4) {
+		t.Errorf("Finish = %v, want 4 (2 transmit + 2 service)", r.Finish)
+	}
+	if !almostEqual(r.WaitTime, 0) {
+		t.Errorf("WaitTime = %v, want 0", r.WaitTime)
+	}
+}
+
+func TestFIFOQueueing(t *testing.T) {
+	cfg := Config{ServerCapacity: 100, Bandwidth: 1000, Discipline: FIFO}
+	res, err := Run(cfg, []Job{
+		{User: 0, RemoteWork: 100}, // service 1s
+		{User: 1, RemoteWork: 100}, // waits behind user 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(res[0].Finish, 1) {
+		t.Errorf("user0 finish = %v, want 1", res[0].Finish)
+	}
+	if !almostEqual(res[1].Finish, 2) {
+		t.Errorf("user1 finish = %v, want 2", res[1].Finish)
+	}
+	if !almostEqual(res[1].WaitTime, 1) {
+		t.Errorf("user1 wait = %v, want 1", res[1].WaitTime)
+	}
+}
+
+func TestFIFOArrivalOrder(t *testing.T) {
+	cfg := Config{ServerCapacity: 10, Bandwidth: 10, Discipline: FIFO}
+	res, err := Run(cfg, []Job{
+		{User: 0, RemoteWork: 10, Arrival: 5}, // arrives later
+		{User: 1, RemoteWork: 10, Arrival: 0}, // served first
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res[1].Finish < res[0].Finish) {
+		t.Errorf("arrival order violated: %+v", res)
+	}
+	// Idle gap honoured: user1 finishes at 1, user0 starts at its arrival 5.
+	if !almostEqual(res[0].Finish, 6) {
+		t.Errorf("user0 finish = %v, want 6", res[0].Finish)
+	}
+}
+
+func TestPSEqualJobsMatchAnalyticModel(t *testing.T) {
+	// k equal jobs arriving together under PS finish at k·W/cap — exactly
+	// the RemoteTime of mec.Evaluate's processor-sharing model.
+	for _, k := range []int{1, 2, 5, 16} {
+		cfg := Config{ServerCapacity: 500, Bandwidth: 1e12}
+		jobs := make([]Job, k)
+		users := make([]mec.UserState, k)
+		for i := range jobs {
+			jobs[i] = Job{User: i, RemoteWork: 300}
+			users[i] = mec.UserState{RemoteWork: 300}
+		}
+		res, err := Run(cfg, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := mec.Defaults()
+		p.ServerCapacity = cfg.ServerCapacity
+		ev, err := mec.Evaluate(p, users)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range res {
+			if !almostEqual(r.RemoteTime, ev.PerUser[i].RemoteTime) {
+				t.Errorf("k=%d user %d: sim %v vs model %v",
+					k, i, r.RemoteTime, ev.PerUser[i].RemoteTime)
+			}
+			if !almostEqual(r.WaitTime, ev.PerUser[i].WaitTime) {
+				t.Errorf("k=%d user %d wait: sim %v vs model %v",
+					k, i, r.WaitTime, ev.PerUser[i].WaitTime)
+			}
+		}
+	}
+}
+
+func TestPSShorterJobLeavesFirst(t *testing.T) {
+	cfg := Config{ServerCapacity: 100, Bandwidth: 1e12}
+	res, err := Run(cfg, []Job{
+		{User: 0, RemoteWork: 100},
+		{User: 1, RemoteWork: 300},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shared until t=2 (both drained 100); job0 done at 2; job1 alone for
+	// its remaining 200 at full speed: done at 4.
+	if !almostEqual(res[0].Finish, 2) {
+		t.Errorf("short job finish = %v, want 2", res[0].Finish)
+	}
+	if !almostEqual(res[1].Finish, 4) {
+		t.Errorf("long job finish = %v, want 4", res[1].Finish)
+	}
+}
+
+func TestPSStaggeredArrivals(t *testing.T) {
+	cfg := Config{ServerCapacity: 100, Bandwidth: 1e12}
+	res, err := Run(cfg, []Job{
+		{User: 0, RemoteWork: 200, Arrival: 0},
+		{User: 1, RemoteWork: 100, Arrival: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Job0 alone until t=1 (100 left). Then shared: each gets 50/s. Job0
+	// and job1 both have 100 left → both finish at t=3.
+	if !almostEqual(res[0].Finish, 3) || !almostEqual(res[1].Finish, 3) {
+		t.Errorf("finishes = %v, %v; want 3, 3", res[0].Finish, res[1].Finish)
+	}
+}
+
+func TestPSZeroWorkJob(t *testing.T) {
+	cfg := Config{ServerCapacity: 100, Bandwidth: 100}
+	res, err := Run(cfg, []Job{
+		{User: 0, RemoteWork: 0, CutData: 100},
+		{User: 1, RemoteWork: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(res[0].Finish, 1) { // transmit only
+		t.Errorf("zero-work finish = %v, want 1", res[0].Finish)
+	}
+	if res[1].Finish <= 0 {
+		t.Errorf("other job unfinished: %+v", res[1])
+	}
+}
+
+func TestPSTransmissionDelaysEligibility(t *testing.T) {
+	cfg := Config{ServerCapacity: 100, Bandwidth: 10}
+	res, err := Run(cfg, []Job{{User: 0, RemoteWork: 100, CutData: 50}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(res[0].TransmitDone, 5) {
+		t.Errorf("TransmitDone = %v, want 5", res[0].TransmitDone)
+	}
+	if !almostEqual(res[0].Finish, 6) {
+		t.Errorf("Finish = %v, want 6", res[0].Finish)
+	}
+}
+
+func TestEmptyRun(t *testing.T) {
+	for _, d := range []Discipline{ProcessorSharing, FIFO} {
+		res, err := Run(Config{ServerCapacity: 1, Bandwidth: 1, Discipline: d}, nil)
+		if err != nil || len(res) != 0 {
+			t.Errorf("empty run (%v) = %v, %v", d, res, err)
+		}
+	}
+}
+
+func TestPSConservation(t *testing.T) {
+	// Total simulated busy time equals total work / capacity regardless of
+	// interleaving: the server never idles while jobs are present.
+	cfg := Config{ServerCapacity: 50, Bandwidth: 1e12}
+	jobs := []Job{
+		{User: 0, RemoteWork: 100},
+		{User: 1, RemoteWork: 250},
+		{User: 2, RemoteWork: 25},
+		{User: 3, RemoteWork: 125},
+	}
+	res, err := Run(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var latest float64
+	var total float64
+	for i, r := range res {
+		if r.Finish > latest {
+			latest = r.Finish
+		}
+		total += jobs[i].RemoteWork
+	}
+	if !almostEqual(latest, total/cfg.ServerCapacity) {
+		t.Errorf("makespan = %v, want %v (work-conserving PS)", latest, total/cfg.ServerCapacity)
+	}
+}
+
+func TestFIFOVsPSWaitTradeoff(t *testing.T) {
+	// Under FIFO the first job never waits; under PS it does when sharing.
+	cfg := Config{ServerCapacity: 100, Bandwidth: 1e12}
+	jobs := []Job{{User: 0, RemoteWork: 100}, {User: 1, RemoteWork: 100}}
+	fifoRes, err := Run(Config{ServerCapacity: cfg.ServerCapacity, Bandwidth: cfg.Bandwidth, Discipline: FIFO}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psRes, err := Run(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fifoRes[0].WaitTime, 0) {
+		t.Errorf("FIFO first job wait = %v, want 0", fifoRes[0].WaitTime)
+	}
+	if psRes[0].WaitTime <= 0 {
+		t.Errorf("PS shared job wait = %v, want > 0", psRes[0].WaitTime)
+	}
+}
+
+func TestPSRandomStressConservation(t *testing.T) {
+	// Random staggered workloads: the PS simulator must remain
+	// work-conserving (no job finishes before its solo service time, total
+	// busy time accounts for all work) and every job must finish.
+	seed := int64(99)
+	next := func() float64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return float64(uint16(seed>>32)) / 65535
+	}
+	cfg := Config{ServerCapacity: 80, Bandwidth: 40}
+	jobs := make([]Job, 50)
+	for i := range jobs {
+		jobs[i] = Job{
+			User:       i,
+			RemoteWork: next() * 500,
+			CutData:    next() * 100,
+			Arrival:    next() * 10,
+		}
+	}
+	res, err := Run(cfg, jobs)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, r := range res {
+		solo := jobs[i].RemoteWork / cfg.ServerCapacity
+		if r.Finish < r.TransmitDone-1e-9 {
+			t.Errorf("job %d finished before transmit done", i)
+		}
+		if r.RemoteTime < solo-1e-9 {
+			t.Errorf("job %d beat its solo service time: %v < %v", i, r.RemoteTime, solo)
+		}
+		if r.WaitTime < -1e-9 {
+			t.Errorf("job %d negative wait %v", i, r.WaitTime)
+		}
+	}
+	// FIFO on the same workload: same conservation rules.
+	cfg.Discipline = FIFO
+	fres, err := Run(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range fres {
+		if r.WaitTime < -1e-9 || r.Finish < r.TransmitDone-1e-9 {
+			t.Errorf("fifo job %d invalid: %+v", i, r)
+		}
+	}
+}
