@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build test race vet lint fuzz clean
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# vet runs the stock toolchain checks plus the repo's own analyzer suite.
+vet:
+	$(GO) vet ./...
+	$(GO) run ./cmd/copmecs-vet ./...
+
+# lint is vet plus a formatting gate; it fails if any file needs gofmt.
+lint: vet
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# fuzz gives the binary codec a short randomized shake; CI runs the seed
+# corpus via plain `go test`, this target digs deeper locally.
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzDecode -fuzztime=30s ./internal/graph/
+
+clean:
+	$(GO) clean ./...
+	rm -rf results/out

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -31,7 +32,18 @@ func main() {
 	}
 }
 
+// run buffers stdout so report writes share one latched error, surfaced by
+// the final Flush.
 func run(args []string, stdout io.Writer) error {
+	bw := bufio.NewWriter(stdout)
+	err := runBuffered(args, bw)
+	if ferr := bw.Flush(); err == nil {
+		err = ferr
+	}
+	return err
+}
+
+func runBuffered(args []string, stdout *bufio.Writer) error {
 	fs := flag.NewFlagSet("copmecs", flag.ContinueOnError)
 	var (
 		input      = fs.String("input", "", "graph file (json or binary; default: generate)")
@@ -99,25 +111,31 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	if *dotOut != "" && len(sol.Placements) > 0 {
-		f, err := os.Create(*dotOut)
-		if err != nil {
-			return fmt.Errorf("create %s: %w", *dotOut, err)
-		}
-		defer f.Close()
-		err = g.WriteDOT(f, graph.DOTOptions{
-			Name:      "copmecs",
-			Highlight: sol.Placements[0].Remote,
-		})
-		if err != nil {
+		if err := writeDOTFile(*dotOut, g, sol.Placements[0].Remote); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
+// writeDOTFile renders the placement to path, reporting a failed close —
+// the write may only hit the disk at close time.
+func writeDOTFile(path string, g *graph.Graph, highlight map[graph.NodeID]bool) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	err = g.WriteDOT(f, graph.DOTOptions{Name: "copmecs", Highlight: highlight})
+	if cerr := f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("close %s: %w", path, cerr)
+	}
+	return err
+}
+
 // replayInSimulator runs the solved scheme's offloaded half through the
-// discrete-event queue and prints simulated vs analytic waiting times.
-func replayInSimulator(w io.Writer, params mec.Params, sol *core.Solution) error {
+// discrete-event queue and prints simulated vs analytic waiting times. The
+// *bufio.Writer destination latches write errors for run's final Flush.
+func replayInSimulator(w *bufio.Writer, params mec.Params, sol *core.Solution) error {
 	jobs := make([]sim.Job, len(sol.Placements))
 	for i, pl := range sol.Placements {
 		st := pl.State()
@@ -182,7 +200,9 @@ func engineByName(name string) (core.Engine, error) {
 	}
 }
 
-func printSolution(w io.Writer, g *graph.Graph, sol *core.Solution, verbose bool) {
+// printSolution writes the scheme summary; the *bufio.Writer destination
+// latches write errors for run's final Flush.
+func printSolution(w *bufio.Writer, g *graph.Graph, sol *core.Solution, verbose bool) {
 	fmt.Fprintf(w, "engine:            %s\n", sol.Stats.EngineName)
 	fmt.Fprintf(w, "users:             %d\n", sol.Stats.Users)
 	fmt.Fprintf(w, "graph:             %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())

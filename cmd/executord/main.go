@@ -10,6 +10,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -46,9 +47,16 @@ func run(args []string, stop <-chan os.Signal, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "executord %s listening on %s\n", *name, ex.Addr())
+	// The bound address is the supervisor's readiness signal; a failed
+	// write means nobody is listening, so shut down rather than serve
+	// unreachably.
+	if _, werr := fmt.Fprintf(stdout, "executord %s listening on %s\n", *name, ex.Addr()); werr != nil {
+		return errors.Join(fmt.Errorf("announce address: %w", werr), ex.Close())
+	}
 
 	<-stop
-	fmt.Fprintln(stdout, "executord: shutting down")
+	if _, werr := fmt.Fprintln(stdout, "executord: shutting down"); werr != nil {
+		return errors.Join(werr, ex.Close())
+	}
 	return ex.Close()
 }

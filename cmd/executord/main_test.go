@@ -4,15 +4,35 @@ import (
 	"bytes"
 	"os"
 	"regexp"
+	"sync"
 	"testing"
 	"time"
 
 	"copmecs/internal/parallel"
 )
 
+// syncBuffer serializes writes and reads: the test polls the output while
+// run is still writing to it from another goroutine.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
 func TestRunServesUntilStopped(t *testing.T) {
 	stop := make(chan os.Signal, 1)
-	var out bytes.Buffer
+	var out syncBuffer
 	done := make(chan error, 1)
 	go func() { done <- run([]string{"-addr", "127.0.0.1:0", "-name", "t0"}, stop, &out) }()
 

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
@@ -27,7 +28,18 @@ func main() {
 	}
 }
 
+// run buffers stdout so report writes share one latched error, surfaced by
+// the final Flush.
 func run(args []string, stdout io.Writer) error {
+	bw := bufio.NewWriter(stdout)
+	err := runBuffered(args, bw)
+	if ferr := bw.Flush(); err == nil {
+		err = ferr
+	}
+	return err
+}
+
+func runBuffered(args []string, stdout *bufio.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
 		seed      = fs.Int64("seed", 7, "deterministic workload seed")
@@ -62,8 +74,11 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("create %s: %w", path, err)
 		}
-		defer f.Close()
-		return write(f)
+		err = write(f)
+		if cerr := f.Close(); err == nil && cerr != nil {
+			err = fmt.Errorf("close %s: %w", path, cerr)
+		}
+		return err
 	}
 
 	// Table I.

@@ -59,27 +59,36 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	var w io.Writer = stdout
-	if *out != "" {
+	write := func(w io.Writer) error {
+		switch *format {
+		case "json":
+			if err := json.NewEncoder(w).Encode(g); err != nil {
+				return fmt.Errorf("encode json: %w", err)
+			}
+			return nil
+		case "binary":
+			return g.WriteBinary(w)
+		default:
+			return fmt.Errorf("unknown format %q (want json or binary)", *format)
+		}
+	}
+	if *out == "" {
+		if err := write(stdout); err != nil {
+			return err
+		}
+	} else {
 		f, err := os.Create(*out)
 		if err != nil {
 			return fmt.Errorf("create %s: %w", *out, err)
 		}
-		defer f.Close()
-		w = f
-	}
-	switch *format {
-	case "json":
-		enc := json.NewEncoder(w)
-		if err := enc.Encode(g); err != nil {
-			return fmt.Errorf("encode json: %w", err)
+		err = write(f)
+		// A failed close can lose the tail of the graph file.
+		if cerr := f.Close(); err == nil && cerr != nil {
+			err = fmt.Errorf("close %s: %w", *out, cerr)
 		}
-	case "binary":
-		if err := g.WriteBinary(w); err != nil {
+		if err != nil {
 			return err
 		}
-	default:
-		return fmt.Errorf("unknown format %q (want json or binary)", *format)
 	}
 	fmt.Fprintf(os.Stderr, "generated %s\n", g)
 	return nil

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"copmecs/internal/mec"
+	"copmecs/internal/numeric"
 )
 
 // greedyState carries the aggregates needed to evaluate a candidate move in
@@ -116,7 +117,7 @@ func (st *greedyState) moveDelta(parts []Part, idx int) (objDelta, cutDelta floa
 	// Global server term.
 	k := st.activeUsers
 	sumR := st.sumRemote - part.Work
-	if st.remoteWork[u]-part.Work <= 1e-12 {
+	if st.remoteWork[u]-part.Work <= numeric.Eps {
 		k--
 	}
 	objDelta += (float64(k)*sumR - float64(st.activeUsers)*st.sumRemote) / st.p.ServerCapacity
@@ -132,7 +133,7 @@ func (st *greedyState) apply(parts []Part, idx int, cutDelta float64) {
 	st.remoteWork[u] -= part.Work
 	st.cut[u] += cutDelta
 	st.sumRemote -= part.Work
-	if st.remoteWork[u] <= 1e-12 {
+	if st.remoteWork[u] <= numeric.Eps {
 		st.remoteWork[u] = 0
 		st.activeUsers--
 	}
@@ -171,7 +172,7 @@ func runGreedy(users []UserInput, parts []Part, opts Options) (initialObjective 
 func runGreedyStrict(st *greedyState, parts []Part) (moves, iterations int) {
 	for {
 		iterations++
-		bestIdx, bestDelta, bestCut := -1, -1e-12, 0.0
+		bestIdx, bestDelta, bestCut := -1, -numeric.Eps, 0.0
 		for i := range parts {
 			if !parts[i].Remote {
 				continue
@@ -205,7 +206,7 @@ func runGreedyBatch(st *greedyState, parts []Part) (moves, iterations int) {
 			}
 			d, _ := st.moveDelta(parts, i)
 			deltas[i] = d
-			if d < -1e-12 {
+			if d < -numeric.Eps {
 				order = append(order, i)
 			}
 		}
@@ -216,7 +217,7 @@ func runGreedyBatch(st *greedyState, parts []Part) (moves, iterations int) {
 		applied := 0
 		for _, i := range order {
 			delta, cutDelta := st.moveDelta(parts, i) // re-validate live
-			if delta < -1e-12 {
+			if delta < -numeric.Eps {
 				st.apply(parts, i, cutDelta)
 				applied++
 				moves++

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"copmecs/internal/matrix"
+	"copmecs/internal/numeric"
 )
 
 // FiedlerOptions tunes Fiedler-pair computation. The zero value is valid.
@@ -73,7 +74,7 @@ func fiedlerLanczos(l *matrix.CSR, fopts FiedlerOptions) (float64, matrix.Vector
 		// room to resolve it on graphs with weak spectral gaps.
 		opts.MaxIter = 4*isqrt(n) + 150
 	}
-	if opts.Tol == 0 {
+	if opts.Tol <= 0 {
 		// The Fiedler vector only drives a sign split (and a sweep-cut
 		// refinement downstream), so residuals far below the spectral gap
 		// are unnecessary.
@@ -90,7 +91,7 @@ func fiedlerLanczos(l *matrix.CSR, fopts FiedlerOptions) (float64, matrix.Vector
 	if err := p.Vector.ProjectOut(u); err != nil {
 		return 0, nil, err
 	}
-	if p.Vector.Normalize() == 0 {
+	if numeric.Zero(p.Vector.Normalize()) {
 		return 0, nil, fmt.Errorf("fiedler lanczos: degenerate vector: %w", ErrNoConvergence)
 	}
 	if p.Value < 0 && p.Value > -1e-9 {

@@ -11,6 +11,7 @@ import (
 	"errors"
 
 	"copmecs/internal/matrix"
+	"copmecs/internal/numeric"
 )
 
 // Errors returned by the solvers.
@@ -71,7 +72,7 @@ func NewDeflated(op Operator, dirs ...matrix.Vector) *Deflated {
 	d := &Deflated{Op: op, scratch: make(matrix.Vector, op.Dim())}
 	for _, dir := range dirs {
 		u := dir.Clone()
-		if u.Normalize() == 0 {
+		if numeric.Zero(u.Normalize()) {
 			continue
 		}
 		d.U = append(d.U, u)

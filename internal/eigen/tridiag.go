@@ -62,7 +62,7 @@ func SymTridiagEigen(d, e []float64, vecs [][]float64) error {
 				b := c * sub[i]
 				r = math.Hypot(f, g)
 				sub[i+1] = r
-				if r == 0 {
+				if r == 0 { //vet:ignore floatcmp canonical tqli underflow recovery (Numerical Recipes §11.3) requires the exact test
 					d[i+1] -= p
 					sub[m] = 0
 					break
@@ -82,7 +82,7 @@ func SymTridiagEigen(d, e []float64, vecs [][]float64) error {
 					}
 				}
 			}
-			if r == 0 && m-1 >= l {
+			if r == 0 && m-1 >= l { //vet:ignore floatcmp pairs with the underflow recovery above; must match it exactly
 				continue
 			}
 			d[l] -= p

@@ -152,7 +152,9 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	if err := binary.Read(br, binary.LittleEndian, &numEdges); err != nil {
 		return nil, fmt.Errorf("read graph header: %w", err)
 	}
-	g := New(int(numNodes))
+	// The count is attacker-controlled until the body checks out, so cap the
+	// pre-allocation hint; the map still grows to the real size on demand.
+	g := New(int(min(numNodes, 1<<20)))
 	for i := uint32(0); i < numNodes; i++ {
 		var id int64
 		var bits uint64

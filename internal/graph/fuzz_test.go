@@ -1,0 +1,105 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// fuzzSeedGraphs builds representative graphs for the FuzzDecode corpus:
+// empty, single node, a weighted triangle, and NaN/Inf/negative weights.
+func fuzzSeedGraphs(t interface{ Fatal(args ...any) }) []*Graph {
+	empty := New(0)
+	single := New(1)
+	if err := single.AddNode(7, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	tri := New(3)
+	for id, w := range map[NodeID]float64{0: 1, 1: 2, 2: 3} {
+		if err := tri.AddNode(id, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range []struct {
+		u, v NodeID
+		w    float64
+	}{{0, 1, 0.5}, {1, 2, 1.5}, {0, 2, 2.5}} {
+		if err := tri.AddEdge(e.u, e.v, e.w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	odd := New(2)
+	if err := odd.AddNode(-4, math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := odd.AddNode(9, math.NaN()); err != nil {
+		t.Fatal(err)
+	}
+	if err := odd.AddEdge(-4, 9, 3.75); err != nil {
+		t.Fatal(err)
+	}
+	return []*Graph{empty, single, tri, odd}
+}
+
+// FuzzDecode throws arbitrary bytes at ReadBinary: malformed input must be
+// rejected with an error (never a panic or runaway allocation), and any
+// input that decodes must re-encode to a stable fixed point.
+func FuzzDecode(f *testing.F) {
+	for _, g := range fuzzSeedGraphs(f) {
+		var buf bytes.Buffer
+		if err := g.WriteBinary(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	// Hostile headers: truncated, wrong magic, future version, and a valid
+	// header whose counts promise far more body than exists.
+	f.Add([]byte{})
+	f.Add([]byte{0x47, 0x50})
+	f.Add([]byte{0xde, 0xad, 0xbe, 0xef, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	var hostile bytes.Buffer
+	for _, v := range []any{uint32(binaryMagic), uint16(2), uint32(0), uint32(0)} {
+		if err := binary.Write(&hostile, binary.LittleEndian, v); err != nil {
+			f.Fatal(err)
+		}
+	}
+	f.Add(hostile.Bytes())
+	hostile.Reset()
+	for _, v := range []any{uint32(binaryMagic), uint16(binaryVersion), uint32(0xffffffff), uint32(0xffffffff)} {
+		if err := binary.Write(&hostile, binary.LittleEndian, v); err != nil {
+			f.Fatal(err)
+		}
+	}
+	f.Add(hostile.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return // malformed input must error out, which is fine
+		}
+		// A decoded graph must re-encode, and the re-encoding must be a
+		// fixed point: encode(decode(encode(g))) == encode(g). Comparing
+		// re-encodings rather than the raw input tolerates trailing bytes
+		// the reader legitimately ignores.
+		var first bytes.Buffer
+		if err := g.WriteBinary(&first); err != nil {
+			t.Fatalf("re-encode decoded graph: %v", err)
+		}
+		g2, err := ReadBinary(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode own encoding: %v", err)
+		}
+		var second bytes.Buffer
+		if err := g2.WriteBinary(&second); err != nil {
+			t.Fatalf("re-encode round-tripped graph: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Errorf("binary encoding is not a fixed point:\nfirst  %x\nsecond %x", first.Bytes(), second.Bytes())
+		}
+		if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+			t.Errorf("round-trip changed shape: %d/%d nodes, %d/%d edges",
+				g.NumNodes(), g2.NumNodes(), g.NumEdges(), g2.NumEdges())
+		}
+	})
+}

@@ -111,7 +111,7 @@ func (m *Dense) Mul(n *Dense) (*Dense, error) {
 		mrow := m.data[i*m.cols : (i+1)*m.cols]
 		orow := out.data[i*n.cols : (i+1)*n.cols]
 		for k, a := range mrow {
-			if a == 0 {
+			if a == 0 { //vet:ignore floatcmp exact-zero skip is a pure optimisation; a tolerance would silently drop small contributions
 				continue
 			}
 			nrow := n.data[k*n.cols : (k+1)*n.cols]

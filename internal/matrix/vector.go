@@ -12,6 +12,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"copmecs/internal/numeric"
 )
 
 // ErrDimension is returned when operand shapes are incompatible.
@@ -71,10 +73,12 @@ func (v Vector) Axpy(a float64, x Vector) error {
 }
 
 // Normalize scales v to unit norm in place and returns the original norm.
-// A zero vector is left untouched and reported as norm 0.
+// A vector whose norm is zero within numeric.Eps is numerically
+// directionless — scaling it by 1/n would only amplify round-off — so it
+// is left untouched and reported as norm 0.
 func (v Vector) Normalize() float64 {
 	n := v.Norm()
-	if n == 0 {
+	if numeric.Zero(n) {
 		return 0
 	}
 	v.Scale(1 / n)

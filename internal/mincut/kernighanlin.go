@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"copmecs/internal/graph"
+	"copmecs/internal/numeric"
 )
 
 // klMaxPasses bounds the number of improvement passes; Kernighan–Lin almost
@@ -53,7 +54,7 @@ func KernighanLin(g *graph.Graph) (sideA, sideB []graph.NodeID, weight float64, 
 		d := make([]float64, n)
 		for u := 0; u < n; u++ {
 			for v := 0; v < n; v++ {
-				if w[u][v] == 0 {
+				if numeric.Zero(w[u][v]) {
 					continue
 				}
 				if inA[u] != inA[v] {

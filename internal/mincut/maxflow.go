@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"copmecs/internal/graph"
+	"copmecs/internal/numeric"
 )
 
 // Errors returned by the package.
@@ -50,7 +51,7 @@ func newFlowNet(g *graph.Graph) *flowNet {
 	for _, e := range g.Edges() {
 		u, v := net.index[e.U], net.index[e.V]
 		// An undirected edge of weight w admits w units in either direction.
-		if net.cap[u][v] == 0 && net.cap[v][u] == 0 {
+		if numeric.Zero(net.cap[u][v]) && numeric.Zero(net.cap[v][u]) {
 			net.adj[u] = append(net.adj[u], v)
 			net.adj[v] = append(net.adj[v], u)
 		}

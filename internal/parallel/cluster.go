@@ -208,36 +208,33 @@ func (d *Driver) Close() error {
 	return errors.Join(errs...)
 }
 
-// pick returns the next client round-robin, skipping an optional excluded
-// index; ok is false when no clients remain.
-func (d *Driver) pick(exclude int) (*rpc.Client, int, bool) {
+// pick returns the next client round-robin; ok is false when no clients
+// remain.
+func (d *Driver) pick() (*rpc.Client, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	n := len(d.clients)
 	if n == 0 {
-		return nil, -1, false
+		return nil, false
 	}
-	for tries := 0; tries < n; tries++ {
-		i := d.next % n
-		d.next++
-		if i == exclude && n > 1 {
-			continue
-		}
-		if d.clients[i] != nil {
-			return d.clients[i], i, true
-		}
-	}
-	return nil, -1, false
+	i := d.next % n
+	d.next++
+	return d.clients[i], true
 }
 
-// drop removes a failed client.
-func (d *Driver) drop(i int) {
+// drop removes a failed client, matching by identity: concurrent jobs can
+// observe the same executor die, and removing by a slice index captured
+// before another goroutine's drop would evict a healthy survivor instead.
+func (d *Driver) drop(c *rpc.Client) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if i >= 0 && i < len(d.clients) && d.clients[i] != nil {
-		_ = d.clients[i].Close()
-		d.clients = append(d.clients[:i], d.clients[i+1:]...)
-		d.addrs = append(d.addrs[:i], d.addrs[i+1:]...)
+	for i, cl := range d.clients {
+		if cl == c {
+			_ = cl.Close()
+			d.clients = append(d.clients[:i], d.clients[i+1:]...)
+			d.addrs = append(d.addrs[:i], d.addrs[i+1:]...)
+			return
+		}
 	}
 }
 
@@ -290,12 +287,11 @@ func (d *Driver) RunJobs(ctx context.Context, jobs []Job) ([]Result, error) {
 
 func (d *Driver) runOne(ctx context.Context, job Job) ([]byte, error) {
 	var lastErr error
-	exclude := -1
 	for attempt := 0; attempt <= d.retries; attempt++ {
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
-		client, idx, ok := d.pick(exclude)
+		client, ok := d.pick()
 		if !ok {
 			return nil, ErrNoExecutors
 		}
@@ -309,8 +305,7 @@ func (d *Driver) runOne(ctx context.Context, job Job) ([]byte, error) {
 		if call.Error != nil {
 			// Transport failure: drop the executor, try another.
 			lastErr = call.Error
-			d.drop(idx)
-			exclude = -1
+			d.drop(client)
 			continue
 		}
 		if reply.Err != "" {

@@ -1,0 +1,208 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"testing"
+)
+
+// gateRegistry returns a registry whose "gate" handler signals started,
+// blocks on release, then echoes its payload. It lets tests hold jobs
+// in flight while they kill executors or cancel contexts.
+func gateRegistry(started chan struct{}, release chan struct{}) *Registry {
+	r := NewRegistry()
+	r.Register("gate", func(p []byte) ([]byte, error) {
+		started <- struct{}{}
+		<-release
+		return p, nil
+	})
+	return r
+}
+
+func TestClusterExecutorFailureMidBatch(t *testing.T) {
+	// Executor 0 hangs every "gate" job until released; executor 1 answers
+	// immediately. Killing executor 0 while its jobs are provably in flight
+	// must fail them over to executor 1, and the batch must still succeed
+	// without ever waiting for the hung handlers to finish.
+	release := make(chan struct{})
+	started := make(chan struct{}, 64)
+	ex0, err := NewExecutor("exec-hang", "127.0.0.1:0", gateRegistry(started, release))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ex0.Close() })
+	live := NewRegistry()
+	live.Register("gate", func(p []byte) ([]byte, error) { return p, nil })
+	ex1, err := NewExecutor("exec-live", "127.0.0.1:0", live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ex1.Close() })
+
+	driver, err := NewDriver([]string{ex0.Addr(), ex1.Addr()}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer driver.Close()
+
+	const n = 10
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{Kind: "gate", Payload: []byte(strconv.Itoa(i))}
+	}
+	done := make(chan error, 1)
+	var results []Result
+	go func() {
+		var err error
+		results, err = driver.RunJobs(context.Background(), jobs)
+		done <- err
+	}()
+
+	// Wait until a job is genuinely executing on executor 0, then tear it
+	// down. Close severs the connections first, so the driver sees transport
+	// errors and reroutes; Close itself blocks on the hung handlers, so it
+	// runs concurrently and is only reaped after release.
+	<-started
+	closeErr := make(chan error, 1)
+	go func() { closeErr <- ex0.Close() }()
+
+	if err := <-done; err != nil {
+		t.Fatalf("RunJobs with mid-batch executor death: %v", err)
+	}
+	for i, r := range results {
+		if string(r.Payload) != strconv.Itoa(i) {
+			t.Errorf("job %d payload = %q, want %q", i, r.Payload, strconv.Itoa(i))
+		}
+	}
+	close(release)
+	if err := <-closeErr; err != nil {
+		t.Errorf("close executor mid-batch: %v", err)
+	}
+	for len(started) > 0 { // drain so nothing blocks after the test
+		<-started
+	}
+}
+
+// startExecutorHandles is like startExecutors but returns the executors
+// themselves, for tests that kill them mid-test.
+func startExecutorHandles(t *testing.T, n int) ([]*Executor, []string) {
+	t.Helper()
+	execs := make([]*Executor, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		ex, err := NewExecutor(fmt.Sprintf("exec-%d", i), "127.0.0.1:0", echoRegistry())
+		if err != nil {
+			t.Fatalf("NewExecutor: %v", err)
+		}
+		t.Cleanup(func() { _ = ex.Close() })
+		execs[i] = ex
+		addrs[i] = ex.Addr()
+	}
+	return execs, addrs
+}
+
+func TestClusterRetryExhaustion(t *testing.T) {
+	// Three executors, but the retry budget allows only two attempts. With
+	// every executor dead, both attempts hit transport errors and the job
+	// must surface ErrJobFailed while one (never-tried) client remains.
+	execs, addrs := startExecutorHandles(t, 3)
+	driver, err := NewDriver(addrs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer driver.Close()
+	// Dial already succeeded, so closing the executors breaks the live
+	// connections and every subsequent call is a transport failure.
+	for _, ex := range execs {
+		if err := ex.Close(); err != nil {
+			t.Fatalf("close executor: %v", err)
+		}
+	}
+
+	_, err = driver.RunJobs(context.Background(), []Job{{Kind: "echo", Payload: []byte("x")}})
+	if !errors.Is(err, ErrJobFailed) {
+		t.Fatalf("error = %v, want ErrJobFailed", err)
+	}
+	if got := driver.Executors(); got != 1 {
+		t.Errorf("Executors after two transport drops = %d, want 1", got)
+	}
+}
+
+func TestClusterAllExecutorsDropped(t *testing.T) {
+	// With a generous retry budget, every transport failure drops an
+	// executor until none remain; the job then fails with ErrNoExecutors
+	// rather than spinning.
+	execs, addrs := startExecutorHandles(t, 2)
+	driver, err := NewDriver(addrs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer driver.Close()
+	for _, ex := range execs {
+		if err := ex.Close(); err != nil {
+			t.Fatalf("close executor: %v", err)
+		}
+	}
+
+	_, err = driver.RunJobs(context.Background(), []Job{{Kind: "echo", Payload: []byte("x")}})
+	if !errors.Is(err, ErrNoExecutors) {
+		t.Fatalf("error = %v, want ErrNoExecutors", err)
+	}
+	if got := driver.Executors(); got != 0 {
+		t.Errorf("Executors after dropping all = %d, want 0", got)
+	}
+}
+
+func TestClusterStragglerCancellation(t *testing.T) {
+	// One executor whose handler never returns until released: cancelling
+	// the context must abandon the straggler promptly instead of waiting
+	// for the RPC to complete.
+	release := make(chan struct{})
+	started := make(chan struct{}, 8)
+	ex, err := NewExecutor("exec-hang", "127.0.0.1:0", gateRegistry(started, release))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ex.Close() })
+	driver, err := NewDriver([]string{ex.Addr()}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer driver.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := driver.RunJobs(ctx, []Job{
+			{Kind: "gate", Payload: []byte("a")},
+			{Kind: "gate", Payload: []byte("b")},
+		})
+		done <- err
+	}()
+
+	<-started // a call is provably in flight on the executor
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled batch error = %v, want context.Canceled", err)
+	}
+	close(release) // let the abandoned handler goroutines drain
+	for len(started) > 0 {
+		<-started
+	}
+}
+
+func TestClusterPreCancelledContext(t *testing.T) {
+	addrs := startExecutors(t, 1)
+	driver, err := NewDriver(addrs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer driver.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := driver.RunJobs(ctx, []Job{{Kind: "echo"}}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled batch error = %v, want context.Canceled", err)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"copmecs/internal/eigen"
 	"copmecs/internal/graph"
 	"copmecs/internal/matrix"
+	"copmecs/internal/numeric"
 )
 
 // ErrEmptyGraph is returned when there is nothing to cut.
@@ -143,10 +144,17 @@ func sweepCut(g *graph.Graph, nodes []graph.NodeID, vec matrix.Vector, obj Objec
 		order[i] = i
 	}
 	sort.Slice(order, func(a, b int) bool {
-		if vec[order[a]] != vec[order[b]] {
-			return vec[order[a]] < vec[order[b]]
+		// Exact < in both directions keeps the comparator a strict weak
+		// ordering (a tolerance-based equality is not transitive), with
+		// node IDs as the deterministic tie-break.
+		va, vb := vec[order[a]], vec[order[b]]
+		if va < vb {
+			return true
 		}
-		return nodes[order[a]] < nodes[order[b]] // deterministic ties
+		if vb < va {
+			return false
+		}
+		return nodes[order[a]] < nodes[order[b]]
 	})
 
 	inPrefix := make(map[graph.NodeID]bool, len(nodes))
@@ -190,8 +198,8 @@ func sweepCut(g *graph.Graph, nodes []graph.NodeID, vec matrix.Vector, obj Objec
 // weight. Exposed for verification and teaching; production code uses
 // graph.CutWeight.
 func CutFromQ(g *graph.Graph, sideA map[graph.NodeID]bool, d1, d2 float64) (float64, error) {
-	if d1 == d2 {
-		return 0, fmt.Errorf("spectral: d1 == d2 == %g carries no cut information", d1)
+	if numeric.Eq(d1, d2) {
+		return 0, fmt.Errorf("spectral: d1 ≈ d2 ≈ %g carries no cut information", d1)
 	}
 	nodes := g.Nodes()
 	if len(nodes) == 0 {

@@ -1,0 +1,161 @@
+package vet
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop flags call statements in internal/ and cmd/ packages that
+// discard an error result — eigensolver convergence failures, cluster RPC
+// errors, and encoder writes must be handled, propagated, or explicitly
+// acknowledged with `_ =`. Calls whose error is assigned (including to _)
+// are not flagged: the blank assignment is the visible "I mean it" marker.
+//
+// Exemptions, each justified by the destination's failure model:
+//
+//   - fmt.Print/Printf/Println: stdout diagnostics.
+//   - methods on *strings.Builder / *bytes.Buffer: documented never to
+//     fail.
+//   - fmt.Fprint* whose destination's static type is *strings.Builder or
+//     *bytes.Buffer (same reason) or *bufio.Writer — bufio latches the
+//     first write error and re-reports it from Flush, so the sound
+//     pattern `bw := bufio.NewWriter(w); ... ; return bw.Flush()` needs
+//     no per-write checks.
+//   - fmt.Fprint* to the literal os.Stderr: the last-gasp diagnostic on
+//     the way to a non-zero exit; there is nowhere left to report a
+//     stderr write failure.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "flag discarded error return values in internal/ and cmd/ packages",
+	Run:  runErrDrop,
+}
+
+// errDropExempt lists callees whose error results are conventionally
+// ignorable: stdout diagnostics and writers documented never to fail.
+var errDropExempt = []string{
+	"fmt.Print",
+	"fmt.Printf",
+	"fmt.Println",
+	"(*strings.Builder).",
+	"(*bytes.Buffer).",
+}
+
+// fprintNames is the fmt.F* family whose first argument is the
+// destination writer.
+var fprintNames = map[string]bool{
+	"fmt.Fprint":   true,
+	"fmt.Fprintf":  true,
+	"fmt.Fprintln": true,
+}
+
+// safeWriterTypes are destination types whose writes either cannot fail
+// or latch their error for a later Flush check.
+var safeWriterTypes = map[string]bool{
+	"*strings.Builder": true,
+	"*bytes.Buffer":    true,
+	"*bufio.Writer":    true,
+}
+
+func runErrDrop(pass *Pass) []Finding {
+	if !strings.Contains(pass.Path, "internal/") && !strings.Contains(pass.Path, "cmd/") {
+		return nil
+	}
+	errType := types.Universe.Lookup("error").Type()
+	var findings []Finding
+	check := func(call *ast.CallExpr) {
+		tv, ok := pass.Info.Types[call]
+		if !ok || tv.Type == nil {
+			return
+		}
+		dropsError := false
+		switch t := tv.Type.(type) {
+		case *types.Tuple:
+			for i := 0; i < t.Len(); i++ {
+				if types.Identical(t.At(i).Type(), errType) {
+					dropsError = true
+				}
+			}
+		default:
+			dropsError = types.Identical(t, errType)
+		}
+		if !dropsError {
+			return
+		}
+		name := calleeName(pass.Info, call)
+		for _, exempt := range errDropExempt {
+			if name == exempt || (strings.HasSuffix(exempt, ".") && strings.HasPrefix(name, exempt)) {
+				return
+			}
+		}
+		if fprintNames[name] && len(call.Args) > 0 && safeDestination(pass.Info, call.Args[0]) {
+			return
+		}
+		findings = append(findings, Finding{
+			Analyzer: "errdrop",
+			Pos:      pass.Fset.Position(call.Pos()),
+			Message:  "error result of " + name + " is discarded; handle it or assign to _ explicitly",
+		})
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := stmt.X.(*ast.CallExpr); ok {
+					check(call)
+				}
+			case *ast.GoStmt:
+				check(stmt.Call)
+			case *ast.DeferStmt:
+				check(stmt.Call)
+			}
+			return true
+		})
+	}
+	return findings
+}
+
+// safeDestination reports whether a fmt.Fprint* destination is one of the
+// safe writer types or the literal os.Stderr.
+func safeDestination(info *types.Info, dest ast.Expr) bool {
+	if tv, ok := info.Types[dest]; ok && tv.Type != nil && safeWriterTypes[tv.Type.String()] {
+		return true
+	}
+	if sel, ok := ast.Unparen(dest).(*ast.SelectorExpr); ok && sel.Sel.Name == "Stderr" {
+		if v, ok := info.Uses[sel.Sel].(*types.Var); ok && v.Pkg() != nil && v.Pkg().Path() == "os" {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeName renders the called function for a finding message, using the
+// type-checker's resolution when available (so methods read like
+// "(*rpc.Client).Close") and the source expression otherwise.
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return trimModulePath(f.FullName())
+		}
+		return fun.Name
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return trimModulePath(f.FullName())
+		}
+	}
+	return types.ExprString(call.Fun)
+}
+
+// trimModulePath shortens fully qualified names like
+// "(*copmecs/internal/graph.Graph).AddNode" to "(*graph.Graph).AddNode".
+func trimModulePath(name string) string {
+	for {
+		slash := strings.LastIndex(name, "/")
+		if slash < 0 {
+			return name
+		}
+		start := strings.LastIndexAny(name[:slash], "(* \t")
+		name = name[:start+1] + name[slash+1:]
+	}
+}

@@ -1,0 +1,91 @@
+package vet
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ExportedDoc flags exported identifiers in internal/ packages that carry
+// no doc comment. The internal packages are the repo's API surface for the
+// CLIs and for future growth; an undocumented exported name is either
+// missing its contract or should not be exported. A doc comment on a
+// grouped const/var/type block covers the whole block.
+var ExportedDoc = &Analyzer{
+	Name: "exporteddoc",
+	Doc:  "flag undocumented exported identifiers in internal/ packages",
+	Run:  runExportedDoc,
+}
+
+func runExportedDoc(pass *Pass) []Finding {
+	if !strings.Contains(pass.Path, "internal/") {
+		return nil
+	}
+	var findings []Finding
+	flag := func(n ast.Node, kind, name string) {
+		findings = append(findings, Finding{
+			Analyzer: "exporteddoc",
+			Pos:      pass.Fset.Position(n.Pos()),
+			Message:  "exported " + kind + " " + name + " has no doc comment",
+		})
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() || d.Doc != nil {
+					continue
+				}
+				if d.Recv != nil && !exportedReceiver(d.Recv) {
+					continue // method on an unexported type: not API surface
+				}
+				kind := "function"
+				if d.Recv != nil {
+					kind = "method"
+				}
+				flag(d.Name, kind, d.Name.Name)
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+							flag(s.Name, "type", s.Name.Name)
+						}
+					case *ast.ValueSpec:
+						if d.Doc != nil || s.Doc != nil || s.Comment != nil {
+							continue
+						}
+						for _, name := range s.Names {
+							if name.IsExported() {
+								flag(name, d.Tok.String(), name.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return findings
+}
+
+// exportedReceiver reports whether a method receiver names an exported
+// type.
+func exportedReceiver(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+)
+
+// floatCmpPackages names the numeric packages (by final path element)
+// where raw floating-point equality is banned. These are the packages
+// implementing the paper's spectral machinery (Theorems 1–3) and the
+// greedy allocation (Algorithm 2), whose values come out of long
+// floating-point reductions.
+var floatCmpPackages = map[string]bool{
+	"eigen":    true,
+	"matrix":   true,
+	"spectral": true,
+	"core":     true,
+	"mincut":   true,
+}
+
+// FloatCmp flags == and != between floating-point operands in the numeric
+// packages. Quantities like eigenvector norms, cut weights, and objective
+// deltas accumulate round-off, so exact equality is either vacuous or a
+// latent bug; the fix is the tolerance helpers in internal/numeric
+// (numeric.Eq, numeric.Zero). The `x != x` NaN probe and constant-only
+// comparisons are exempt.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "flag ==/!= between floating-point operands in numeric packages",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) []Finding {
+	if !floatCmpPackages[path.Base(pass.Path)] {
+		return nil
+	}
+	var findings []Finding
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass.Info, be.X) && !isFloat(pass.Info, be.Y) {
+				return true
+			}
+			// Both sides constant: folded at compile time, nothing to flag.
+			if isConst(pass.Info, be.X) && isConst(pass.Info, be.Y) {
+				return true
+			}
+			// `x != x` / `x == x` is the idiomatic NaN probe; leave it be.
+			if types.ExprString(be.X) == types.ExprString(be.Y) {
+				return true
+			}
+			findings = append(findings, Finding{
+				Analyzer: "floatcmp",
+				Pos:      pass.Fset.Position(be.OpPos),
+				Message: "floating-point " + be.Op.String() + " comparison of " +
+					types.ExprString(be.X) + " and " + types.ExprString(be.Y) +
+					"; use numeric.Eq/numeric.Zero (internal/numeric) instead",
+			})
+			return true
+		})
+	}
+	return findings
+}
+
+// isFloat reports whether the expression's type is a (possibly untyped)
+// float or has a float underlying type.
+func isFloat(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+// isConst reports whether the expression is a compile-time constant.
+func isConst(info *types.Info, e ast.Expr) bool {
+	return info.Types[e].Value != nil
+}

@@ -1,0 +1,58 @@
+package vet
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// GlobalRand flags calls to package-level math/rand (and math/rand/v2)
+// functions such as rand.Intn or rand.Float64 in non-test code. Those draw
+// from the process-global source, so two runs of cmd/experiments would
+// disagree and Figs. 6–9 would not reproduce; every random draw must come
+// from an injected seeded *rand.Rand. Constructors (rand.New,
+// rand.NewSource, ...) are exactly how such generators are built and are
+// therefore exempt.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "flag package-level math/rand calls that bypass injected seeded RNGs",
+	Run:  runGlobalRand,
+}
+
+func runGlobalRand(pass *Pass) []Finding {
+	var findings []Finding
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			pkgPath := fn.Pkg().Path()
+			if pkgPath != "math/rand" && pkgPath != "math/rand/v2" {
+				return true
+			}
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true // method on an injected *rand.Rand: the fix, not the bug
+			}
+			if strings.HasPrefix(fn.Name(), "New") {
+				return true // constructing a seeded generator
+			}
+			findings = append(findings, Finding{
+				Analyzer: "globalrand",
+				Pos:      pass.Fset.Position(call.Pos()),
+				Message: "package-level " + pkgPath + "." + fn.Name() +
+					" uses the shared global source; inject a seeded *rand.Rand for reproducible experiments",
+			})
+			return true
+		})
+	}
+	return findings
+}

@@ -1,0 +1,23 @@
+// Package thing is an errdrop fixture: statements that silently discard
+// error results.
+package thing
+
+import (
+	"errors"
+	"os"
+)
+
+// fail always errors.
+func fail() error { return errors.New("boom") }
+
+// pair returns a value and an error.
+func pair() (int, error) { return 0, errors.New("boom") }
+
+// drop discards four errors four different ways.
+func drop() {
+	fail()         // flagged
+	pair()         // flagged
+	defer fail()   // flagged
+	go fail()      // flagged
+	os.Remove("x") // flagged
+}

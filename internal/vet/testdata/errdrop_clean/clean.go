@@ -1,0 +1,38 @@
+// Package thing is the errdrop clean fixture: every error is handled,
+// explicitly blanked, or sent to an exempt destination.
+package thing
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// fail never errors here.
+func fail() error { return nil }
+
+// clean exercises each exemption.
+func clean(w *bufio.Writer) error {
+	if err := fail(); err != nil {
+		return err
+	}
+	_ = fail() // explicit acknowledgement
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "builder") // *strings.Builder destination: cannot fail
+	b.WriteString("direct")    // *strings.Builder method: cannot fail
+	var buf bytes.Buffer
+	fmt.Fprintln(&buf, "buffer") // *bytes.Buffer destination: cannot fail
+	buf.WriteByte('x')           // *bytes.Buffer method: cannot fail
+
+	fmt.Fprintf(w, "latched")        // *bufio.Writer latches; Flush reports
+	fmt.Fprintln(os.Stderr, "diag")  // stderr last-gasp diagnostic
+	fmt.Println("stdout diagnostic") // fmt.Print family
+	if false {
+		return errors.New("unreachable")
+	}
+	return w.Flush()
+}

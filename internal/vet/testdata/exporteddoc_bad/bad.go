@@ -1,0 +1,16 @@
+// Package thing is an exporteddoc fixture: exported identifiers without
+// doc comments.
+package thing
+
+type Widget struct{}
+
+func Build() Widget { return Widget{} }
+
+func (Widget) Spin() {}
+
+const Answer = 42
+
+var Registry map[string]Widget
+
+// documented is unexported and needs no doc; it silences the unused lint.
+func documented() { _ = Answer }

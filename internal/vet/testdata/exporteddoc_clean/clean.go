@@ -1,0 +1,23 @@
+// Package thing is the exporteddoc clean fixture: every exported
+// identifier carries documentation, including block docs and trailing
+// line comments.
+package thing
+
+// Widget is a documented type.
+type Widget struct{}
+
+// Build returns a fresh Widget.
+func Build() Widget { return Widget{} }
+
+// Spin does nothing, but says so.
+func (Widget) Spin() {}
+
+// Tunables for the fixture; the block doc covers both members.
+const (
+	Answer = 42
+	Bonus  = 7
+)
+
+var Registry map[string]Widget // Registry maps names to widgets.
+
+func internalHelper() {} // unexported: no doc required

@@ -1,0 +1,28 @@
+// Package eigenfix is a floatcmp fixture: it is type-checked under an
+// eigen-suffixed import path so the analyzer treats it as numeric code.
+package eigenfix
+
+// cmp holds the true-positive comparisons.
+func cmp(a, b float64, xs []float64) bool {
+	if a == 0 { // flagged
+		return false
+	}
+	if xs[0] != b { // flagged
+		return true
+	}
+	return a != b // flagged
+}
+
+// nanProbe uses the x != x idiom, which stays exempt.
+func nanProbe(x float64) bool { return x != x }
+
+// ints compares integers, which floatcmp ignores.
+func ints(a, b int) bool { return a == b }
+
+// constFold compares two constants, folded at compile time.
+func constFold() bool { return 1.0 == 2.0 }
+
+// suppressed demonstrates the //vet:ignore escape hatch.
+func suppressed(a float64) bool {
+	return a == 0 //vet:ignore floatcmp fixture: exact sentinel comparison
+}

@@ -1,0 +1,16 @@
+// Package eigenfix is the floatcmp clean fixture: tolerance-aware
+// comparisons only.
+package eigenfix
+
+import "math"
+
+const eps = 1e-12
+
+// near compares with a tolerance, the pattern floatcmp asks for.
+func near(a, b float64) bool { return math.Abs(a-b) <= eps }
+
+// zero guards a division the tolerant way.
+func zero(x float64) bool { return math.Abs(x) <= eps }
+
+// ordered uses strict < only.
+func ordered(a, b float64) bool { return a < b }

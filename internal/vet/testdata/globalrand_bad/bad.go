@@ -1,0 +1,14 @@
+// Package netgenfix is a globalrand fixture with package-level math/rand
+// calls that would make experiment runs irreproducible.
+package netgenfix
+
+import "math/rand"
+
+// draw mixes three global-source calls.
+func draw() float64 {
+	if rand.Intn(10) > 5 { // flagged
+		return rand.Float64() // flagged
+	}
+	perm := rand.Perm(4) // flagged
+	return float64(perm[0])
+}

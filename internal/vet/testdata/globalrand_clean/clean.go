@@ -1,0 +1,19 @@
+// Package netgenfix is the globalrand clean fixture: every draw flows
+// from an injected or locally seeded *rand.Rand.
+package netgenfix
+
+import "math/rand"
+
+// draw uses the injected generator.
+func draw(rng *rand.Rand) float64 {
+	if rng.Intn(10) > 5 {
+		return rng.Float64()
+	}
+	return 0
+}
+
+// seeded builds its own deterministic generator; the New/NewSource
+// constructors are exempt.
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,166 @@
+// Package vet implements copmecs-vet, the repo's custom static-analysis
+// suite. It enforces invariants the compiler cannot see but the paper's
+// results depend on:
+//
+//   - floatcmp: no raw == / != between floating-point operands in the
+//     numeric packages (eigen, matrix, spectral, core, mincut) — the
+//     spectral min-cut and greedy allocation require tolerance-aware
+//     comparisons via internal/numeric.
+//   - globalrand: no package-level math/rand calls in non-test code — the
+//     experiment harness (Figs. 6–9) is reproducible only when every
+//     random draw flows from an injected seeded *rand.Rand.
+//   - errdrop: no silently discarded error results in internal/ and cmd/
+//     — eigensolver convergence errors and cluster RPC failures must be
+//     handled or explicitly acknowledged with `_ =`.
+//   - exporteddoc: every exported identifier in internal/ packages carries
+//     a doc comment.
+//
+// The driver is stdlib-only (go/ast, go/parser, go/types); imports are
+// resolved from compiler export data produced by `go list -export`, so the
+// module stays dependency-free.
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	// Analyzer is the name of the analyzer that produced the finding.
+	Analyzer string
+	// Pos locates the offending expression or declaration.
+	Pos token.Position
+	// Message explains the violation and the suggested fix.
+	Message string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Pass hands one type-checked package to an analyzer.
+type Pass struct {
+	// Fset maps AST positions back to source locations.
+	Fset *token.FileSet
+	// Files are the package's parsed non-test files.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info carries the type-checker's expression and identifier facts.
+	Info *types.Info
+	// Path is the package's import path.
+	Path string
+}
+
+// Analyzer is one pluggable rule.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and //vet:ignore directives.
+	Name string
+	// Doc is a one-line description shown by `copmecs-vet -list`.
+	Doc string
+	// Run inspects one package and returns its findings.
+	Run func(*Pass) []Finding
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{FloatCmp, GlobalRand, ErrDrop, ExportedDoc}
+}
+
+// ByName resolves a comma-separated analyzer list against All; an unknown
+// name is an error.
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return All(), nil
+	}
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("vet: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// ignoreDirective matches `//vet:ignore name[,name...] [reason]`. The
+// directive suppresses matching findings on its own source line, for the
+// rare spot where an exact comparison is semantically required (e.g.
+// testing a sentinel bit pattern).
+var ignoreDirective = regexp.MustCompile(`^//vet:ignore\s+([a-z,]+)`)
+
+// ignores collects the suppressed analyzer names per file line.
+func ignores(fset *token.FileSet, files []*ast.File) map[string]map[int]map[string]bool {
+	out := make(map[string]map[int]map[string]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreDirective.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := out[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					out[pos.Filename] = lines
+				}
+				names := lines[pos.Line]
+				if names == nil {
+					names = make(map[string]bool)
+					lines[pos.Line] = names
+				}
+				for _, n := range strings.Split(m[1], ",") {
+					names[n] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RunAnalyzers applies each analyzer to each package, drops findings
+// suppressed by //vet:ignore directives, and returns the rest sorted by
+// position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		pass := &Pass{Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Types, Info: pkg.Info, Path: pkg.Path}
+		ign := ignores(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			for _, f := range a.Run(pass) {
+				if names, ok := ign[f.Pos.Filename][f.Pos.Line]; ok && names[f.Analyzer] {
+					continue
+				}
+				findings = append(findings, f)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings
+}
