@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint fuzz clean
+.PHONY: all build test race vet lint fuzz chaos clean
 
 all: build lint test
 
@@ -27,6 +27,13 @@ lint: vet
 # corpus via plain `go test`, this target digs deeper locally.
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzDecode -fuzztime=30s ./internal/graph/
+
+# chaos runs the fault-injection suite — executor flapping, hung executors,
+# lossy transports — twice under the race detector to shake out
+# order-dependent failures in the driver's recovery paths.
+chaos:
+	$(GO) test -race -count=2 -run '^TestChaos' ./internal/parallel/
+	$(GO) test -race -count=2 ./internal/faultnet/
 
 clean:
 	$(GO) clean ./...

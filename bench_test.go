@@ -11,6 +11,7 @@
 package copmecs
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -98,7 +99,7 @@ func benchSingleUserEnergy(b *testing.B, metric string) {
 				b.ResetTimer()
 				var ev *mec.Evaluation
 				for i := 0; i < b.N; i++ {
-					sol, err := core.Solve([]core.UserInput{{Graph: g}}, core.Options{Engine: eng})
+					sol, err := core.Solve(context.Background(), []core.UserInput{{Graph: g}}, core.Options{Engine: eng})
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -154,7 +155,7 @@ func benchMultiUserEnergy(b *testing.B, metric string) {
 				b.ResetTimer()
 				var ev *mec.Evaluation
 				for i := 0; i < b.N; i++ {
-					sol, err := core.Solve(users, core.Options{Engine: eng, Params: params})
+					sol, err := core.Solve(context.Background(), users, core.Options{Engine: eng, Params: params})
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -206,7 +207,7 @@ func BenchmarkFig9RunningTime(b *testing.B) {
 				users := []core.UserInput{{Graph: g}}
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					if _, err := core.Solve(users, cfg.opts); err != nil {
+					if _, err := core.Solve(context.Background(), users, cfg.opts); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -228,7 +229,7 @@ func BenchmarkAblationNoCompression(b *testing.B) {
 		b.Run(mode.name, func(b *testing.B) {
 			var ev *mec.Evaluation
 			for i := 0; i < b.N; i++ {
-				sol, err := core.Solve([]core.UserInput{{Graph: g}},
+				sol, err := core.Solve(context.Background(), []core.UserInput{{Graph: g}},
 					core.Options{DisableCompression: mode.disable})
 				if err != nil {
 					b.Fatal(err)
@@ -253,7 +254,7 @@ func BenchmarkAblationSweepCut(b *testing.B) {
 		b.Run(mode.name, func(b *testing.B) {
 			var ev *mec.Evaluation
 			for i := 0; i < b.N; i++ {
-				sol, err := core.Solve([]core.UserInput{{Graph: g}},
+				sol, err := core.Solve(context.Background(), []core.UserInput{{Graph: g}},
 					core.Options{Engine: core.SpectralEngine{DisableSweep: mode.disable}})
 				if err != nil {
 					b.Fatal(err)
@@ -283,7 +284,7 @@ func BenchmarkAblationGreedy(b *testing.B) {
 		b.Run(mode.name, func(b *testing.B) {
 			var obj float64
 			for i := 0; i < b.N; i++ {
-				sol, err := core.Solve(users, core.Options{Params: params, DisableGreedy: mode.disable})
+				sol, err := core.Solve(context.Background(), users, core.Options{Params: params, DisableGreedy: mode.disable})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -342,19 +343,19 @@ func BenchmarkSessionReuse(b *testing.B) {
 	}
 	b.Run("cold", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := core.Solve(users, core.Options{}); err != nil {
+			if _, err := core.Solve(context.Background(), users, core.Options{}); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("session", func(b *testing.B) {
 		sess := core.NewSession(core.Options{})
-		if _, err := sess.Solve(users); err != nil {
+		if _, err := sess.Solve(context.Background(), users); err != nil {
 			b.Fatal(err) // warm the cache outside the timer
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := sess.Solve(users); err != nil {
+			if _, err := sess.Solve(context.Background(), users); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -373,7 +374,7 @@ func BenchmarkAblationBalancedCut(b *testing.B) {
 		b.Run(mode.name, func(b *testing.B) {
 			var ev *mec.Evaluation
 			for i := 0; i < b.N; i++ {
-				sol, err := core.Solve([]core.UserInput{{Graph: g}},
+				sol, err := core.Solve(context.Background(), []core.UserInput{{Graph: g}},
 					core.Options{Engine: core.SpectralEngine{Balanced: mode.balanced}})
 				if err != nil {
 					b.Fatal(err)

@@ -12,11 +12,14 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"copmecs/internal/core"
 	"copmecs/internal/graph"
@@ -26,7 +29,10 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// Ctrl-C / SIGTERM cancels in-flight solves and cluster calls cleanly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "copmecs:", err)
 		os.Exit(1)
 	}
@@ -34,16 +40,16 @@ func main() {
 
 // run buffers stdout so report writes share one latched error, surfaced by
 // the final Flush.
-func run(args []string, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	bw := bufio.NewWriter(stdout)
-	err := runBuffered(args, bw)
+	err := runBuffered(ctx, args, bw)
 	if ferr := bw.Flush(); err == nil {
 		err = ferr
 	}
 	return err
 }
 
-func runBuffered(args []string, stdout *bufio.Writer) error {
+func runBuffered(ctx context.Context, args []string, stdout *bufio.Writer) error {
 	fs := flag.NewFlagSet("copmecs", flag.ContinueOnError)
 	var (
 		input      = fs.String("input", "", "graph file (json or binary; default: generate)")
@@ -94,7 +100,7 @@ func runBuffered(args []string, stdout *bufio.Writer) error {
 	for i := range userInputs {
 		userInputs[i] = core.UserInput{Graph: g}
 	}
-	sol, err := core.Solve(userInputs, core.Options{
+	sol, err := core.Solve(ctx, userInputs, core.Options{
 		Engine:             engine,
 		Params:             params,
 		DisableCompression: *noCompress,

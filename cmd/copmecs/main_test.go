@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -13,7 +14,7 @@ import (
 
 func TestRunGenerated(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{"-nodes", "60", "-edges", "150", "-components", "2", "-users", "3"}, &out)
+	err := run(context.Background(), []string{"-nodes", "60", "-edges", "150", "-components", "2", "-users", "3"}, &out)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -28,7 +29,7 @@ func TestRunGenerated(t *testing.T) {
 func TestRunEveryEngine(t *testing.T) {
 	for _, eng := range []string{"spectral", "maxflow", "kernighan-lin", "kl", "stoer-wagner", "sw"} {
 		var out bytes.Buffer
-		err := run([]string{"-nodes", "40", "-edges", "90", "-engine", eng}, &out)
+		err := run(context.Background(), []string{"-nodes", "40", "-edges", "90", "-engine", eng}, &out)
 		if err != nil {
 			t.Errorf("engine %s: %v", eng, err)
 		}
@@ -51,7 +52,7 @@ func TestRunInputJSONAndBinary(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	if err := run([]string{"-input", jsonPath, "-v"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-input", jsonPath, "-v"}, &out); err != nil {
 		t.Fatalf("run json input: %v", err)
 	}
 	if !strings.Contains(out.String(), "local:") {
@@ -70,17 +71,17 @@ func TestRunInputJSONAndBinary(t *testing.T) {
 		t.Fatal(err)
 	}
 	out.Reset()
-	if err := run([]string{"-input", binPath}, &out); err != nil {
+	if err := run(context.Background(), []string{"-input", binPath}, &out); err != nil {
 		t.Fatalf("run binary input: %v", err)
 	}
 }
 
 func TestRunFlagsAffectModel(t *testing.T) {
 	var a, b bytes.Buffer
-	if err := run([]string{"-nodes", "40", "-edges", "90", "-seed", "3"}, &a); err != nil {
+	if err := run(context.Background(), []string{"-nodes", "40", "-edges", "90", "-seed", "3"}, &a); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-nodes", "40", "-edges", "90", "-seed", "3", "-capacity", "50", "-device", "10", "-bandwidth", "5"}, &b); err != nil {
+	if err := run(context.Background(), []string{"-nodes", "40", "-edges", "90", "-seed", "3", "-capacity", "50", "-device", "10", "-bandwidth", "5"}, &b); err != nil {
 		t.Fatal(err)
 	}
 	if a.String() == b.String() {
@@ -90,7 +91,7 @@ func TestRunFlagsAffectModel(t *testing.T) {
 
 func TestRunAblationFlags(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-nodes", "40", "-edges", "90", "-no-compress", "-no-greedy", "-workers", "1"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-nodes", "40", "-edges", "90", "-no-compress", "-no-greedy", "-workers", "1"}, &out); err != nil {
 		t.Fatalf("run ablation flags: %v", err)
 	}
 	if !strings.Contains(out.String(), "greedy moved 0") {
@@ -100,20 +101,20 @@ func TestRunAblationFlags(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-users", "0"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-users", "0"}, &out); err == nil {
 		t.Error("zero users accepted")
 	}
-	if err := run([]string{"-engine", "magic"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-engine", "magic"}, &out); err == nil {
 		t.Error("unknown engine accepted")
 	}
-	if err := run([]string{"-input", "/nonexistent/g.json"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-input", "/nonexistent/g.json"}, &out); err == nil {
 		t.Error("missing input accepted")
 	}
 	bad := filepath.Join(t.TempDir(), "junk")
 	if err := os.WriteFile(bad, []byte("not a graph"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-input", bad}, &out); err == nil {
+	if err := run(context.Background(), []string{"-input", bad}, &out); err == nil {
 		t.Error("junk input accepted")
 	}
 }
@@ -121,7 +122,7 @@ func TestRunErrors(t *testing.T) {
 func TestRunDOTOutput(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "out.dot")
 	var out bytes.Buffer
-	if err := run([]string{"-nodes", "30", "-edges", "70", "-dot", path}, &out); err != nil {
+	if err := run(context.Background(), []string{"-nodes", "30", "-edges", "70", "-dot", path}, &out); err != nil {
 		t.Fatalf("run -dot: %v", err)
 	}
 	data, err := os.ReadFile(path)
@@ -135,7 +136,7 @@ func TestRunDOTOutput(t *testing.T) {
 
 func TestRunSimReplay(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-nodes", "40", "-edges", "90", "-users", "4", "-sim"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-nodes", "40", "-edges", "90", "-users", "4", "-sim"}, &out); err != nil {
 		t.Fatalf("run -sim: %v", err)
 	}
 	if !strings.Contains(out.String(), "simulated:") {

@@ -16,7 +16,9 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
+	"time"
 
 	"copmecs/internal/jobs"
 	"copmecs/internal/parallel"
@@ -47,10 +49,18 @@ func run(args []string, stop <-chan os.Signal, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	// Self-ping through the real RPC path: the reply proves the executor
+	// answers as itself and advertises its job kinds, the same check the
+	// driver's heartbeat applies before (re-)admitting an address.
+	reply, err := parallel.PingExecutor(ex.Addr(), 2*time.Second)
+	if err != nil {
+		return errors.Join(fmt.Errorf("self-ping: %w", err), ex.Close())
+	}
 	// The bound address is the supervisor's readiness signal; a failed
 	// write means nobody is listening, so shut down rather than serve
 	// unreachably.
-	if _, werr := fmt.Fprintf(stdout, "executord %s listening on %s\n", *name, ex.Addr()); werr != nil {
+	if _, werr := fmt.Fprintf(stdout, "executord %s listening on %s (kinds: %s)\n",
+		reply.Name, ex.Addr(), strings.Join(reply.Kinds, ",")); werr != nil {
 		return errors.Join(fmt.Errorf("announce address: %w", werr), ex.Close())
 	}
 

@@ -2,8 +2,10 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"regexp"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -50,7 +52,12 @@ func TestRunServesUntilStopped(t *testing.T) {
 	if addr == "" {
 		t.Fatalf("no listening banner: %q", out.String())
 	}
-	if err := parallel.WaitReady(addr, 2*time.Second); err != nil {
+	if !strings.Contains(out.String(), "kinds: spectral-cut") {
+		t.Errorf("banner does not advertise kinds: %q", out.String())
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := parallel.WaitReadyContext(ctx, addr); err != nil {
 		t.Fatalf("executor not ready: %v", err)
 	}
 	stop <- os.Interrupt

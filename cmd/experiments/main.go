@@ -12,17 +12,23 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"copmecs/internal/experiments"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// Ctrl-C / SIGTERM cancels in-flight solves and cluster calls cleanly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
@@ -30,16 +36,16 @@ func main() {
 
 // run buffers stdout so report writes share one latched error, surfaced by
 // the final Flush.
-func run(args []string, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	bw := bufio.NewWriter(stdout)
-	err := runBuffered(args, bw)
+	err := runBuffered(ctx, args, bw)
 	if ferr := bw.Flush(); err == nil {
 		err = ferr
 	}
 	return err
 }
 
-func runBuffered(args []string, stdout *bufio.Writer) error {
+func runBuffered(ctx context.Context, args []string, stdout *bufio.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
 		seed      = fs.Int64("seed", 7, "deterministic workload seed")
@@ -83,7 +89,7 @@ func runBuffered(args []string, stdout *bufio.Writer) error {
 
 	// Table I.
 	fmt.Fprintln(stdout, "=== Table I: graph compression results ===")
-	rows, err := experiments.TableI(*seed)
+	rows, err := experiments.TableI(ctx, *seed)
 	if err != nil {
 		return err
 	}
@@ -96,7 +102,7 @@ func runBuffered(args []string, stdout *bufio.Writer) error {
 
 	// Figures 3–5.
 	fmt.Fprintln(stdout, "\n=== Figures 3-5: single-user energy by graph size ===")
-	single, err := experiments.SingleUserEnergy(*seed, sizes)
+	single, err := experiments.SingleUserEnergy(ctx, *seed, sizes)
 	if err != nil {
 		return err
 	}
@@ -113,7 +119,7 @@ func runBuffered(args []string, stdout *bufio.Writer) error {
 
 	// Figures 6–8.
 	fmt.Fprintln(stdout, "\n=== Figures 6-8: multi-user energy by user count ===")
-	multi, err := experiments.MultiUserEnergy(*seed, userCounts, *graphSize)
+	multi, err := experiments.MultiUserEnergy(ctx, *seed, userCounts, *graphSize)
 	if err != nil {
 		return err
 	}
@@ -130,7 +136,7 @@ func runBuffered(args []string, stdout *bufio.Writer) error {
 
 	// Figure 9.
 	fmt.Fprintln(stdout, "\n=== Figure 9: running time by graph size ===")
-	rt, err := experiments.Runtime(*seed, sizes)
+	rt, err := experiments.Runtime(ctx, *seed, sizes)
 	if err != nil {
 		return err
 	}
@@ -147,7 +153,7 @@ func runBuffered(args []string, stdout *bufio.Writer) error {
 		if *quick {
 			size, users = 200, 16
 		}
-		rows, err := experiments.Ablations(*seed, size, users)
+		rows, err := experiments.Ablations(ctx, *seed, size, users)
 		if err != nil {
 			return err
 		}
@@ -160,7 +166,7 @@ func runBuffered(args []string, stdout *bufio.Writer) error {
 		if *quick {
 			counts, size = []int{4, 16}, 120
 		}
-		rows, err := experiments.ModelValidation(*seed, counts, size)
+		rows, err := experiments.ModelValidation(ctx, *seed, counts, size)
 		if err != nil {
 			return err
 		}
@@ -174,7 +180,7 @@ func runBuffered(args []string, stdout *bufio.Writer) error {
 			size, users = 200, 8
 		}
 		quantiles := []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99}
-		rows, err := experiments.ThresholdSweep(*seed, size, users, quantiles)
+		rows, err := experiments.ThresholdSweep(ctx, *seed, size, users, quantiles)
 		if err != nil {
 			return err
 		}

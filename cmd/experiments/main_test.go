@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -11,7 +12,7 @@ import (
 func TestRunQuick(t *testing.T) {
 	outdir := filepath.Join(t.TempDir(), "results")
 	var out bytes.Buffer
-	if err := run([]string{"-quick", "-outdir", outdir, "-seed", "3"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-quick", "-outdir", outdir, "-seed", "3"}, &out); err != nil {
 		t.Fatalf("run -quick: %v", err)
 	}
 	text := out.String()
@@ -32,7 +33,7 @@ func TestRunQuick(t *testing.T) {
 
 func TestRunQuickWithAblations(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-quick", "-ablations", "-seed", "3"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-quick", "-ablations", "-seed", "3"}, &out); err != nil {
 		t.Fatalf("run -ablations: %v", err)
 	}
 	if !strings.Contains(out.String(), "sweep-cut") {
@@ -42,7 +43,7 @@ func TestRunQuickWithAblations(t *testing.T) {
 
 func TestRunBadFlag(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-zap"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-zap"}, &out); err == nil {
 		t.Error("unknown flag accepted")
 	}
 }

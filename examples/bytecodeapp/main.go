@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -113,7 +114,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("extract: %v", err)
 	}
-	sol, err := core.Solve([]core.UserInput{{Graph: ex.Graph, FixedLocalWork: ex.LocalWork}}, core.Options{})
+	sol, err := core.Solve(context.Background(), []core.UserInput{{Graph: ex.Graph, FixedLocalWork: ex.LocalWork}}, core.Options{})
 	if err != nil {
 		log.Fatalf("solve: %v", err)
 	}

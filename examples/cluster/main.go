@@ -1,11 +1,12 @@
 // Cluster: the Spark-substitute executor cluster cutting sub-graphs over
-// TCP.
+// TCP, surviving executor failure and recovery.
 //
 // The example starts three executor processes in-process (the same code
-// cmd/executord runs standalone), connects a driver, compresses a generated
-// application graph, and ships every compressed sub-graph's spectral-cut
-// job across the cluster — including surviving the death of one executor
-// mid-run. Run with:
+// cmd/executord runs standalone), connects a resilient driver (per-call
+// deadlines, retry with jittered backoff, heartbeat re-admission), kills
+// one executor mid-run, restarts it, and shows the driver folding it back
+// into the fleet — plus a FallbackRunner degrading to an in-process pool
+// when the whole cluster is lost. Run with:
 //
 //	go run ./examples/cluster
 package main
@@ -14,6 +15,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"copmecs/internal/graph"
 	"copmecs/internal/jobs"
@@ -38,7 +40,25 @@ func main() {
 		fmt.Printf("executor %d listening on %s\n", i, ex.Addr())
 	}
 
-	driver, err := parallel.NewDriver(addrs, 3)
+	// Block until the fleet answers pings, bounded by a caller context.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for _, addr := range addrs {
+		if err := parallel.WaitReadyContext(ctx, addr); err != nil {
+			log.Fatalf("executor %s not ready: %v", addr, err)
+		}
+	}
+
+	// The resilient driver: per-call deadlines turn wedged executors into
+	// transport failures, retries back off with jitter, and the heartbeat
+	// loop re-dials quarantined addresses until they answer again.
+	driver, err := parallel.NewDriverConfig(addrs, parallel.DriverConfig{
+		Retries:      6,
+		CallTimeout:  10 * time.Second,
+		Heartbeat:    100 * time.Millisecond,
+		HeartbeatMax: 2 * time.Second,
+		Seed:         7,
+	})
 	if err != nil {
 		log.Fatalf("connect driver: %v", err)
 	}
@@ -61,12 +81,13 @@ func main() {
 		compressed.NodesBefore, compressed.NodesAfter, len(subgraphs))
 
 	// Kill one executor before dispatch: the driver must reroute its jobs.
+	downAddr := addrs[1]
 	if err := execs[1].Close(); err != nil {
 		log.Fatalf("close executor: %v", err)
 	}
 	fmt.Println("executor 1 killed; dispatching cut jobs to the survivors")
 
-	cuts, err := jobs.SubmitCuts(context.Background(), driver, subgraphs, false)
+	cuts, err := jobs.SubmitCuts(ctx, driver, subgraphs, false)
 	if err != nil {
 		log.Fatalf("submit cuts: %v", err)
 	}
@@ -77,5 +98,32 @@ func main() {
 		total += c.Weight
 	}
 	fmt.Printf("total cut communication across sub-graphs: %.2f\n", total)
-	fmt.Printf("driver finished with %d live executors\n", driver.Executors())
+	stats := driver.Stats()
+	fmt.Printf("after the flap: %d live, %d quarantined (dropped %d, retried %d)\n",
+		stats.Live, stats.Quarantined, stats.Dropped, stats.Retries)
+
+	// Restart the dead executor on its old address: the heartbeat loop
+	// re-admits it without any operator action.
+	revived, err := parallel.NewExecutor("exec-1-revived", downAddr, jobs.NewRegistry())
+	if err != nil {
+		log.Fatalf("restart executor: %v", err)
+	}
+	defer revived.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for driver.Executors() < 3 && time.Now().Before(deadline) {
+		time.Sleep(50 * time.Millisecond)
+	}
+	stats = driver.Stats()
+	fmt.Printf("executor 1 restarted: %d live, %d quarantined (re-admitted %d)\n",
+		stats.Live, stats.Quarantined, stats.Readmitted)
+
+	// FallbackRunner: when the cluster is unusable, batches degrade to an
+	// in-process pool behind the same Runner interface, so the pipeline
+	// keeps producing schemes while the fleet recovers.
+	fb := parallel.NewFallbackRunner(driver, parallel.NewPool(0, jobs.NewRegistry()),
+		parallel.FallbackConfig{Logf: log.Printf})
+	if _, err := jobs.SubmitCuts(ctx, fb, subgraphs[:1], false); err != nil {
+		log.Fatalf("fallback submit: %v", err)
+	}
+	fmt.Printf("fallback runner breaker state: %v\n", fb.State())
 }

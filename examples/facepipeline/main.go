@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -48,7 +49,7 @@ func main() {
 	for i := range users {
 		users[i] = core.UserInput{Graph: ex.Graph, FixedLocalWork: ex.LocalWork}
 	}
-	sol, err := core.Solve(users, core.Options{Params: params})
+	sol, err := core.Solve(context.Background(), users, core.Options{Params: params})
 	if err != nil {
 		log.Fatalf("solve: %v", err)
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -65,7 +66,7 @@ func main() {
 		core.MaxFlowEngine{},
 		core.KLEngine{},
 	} {
-		sol, err := core.Solve(users, core.Options{Engine: engine, Params: params})
+		sol, err := core.Solve(context.Background(), users, core.Options{Engine: engine, Params: params})
 		if err != nil {
 			log.Fatalf("solve with %s: %v", engine.Name(), err)
 		}
@@ -76,7 +77,7 @@ func main() {
 
 	// Detail for the spectral scheme: how the placement differs between an
 	// old and a new device running the same app.
-	sol, err := core.Solve(users, core.Options{Params: params})
+	sol, err := core.Solve(context.Background(), users, core.Options{Params: params})
 	if err != nil {
 		log.Fatalf("solve: %v", err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -44,7 +45,7 @@ func main() {
 	fmt.Printf("application %q: %d offloadable functions, %d data-flow edges\n",
 		app.Name, ex.Graph.NumNodes(), ex.Graph.NumEdges())
 
-	sol, err := core.Solve([]core.UserInput{{Graph: ex.Graph}}, core.Options{})
+	sol, err := core.Solve(context.Background(), []core.UserInput{{Graph: ex.Graph}}, core.Options{})
 	if err != nil {
 		log.Fatalf("solve: %v", err)
 	}

@@ -29,12 +29,13 @@ var _ Engine = ClusterEngine{}
 // Name implements Engine.
 func (ClusterEngine) Name() string { return "spectral-cluster" }
 
-// Bisect implements Engine by submitting a single cut job.
-func (e ClusterEngine) Bisect(g *graph.Graph) ([]graph.NodeID, []graph.NodeID, error) {
+// Bisect implements Engine by submitting a single cut job; ctx bounds the
+// round trip, so a cancelled solve abandons in-flight cluster calls.
+func (e ClusterEngine) Bisect(ctx context.Context, g *graph.Graph) ([]graph.NodeID, []graph.NodeID, error) {
 	if e.Runner == nil {
 		return nil, nil, fmt.Errorf("cluster engine: %w", parallel.ErrNoWorkers)
 	}
-	cuts, err := jobs.SubmitCuts(context.Background(), e.Runner, []*graph.Graph{g}, e.DisableSweep)
+	cuts, err := jobs.SubmitCuts(ctx, e.Runner, []*graph.Graph{g}, e.DisableSweep)
 	if err != nil {
 		return nil, nil, fmt.Errorf("cluster engine: %w", err)
 	}

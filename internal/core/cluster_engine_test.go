@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -17,11 +18,11 @@ func TestClusterEngineOnPool(t *testing.T) {
 		t.Fatal(err)
 	}
 	pool := parallel.NewPool(2, jobs.NewRegistry())
-	clustered, err := Solve([]UserInput{{Graph: g}}, Options{Engine: ClusterEngine{Runner: pool}})
+	clustered, err := Solve(context.Background(), []UserInput{{Graph: g}}, Options{Engine: ClusterEngine{Runner: pool}})
 	if err != nil {
 		t.Fatalf("Solve(cluster): %v", err)
 	}
-	local, err := Solve([]UserInput{{Graph: g}}, Options{Engine: SpectralEngine{}})
+	local, err := Solve(context.Background(), []UserInput{{Graph: g}}, Options{Engine: SpectralEngine{}})
 	if err != nil {
 		t.Fatalf("Solve(local): %v", err)
 	}
@@ -58,11 +59,11 @@ func TestClusterEngineOverTCP(t *testing.T) {
 	}
 	t.Cleanup(func() { _ = driver.Close() })
 
-	sol, err := Solve([]UserInput{{Graph: g}}, Options{Engine: ClusterEngine{Runner: driver}})
+	sol, err := Solve(context.Background(), []UserInput{{Graph: g}}, Options{Engine: ClusterEngine{Runner: driver}})
 	if err != nil {
 		t.Fatalf("Solve over TCP: %v", err)
 	}
-	serial, err := Solve([]UserInput{{Graph: g}}, Options{Engine: SpectralEngine{}})
+	serial, err := Solve(context.Background(), []UserInput{{Graph: g}}, Options{Engine: SpectralEngine{}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestClusterEngineOverTCP(t *testing.T) {
 
 func TestClusterEngineNilRunner(t *testing.T) {
 	g := fig1Graph(t)
-	_, err := Solve([]UserInput{{Graph: g}}, Options{Engine: ClusterEngine{}})
+	_, err := Solve(context.Background(), []UserInput{{Graph: g}}, Options{Engine: ClusterEngine{}})
 	if !errors.Is(err, parallel.ErrNoWorkers) {
 		t.Errorf("nil runner error = %v, want ErrNoWorkers", err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -43,7 +44,7 @@ func engines() []Engine {
 func TestSolveSingleUserAllEngines(t *testing.T) {
 	for _, eng := range engines() {
 		t.Run(eng.Name(), func(t *testing.T) {
-			sol, err := Solve([]UserInput{{Graph: fig1Graph(t)}}, Options{Engine: eng})
+			sol, err := Solve(context.Background(), []UserInput{{Graph: fig1Graph(t)}}, Options{Engine: eng})
 			if err != nil {
 				t.Fatalf("Solve: %v", err)
 			}
@@ -67,20 +68,20 @@ func TestSolveSingleUserAllEngines(t *testing.T) {
 }
 
 func TestSolveNilGraph(t *testing.T) {
-	if _, err := Solve([]UserInput{{}}, Options{}); !errors.Is(err, ErrNilGraph) {
+	if _, err := Solve(context.Background(), []UserInput{{}}, Options{}); !errors.Is(err, ErrNilGraph) {
 		t.Errorf("nil graph error = %v, want ErrNilGraph", err)
 	}
 }
 
 func TestSolveBadParams(t *testing.T) {
 	opts := Options{Params: mec.Params{ServerCapacity: -1, DeviceCompute: 1, PowerCompute: 1, PowerTransmit: 1, Bandwidth: 1}}
-	if _, err := Solve([]UserInput{{Graph: fig1Graph(t)}}, opts); !errors.Is(err, mec.ErrBadParams) {
+	if _, err := Solve(context.Background(), []UserInput{{Graph: fig1Graph(t)}}, opts); !errors.Is(err, mec.ErrBadParams) {
 		t.Errorf("bad params error = %v, want ErrBadParams", err)
 	}
 }
 
 func TestSolveEmptyUsers(t *testing.T) {
-	sol, err := Solve(nil, Options{})
+	sol, err := Solve(context.Background(), nil, Options{})
 	if err != nil {
 		t.Fatalf("Solve(empty): %v", err)
 	}
@@ -90,7 +91,7 @@ func TestSolveEmptyUsers(t *testing.T) {
 }
 
 func TestSolveEmptyUserGraph(t *testing.T) {
-	sol, err := Solve([]UserInput{{Graph: graph.New(0), FixedLocalWork: 100}}, Options{})
+	sol, err := Solve(context.Background(), []UserInput{{Graph: graph.New(0), FixedLocalWork: 100}}, Options{})
 	if err != nil {
 		t.Fatalf("Solve: %v", err)
 	}
@@ -110,7 +111,7 @@ func TestSolveEvalMatchesIncrementalObjective(t *testing.T) {
 		t.Fatal(err)
 	}
 	users := []UserInput{{Graph: g}, {Graph: g.Clone(), FixedLocalWork: 50}}
-	sol, err := Solve(users, Options{})
+	sol, err := Solve(context.Background(), users, Options{})
 	if err != nil {
 		t.Fatalf("Solve: %v", err)
 	}
@@ -142,7 +143,7 @@ func TestSolveGreedyImprovesOverAllRemote(t *testing.T) {
 	}
 	params := mec.Defaults()
 	params.ServerCapacity = 300 // heavily contended
-	sol, err := Solve(users, Options{Params: params})
+	sol, err := Solve(context.Background(), users, Options{Params: params})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,11 +175,11 @@ func TestSolveStrictAndBatchAgreeOnObjectiveDirection(t *testing.T) {
 	}
 	params := mec.Defaults()
 	params.ServerCapacity = 500
-	strict, err := Solve(users, Options{Params: params, Greedy: GreedyStrict})
+	strict, err := Solve(context.Background(), users, Options{Params: params, Greedy: GreedyStrict})
 	if err != nil {
 		t.Fatal(err)
 	}
-	batch, err := Solve(users, Options{Params: params, Greedy: GreedyBatch})
+	batch, err := Solve(context.Background(), users, Options{Params: params, Greedy: GreedyBatch})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +195,7 @@ func TestSolvePartsConsistency(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := Solve([]UserInput{{Graph: g}}, Options{})
+	sol, err := Solve(context.Background(), []UserInput{{Graph: g}}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,11 +237,11 @@ func TestSolveDisableCompression(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	withC, err := Solve([]UserInput{{Graph: g}}, Options{})
+	withC, err := Solve(context.Background(), []UserInput{{Graph: g}}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	without, err := Solve([]UserInput{{Graph: g}}, Options{DisableCompression: true})
+	without, err := Solve(context.Background(), []UserInput{{Graph: g}}, Options{DisableCompression: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,11 +260,11 @@ func TestSolveSerialMatchesParallelWorkers(t *testing.T) {
 		t.Fatal(err)
 	}
 	users := []UserInput{{Graph: g}, {Graph: g.Clone()}}
-	serial, err := Solve(users, Options{Workers: 1})
+	serial, err := Solve(context.Background(), users, Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := Solve(users, Options{Workers: 8})
+	par, err := Solve(context.Background(), users, Options{Workers: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,7 +282,7 @@ func TestSolveSpectralBeatsBaselinesOnTransmission(t *testing.T) {
 	}
 	results := make(map[string]float64)
 	for _, eng := range []Engine{SpectralEngine{}, MaxFlowEngine{}, KLEngine{}} {
-		sol, err := Solve([]UserInput{{Graph: g}}, Options{Engine: eng})
+		sol, err := Solve(context.Background(), []UserInput{{Graph: g}}, Options{Engine: eng})
 		if err != nil {
 			t.Fatalf("%s: %v", eng.Name(), err)
 		}
@@ -302,7 +303,7 @@ func TestGreedyDeltaMatchesFullRecompute(t *testing.T) {
 	users := []UserInput{{Graph: g}, {Graph: g.Clone(), DeviceCompute: 50}}
 	opts := Options{Params: mec.Defaults()}
 	opts.Engine = SpectralEngine{}
-	parts, _, err := buildParts(users, Options{Engine: SpectralEngine{}, Params: mec.Defaults(), Workers: 1}, nil)
+	parts, _, err := buildParts(context.Background(), users, Options{Engine: SpectralEngine{}, Params: mec.Defaults(), Workers: 1}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -342,11 +343,11 @@ func TestSolveSharedGraphMatchesClones(t *testing.T) {
 		shared[i] = UserInput{Graph: g}
 		cloned[i] = UserInput{Graph: g.Clone()}
 	}
-	a, err := Solve(shared, Options{})
+	a, err := Solve(context.Background(), shared, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Solve(cloned, Options{})
+	b, err := Solve(context.Background(), cloned, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -364,7 +365,7 @@ func TestSolveGreedyNeverWorseThanInitial(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, eng := range engines() {
-		sol, err := Solve([]UserInput{{Graph: g}}, Options{Engine: eng})
+		sol, err := Solve(context.Background(), []UserInput{{Graph: g}}, Options{Engine: eng})
 		if err != nil {
 			t.Fatalf("%s: %v", eng.Name(), err)
 		}
@@ -380,7 +381,7 @@ func TestSolveDisableGreedy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := Solve([]UserInput{{Graph: g}}, Options{DisableGreedy: true})
+	sol, err := Solve(context.Background(), []UserInput{{Graph: g}}, Options{DisableGreedy: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -417,11 +418,11 @@ func TestSolveMaxPartsMultiway(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	two, err := Solve([]UserInput{{Graph: g}}, Options{})
+	two, err := Solve(context.Background(), []UserInput{{Graph: g}}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	four, err := Solve([]UserInput{{Graph: g}}, Options{MaxParts: 4})
+	four, err := Solve(context.Background(), []UserInput{{Graph: g}}, Options{MaxParts: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -467,7 +468,7 @@ func TestSolveMaxPartsAdjacencySymmetric(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := Solve([]UserInput{{Graph: g}}, Options{MaxParts: 3, DisableGreedy: true})
+	sol, err := Solve(context.Background(), []UserInput{{Graph: g}}, Options{MaxParts: 3, DisableGreedy: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -517,7 +518,7 @@ func TestSolveHeterogeneousRadios(t *testing.T) {
 		{Graph: g},
 		{Graph: g.Clone(), Bandwidth: 2, PowerTransmit: 60},
 	}
-	sol, err := Solve(users, Options{})
+	sol, err := Solve(context.Background(), users, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -542,7 +543,7 @@ func TestSolveBalancedSpectral(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := Solve([]UserInput{{Graph: g}}, Options{Engine: SpectralEngine{Balanced: true}})
+	sol, err := Solve(context.Background(), []UserInput{{Graph: g}}, Options{Engine: SpectralEngine{Balanced: true}})
 	if err != nil {
 		t.Fatalf("Solve(balanced): %v", err)
 	}

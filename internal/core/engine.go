@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"copmecs/internal/eigen"
@@ -26,8 +27,10 @@ import (
 type Engine interface {
 	// Name identifies the engine in stats and experiment output.
 	Name() string
-	// Bisect splits g; the two sides partition g's nodes.
-	Bisect(g *graph.Graph) (sideA, sideB []graph.NodeID, err error)
+	// Bisect splits g; the two sides partition g's nodes. Implementations
+	// must honour ctx cancellation, at minimum by failing fast between
+	// cuts; remote engines propagate ctx to the transport.
+	Bisect(ctx context.Context, g *graph.Graph) (sideA, sideB []graph.NodeID, err error)
 }
 
 // SpectralEngine is the paper's graph-spectrum cut (§III-B): Fiedler-vector
@@ -56,7 +59,10 @@ func (e SpectralEngine) Name() string {
 }
 
 // Bisect implements Engine.
-func (e SpectralEngine) Bisect(g *graph.Graph) ([]graph.NodeID, []graph.NodeID, error) {
+func (e SpectralEngine) Bisect(ctx context.Context, g *graph.Graph) ([]graph.NodeID, []graph.NodeID, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	opts := spectral.Options{
 		DisableSweep: e.DisableSweep,
 		Eigen:        eigen.FiedlerOptions{DenseCutoff: e.DenseCutoff},
@@ -89,7 +95,10 @@ var _ Engine = MaxFlowEngine{}
 func (e MaxFlowEngine) Name() string { return "maxflow" }
 
 // Bisect implements Engine.
-func (e MaxFlowEngine) Bisect(g *graph.Graph) ([]graph.NodeID, []graph.NodeID, error) {
+func (e MaxFlowEngine) Bisect(ctx context.Context, g *graph.Graph) ([]graph.NodeID, []graph.NodeID, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	a, b, _, err := mincut.MaxFlowBisect(g, e.Sinks)
 	if err != nil {
 		return nil, nil, fmt.Errorf("maxflow engine: %w", err)
@@ -106,7 +115,10 @@ var _ Engine = KLEngine{}
 func (KLEngine) Name() string { return "kernighan-lin" }
 
 // Bisect implements Engine.
-func (KLEngine) Bisect(g *graph.Graph) ([]graph.NodeID, []graph.NodeID, error) {
+func (KLEngine) Bisect(ctx context.Context, g *graph.Graph) ([]graph.NodeID, []graph.NodeID, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	a, b, _, err := mincut.KernighanLin(g)
 	if err != nil {
 		return nil, nil, fmt.Errorf("kernighan-lin engine: %w", err)
@@ -124,7 +136,10 @@ var _ Engine = StoerWagnerEngine{}
 func (StoerWagnerEngine) Name() string { return "stoer-wagner" }
 
 // Bisect implements Engine.
-func (StoerWagnerEngine) Bisect(g *graph.Graph) ([]graph.NodeID, []graph.NodeID, error) {
+func (StoerWagnerEngine) Bisect(ctx context.Context, g *graph.Graph) ([]graph.NodeID, []graph.NodeID, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	a, b, _, err := mincut.GlobalMinCut(g)
 	if err != nil {
 		return nil, nil, fmt.Errorf("stoer-wagner engine: %w", err)

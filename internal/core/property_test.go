@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -52,7 +53,7 @@ func TestPropertyEngineCutsBoundedBelowByGlobalMin(t *testing.T) {
 			return false
 		}
 		for _, eng := range engines() {
-			a, b, err := eng.Bisect(g)
+			a, b, err := eng.Bisect(context.Background(), g)
 			if err != nil {
 				return false
 			}
@@ -100,7 +101,7 @@ func TestPropertySpectralFindsPlantedBridge(t *testing.T) {
 		if err := g.AddEdge(0, graph.NodeID(half), bridge); err != nil {
 			return false
 		}
-		a, _, err := SpectralEngine{}.Bisect(g)
+		a, _, err := SpectralEngine{}.Bisect(context.Background(), g)
 		if err != nil {
 			return false
 		}
@@ -127,11 +128,11 @@ func TestPropertySolveDeterministic(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		s1, err := Solve([]UserInput{{Graph: g1}}, Options{})
+		s1, err := Solve(context.Background(), []UserInput{{Graph: g1}}, Options{})
 		if err != nil {
 			return false
 		}
-		s2, err := Solve([]UserInput{{Graph: g2}}, Options{})
+		s2, err := Solve(context.Background(), []UserInput{{Graph: g2}}, Options{})
 		if err != nil {
 			return false
 		}
@@ -168,7 +169,7 @@ func TestPropertyObjectiveMatchesModel(t *testing.T) {
 		for i := range inputs {
 			inputs[i] = UserInput{Graph: g, FixedLocalWork: float64(i) * 10}
 		}
-		sol, err := Solve(inputs, Options{Engine: eng})
+		sol, err := Solve(context.Background(), inputs, Options{Engine: eng})
 		if err != nil {
 			return false
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 
 	"copmecs/internal/graph"
@@ -35,9 +36,10 @@ func NewSession(opts Options) *Session {
 }
 
 // Solve plans the current population, reusing cached pipeline results for
-// graphs seen in earlier solves.
-func (s *Session) Solve(users []UserInput) (*Solution, error) {
-	return solve(users, s.opts, s)
+// graphs seen in earlier solves. ctx bounds the solve like package-level
+// Solve's.
+func (s *Session) Solve(ctx context.Context, users []UserInput) (*Solution, error) {
+	return solve(ctx, users, s.opts, s)
 }
 
 // CachedGraphs reports how many distinct graphs the session has pipelined.

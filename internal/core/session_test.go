@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -15,11 +16,11 @@ func TestSessionMatchesSolve(t *testing.T) {
 	}
 	users := []UserInput{{Graph: g}, {Graph: g}, {Graph: g}}
 	sess := NewSession(Options{})
-	fromSession, err := sess.Solve(users)
+	fromSession, err := sess.Solve(context.Background(), users)
 	if err != nil {
 		t.Fatalf("Session.Solve: %v", err)
 	}
-	direct, err := Solve(users, Options{})
+	direct, err := Solve(context.Background(), users, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +47,7 @@ func TestSessionReusesAcrossPopulationChanges(t *testing.T) {
 
 	// First wave: 4 users on app A.
 	wave1 := []UserInput{{Graph: gA}, {Graph: gA}, {Graph: gA}, {Graph: gA}}
-	sol1, err := sess.Solve(wave1)
+	sol1, err := sess.Solve(context.Background(), wave1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestSessionReusesAcrossPopulationChanges(t *testing.T) {
 
 	// Second wave: 2 users leave, 3 on app B join.
 	wave2 := []UserInput{{Graph: gA}, {Graph: gA}, {Graph: gB}, {Graph: gB}, {Graph: gB}}
-	sol2, err := sess.Solve(wave2)
+	sol2, err := sess.Solve(context.Background(), wave2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func TestSessionReusesAcrossPopulationChanges(t *testing.T) {
 	}
 
 	// The cached solve equals the cold solve for the same wave.
-	cold, err := Solve(wave2, Options{Params: params})
+	cold, err := Solve(context.Background(), wave2, Options{Params: params})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestSessionInvalidate(t *testing.T) {
 		t.Fatal(err)
 	}
 	sess := NewSession(Options{})
-	if _, err := sess.Solve([]UserInput{{Graph: g}}); err != nil {
+	if _, err := sess.Solve(context.Background(), []UserInput{{Graph: g}}); err != nil {
 		t.Fatal(err)
 	}
 	if !sess.Invalidate(g) {
@@ -100,7 +101,7 @@ func TestSessionInvalidate(t *testing.T) {
 	if err := g.AddEdge(0, 1, 99); err != nil {
 		t.Logf("edge exists, coalesced: %v", err)
 	}
-	sol, err := sess.Solve([]UserInput{{Graph: g}})
+	sol, err := sess.Solve(context.Background(), []UserInput{{Graph: g}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestSessionConcurrentSolves(t *testing.T) {
 	done := make(chan error, 8)
 	for i := 0; i < 8; i++ {
 		go func() {
-			_, err := sess.Solve([]UserInput{{Graph: g}, {Graph: g}})
+			_, err := sess.Solve(context.Background(), []UserInput{{Graph: g}, {Graph: g}})
 			done <- err
 		}()
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -152,14 +153,18 @@ type Solution struct {
 
 // Solve runs the full pipeline — compression, per-sub-graph minimum cut,
 // greedy scheme generation — over all users simultaneously (the multi-user
-// coupling is the shared edge-server capacity).
-func Solve(users []UserInput, opts Options) (*Solution, error) {
-	return solve(users, opts, nil)
+// coupling is the shared edge-server capacity). ctx cancels the cut stage
+// between bisections and propagates to cluster engines' in-flight calls.
+func Solve(ctx context.Context, users []UserInput, opts Options) (*Solution, error) {
+	return solve(ctx, users, opts, nil)
 }
 
 // solve is the shared implementation behind Solve and Session.Solve; cache
 // may be nil.
-func solve(users []UserInput, opts Options, cache *Session) (*Solution, error) {
+func solve(ctx context.Context, users []UserInput, opts Options, cache *Session) (*Solution, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if opts.Engine == nil {
 		opts.Engine = SpectralEngine{}
 	}
@@ -179,7 +184,7 @@ func solve(users []UserInput, opts Options, cache *Session) (*Solution, error) {
 	}
 
 	pipelineStart := time.Now()
-	parts, stats, err := buildParts(users, opts, cache)
+	parts, stats, err := buildParts(ctx, users, opts, cache)
 	if err != nil {
 		return nil, err
 	}
@@ -255,7 +260,7 @@ type pipelineStats struct {
 // depends only on the graph, so it is computed once per distinct *Graph
 // pointer and instantiated per user. Graphs must not be mutated during
 // Solve.
-func buildParts(users []UserInput, opts Options, cache *Session) ([]Part, *Stats, error) {
+func buildParts(ctx context.Context, users []UserInput, opts Options, cache *Session) ([]Part, *Stats, error) {
 	stats := &Stats{}
 
 	// Identify distinct graphs, preserving first-appearance order.
@@ -286,7 +291,7 @@ func buildParts(users []UserInput, opts Options, cache *Session) ([]Part, *Stats
 				return nil
 			}
 		}
-		pp, ps, err := runPipeline(distinct[i], opts)
+		pp, ps, err := runPipeline(ctx, distinct[i], opts)
 		if err != nil {
 			return err
 		}
@@ -331,7 +336,7 @@ func buildParts(users []UserInput, opts Options, cache *Session) ([]Part, *Stats
 
 // runPipeline compresses one graph (unless disabled) and cuts every
 // sub-graph, returning part templates.
-func runPipeline(g *graph.Graph, opts Options) ([]protoPart, pipelineStats, error) {
+func runPipeline(ctx context.Context, g *graph.Graph, opts Options) ([]protoPart, pipelineStats, error) {
 	type job struct {
 		sub       *graph.Graph
 		membersOf map[graph.NodeID][]graph.NodeID // nil when uncompressed
@@ -374,7 +379,7 @@ func runPipeline(g *graph.Graph, opts Options) ([]protoPart, pipelineStats, erro
 	}
 	blocksOf := make([][][]graph.NodeID, len(jobs))
 	if err := parallelForEach(opts.Workers, len(jobs), func(i int) error {
-		blocks, err := partitionSubgraph(jobs[i].sub, opts.Engine, maxParts)
+		blocks, err := partitionSubgraph(ctx, jobs[i].sub, opts.Engine, maxParts)
 		if err != nil {
 			return fmt.Errorf("core: cut sub-graph: %w", err)
 		}
@@ -470,7 +475,7 @@ func sortPartEdges(edges []PartEdge) {
 // with the given engine: the heaviest divisible part is bisected until k
 // parts exist or nothing can be split further. k ≥ 2; a single-node graph
 // yields one part.
-func partitionSubgraph(g *graph.Graph, engine Engine, k int) ([][]graph.NodeID, error) {
+func partitionSubgraph(ctx context.Context, g *graph.Graph, engine Engine, k int) ([][]graph.NodeID, error) {
 	blocks := [][]graph.NodeID{g.Nodes()}
 	indivisible := make(map[int]bool)
 	for len(blocks) < k {
@@ -499,7 +504,7 @@ func partitionSubgraph(g *graph.Graph, engine Engine, k int) ([][]graph.NodeID, 
 		if err != nil {
 			return nil, err
 		}
-		sideA, sideB, err := engine.Bisect(sub)
+		sideA, sideB, err := engine.Bisect(ctx, sub)
 		if err != nil {
 			return nil, err
 		}

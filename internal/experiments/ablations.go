@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -30,7 +31,7 @@ type AblationRow struct {
 //   - greedy on/off (Algorithm 2's value over the initial cut split);
 //   - bisection vs 4-way recursive partitioning (the paper's future-work
 //     direction).
-func Ablations(seed int64, graphSize, users int) ([]AblationRow, error) {
+func Ablations(ctx context.Context, seed int64, graphSize, users int) ([]AblationRow, error) {
 	if graphSize < 2 || users < 1 {
 		return nil, fmt.Errorf("%w: graph size %d, users %d", ErrBadInput, graphSize, users)
 	}
@@ -73,7 +74,7 @@ func Ablations(seed int64, graphSize, users int) ([]AblationRow, error) {
 	rows := make([]AblationRow, 0, len(configs))
 	for _, c := range configs {
 		start := time.Now()
-		sol, err := core.Solve(inputs, c.opts)
+		sol, err := core.Solve(ctx, inputs, c.opts)
 		if err != nil {
 			return nil, fmt.Errorf("ablations %s/%s: %w", c.study, c.name, err)
 		}

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -85,7 +86,7 @@ type TableIRow struct {
 
 // TableI regenerates the compression table: the five NETGEN-scale graphs
 // compressed by Algorithm 1 with default options.
-func TableI(seed int64) ([]TableIRow, error) {
+func TableI(ctx context.Context, seed int64) ([]TableIRow, error) {
 	rows := make([]TableIRow, 0, netgen.TableIRows())
 	for i := 0; i < netgen.TableIRows(); i++ {
 		cfg, err := netgen.TableIConfig(i, seed)
@@ -194,7 +195,7 @@ func (r *EnergyResult) Normalized(m Metric) map[string][]float64 {
 
 // SingleUserEnergy regenerates Figures 3–5: one user, graphs of the Table I
 // sizes, the three cut engines, default MEC parameters.
-func SingleUserEnergy(seed int64, sizes []int) (*EnergyResult, error) {
+func SingleUserEnergy(ctx context.Context, seed int64, sizes []int) (*EnergyResult, error) {
 	if len(sizes) == 0 {
 		return nil, fmt.Errorf("%w: no sizes", ErrBadInput)
 	}
@@ -214,7 +215,7 @@ func SingleUserEnergy(seed int64, sizes []int) (*EnergyResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			sol, err := core.Solve([]core.UserInput{{Graph: g}}, core.Options{Engine: eng})
+			sol, err := core.Solve(ctx, []core.UserInput{{Graph: g}}, core.Options{Engine: eng})
 			if err != nil {
 				return nil, fmt.Errorf("single-user energy %s@%d: %w", name, size, err)
 			}
@@ -251,7 +252,7 @@ func MultiUserParams() mec.Params {
 
 // MultiUserEnergy regenerates Figures 6–8: graphs of graphSize nodes (the
 // paper fixes 1000), increasing user counts, the three engines.
-func MultiUserEnergy(seed int64, userCounts []int, graphSize int) (*EnergyResult, error) {
+func MultiUserEnergy(ctx context.Context, seed int64, userCounts []int, graphSize int) (*EnergyResult, error) {
 	if len(userCounts) == 0 || graphSize < 1 {
 		return nil, fmt.Errorf("%w: user counts %v, graph size %d", ErrBadInput, userCounts, graphSize)
 	}
@@ -280,7 +281,7 @@ func MultiUserEnergy(seed int64, userCounts []int, graphSize int) (*EnergyResult
 			if err != nil {
 				return nil, err
 			}
-			sol, err := core.Solve(users, core.Options{Engine: eng, Params: params})
+			sol, err := core.Solve(ctx, users, core.Options{Engine: eng, Params: params})
 			if err != nil {
 				return nil, fmt.Errorf("multi-user energy %s@%d: %w", name, n, err)
 			}
@@ -315,7 +316,7 @@ const (
 // combinatorial baselines, and the spectral pipeline with per-sub-graph and
 // matvec parallelism ("with Spark" — internal/parallel standing in for the
 // Spark cluster).
-func Runtime(seed int64, sizes []int) (*RuntimeResult, error) {
+func Runtime(ctx context.Context, seed int64, sizes []int) (*RuntimeResult, error) {
 	if len(sizes) == 0 {
 		return nil, fmt.Errorf("%w: no sizes", ErrBadInput)
 	}
@@ -346,7 +347,7 @@ func Runtime(seed int64, sizes []int) (*RuntimeResult, error) {
 		}
 		for _, c := range configs {
 			start := time.Now()
-			if _, err := core.Solve([]core.UserInput{{Graph: g}}, c.opts); err != nil {
+			if _, err := core.Solve(ctx, []core.UserInput{{Graph: g}}, c.opts); err != nil {
 				return nil, fmt.Errorf("runtime %s@%d: %w", c.name, size, err)
 			}
 			res.Seconds[c.name] = append(res.Seconds[c.name], time.Since(start).Seconds())

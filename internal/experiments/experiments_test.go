@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -18,7 +19,7 @@ func TestTableI(t *testing.T) {
 	if testing.Short() {
 		t.Skip("table I runs the 5000-node compression")
 	}
-	rows, err := TableI(7)
+	rows, err := TableI(context.Background(), 7)
 	if err != nil {
 		t.Fatalf("TableI: %v", err)
 	}
@@ -48,7 +49,7 @@ func TestTableI(t *testing.T) {
 }
 
 func TestSingleUserEnergySmall(t *testing.T) {
-	res, err := SingleUserEnergy(3, testSizes)
+	res, err := SingleUserEnergy(context.Background(), 3, testSizes)
 	if err != nil {
 		t.Fatalf("SingleUserEnergy: %v", err)
 	}
@@ -91,7 +92,7 @@ func TestSingleUserEnergySmall(t *testing.T) {
 }
 
 func TestMultiUserEnergySmall(t *testing.T) {
-	res, err := MultiUserEnergy(5, testUsers, 80)
+	res, err := MultiUserEnergy(context.Background(), 5, testUsers, 80)
 	if err != nil {
 		t.Fatalf("MultiUserEnergy: %v", err)
 	}
@@ -118,7 +119,7 @@ func TestMultiUserEnergySmall(t *testing.T) {
 }
 
 func TestRuntimeSmall(t *testing.T) {
-	res, err := Runtime(11, testSizes)
+	res, err := Runtime(context.Background(), 11, testSizes)
 	if err != nil {
 		t.Fatalf("Runtime: %v", err)
 	}
@@ -143,16 +144,16 @@ func TestRuntimeSmall(t *testing.T) {
 }
 
 func TestInputValidation(t *testing.T) {
-	if _, err := SingleUserEnergy(1, nil); !errors.Is(err, ErrBadInput) {
+	if _, err := SingleUserEnergy(context.Background(), 1, nil); !errors.Is(err, ErrBadInput) {
 		t.Errorf("empty sizes error = %v", err)
 	}
-	if _, err := MultiUserEnergy(1, nil, 100); !errors.Is(err, ErrBadInput) {
+	if _, err := MultiUserEnergy(context.Background(), 1, nil, 100); !errors.Is(err, ErrBadInput) {
 		t.Errorf("empty users error = %v", err)
 	}
-	if _, err := MultiUserEnergy(1, []int{3}, 0); !errors.Is(err, ErrBadInput) {
+	if _, err := MultiUserEnergy(context.Background(), 1, []int{3}, 0); !errors.Is(err, ErrBadInput) {
 		t.Errorf("zero graph size error = %v", err)
 	}
-	if _, err := Runtime(1, nil); !errors.Is(err, ErrBadInput) {
+	if _, err := Runtime(context.Background(), 1, nil); !errors.Is(err, ErrBadInput) {
 		t.Errorf("empty runtime sizes error = %v", err)
 	}
 	if _, err := engineByName("nope"); !errors.Is(err, ErrBadInput) {
@@ -170,7 +171,7 @@ func TestCSVWriters(t *testing.T) {
 		t.Errorf("table csv:\n%s", buf.String())
 	}
 
-	res, err := SingleUserEnergy(3, []int{40})
+	res, err := SingleUserEnergy(context.Background(), 3, []int{40})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +212,7 @@ func TestGraphForSizePaperRow(t *testing.T) {
 }
 
 func TestAblationsSmall(t *testing.T) {
-	rows, err := Ablations(3, 120, 8)
+	rows, err := Ablations(context.Background(), 3, 120, 8)
 	if err != nil {
 		t.Fatalf("Ablations: %v", err)
 	}
@@ -247,13 +248,13 @@ func TestAblationsSmall(t *testing.T) {
 	if !strings.Contains(text, "sweep-cut") {
 		t.Errorf("render missing study:\n%s", text)
 	}
-	if _, err := Ablations(3, 0, 1); !errors.Is(err, ErrBadInput) {
+	if _, err := Ablations(context.Background(), 3, 0, 1); !errors.Is(err, ErrBadInput) {
 		t.Errorf("bad input error = %v", err)
 	}
 }
 
 func TestModelValidationSmall(t *testing.T) {
-	rows, err := ModelValidation(3, []int{4, 12}, 100)
+	rows, err := ModelValidation(context.Background(), 3, []int{4, 12}, 100)
 	if err != nil {
 		t.Fatalf("ModelValidation: %v", err)
 	}
@@ -279,13 +280,13 @@ func TestModelValidationSmall(t *testing.T) {
 	if !strings.Contains(text, "sim PS wait") {
 		t.Errorf("render missing header:\n%s", text)
 	}
-	if _, err := ModelValidation(3, nil, 100); !errors.Is(err, ErrBadInput) {
+	if _, err := ModelValidation(context.Background(), 3, nil, 100); !errors.Is(err, ErrBadInput) {
 		t.Errorf("bad input error = %v", err)
 	}
 }
 
 func TestThresholdSweepSmall(t *testing.T) {
-	rows, err := ThresholdSweep(3, 120, 4, []float64{0.1, 0.75, 0.99})
+	rows, err := ThresholdSweep(context.Background(), 3, 120, 4, []float64{0.1, 0.75, 0.99})
 	if err != nil {
 		t.Fatalf("ThresholdSweep: %v", err)
 	}
@@ -307,10 +308,10 @@ func TestThresholdSweepSmall(t *testing.T) {
 	if !strings.Contains(text, "quantile") {
 		t.Errorf("render missing header:\n%s", text)
 	}
-	if _, err := ThresholdSweep(3, 120, 4, []float64{2}); !errors.Is(err, ErrBadInput) {
+	if _, err := ThresholdSweep(context.Background(), 3, 120, 4, []float64{2}); !errors.Is(err, ErrBadInput) {
 		t.Errorf("bad quantile error = %v", err)
 	}
-	if _, err := ThresholdSweep(3, 0, 4, []float64{0.5}); !errors.Is(err, ErrBadInput) {
+	if _, err := ThresholdSweep(context.Background(), 3, 0, 4, []float64{0.5}); !errors.Is(err, ErrBadInput) {
 		t.Errorf("bad size error = %v", err)
 	}
 }

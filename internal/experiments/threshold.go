@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -29,7 +30,7 @@ type ThresholdRow struct {
 // size plus scheme quality recorded. Low thresholds over-merge (cheap cuts
 // disappear inside super-nodes); high thresholds stop compressing (slow and
 // cut-happy); the default 0.75 sits on the plateau between.
-func ThresholdSweep(seed int64, graphSize, users int, quantiles []float64) ([]ThresholdRow, error) {
+func ThresholdSweep(ctx context.Context, seed int64, graphSize, users int, quantiles []float64) ([]ThresholdRow, error) {
 	if graphSize < 2 || users < 1 || len(quantiles) == 0 {
 		return nil, fmt.Errorf("%w: size %d users %d quantiles %v",
 			ErrBadInput, graphSize, users, quantiles)
@@ -54,7 +55,7 @@ func ThresholdSweep(seed int64, graphSize, users int, quantiles []float64) ([]Th
 			Params: params,
 			LPA:    lpa.Options{WeightThreshold: threshold},
 		}
-		sol, err := core.Solve(inputs, opts)
+		sol, err := core.Solve(ctx, inputs, opts)
 		if err != nil {
 			return nil, fmt.Errorf("threshold sweep q=%g: %w", q, err)
 		}

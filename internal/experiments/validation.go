@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -29,7 +30,7 @@ type ValidationRow struct {
 // the offloading instance for each population, replays every user's
 // offloaded work and cut transmission through the internal/sim queue, and
 // reports analytic-vs-simulated waiting and remote times side by side.
-func ModelValidation(seed int64, userCounts []int, graphSize int) ([]ValidationRow, error) {
+func ModelValidation(ctx context.Context, seed int64, userCounts []int, graphSize int) ([]ValidationRow, error) {
 	if len(userCounts) == 0 || graphSize < 2 {
 		return nil, fmt.Errorf("%w: users %v, graph size %d", ErrBadInput, userCounts, graphSize)
 	}
@@ -44,7 +45,7 @@ func ModelValidation(seed int64, userCounts []int, graphSize int) ([]ValidationR
 		for i := range users {
 			users[i] = core.UserInput{Graph: g}
 		}
-		sol, err := core.Solve(users, core.Options{Params: params})
+		sol, err := core.Solve(ctx, users, core.Options{Params: params})
 		if err != nil {
 			return nil, fmt.Errorf("model validation @%d users: %w", n, err)
 		}

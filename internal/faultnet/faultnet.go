@@ -1,0 +1,231 @@
+// Package faultnet injects deterministic, scriptable network faults for
+// resilience testing. Wrap a net.Listener and every accepted connection
+// gains seeded fault behaviour — added latency, injected connection
+// resets, partial writes — while the listener itself can be scripted into
+// accept-time blackouts (incoming connections are accepted and immediately
+// severed, the signature of a crashed service behind a live address) and
+// mid-test mass resets of established connections.
+//
+// Fault sampling draws from one seeded source per listener, so a given
+// seed and I/O schedule replays the same fault sequence; under concurrent
+// connections the interleaving decides which operation draws which number,
+// so exact replay holds for single-connection scripts and statistical
+// behaviour for concurrent ones.
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjectedReset marks a connection failure manufactured by this package.
+var ErrInjectedReset = errors.New("faultnet: injected connection reset")
+
+// Config selects the faults applied to accepted connections. The zero
+// value injects nothing: the wrapper is then a transparent pass-through
+// whose blackout and reset controls can still be scripted.
+type Config struct {
+	// Seed seeds the fault sampler (0 means 1).
+	Seed int64
+	// ReadLatency is added before every Read.
+	ReadLatency time.Duration
+	// WriteLatency is added before every Write.
+	WriteLatency time.Duration
+	// ResetProb is the per-I/O probability of severing the connection
+	// with ErrInjectedReset.
+	ResetProb float64
+	// PartialWriteProb is the per-Write probability of delivering only a
+	// prefix of the buffer before severing the connection — the
+	// mid-message truncation that corrupts a wire stream.
+	PartialWriteProb float64
+}
+
+// Stats counts the faults a listener has injected.
+type Stats struct {
+	// Accepted counts connections handed to the server.
+	Accepted int
+	// Blackholed counts connections severed at accept time by a blackout.
+	Blackholed int
+	// Resets counts injected connection resets (including partial writes).
+	Resets int
+	// PartialWrites counts writes truncated mid-buffer.
+	PartialWrites int
+}
+
+// Listener wraps an inner net.Listener with fault injection.
+type Listener struct {
+	inner net.Listener
+	cfg   Config
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	blackout bool
+	conns    map[net.Conn]struct{}
+	stats    Stats
+}
+
+// Wrap returns a fault-injecting listener over ln, configured by cfg.
+func Wrap(ln net.Listener, cfg Config) *Listener {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Listener{
+		inner: ln,
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(seed)),
+		conns: make(map[net.Conn]struct{}),
+	}
+}
+
+// Accept waits for the next connection. During a blackout every incoming
+// connection is accepted and immediately closed — the remote dial
+// succeeds, then the stream dies, exactly how a crashed service behind a
+// live listen queue looks from outside.
+func (l *Listener) Accept() (net.Conn, error) {
+	for {
+		c, err := l.inner.Accept()
+		if err != nil {
+			return nil, err
+		}
+		l.mu.Lock()
+		if l.blackout {
+			l.stats.Blackholed++
+			l.mu.Unlock()
+			_ = c.Close()
+			continue
+		}
+		l.stats.Accepted++
+		l.conns[c] = struct{}{}
+		l.mu.Unlock()
+		return &Conn{Conn: c, l: l}, nil
+	}
+}
+
+// Close closes the inner listener. Established connections stay up; use
+// ResetAll to sever them.
+func (l *Listener) Close() error { return l.inner.Close() }
+
+// Addr returns the inner listener's address.
+func (l *Listener) Addr() net.Addr { return l.inner.Addr() }
+
+// SetBlackout scripts the accept-time blackout on or off.
+func (l *Listener) SetBlackout(on bool) {
+	l.mu.Lock()
+	l.blackout = on
+	l.mu.Unlock()
+}
+
+// Blackout reports whether a blackout is active.
+func (l *Listener) Blackout() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.blackout
+}
+
+// ResetAll severs every established connection, returning how many were
+// cut. Combined with SetBlackout(true) it scripts a process crash; a later
+// SetBlackout(false) scripts the restart.
+func (l *Listener) ResetAll() int {
+	l.mu.Lock()
+	conns := make([]net.Conn, 0, len(l.conns))
+	for c := range l.conns {
+		conns = append(conns, c)
+	}
+	l.conns = make(map[net.Conn]struct{})
+	l.stats.Resets += len(conns)
+	l.mu.Unlock()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	return len(conns)
+}
+
+// Stats returns a snapshot of the fault counters.
+func (l *Listener) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// roll samples one fault decision from the seeded source.
+func (l *Listener) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	l.mu.Lock()
+	hit := l.rng.Float64() < p
+	l.mu.Unlock()
+	return hit
+}
+
+// forget stops tracking a connection the caller closed.
+func (l *Listener) forget(c net.Conn) {
+	l.mu.Lock()
+	delete(l.conns, c)
+	l.mu.Unlock()
+}
+
+// noteReset counts an injected reset and stops tracking the connection.
+func (l *Listener) noteReset(c net.Conn, partial bool) {
+	l.mu.Lock()
+	if _, ok := l.conns[c]; ok {
+		delete(l.conns, c)
+		l.stats.Resets++
+		if partial {
+			l.stats.PartialWrites++
+		}
+	}
+	l.mu.Unlock()
+}
+
+// Conn is one accepted connection with fault injection applied to its
+// Read/Write path.
+type Conn struct {
+	net.Conn
+	l *Listener
+}
+
+// Read applies the configured read latency and reset probability, then
+// forwards to the underlying connection.
+func (c *Conn) Read(b []byte) (int, error) {
+	if d := c.l.cfg.ReadLatency; d > 0 {
+		time.Sleep(d)
+	}
+	if c.l.roll(c.l.cfg.ResetProb) {
+		c.l.noteReset(c.Conn, false)
+		_ = c.Conn.Close()
+		return 0, ErrInjectedReset
+	}
+	return c.Conn.Read(b)
+}
+
+// Write applies the configured write latency, reset and partial-write
+// probabilities, then forwards to the underlying connection.
+func (c *Conn) Write(b []byte) (int, error) {
+	if d := c.l.cfg.WriteLatency; d > 0 {
+		time.Sleep(d)
+	}
+	if c.l.roll(c.l.cfg.ResetProb) {
+		c.l.noteReset(c.Conn, false)
+		_ = c.Conn.Close()
+		return 0, ErrInjectedReset
+	}
+	if len(b) > 1 && c.l.roll(c.l.cfg.PartialWriteProb) {
+		n, _ := c.Conn.Write(b[:len(b)/2])
+		c.l.noteReset(c.Conn, true)
+		_ = c.Conn.Close()
+		return n, fmt.Errorf("faultnet: partial write (%d of %d bytes): %w", n, len(b), ErrInjectedReset)
+	}
+	return c.Conn.Write(b)
+}
+
+// Close closes the underlying connection and stops tracking it.
+func (c *Conn) Close() error {
+	c.l.forget(c.Conn)
+	return c.Conn.Close()
+}

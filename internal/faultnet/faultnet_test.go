@@ -1,0 +1,218 @@
+package faultnet
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// startEcho serves echo connections on a wrapped listener until the test
+// ends, returning the listener and its dial address.
+func startEcho(t *testing.T, cfg Config) (*Listener, string) {
+	t.Helper()
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := Wrap(inner, cfg)
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				_, _ = io.Copy(c, c)
+			}()
+		}
+	}()
+	return ln, ln.Addr().String()
+}
+
+// roundTrip writes msg and reads back the same number of bytes.
+func roundTrip(conn net.Conn, msg string) (string, error) {
+	if _, err := conn.Write([]byte(msg)); err != nil {
+		return "", err
+	}
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func TestPassThrough(t *testing.T) {
+	ln, addr := startEcho(t, Config{})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	got, err := roundTrip(conn, "hello")
+	if err != nil || got != "hello" {
+		t.Fatalf("echo = %q, %v", got, err)
+	}
+	if s := ln.Stats(); s.Accepted != 1 || s.Resets != 0 || s.Blackholed != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestBlackoutAndRecovery(t *testing.T) {
+	ln, addr := startEcho(t, Config{})
+	ln.SetBlackout(true)
+	if !ln.Blackout() {
+		t.Fatal("blackout not reported")
+	}
+
+	// The dial succeeds (backlog accepts), but the stream is dead.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial during blackout: %v", err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	_, _ = conn.Write([]byte("x"))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Error("read during blackout succeeded")
+	}
+	_ = conn.Close()
+
+	ln.SetBlackout(false)
+	conn2, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	if got, err := roundTrip(conn2, "back"); err != nil || got != "back" {
+		t.Fatalf("post-blackout echo = %q, %v", got, err)
+	}
+	if s := ln.Stats(); s.Blackholed < 1 {
+		t.Errorf("Blackholed = %d, want ≥ 1", s.Blackholed)
+	}
+}
+
+func TestResetAll(t *testing.T) {
+	ln, addr := startEcho(t, Config{})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := roundTrip(conn, "warm"); err != nil {
+		t.Fatal(err)
+	}
+	if n := ln.ResetAll(); n != 1 {
+		t.Fatalf("ResetAll = %d, want 1", n)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	_, _ = conn.Write([]byte("x"))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Error("read after ResetAll succeeded")
+	}
+	if s := ln.Stats(); s.Resets != 1 {
+		t.Errorf("Resets = %d, want 1", s.Resets)
+	}
+}
+
+func TestReadLatency(t *testing.T) {
+	const lat = 30 * time.Millisecond
+	_, addr := startEcho(t, Config{ReadLatency: lat})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	start := time.Now()
+	if _, err := roundTrip(conn, "ping"); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < lat {
+		t.Errorf("round trip %v, want ≥ %v", elapsed, lat)
+	}
+}
+
+func TestInjectedReset(t *testing.T) {
+	ln, addr := startEcho(t, Config{ResetProb: 1})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	_, _ = conn.Write([]byte("x"))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Error("read on always-reset connection succeeded")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for ln.Stats().Resets == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if s := ln.Stats(); s.Resets < 1 {
+		t.Errorf("Resets = %d, want ≥ 1", s.Resets)
+	}
+}
+
+func TestPartialWrite(t *testing.T) {
+	// The server's echo of a multi-byte message is truncated mid-buffer:
+	// the client sees a prefix then a dead stream, never the full message.
+	ln, addr := startEcho(t, Config{PartialWriteProb: 1})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := "0123456789abcdef"
+	if _, err := conn.Write([]byte(msg)); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, len(msg))
+	n, err := io.ReadFull(conn, buf)
+	if err == nil || n >= len(msg) {
+		t.Fatalf("read %d bytes (err %v), want truncation", n, err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for ln.Stats().PartialWrites == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if s := ln.Stats(); s.PartialWrites < 1 {
+		t.Errorf("PartialWrites = %d, want ≥ 1", s.PartialWrites)
+	}
+}
+
+func TestSeededFaultsReplay(t *testing.T) {
+	// A single-connection script with the same seed replays the same
+	// fault sequence: the k-th operation fails in both runs.
+	failAt := func(seed int64) int {
+		_, addr := startEcho(t, Config{Seed: seed, ResetProb: 0.2})
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+		for i := 0; i < 100; i++ {
+			if _, err := roundTrip(conn, "abcd"); err != nil {
+				return i
+			}
+		}
+		return -1
+	}
+	a, b := failAt(7), failAt(7)
+	if a != b {
+		t.Errorf("same seed failed at ops %d and %d", a, b)
+	}
+	if a == -1 {
+		t.Error("ResetProb 0.2 never fired in 100 ops")
+	}
+}
+
+func TestErrInjectedResetIdentity(t *testing.T) {
+	err := errors.Join(ErrInjectedReset)
+	if !errors.Is(err, ErrInjectedReset) {
+		t.Error("ErrInjectedReset identity lost under wrapping")
+	}
+}

@@ -1,0 +1,256 @@
+package parallel
+
+import (
+	"context"
+	"net"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"copmecs/internal/faultnet"
+)
+
+// waitUntil polls cond every millisecond until it holds or the deadline
+// elapses, reporting success.
+func waitUntil(timeout time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return cond()
+}
+
+// startFaultyExecutor serves registry behind a faultnet wrapper so tests
+// can script crashes and restarts without rebinding ports.
+func startFaultyExecutor(t *testing.T, name string, cfg faultnet.Config, registry *Registry) (*Executor, *faultnet.Listener) {
+	t.Helper()
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := faultnet.Wrap(inner, cfg)
+	ex, err := NewExecutorListener(name, fn, registry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ex.Close() })
+	return ex, fn
+}
+
+// TestChaosExecutorFlappingReadmission is the acceptance scenario: a
+// 200-job batch against 3 executors with one executor crashed and
+// restarted mid-batch (scripted via faultnet blackout + mass reset)
+// completes with zero lost or duplicated results, and the driver
+// re-admits the restarted executor.
+func TestChaosExecutorFlappingReadmission(t *testing.T) {
+	var executed atomic.Int64
+	workRegistry := func() *Registry {
+		r := NewRegistry()
+		r.Register("work", func(p []byte) ([]byte, error) {
+			executed.Add(1)
+			time.Sleep(time.Millisecond)
+			return p, nil
+		})
+		return r
+	}
+
+	var addrs []string
+	var flapper *faultnet.Listener
+	for i := 0; i < 3; i++ {
+		cfg := faultnet.Config{Seed: int64(i + 1)}
+		ex, fn := startFaultyExecutor(t, "exec-"+strconv.Itoa(i), cfg, workRegistry())
+		addrs = append(addrs, ex.Addr())
+		if i == 1 {
+			flapper = fn
+		}
+	}
+
+	driver, err := NewDriverConfig(addrs, DriverConfig{
+		Retries:      10,
+		CallTimeout:  2 * time.Second,
+		BackoffBase:  time.Millisecond,
+		BackoffMax:   20 * time.Millisecond,
+		Heartbeat:    5 * time.Millisecond,
+		HeartbeatMax: 50 * time.Millisecond,
+		Seed:         42,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer driver.Close()
+	if driver.Executors() != 3 {
+		t.Fatalf("Executors = %d, want 3", driver.Executors())
+	}
+
+	const n = 200
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{Kind: "work", Payload: []byte(strconv.Itoa(i))}
+	}
+	done := make(chan error, 1)
+	var results []Result
+	go func() {
+		var err error
+		results, err = driver.RunJobs(context.Background(), jobs)
+		done <- err
+	}()
+
+	// Crash executor 1 once the batch is demonstrably in flight.
+	if !waitUntil(5*time.Second, func() bool { return executed.Load() >= 20 }) {
+		t.Fatal("batch never got going")
+	}
+	flapper.SetBlackout(true)
+	flapper.ResetAll()
+
+	if !waitUntil(5*time.Second, func() bool { return driver.Stats().Quarantined >= 1 }) {
+		t.Fatal("driver never quarantined the crashed executor")
+	}
+
+	// Restart it; the heartbeat loop must re-admit without operator help.
+	flapper.SetBlackout(false)
+
+	if err := <-done; err != nil {
+		t.Fatalf("RunJobs through executor flap: %v", err)
+	}
+	if len(results) != n {
+		t.Fatalf("got %d results, want %d", len(results), n)
+	}
+	for i, r := range results {
+		if string(r.Payload) != strconv.Itoa(i) {
+			t.Errorf("job %d payload = %q, want %q (lost or duplicated result)", i, r.Payload, strconv.Itoa(i))
+		}
+		if r.Index != i {
+			t.Errorf("job %d carries index %d", i, r.Index)
+		}
+	}
+
+	if !waitUntil(5*time.Second, func() bool {
+		s := driver.Stats()
+		return s.Live == 3 && s.Quarantined == 0
+	}) {
+		t.Fatalf("executor never re-admitted: %+v", driver.Stats())
+	}
+	if s := driver.Stats(); s.Readmitted < 1 || s.Dropped < 1 {
+		t.Errorf("stats = %+v, want ≥ 1 drop and ≥ 1 re-admission", s)
+	}
+}
+
+// TestChaosHungExecutorDeadline verifies a wedged executor counts as a
+// transport failure at the per-call deadline instead of stalling the
+// batch: the batch completes within the deadline budget on the survivor.
+func TestChaosHungExecutorDeadline(t *testing.T) {
+	block := make(chan struct{})
+	hung := NewRegistry()
+	hung.Register("work", func(p []byte) ([]byte, error) {
+		<-block
+		return p, nil
+	})
+	live := NewRegistry()
+	live.Register("work", func(p []byte) ([]byte, error) { return p, nil })
+
+	ex0, err := NewExecutor("exec-hung", "127.0.0.1:0", hung)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ex0.Close() })
+	ex1, err := NewExecutor("exec-live", "127.0.0.1:0", live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ex1.Close() })
+	// Registered last so it runs first: unblock the wedged handlers before
+	// the executors' Close cleanups wait on them.
+	t.Cleanup(func() { close(block) })
+
+	const callTimeout = 150 * time.Millisecond
+	driver, err := NewDriverConfig([]string{ex0.Addr(), ex1.Addr()}, DriverConfig{
+		Retries:     4,
+		CallTimeout: callTimeout,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  5 * time.Millisecond,
+		Heartbeat:   -1, // a wedged executor answers pings; keep it out
+		Seed:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer driver.Close()
+
+	const n = 8
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{Kind: "work", Payload: []byte(strconv.Itoa(i))}
+	}
+	start := time.Now()
+	results, err := driver.RunJobs(context.Background(), jobs)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("RunJobs with hung executor: %v", err)
+	}
+	// Budget: one deadline overrun plus failover, far below a hang.
+	if elapsed > 10*callTimeout {
+		t.Errorf("batch took %v, want ≪ %v (deadline not enforced?)", elapsed, 10*callTimeout)
+	}
+	for i, r := range results {
+		if string(r.Payload) != strconv.Itoa(i) {
+			t.Errorf("job %d payload = %q", i, r.Payload)
+		}
+	}
+	s := driver.Stats()
+	if s.Timeouts < 1 {
+		t.Errorf("Timeouts = %d, want ≥ 1", s.Timeouts)
+	}
+	if s.Live != 1 || s.Quarantined != 1 {
+		t.Errorf("fleet = %+v, want hung executor quarantined", s)
+	}
+}
+
+// TestChaosLossyTransportBatch runs a batch over connections that inject
+// seeded resets: executors flap, the heartbeat re-admits them, and the
+// batch still completes with every result intact.
+func TestChaosLossyTransportBatch(t *testing.T) {
+	echo := func() *Registry {
+		r := NewRegistry()
+		r.Register("work", func(p []byte) ([]byte, error) { return p, nil })
+		return r
+	}
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		ex, _ := startFaultyExecutor(t, "exec-"+strconv.Itoa(i),
+			faultnet.Config{Seed: int64(11 + i), ResetProb: 0.02}, echo())
+		addrs = append(addrs, ex.Addr())
+	}
+	driver, err := NewDriverConfig(addrs, DriverConfig{
+		Retries:      15,
+		CallTimeout:  2 * time.Second,
+		BackoffBase:  time.Millisecond,
+		BackoffMax:   10 * time.Millisecond,
+		Heartbeat:    2 * time.Millisecond,
+		HeartbeatMax: 20 * time.Millisecond,
+		Seed:         9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer driver.Close()
+
+	const n = 120
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{Kind: "work", Payload: []byte(strconv.Itoa(i))}
+	}
+	results, err := driver.RunJobs(context.Background(), jobs)
+	if err != nil {
+		t.Fatalf("RunJobs over lossy transport: %v (stats %+v)", err, driver.Stats())
+	}
+	for i, r := range results {
+		if string(r.Payload) != strconv.Itoa(i) {
+			t.Errorf("job %d payload = %q", i, r.Payload)
+		}
+	}
+}

@@ -4,9 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"net/rpc"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -16,6 +19,10 @@ var (
 	ErrNoExecutors = errors.New("parallel: no executors registered")
 	// ErrJobFailed is returned when a job exhausts its retries.
 	ErrJobFailed = errors.New("parallel: job failed on all attempts")
+	// ErrCallTimeout is returned when one Executor.Exec RPC exceeds the
+	// driver's per-call deadline; the executor counts as failed (wedged)
+	// and the job is retried elsewhere.
+	ErrCallTimeout = errors.New("parallel: executor call deadline exceeded")
 )
 
 // rpc wire types. Exported fields only; carried over encoding/gob inside
@@ -66,8 +73,14 @@ func (s *ExecutorService) Exec(req ExecRequest, reply *ExecReply) error {
 	return nil
 }
 
-// Ping answers the liveness probe.
-func (s *ExecutorService) Ping(PingArgs, *PingReply) error {
+// Ping answers the liveness probe with the executor's identity and the job
+// kinds it serves, so drivers can assert they reached a real executor (not
+// just an open TCP port) and log its capabilities.
+func (s *ExecutorService) Ping(_ PingArgs, reply *PingReply) error {
+	reply.Name = s.name
+	kinds := s.registry.Kinds()
+	sort.Strings(kinds)
+	reply.Kinds = kinds
 	return nil
 }
 
@@ -90,6 +103,14 @@ func NewExecutor(name, addr string, registry *Registry) (*Executor, error) {
 	if err != nil {
 		return nil, fmt.Errorf("parallel executor listen %s: %w", addr, err)
 	}
+	return NewExecutorListener(name, ln, registry)
+}
+
+// NewExecutorListener starts an executor serving registry on an existing
+// listener — the hook for wrapping the transport (e.g. internal/faultnet's
+// fault-injecting listener in resilience tests). The executor owns the
+// listener and closes it on Close.
+func NewExecutorListener(name string, ln net.Listener, registry *Registry) (*Executor, error) {
 	srv := rpc.NewServer()
 	if err := srv.RegisterName("Executor", &ExecutorService{name: name, registry: registry}); err != nil {
 		_ = ln.Close()
@@ -147,70 +168,245 @@ func (e *Executor) Close() error {
 	return err
 }
 
-// Driver schedules jobs across remote executors with round-robin dispatch
-// and per-job retry on a different executor (the Spark-style resilience the
-// substitution needs: a dead executor must not fail the stage).
+// Resilience defaults. All are overridable via DriverConfig.
+const (
+	// DefaultCallTimeout bounds one Executor.Exec RPC.
+	DefaultCallTimeout = 30 * time.Second
+	// DefaultBackoffBase is the first retry delay.
+	DefaultBackoffBase = 5 * time.Millisecond
+	// DefaultBackoffMax caps the exponential retry delay.
+	DefaultBackoffMax = 1 * time.Second
+	// DefaultHeartbeat is the quarantine re-dial probe interval.
+	DefaultHeartbeat = 500 * time.Millisecond
+	// DefaultHeartbeatMax caps the per-address probe backoff.
+	DefaultHeartbeatMax = 10 * time.Second
+	// probeDialTimeout bounds the TCP dial of one heartbeat probe.
+	probeDialTimeout = 1 * time.Second
+)
+
+// DriverConfig tunes the driver's resilience machinery. The zero value
+// uses the defaults above.
+type DriverConfig struct {
+	// Retries is the number of additional attempts per failing job (≤ 0
+	// means one attempt per executor dialed at construction).
+	Retries int
+	// CallTimeout is the per-call deadline of one Executor.Exec RPC: a
+	// wedged executor counts as a transport failure instead of stalling
+	// the batch. 0 means DefaultCallTimeout; negative disables the
+	// deadline (the context is then the only bound).
+	CallTimeout time.Duration
+	// BackoffBase is the first retry delay; doubled per attempt with
+	// jitter in [delay/2, delay]. 0 means DefaultBackoffBase.
+	BackoffBase time.Duration
+	// BackoffMax caps the retry delay. 0 means DefaultBackoffMax.
+	BackoffMax time.Duration
+	// Heartbeat is the interval at which quarantined executor addresses
+	// are re-dialed for re-admission. 0 means DefaultHeartbeat; negative
+	// disables re-admission (failed executors stay quarantined).
+	Heartbeat time.Duration
+	// HeartbeatMax caps the per-address probe backoff after consecutive
+	// probe failures. 0 means DefaultHeartbeatMax.
+	HeartbeatMax time.Duration
+	// Seed seeds the jitter source (0 means 1). Jitter decorrelates
+	// concurrent retries; a fixed seed keeps test schedules reproducible.
+	Seed int64
+	// Logf, when non-nil, receives diagnostic lines (quarantine events,
+	// re-admissions with the executor's advertised kinds).
+	Logf func(format string, args ...any)
+}
+
+// withDefaults resolves zero fields to the package defaults.
+func (c DriverConfig) withDefaults() DriverConfig {
+	if c.CallTimeout == 0 {
+		c.CallTimeout = DefaultCallTimeout
+	}
+	if c.BackoffBase == 0 {
+		c.BackoffBase = DefaultBackoffBase
+	}
+	if c.BackoffMax == 0 {
+		c.BackoffMax = DefaultBackoffMax
+	}
+	if c.Heartbeat == 0 {
+		c.Heartbeat = DefaultHeartbeat
+	}
+	if c.HeartbeatMax == 0 {
+		c.HeartbeatMax = DefaultHeartbeatMax
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// DriverStats is a point-in-time probe of the driver's fleet health.
+type DriverStats struct {
+	// Live is the number of connected executors.
+	Live int
+	// Quarantined is the number of failed executor addresses awaiting
+	// re-admission.
+	Quarantined int
+	// Dropped counts executors evicted on transport failure.
+	Dropped uint64
+	// Readmitted counts executors re-admitted after a successful probe.
+	Readmitted uint64
+	// Retries counts job retry attempts (attempts beyond the first).
+	Retries uint64
+	// Timeouts counts Exec calls abandoned at the per-call deadline.
+	Timeouts uint64
+}
+
+// executorClient pairs one live connection with its dial address, so a
+// failed executor can be quarantined and re-dialed by address later.
+type executorClient struct {
+	addr   string
+	client *rpc.Client
+}
+
+// quarantineState tracks one failed executor address between probes.
+type quarantineState struct {
+	failures int       // consecutive failed probes
+	nextTry  time.Time // earliest next probe
+}
+
+// Driver schedules jobs across remote executors with round-robin dispatch,
+// per-call deadlines, retry with exponential backoff, and quarantine with
+// heartbeat re-admission (the Spark-style resilience the substitution
+// needs: a dead executor must not fail the stage, and a restarted one must
+// rejoin the fleet without operator action).
 type Driver struct {
-	mu      sync.Mutex
-	clients []*rpc.Client
-	addrs   []string
-	next    int
-	retries int
+	cfg DriverConfig
+
+	mu         sync.Mutex
+	clients    []*executorClient
+	quarantine map[string]*quarantineState
+	next       int
+	closed     bool
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	dropped    atomic.Uint64
+	readmitted atomic.Uint64
+	retried    atomic.Uint64
+	timedOut   atomic.Uint64
+
+	hbStop chan struct{}
+	hbWake chan struct{}
+	hbDone chan struct{}
 }
 
 var _ Runner = (*Driver)(nil)
 
-// NewDriver connects to the given executor addresses. retries is the number
-// of additional executors tried per failing job (≤ 0 means one attempt per
-// live executor).
+// NewDriver connects to the given executor addresses with default
+// resilience settings. retries is the number of additional executors tried
+// per failing job (≤ 0 means one attempt per live executor).
 func NewDriver(addrs []string, retries int) (*Driver, error) {
+	return NewDriverConfig(addrs, DriverConfig{Retries: retries})
+}
+
+// NewDriverConfig connects to the given executor addresses. Addresses that
+// fail the initial dial are quarantined rather than forgotten, so an
+// executor that starts late is admitted by the heartbeat loop; the
+// constructor fails only when no address is reachable at all.
+func NewDriverConfig(addrs []string, cfg DriverConfig) (*Driver, error) {
 	if len(addrs) == 0 {
 		return nil, ErrNoExecutors
 	}
-	d := &Driver{retries: retries}
+	cfg = cfg.withDefaults()
+	d := &Driver{
+		cfg:        cfg,
+		quarantine: make(map[string]*quarantineState),
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		hbStop:     make(chan struct{}),
+		hbWake:     make(chan struct{}, 1),
+		hbDone:     make(chan struct{}),
+	}
 	var errs []error
 	for _, addr := range addrs {
-		client, err := rpc.Dial("tcp", addr)
+		client, reply, err := dialAndPing(addr, cfg.CallTimeout)
 		if err != nil {
 			errs = append(errs, fmt.Errorf("dial %s: %w", addr, err))
+			d.quarantine[addr] = &quarantineState{nextTry: time.Now()}
 			continue
 		}
-		d.clients = append(d.clients, client)
-		d.addrs = append(d.addrs, addr)
+		d.clients = append(d.clients, &executorClient{addr: addr, client: client})
+		d.logf("parallel: connected executor %s (%s, kinds %v)", addr, reply.Name, reply.Kinds)
 	}
 	if len(d.clients) == 0 {
 		return nil, fmt.Errorf("parallel driver: %w: %v", ErrNoExecutors, errors.Join(errs...))
 	}
-	if d.retries <= 0 {
-		d.retries = len(d.clients)
+	if d.cfg.Retries <= 0 {
+		d.cfg.Retries = len(d.clients)
+	}
+	if d.cfg.Heartbeat > 0 {
+		go d.heartbeatLoop()
+	} else {
+		close(d.hbDone)
 	}
 	return d, nil
 }
 
-// Executors reports the number of connected executors.
+// logf forwards to the configured logger, if any.
+func (d *Driver) logf(format string, args ...any) {
+	if d.cfg.Logf != nil {
+		d.cfg.Logf(format, args...)
+	}
+}
+
+// Executors reports the number of connected (live) executors.
 func (d *Driver) Executors() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return len(d.clients)
 }
 
-// Close disconnects from all executors.
+// Stats probes the driver's fleet health.
+func (d *Driver) Stats() DriverStats {
+	d.mu.Lock()
+	live, quarantined := len(d.clients), len(d.quarantine)
+	d.mu.Unlock()
+	return DriverStats{
+		Live:        live,
+		Quarantined: quarantined,
+		Dropped:     d.dropped.Load(),
+		Readmitted:  d.readmitted.Load(),
+		Retries:     d.retried.Load(),
+		Timeouts:    d.timedOut.Load(),
+	}
+}
+
+// Close stops the heartbeat loop and disconnects from all executors. It is
+// idempotent and safe to call concurrently with in-flight RunJobs batches,
+// which then fail with ErrNoExecutors (or the transport error of their
+// severed call).
 func (d *Driver) Close() error {
 	d.mu.Lock()
-	defer d.mu.Unlock()
+	if d.closed {
+		d.mu.Unlock()
+		<-d.hbDone
+		return nil
+	}
+	d.closed = true
+	clients := d.clients
+	d.clients = nil
+	d.quarantine = make(map[string]*quarantineState)
+	d.mu.Unlock()
+
+	close(d.hbStop) // exactly once: the closed flag above gates this path
+	<-d.hbDone
+
 	var errs []error
-	for _, c := range d.clients {
-		if err := c.Close(); err != nil {
+	for _, c := range clients {
+		if err := c.client.Close(); err != nil && !errors.Is(err, rpc.ErrShutdown) {
 			errs = append(errs, err)
 		}
 	}
-	d.clients = nil
 	return errors.Join(errs...)
 }
 
 // pick returns the next client round-robin; ok is false when no clients
 // remain.
-func (d *Driver) pick() (*rpc.Client, bool) {
+func (d *Driver) pick() (*executorClient, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	n := len(d.clients)
@@ -222,26 +418,185 @@ func (d *Driver) pick() (*rpc.Client, bool) {
 	return d.clients[i], true
 }
 
-// drop removes a failed client, matching by identity: concurrent jobs can
-// observe the same executor die, and removing by a slice index captured
-// before another goroutine's drop would evict a healthy survivor instead.
-func (d *Driver) drop(c *rpc.Client) {
+// drop moves a failed executor to the quarantine set, matching by
+// identity: concurrent jobs can observe the same executor die, and
+// removing by a slice index captured before another goroutine's drop would
+// evict a healthy survivor instead. The heartbeat loop re-dials the
+// quarantined address and re-admits the executor on a successful ping.
+func (d *Driver) drop(ec *executorClient) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	for i, cl := range d.clients {
-		if cl == c {
-			_ = cl.Close()
+	for i, c := range d.clients {
+		if c == ec {
+			_ = c.client.Close()
 			d.clients = append(d.clients[:i], d.clients[i+1:]...)
-			d.addrs = append(d.addrs[:i], d.addrs[i+1:]...)
+			if !d.closed {
+				d.quarantine[ec.addr] = &quarantineState{nextTry: time.Now()}
+			}
+			d.mu.Unlock()
+			d.dropped.Add(1)
+			d.logf("parallel: executor %s quarantined after transport failure", ec.addr)
+			d.wakeHeartbeat()
 			return
 		}
+	}
+	d.mu.Unlock()
+}
+
+// wakeHeartbeat nudges the heartbeat loop so a freshly quarantined address
+// is probed without waiting out a full interval.
+func (d *Driver) wakeHeartbeat() {
+	select {
+	case d.hbWake <- struct{}{}:
+	default:
+	}
+}
+
+// heartbeatLoop periodically re-dials quarantined addresses with capped
+// per-address backoff and re-admits executors that answer a ping.
+func (d *Driver) heartbeatLoop() {
+	defer close(d.hbDone)
+	timer := time.NewTimer(d.cfg.Heartbeat)
+	defer timer.Stop()
+	for {
+		select {
+		case <-d.hbStop:
+			return
+		case <-d.hbWake:
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+		case <-timer.C:
+		}
+		d.probeQuarantined()
+		timer.Reset(d.cfg.Heartbeat)
+	}
+}
+
+// probeQuarantined attempts re-admission of every quarantined address whose
+// backoff has elapsed.
+func (d *Driver) probeQuarantined() {
+	now := time.Now()
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	var due []string
+	for addr, qs := range d.quarantine {
+		if !now.Before(qs.nextTry) {
+			due = append(due, addr)
+		}
+	}
+	d.mu.Unlock()
+
+	for _, addr := range due {
+		client, reply, err := dialAndPing(addr, d.cfg.CallTimeout)
+		d.mu.Lock()
+		qs, quarantined := d.quarantine[addr]
+		if d.closed || !quarantined {
+			d.mu.Unlock()
+			if client != nil {
+				_ = client.Close()
+			}
+			continue
+		}
+		if err != nil {
+			qs.failures++
+			shift := qs.failures
+			if shift > 16 {
+				shift = 16
+			}
+			delay := d.cfg.Heartbeat << shift
+			if delay > d.cfg.HeartbeatMax || delay <= 0 {
+				delay = d.cfg.HeartbeatMax
+			}
+			qs.nextTry = time.Now().Add(d.jitter(delay))
+			d.mu.Unlock()
+			continue
+		}
+		delete(d.quarantine, addr)
+		d.clients = append(d.clients, &executorClient{addr: addr, client: client})
+		d.mu.Unlock()
+		d.readmitted.Add(1)
+		d.logf("parallel: re-admitted executor %s (%s, kinds %v)", addr, reply.Name, reply.Kinds)
+	}
+}
+
+// dialAndPing dials addr and runs one bounded ping, asserting the reply
+// carries an executor identity (a bare open port is not an executor). On
+// success the live client is returned for immediate re-admission.
+func dialAndPing(addr string, timeout time.Duration) (*rpc.Client, *PingReply, error) {
+	if timeout <= 0 || timeout > probeDialTimeout {
+		timeout = probeDialTimeout
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, nil, err
+	}
+	client := rpc.NewClient(conn)
+	var reply PingReply
+	call := client.Go("Executor.Ping", PingArgs{}, &reply, make(chan *rpc.Call, 1))
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		_ = client.Close()
+		return nil, nil, fmt.Errorf("ping %s: %w", addr, ErrCallTimeout)
+	case <-call.Done:
+	}
+	if call.Error != nil {
+		_ = client.Close()
+		return nil, nil, fmt.Errorf("ping %s: %w", addr, call.Error)
+	}
+	if reply.Name == "" {
+		_ = client.Close()
+		return nil, nil, fmt.Errorf("ping %s: empty reply (not an executor?)", addr)
+	}
+	return client, &reply, nil
+}
+
+// jitter returns a duration uniform in [d/2, d], decorrelating concurrent
+// retries and probes from the driver's seeded source.
+func (d *Driver) jitter(dur time.Duration) time.Duration {
+	if dur <= 1 {
+		return dur
+	}
+	half := int64(dur) / 2
+	d.rngMu.Lock()
+	n := d.rng.Int63n(half + 1)
+	d.rngMu.Unlock()
+	return time.Duration(half + n)
+}
+
+// backoff sleeps the jittered exponential delay for the given attempt
+// (≥ 1), returning early with the context error on cancellation.
+func (d *Driver) backoff(ctx context.Context, attempt int) error {
+	shift := attempt - 1
+	if shift > 16 {
+		shift = 16
+	}
+	delay := d.cfg.BackoffBase << shift
+	if delay > d.cfg.BackoffMax || delay <= 0 {
+		delay = d.cfg.BackoffMax
+	}
+	t := time.NewTimer(d.jitter(delay))
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
 	}
 }
 
 // RunJobs dispatches jobs across executors, retrying each failed job on
-// other executors before giving up. Handler errors (ExecReply.Err) are
-// permanent and fail the batch; transport errors trigger retry with the
-// offending executor dropped.
+// other executors with exponential backoff before giving up. Handler
+// errors (ExecReply.Err) are permanent and fail the batch; transport
+// errors and per-call deadline overruns quarantine the offending executor
+// and trigger retry.
 func (d *Driver) RunJobs(ctx context.Context, jobs []Job) ([]Result, error) {
 	if len(jobs) == 0 {
 		return nil, nil
@@ -285,27 +640,64 @@ func (d *Driver) RunJobs(ctx context.Context, jobs []Job) ([]Result, error) {
 	return results, nil
 }
 
+// call runs one Exec RPC under the per-call deadline. Abandoned in-flight
+// calls do not leak goroutines: net/rpc multiplexes calls on one receive
+// goroutine per client, and dropping the client closes it, failing every
+// pending call with ErrShutdown.
+func (d *Driver) call(ctx context.Context, ec *executorClient, job Job) (*ExecReply, error) {
+	var reply ExecReply
+	call := ec.client.Go("Executor.Exec", ExecRequest(job), &reply, make(chan *rpc.Call, 1))
+	var deadline <-chan time.Time
+	if d.cfg.CallTimeout > 0 {
+		t := time.NewTimer(d.cfg.CallTimeout)
+		defer t.Stop()
+		deadline = t.C
+	}
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-deadline:
+		d.timedOut.Add(1)
+		return nil, fmt.Errorf("%w (%s after %v)", ErrCallTimeout, ec.addr, d.cfg.CallTimeout)
+	case <-call.Done:
+	}
+	if call.Error != nil {
+		return nil, call.Error
+	}
+	return &reply, nil
+}
+
 func (d *Driver) runOne(ctx context.Context, job Job) ([]byte, error) {
 	var lastErr error
-	for attempt := 0; attempt <= d.retries; attempt++ {
-		if ctx.Err() != nil {
-			return nil, ctx.Err()
+	for attempt := 0; attempt <= d.cfg.Retries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
-		client, ok := d.pick()
+		if attempt > 0 {
+			d.retried.Add(1)
+			if err := d.backoff(ctx, attempt); err != nil {
+				return nil, err
+			}
+		}
+		ec, ok := d.pick()
 		if !ok {
-			return nil, ErrNoExecutors
+			// With live re-admission pending, the fleet may recover
+			// within the retry budget; without it the job cannot succeed.
+			if d.cfg.Heartbeat <= 0 || d.Stats().Quarantined == 0 {
+				return nil, ErrNoExecutors
+			}
+			lastErr = ErrNoExecutors
+			continue
 		}
-		var reply ExecReply
-		call := client.Go("Executor.Exec", ExecRequest(job), &reply, nil)
-		select {
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		case <-call.Done:
+		reply, err := d.call(ctx, ec, job)
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
 		}
-		if call.Error != nil {
-			// Transport failure: drop the executor, try another.
-			lastErr = call.Error
-			d.drop(client)
+		if err != nil {
+			// Transport failure or deadline overrun: quarantine the
+			// executor, try another after backoff.
+			lastErr = err
+			d.drop(ec)
 			continue
 		}
 		if reply.Err != "" {
@@ -314,26 +706,53 @@ func (d *Driver) runOne(ctx context.Context, job Job) ([]byte, error) {
 		}
 		return reply.Payload, nil
 	}
-	return nil, fmt.Errorf("%w: %v", ErrJobFailed, lastErr)
+	return nil, fmt.Errorf("%w: %w", ErrJobFailed, lastErr)
 }
 
-// WaitReady blocks until the executor at addr answers a ping or the timeout
-// elapses; used by process supervisors (cmd/executord clients).
-func WaitReady(addr string, timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
+// WaitReadyContext blocks until the executor at addr answers a ping with a
+// populated identity, polling with exponential backoff, or until ctx is
+// done.
+func WaitReadyContext(ctx context.Context, addr string) error {
+	backoff := 5 * time.Millisecond
+	const maxBackoff = 250 * time.Millisecond
 	var lastErr error
-	for time.Now().Before(deadline) {
-		client, err := rpc.Dial("tcp", addr)
+	for {
+		_, err := PingExecutor(addr, time.Second)
 		if err == nil {
-			var reply PingReply
-			err = client.Call("Executor.Ping", PingArgs{}, &reply)
-			_ = client.Close()
-			if err == nil {
-				return nil
-			}
+			return nil
 		}
 		lastErr = err
-		time.Sleep(20 * time.Millisecond)
+		t := time.NewTimer(backoff)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return fmt.Errorf("parallel: executor %s not ready: %w", addr, errors.Join(ctx.Err(), lastErr))
+		case <-t.C:
+		}
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
 	}
-	return fmt.Errorf("parallel: executor %s not ready: %w", addr, lastErr)
+}
+
+// WaitReady blocks until the executor at addr answers a ping or the
+// timeout elapses.
+//
+// Deprecated: use WaitReadyContext, which composes with caller deadlines
+// and cancellation.
+func WaitReady(addr string, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout) //vet:ignore ctxbg deprecated shim has no caller context
+	defer cancel()
+	return WaitReadyContext(ctx, addr)
+}
+
+// PingExecutor dials addr and returns the executor's identity reply
+// (name and advertised job kinds) within the given timeout.
+func PingExecutor(addr string, timeout time.Duration) (PingReply, error) {
+	client, reply, err := dialAndPing(addr, timeout)
+	if err != nil {
+		return PingReply{}, err
+	}
+	_ = client.Close()
+	return *reply, nil
 }

@@ -1,0 +1,240 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// Breaker defaults, overridable via FallbackConfig.
+const (
+	// DefaultFailureThreshold is the number of consecutive cluster-health
+	// failures that opens the breaker.
+	DefaultFailureThreshold = 3
+	// DefaultCooldown is how long an open breaker waits before probing
+	// the primary again (half-open).
+	DefaultCooldown = 5 * time.Second
+)
+
+// BreakerState is the circuit-breaker state of a FallbackRunner.
+type BreakerState int32
+
+// Breaker states.
+const (
+	// BreakerClosed routes batches to the primary (healthy).
+	BreakerClosed BreakerState = iota
+	// BreakerOpen routes batches to the fallback until the cooldown
+	// elapses.
+	BreakerOpen
+	// BreakerHalfOpen lets a single probe batch through to the primary;
+	// concurrent batches keep using the fallback.
+	BreakerHalfOpen
+)
+
+// String renders the state for logs and stats.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// FallbackConfig tunes the FallbackRunner's circuit breaker. The zero
+// value uses the defaults above.
+type FallbackConfig struct {
+	// FailureThreshold is the number of consecutive cluster failures
+	// that opens the breaker (≤ 0 means DefaultFailureThreshold).
+	FailureThreshold int
+	// Cooldown is the open → half-open delay (≤ 0 means DefaultCooldown).
+	Cooldown time.Duration
+	// Logf, when non-nil, receives breaker transitions.
+	Logf func(format string, args ...any)
+
+	// now overrides the clock in tests.
+	now func() time.Time
+}
+
+// FallbackStats is a point-in-time probe of a FallbackRunner.
+type FallbackStats struct {
+	// State is the current breaker state.
+	State BreakerState
+	// PrimaryBatches counts batches served by the primary.
+	PrimaryBatches uint64
+	// FallbackBatches counts batches served by the fallback.
+	FallbackBatches uint64
+	// Trips counts closed/half-open → open transitions.
+	Trips uint64
+	// Recoveries counts half-open → closed transitions.
+	Recoveries uint64
+}
+
+// FallbackRunner routes batches to a primary Runner (typically a cluster
+// Driver) while it is healthy and degrades gracefully to a fallback
+// (typically an in-process Pool) when it is not: a circuit breaker opens
+// after consecutive cluster failures, re-runs the failed batch locally so
+// no jobs are lost, and half-open probing re-promotes the cluster once it
+// answers again. Handler errors and context cancellation pass through
+// untouched — they are the job's fault, not the cluster's.
+type FallbackRunner struct {
+	primary, fallback Runner
+	cfg               FallbackConfig
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int
+	openedAt time.Time
+	probing  bool
+	stats    FallbackStats
+}
+
+var _ Runner = (*FallbackRunner)(nil)
+
+// NewFallbackRunner wraps primary with fallback behind the Runner
+// interface. Both runners must serve the same job kinds.
+func NewFallbackRunner(primary, fallback Runner, cfg FallbackConfig) *FallbackRunner {
+	if cfg.FailureThreshold <= 0 {
+		cfg.FailureThreshold = DefaultFailureThreshold
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = DefaultCooldown
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	return &FallbackRunner{primary: primary, fallback: fallback, cfg: cfg}
+}
+
+// State reports the current breaker state.
+func (f *FallbackRunner) State() BreakerState {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.state
+}
+
+// Stats probes the runner's routing counters.
+func (f *FallbackRunner) Stats() FallbackStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := f.stats
+	s.State = f.state
+	return s
+}
+
+// logf forwards to the configured logger, if any.
+func (f *FallbackRunner) logf(format string, args ...any) {
+	if f.cfg.Logf != nil {
+		f.cfg.Logf(format, args...)
+	}
+}
+
+// route decides which runner serves the next batch; probe is true when the
+// batch is the half-open probe whose outcome moves the breaker.
+func (f *FallbackRunner) route() (usePrimary, probe bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	switch f.state {
+	case BreakerClosed:
+		return true, false
+	case BreakerOpen:
+		if f.cfg.now().Sub(f.openedAt) < f.cfg.Cooldown {
+			return false, false
+		}
+		f.state = BreakerHalfOpen
+		f.probing = true
+		f.logf("parallel: breaker half-open, probing primary")
+		return true, true
+	default: // BreakerHalfOpen
+		if f.probing {
+			return false, false
+		}
+		f.probing = true
+		return true, true
+	}
+}
+
+// onPrimarySuccess records a healthy primary batch, closing the breaker
+// after a successful probe.
+func (f *FallbackRunner) onPrimarySuccess(probe bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failures = 0
+	if probe {
+		f.probing = false
+	}
+	if f.state != BreakerClosed {
+		f.state = BreakerClosed
+		f.stats.Recoveries++
+		f.logf("parallel: breaker closed, primary recovered")
+	}
+}
+
+// onPrimaryFailure records a cluster failure, opening the breaker at the
+// threshold or on a failed probe.
+func (f *FallbackRunner) onPrimaryFailure(probe bool, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failures++
+	if probe {
+		f.probing = false
+	}
+	if f.state == BreakerOpen {
+		return
+	}
+	if probe || f.failures >= f.cfg.FailureThreshold {
+		f.state = BreakerOpen
+		f.openedAt = f.cfg.now()
+		f.stats.Trips++
+		f.logf("parallel: breaker open after %d failures (%v), degrading to local runner", f.failures, err)
+	}
+}
+
+// isClusterFailure reports whether err indicts the cluster's health (as
+// opposed to the job or the caller's context).
+func isClusterFailure(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return errors.Is(err, ErrNoExecutors) || errors.Is(err, ErrJobFailed) || errors.Is(err, ErrCallTimeout)
+}
+
+// RunJobs implements Runner: primary while healthy, fallback otherwise.
+// A batch whose primary run fails on cluster health is re-run on the
+// fallback, so callers see results, not infrastructure weather.
+func (f *FallbackRunner) RunJobs(ctx context.Context, jobs []Job) ([]Result, error) {
+	usePrimary, probe := f.route()
+	if usePrimary {
+		results, err := f.primary.RunJobs(ctx, jobs)
+		if err == nil {
+			f.onPrimarySuccess(probe)
+			f.mu.Lock()
+			f.stats.PrimaryBatches++
+			f.mu.Unlock()
+			return results, nil
+		}
+		if !isClusterFailure(err) {
+			// Handler error or caller cancellation: the fallback would
+			// fail identically, and a probe teaches nothing — release it.
+			if probe {
+				f.mu.Lock()
+				f.probing = false
+				f.mu.Unlock()
+			}
+			return nil, err
+		}
+		f.onPrimaryFailure(probe, err)
+	}
+	results, err := f.fallback.RunJobs(ctx, jobs)
+	if err == nil {
+		f.mu.Lock()
+		f.stats.FallbackBatches++
+		f.mu.Unlock()
+	}
+	return results, err
+}

@@ -1,0 +1,237 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// echoResults returns each job's payload as its result.
+func echoResults(jobs []Job) []Result {
+	out := make([]Result, len(jobs))
+	for i, j := range jobs {
+		out[i] = Result{Index: i, Payload: j.Payload}
+	}
+	return out
+}
+
+// countingRunner tracks calls and serves echo or a fixed error.
+type countingRunner struct {
+	calls atomic.Int32
+	err   atomic.Pointer[error]
+}
+
+func (c *countingRunner) setErr(err error) { c.err.Store(&err) }
+
+// RunJobs implements Runner.
+func (c *countingRunner) RunJobs(_ context.Context, jobs []Job) ([]Result, error) {
+	c.calls.Add(1)
+	if p := c.err.Load(); p != nil && *p != nil {
+		return nil, *p
+	}
+	return echoResults(jobs), nil
+}
+
+func testJobs(n int) []Job {
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{Kind: "echo", Payload: []byte(strconv.Itoa(i))}
+	}
+	return jobs
+}
+
+func TestFallbackHealthyStaysOnPrimary(t *testing.T) {
+	primary, fallback := &countingRunner{}, &countingRunner{}
+	fr := NewFallbackRunner(primary, fallback, FallbackConfig{})
+	for i := 0; i < 3; i++ {
+		res, err := fr.RunJobs(context.Background(), testJobs(4))
+		if err != nil || len(res) != 4 {
+			t.Fatalf("run %d: %v, %v", i, res, err)
+		}
+	}
+	if primary.calls.Load() != 3 || fallback.calls.Load() != 0 {
+		t.Errorf("calls primary=%d fallback=%d, want 3/0", primary.calls.Load(), fallback.calls.Load())
+	}
+	if s := fr.Stats(); s.State != BreakerClosed || s.PrimaryBatches != 3 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestFallbackTripsAndDegrades(t *testing.T) {
+	primary, fallback := &countingRunner{}, &countingRunner{}
+	primary.setErr(ErrNoExecutors)
+	fr := NewFallbackRunner(primary, fallback, FallbackConfig{FailureThreshold: 2, Cooldown: time.Hour})
+
+	// Every degraded batch still yields results: zero lost jobs.
+	for i := 0; i < 3; i++ {
+		res, err := fr.RunJobs(context.Background(), testJobs(5))
+		if err != nil {
+			t.Fatalf("degraded run %d: %v", i, err)
+		}
+		for j, r := range res {
+			if string(r.Payload) != strconv.Itoa(j) {
+				t.Errorf("run %d job %d payload = %q", i, j, r.Payload)
+			}
+		}
+	}
+	// Trips at the second failure; the third batch goes straight to the
+	// fallback without poking the dead cluster.
+	if primary.calls.Load() != 2 {
+		t.Errorf("primary calls = %d, want 2", primary.calls.Load())
+	}
+	if fallback.calls.Load() != 3 {
+		t.Errorf("fallback calls = %d, want 3", fallback.calls.Load())
+	}
+	s := fr.Stats()
+	if s.State != BreakerOpen || s.Trips != 1 || s.FallbackBatches != 3 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.State.String() != "open" {
+		t.Errorf("State.String() = %q", s.State.String())
+	}
+}
+
+func TestFallbackHalfOpenRecovery(t *testing.T) {
+	primary, fallback := &countingRunner{}, &countingRunner{}
+	primary.setErr(ErrJobFailed)
+	var clock atomic.Int64 // fake time, nanoseconds
+	cfg := FallbackConfig{
+		FailureThreshold: 1,
+		Cooldown:         time.Minute,
+		now:              func() time.Time { return time.Unix(0, clock.Load()) },
+	}
+	fr := NewFallbackRunner(primary, fallback, cfg)
+
+	if _, err := fr.RunJobs(context.Background(), testJobs(2)); err != nil {
+		t.Fatal(err)
+	}
+	if fr.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open", fr.State())
+	}
+
+	// Before the cooldown: no probe, primary untouched.
+	if _, err := fr.RunJobs(context.Background(), testJobs(2)); err != nil {
+		t.Fatal(err)
+	}
+	if primary.calls.Load() != 1 {
+		t.Fatalf("primary probed before cooldown (calls=%d)", primary.calls.Load())
+	}
+
+	// After the cooldown the next batch probes; the healed primary wins
+	// the breaker back.
+	primary.setErr(nil)
+	clock.Store(int64(2 * time.Minute))
+	res, err := fr.RunJobs(context.Background(), testJobs(3))
+	if err != nil || len(res) != 3 {
+		t.Fatalf("probe batch: %v, %v", res, err)
+	}
+	if fr.State() != BreakerClosed {
+		t.Errorf("state after successful probe = %v, want closed", fr.State())
+	}
+	if s := fr.Stats(); s.Recoveries != 1 {
+		t.Errorf("Recoveries = %d, want 1", s.Recoveries)
+	}
+}
+
+func TestFallbackProbeFailureReopens(t *testing.T) {
+	primary, fallback := &countingRunner{}, &countingRunner{}
+	primary.setErr(ErrNoExecutors)
+	var clock atomic.Int64
+	fr := NewFallbackRunner(primary, fallback, FallbackConfig{
+		FailureThreshold: 1,
+		Cooldown:         time.Minute,
+		now:              func() time.Time { return time.Unix(0, clock.Load()) },
+	})
+	if _, err := fr.RunJobs(context.Background(), testJobs(1)); err != nil {
+		t.Fatal(err)
+	}
+	clock.Store(int64(2 * time.Minute))
+	if _, err := fr.RunJobs(context.Background(), testJobs(1)); err != nil {
+		t.Fatal(err) // probe fails over to the fallback: still no lost jobs
+	}
+	if s := fr.Stats(); s.State != BreakerOpen || s.Trips != 2 {
+		t.Errorf("stats after failed probe = %+v", s)
+	}
+}
+
+func TestFallbackHandlerErrorPropagates(t *testing.T) {
+	primary, fallback := &countingRunner{}, &countingRunner{}
+	handlerErr := errors.New("handler boom")
+	primary.setErr(handlerErr)
+	fr := NewFallbackRunner(primary, fallback, FallbackConfig{FailureThreshold: 1})
+	_, err := fr.RunJobs(context.Background(), testJobs(1))
+	if !errors.Is(err, handlerErr) {
+		t.Fatalf("error = %v, want handler error", err)
+	}
+	if fallback.calls.Load() != 0 {
+		t.Error("handler error routed to fallback")
+	}
+	if fr.State() != BreakerClosed {
+		t.Errorf("handler error tripped breaker: %v", fr.State())
+	}
+}
+
+func TestFallbackContextErrorPropagates(t *testing.T) {
+	primary, fallback := &countingRunner{}, &countingRunner{}
+	primary.setErr(context.Canceled)
+	fr := NewFallbackRunner(primary, fallback, FallbackConfig{FailureThreshold: 1})
+	_, err := fr.RunJobs(context.Background(), testJobs(1))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if fallback.calls.Load() != 0 || fr.State() != BreakerClosed {
+		t.Error("cancellation tripped the breaker or hit the fallback")
+	}
+}
+
+func TestFallbackDriverToPoolIntegration(t *testing.T) {
+	// A real driver whose fleet dies degrades to a real in-process pool:
+	// the caller sees complete results either way.
+	execs, addrs := startExecutorHandles(t, 2)
+	driver, err := NewDriverConfig(addrs, DriverConfig{
+		Retries:     2,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  5 * time.Millisecond,
+		Heartbeat:   -1,
+		Seed:        2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer driver.Close()
+	pool := NewPool(2, echoRegistry())
+	fr := NewFallbackRunner(driver, pool, FallbackConfig{FailureThreshold: 1, Cooldown: time.Hour, Logf: t.Logf})
+
+	jobs := testJobs(10)
+	for i := range jobs {
+		jobs[i].Kind = "double"
+	}
+	res, err := fr.RunJobs(context.Background(), jobs)
+	if err != nil {
+		t.Fatalf("healthy cluster batch: %v", err)
+	}
+	if string(res[3].Payload) != "6" {
+		t.Errorf("payload = %q", res[3].Payload)
+	}
+
+	for _, ex := range execs {
+		if err := ex.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err = fr.RunJobs(context.Background(), jobs)
+	if err != nil {
+		t.Fatalf("degraded batch: %v", err)
+	}
+	for i, r := range res {
+		if want := strconv.Itoa(2 * i); string(r.Payload) != want {
+			t.Errorf("degraded job %d = %q, want %q", i, r.Payload, want)
+		}
+	}
+	if s := fr.Stats(); s.State != BreakerOpen || s.FallbackBatches != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}

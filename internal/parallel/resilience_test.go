@@ -1,0 +1,268 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"net"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPingReplyPopulated(t *testing.T) {
+	ex, err := NewExecutor("pinger", "127.0.0.1:0", echoRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ex.Close() })
+	reply, err := PingExecutor(ex.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatalf("PingExecutor: %v", err)
+	}
+	if reply.Name != "pinger" {
+		t.Errorf("Name = %q, want %q", reply.Name, "pinger")
+	}
+	want := []string{"double", "echo", "fail"} // sorted
+	if len(reply.Kinds) != len(want) {
+		t.Fatalf("Kinds = %v, want %v", reply.Kinds, want)
+	}
+	for i, k := range want {
+		if reply.Kinds[i] != k {
+			t.Errorf("Kinds[%d] = %q, want %q", i, reply.Kinds[i], k)
+		}
+	}
+}
+
+func TestWaitReadyContext(t *testing.T) {
+	addrs := startExecutors(t, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := WaitReadyContext(ctx, addrs[0]); err != nil {
+		t.Errorf("WaitReadyContext: %v", err)
+	}
+
+	shortCtx, shortCancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer shortCancel()
+	err := WaitReadyContext(shortCtx, "127.0.0.1:1")
+	if err == nil {
+		t.Fatal("WaitReadyContext on dead addr succeeded")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("error = %v, want wrapped DeadlineExceeded", err)
+	}
+}
+
+func TestDriverLateExecutorAdmission(t *testing.T) {
+	// Reserve a port, release it, and hand the address to the driver
+	// before anything listens there: the constructor must quarantine it
+	// (not fail), and the heartbeat must admit the executor once it comes
+	// up — a fleet member that boots late joins automatically.
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lateAddr := probe.Addr().String()
+	if err := probe.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	liveAddrs := startExecutors(t, 1)
+	driver, err := NewDriverConfig([]string{liveAddrs[0], lateAddr}, DriverConfig{
+		Heartbeat:    5 * time.Millisecond,
+		HeartbeatMax: 50 * time.Millisecond,
+		Seed:         5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer driver.Close()
+	if s := driver.Stats(); s.Live != 1 || s.Quarantined != 1 {
+		t.Fatalf("initial fleet = %+v, want 1 live + 1 quarantined", s)
+	}
+
+	ex, err := NewExecutor("late", lateAddr, echoRegistry())
+	if err != nil {
+		t.Fatalf("late executor on %s: %v", lateAddr, err)
+	}
+	t.Cleanup(func() { _ = ex.Close() })
+
+	if !waitUntil(5*time.Second, func() bool { return driver.Executors() == 2 }) {
+		t.Fatalf("late executor never admitted: %+v", driver.Stats())
+	}
+	if s := driver.Stats(); s.Readmitted < 1 {
+		t.Errorf("Readmitted = %d, want ≥ 1", s.Readmitted)
+	}
+}
+
+func TestDriverRejectsNonExecutorPort(t *testing.T) {
+	// A bare TCP listener that never speaks rpc must not be admitted as
+	// an executor: the constructor quarantines it after the ping fails.
+	bare, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = bare.Close() })
+	go func() {
+		for {
+			c, err := bare.Accept()
+			if err != nil {
+				return
+			}
+			_ = c.Close()
+		}
+	}()
+
+	liveAddrs := startExecutors(t, 1)
+	driver, err := NewDriverConfig([]string{liveAddrs[0], bare.Addr().String()}, DriverConfig{
+		CallTimeout: 200 * time.Millisecond,
+		Heartbeat:   -1,
+		Seed:        5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer driver.Close()
+	if s := driver.Stats(); s.Live != 1 || s.Quarantined != 1 {
+		t.Errorf("fleet = %+v, want the bare port quarantined", s)
+	}
+}
+
+func TestDriverCloseDuringRunJobs(t *testing.T) {
+	// Close racing an in-flight batch must neither deadlock nor panic:
+	// the batch fails over cleanly to an error and Close returns.
+	release := make(chan struct{})
+	started := make(chan struct{}, 64)
+	ex, err := NewExecutor("exec-gate", "127.0.0.1:0", gateRegistry(started, release))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ex.Close() })
+
+	driver, err := NewDriverConfig([]string{ex.Addr()}, DriverConfig{
+		Retries:     2,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  5 * time.Millisecond,
+		Seed:        8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	jobs := make([]Job, 4)
+	for i := range jobs {
+		jobs[i] = Job{Kind: "gate", Payload: []byte(strconv.Itoa(i))}
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := driver.RunJobs(context.Background(), jobs)
+		done <- err
+	}()
+
+	<-started // a call is provably in flight
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ { // concurrent double-Close must be safe too
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := driver.Close(); err != nil {
+				t.Errorf("Close: %v", err)
+			}
+		}()
+	}
+
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("RunJobs succeeded despite concurrent Close")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("RunJobs hung after Close")
+	}
+	wg.Wait()
+	if got := driver.Executors(); got != 0 {
+		t.Errorf("Executors after Close = %d", got)
+	}
+	close(release)
+	for len(started) > 0 {
+		<-started
+	}
+}
+
+func TestDriverCancelMidBackoff(t *testing.T) {
+	// With a transport failure burned and a long backoff pending, context
+	// cancellation must interrupt the sleep promptly.
+	execs, addrs := startExecutorHandles(t, 2)
+	driver, err := NewDriverConfig(addrs, DriverConfig{
+		Retries:     3,
+		BackoffBase: 10 * time.Second,
+		BackoffMax:  10 * time.Second,
+		Heartbeat:   -1,
+		Seed:        6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer driver.Close()
+	// Round-robin starts at client 0: kill that executor so the first
+	// attempt fails and the retry enters its 10-second backoff.
+	if err := execs[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, err := driver.RunJobs(ctx, []Job{{Kind: "echo", Payload: []byte("x")}})
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("error = %v, want context.Canceled", err)
+		}
+		if elapsed := time.Since(start); elapsed > 2*time.Second {
+			t.Errorf("cancellation took %v, backoff not interruptible", elapsed)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancellation did not interrupt backoff")
+	}
+}
+
+func TestDriverBackoffDelays(t *testing.T) {
+	// Retrying against a permanently dead fleet must take at least the
+	// deterministic lower bound of the jittered exponential schedule
+	// (jitter draws from [delay/2, delay]).
+	execs, addrs := startExecutorHandles(t, 1)
+	driver, err := NewDriverConfig(addrs, DriverConfig{
+		Retries:     3,
+		BackoffBase: 20 * time.Millisecond,
+		BackoffMax:  80 * time.Millisecond,
+		Heartbeat:   5 * time.Millisecond,
+		Seed:        4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer driver.Close()
+	if err := execs[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	_, err = driver.RunJobs(context.Background(), []Job{{Kind: "echo"}})
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrJobFailed) {
+		t.Fatalf("error = %v, want ErrJobFailed", err)
+	}
+	// Lower bound: (20+40+80)/2 = 70ms of mandatory backoff.
+	if elapsed < 70*time.Millisecond {
+		t.Errorf("4 attempts finished in %v, backoff not applied", elapsed)
+	}
+	if s := driver.Stats(); s.Retries < 3 {
+		t.Errorf("Retries = %d, want ≥ 3", s.Retries)
+	}
+}

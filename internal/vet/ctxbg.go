@@ -1,0 +1,54 @@
+package vet
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxBg flags context.Background() and context.TODO() calls in internal/
+// packages. Library code that mints its own root context severs the
+// caller's cancellation chain: a cancelled solve would keep cluster RPCs
+// in flight and a shutting-down driver could not abandon work. Every
+// internal API that needs a context must accept one from its caller;
+// only binaries (cmd/, examples/) own roots. The rare legitimate root —
+// e.g. a deprecated shim with no caller context — carries a
+// `//vet:ignore ctxbg` directive.
+var CtxBg = &Analyzer{
+	Name: "ctxbg",
+	Doc:  "flag context.Background/TODO in internal/ packages that break caller cancellation",
+	Run:  runCtxBg,
+}
+
+func runCtxBg(pass *Pass) []Finding {
+	if !strings.Contains(pass.Path, "internal/") {
+		return nil // binaries and examples own their root contexts
+	}
+	var findings []Finding
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+				return true
+			}
+			if name := fn.Name(); name == "Background" || name == "TODO" {
+				findings = append(findings, Finding{
+					Analyzer: "ctxbg",
+					Pos:      pass.Fset.Position(call.Pos()),
+					Message: "context." + name +
+						"() mints a root context in library code; accept a ctx from the caller so cancellation propagates",
+				})
+			}
+			return true
+		})
+	}
+	return findings
+}

@@ -1,0 +1,23 @@
+package thing
+
+import "context"
+
+func root() context.Context {
+	return context.Background() // want: mints a root context
+}
+
+func todo() context.Context {
+	ctx := context.TODO() // want: mints a root context
+	return ctx
+}
+
+func suppressed() context.Context {
+	return context.Background() //vet:ignore ctxbg deliberate root for the fixture
+}
+
+func plumbed(ctx context.Context) context.Context {
+	// Deriving from a caller-supplied context is the sanctioned pattern.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return ctx
+}

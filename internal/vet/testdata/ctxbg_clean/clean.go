@@ -1,0 +1,18 @@
+package thing
+
+import (
+	"context"
+	"time"
+)
+
+func do(ctx context.Context) error {
+	ctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return ctx.Err()
+}
+
+func background(ctx context.Context) bool {
+	// Mentioning the identifiers without calling them is fine.
+	_ = context.Background
+	return ctx == nil
+}

@@ -14,6 +14,10 @@
 //     handled or explicitly acknowledged with `_ =`.
 //   - exporteddoc: every exported identifier in internal/ packages carries
 //     a doc comment.
+//   - ctxbg: no context.Background()/context.TODO() in internal/ packages
+//     — library code minting its own root context severs the caller's
+//     cancellation chain, so cancelled solves would leave cluster RPCs in
+//     flight.
 //
 // The driver is stdlib-only (go/ast, go/parser, go/types); imports are
 // resolved from compiler export data produced by `go list -export`, so the
@@ -71,7 +75,7 @@ type Analyzer struct {
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{FloatCmp, GlobalRand, ErrDrop, ExportedDoc}
+	return []*Analyzer{FloatCmp, GlobalRand, ErrDrop, ExportedDoc, CtxBg}
 }
 
 // ByName resolves a comma-separated analyzer list against All; an unknown

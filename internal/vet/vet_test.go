@@ -26,7 +26,7 @@ func fixtureImporter(t *testing.T) (*token.FileSet, types.Importer) {
 	fixtureOnce.Do(func() {
 		fixtureFset = token.NewFileSet()
 		fixtureImp, fixtureErr = newExportImporter(fixtureFset, ".",
-			"bufio", "bytes", "errors", "fmt", "math", "math/rand", "os", "strings")
+			"bufio", "bytes", "context", "errors", "fmt", "math", "math/rand", "os", "strings", "time")
 	})
 	if fixtureErr != nil {
 		t.Fatalf("fixture importer: %v", fixtureErr)
@@ -155,6 +155,22 @@ func TestExportedDocClean(t *testing.T) {
 
 func TestExportedDocScopedToInternal(t *testing.T) {
 	runFixture(t, ExportedDoc, "exporteddoc_bad", "example.com/outside", nil)
+}
+
+func TestCtxBgTruePositives(t *testing.T) {
+	runFixture(t, CtxBg, "ctxbg_bad", "copmecs/internal/thing", []want{
+		{6, "context.Background() mints a root context"},
+		{10, "context.TODO() mints a root context"},
+	})
+}
+
+func TestCtxBgClean(t *testing.T) {
+	runFixture(t, CtxBg, "ctxbg_clean", "copmecs/internal/thing", nil)
+}
+
+func TestCtxBgScopedToInternal(t *testing.T) {
+	// cmd/ and examples/ binaries legitimately own root contexts.
+	runFixture(t, CtxBg, "ctxbg_bad", "copmecs/cmd/copmecs", nil)
 }
 
 func TestByName(t *testing.T) {
