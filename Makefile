@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint fuzz chaos clean
+.PHONY: all build test race vet lint fuzz chaos bench clean
 
 all: build lint test
 
@@ -23,10 +23,26 @@ lint: vet
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-# fuzz gives the binary codec a short randomized shake; CI runs the seed
-# corpus via plain `go test`, this target digs deeper locally.
+# fuzz gives the binary codec and the serving-path request decoder a short
+# randomized shake; CI runs the seed corpus via plain `go test`, this
+# target digs deeper locally.
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzDecode -fuzztime=30s ./internal/graph/
+	$(GO) test -run=NONE -fuzz=FuzzDecodeSolveRequest -fuzztime=30s ./internal/serve/
+
+# bench runs every benchmark in the repo and distils the serving-path
+# numbers into results/BENCH_serve.json for cross-commit comparison.
+bench:
+	@mkdir -p results
+	$(GO) test -run=NONE -bench=. -benchmem ./... | tee results/bench.txt
+	@awk 'BEGIN { print "{"; n = 0 } \
+	/^BenchmarkServe/ { \
+		if (n++) printf ",\n"; \
+		split($$1, name, "-"); \
+		printf "  \"%s\": {\"iterations\": %s, \"ns_per_op\": %s}", name[1], $$2, $$3 \
+	} \
+	END { if (n) printf "\n"; print "}" }' results/bench.txt > results/BENCH_serve.json
+	@echo "wrote results/BENCH_serve.json"; cat results/BENCH_serve.json
 
 # chaos runs the fault-injection suite — executor flapping, hung executors,
 # lossy transports — twice under the race detector to shake out

@@ -1,0 +1,204 @@
+// Command copmecsd is the online offloading service: a long-running daemon
+// that accepts per-user function data-flow graphs over HTTP/JSON, coalesces
+// concurrent arrivals into multi-user solve rounds (so the paper's
+// shared-server contention reflects live load), caches decisions by graph
+// fingerprint, and sheds load when the accept queue fills.
+//
+// Endpoints (service address):
+//
+//	POST /v1/solve    {"graph": {...}, "params": {...}} → offloading decision
+//	GET  /v1/healthz  liveness (503 while draining)
+//	GET  /v1/stats    counters, cache/batch stats, latency histogram
+//
+// A separate debug address (optional, -debug-addr) serves net/http/pprof.
+// SIGINT/SIGTERM triggers graceful drain: new work is rejected, every
+// accepted request completes, then the process exits.
+//
+// Usage:
+//
+//	copmecsd -addr :8080 -debug-addr 127.0.0.1:6060 -engine spectral
+//	curl -s -X POST -d @request.json http://localhost:8080/v1/solve
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"copmecs/internal/core"
+	"copmecs/internal/mec"
+	"copmecs/internal/serve"
+)
+
+func main() {
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	if err := run(os.Args[1:], stop, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "copmecsd:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until a stop signal arrives and the
+// graceful drain completes. It is main minus process concerns, so tests
+// can drive it with a fake signal channel and an in-memory writer.
+func run(args []string, stop <-chan os.Signal, out io.Writer) error {
+	fs := flag.NewFlagSet("copmecsd", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", ":8080", "service listen address")
+		debugAddr  = fs.String("debug-addr", "", "pprof debug listen address (empty = disabled)")
+		engineName = fs.String("engine", "spectral", "cut engine: spectral, maxflow, kernighan-lin, stoer-wagner")
+		capacity   = fs.Float64("capacity", 0, "edge server capacity (0 = default)")
+		device     = fs.Float64("device", 0, "device compute (0 = default)")
+		bandwidth  = fs.Float64("bandwidth", 0, "wireless bandwidth (0 = default)")
+		workers    = fs.Int("workers", 0, "per-round solver parallelism (0 = all cores)")
+		maxBatch   = fs.Int("max-batch", serve.DefaultMaxBatch, "max users per solve round")
+		batchWait  = fs.Duration("batch-wait", serve.DefaultBatchWait, "co-arrival window per round")
+		queueDepth = fs.Int("queue", serve.DefaultQueueDepth, "accept queue depth (beyond it: 429)")
+		cacheSize  = fs.Int("cache", serve.DefaultCacheSize, "solution cache entries")
+		reqTimeout = fs.Duration("request-timeout", serve.DefaultRequestTimeout, "per-request deadline")
+		maxNodes   = fs.Int("max-nodes", serve.DefaultMaxNodes, "max graph nodes per request")
+		maxEdges   = fs.Int("max-edges", serve.DefaultMaxEdges, "max graph edges per request")
+		drainWait  = fs.Duration("drain-timeout", 30*time.Second, "graceful drain deadline")
+		quiet      = fs.Bool("q", false, "suppress serving diagnostics")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	engine, err := engineByName(*engineName)
+	if err != nil {
+		return err
+	}
+	// Non-zero overrides are applied verbatim; serve.New validates the
+	// result, so an explicitly negative flag fails loudly instead of being
+	// silently ignored.
+	params := mec.Defaults()
+	if *capacity != 0 {
+		params.ServerCapacity = *capacity
+	}
+	if *device != 0 {
+		params.DeviceCompute = *device
+	}
+	if *bandwidth != 0 {
+		params.Bandwidth = *bandwidth
+	}
+	logf := func(format string, fargs ...any) {
+		logln(out, format, fargs...)
+	}
+	if *quiet {
+		logf = nil
+	}
+	srv, err := serve.New(serve.Config{
+		Engine:         engine,
+		Params:         params,
+		Workers:        *workers,
+		MaxBatch:       *maxBatch,
+		BatchWait:      *batchWait,
+		QueueDepth:     *queueDepth,
+		CacheSize:      *cacheSize,
+		RequestTimeout: *reqTimeout,
+		Limits:         serve.DecodeLimits{MaxNodes: *maxNodes, MaxEdges: *maxEdges},
+		Logf:           logf,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Root context of the solve spine: cancelled only after drain, so
+	// in-flight rounds finish during graceful shutdown.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	srv.Start(ctx)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", *addr, err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	logln(out, "copmecsd: listening on %s (engine %s, max-batch %d, queue %d)",
+		ln.Addr(), *engineName, *maxBatch, *queueDepth)
+
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dln, derr := net.Listen("tcp", *debugAddr)
+		if derr != nil {
+			_ = httpSrv.Close()
+			return fmt.Errorf("debug listen %s: %w", *debugAddr, derr)
+		}
+		debugSrv = &http.Server{Handler: debugMux()}
+		go func() { _ = debugSrv.Serve(dln) }()
+		logln(out, "copmecsd: pprof on %s/debug/pprof/", dln.Addr())
+	}
+
+	select {
+	case sig := <-stop:
+		logln(out, "copmecsd: %v: draining (deadline %v)", sig, *drainWait)
+	case err := <-serveErr:
+		return fmt.Errorf("serve: %w", err)
+	}
+
+	drainCtx, drainCancel := context.WithTimeout(context.Background(), *drainWait)
+	defer drainCancel()
+	drainErr := srv.Drain(drainCtx)
+	shutErr := httpSrv.Shutdown(drainCtx)
+	if errors.Is(shutErr, context.DeadlineExceeded) {
+		_ = httpSrv.Close()
+	}
+	cancel() // release any round still running after a missed deadline
+	if debugSrv != nil {
+		_ = debugSrv.Close()
+	}
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+		drainErr = errors.Join(drainErr, err)
+	}
+	st := srv.Stats()
+	logln(out, "copmecsd: drained: %d requests, %d solved, %d shed, %d cache hits, %d deduped, %d rounds",
+		st.Requests, st.Solved, st.Shed, st.Cache.Hits, st.Deduped, st.Batch.Rounds)
+	return errors.Join(drainErr, shutErr)
+}
+
+// logln writes one diagnostic line to the daemon's output stream; a
+// failed write to a dying stdout has nowhere better to be reported.
+func logln(out io.Writer, format string, args ...any) {
+	_, _ = fmt.Fprintf(out, format+"\n", args...)
+}
+
+// debugMux builds the pprof-only mux for the debug listener; registering
+// explicitly (rather than importing for DefaultServeMux's side effect)
+// keeps pprof off the service port.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// engineByName maps the -engine flag to a cut engine.
+func engineByName(name string) (core.Engine, error) {
+	switch name {
+	case "spectral":
+		return core.SpectralEngine{}, nil
+	case "maxflow":
+		return core.MaxFlowEngine{}, nil
+	case "kernighan-lin", "kl":
+		return core.KLEngine{}, nil
+	case "stoer-wagner", "sw":
+		return core.StoerWagnerEngine{}, nil
+	default:
+		return nil, fmt.Errorf("unknown engine %q", name)
+	}
+}

@@ -1,0 +1,197 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// syncBuffer serializes writes and reads: the test polls the output while
+// run is still writing to it from another goroutine.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+const testBody = `{"graph":{"nodes":[{"id":0,"weight":50},{"id":1,"weight":120},` +
+	`{"id":2,"weight":200},{"id":3,"weight":30}],` +
+	`"edges":[{"u":0,"v":1,"weight":40},{"u":1,"v":2,"weight":5},{"u":2,"v":3,"weight":60}]}}`
+
+// startDaemon launches run on an ephemeral port and returns the base URL,
+// the stop channel, the output buffer, and run's error channel.
+func startDaemon(t *testing.T, extraArgs ...string) (string, chan os.Signal, *syncBuffer, chan error) {
+	t.Helper()
+	stop := make(chan os.Signal, 1)
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	args := append([]string{"-addr", "127.0.0.1:0"}, extraArgs...)
+	go func() { done <- run(args, stop, out) }()
+
+	re := regexp.MustCompile(`listening on (\S+)`)
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := re.FindStringSubmatch(out.String()); m != nil {
+			return "http://" + m[1], stop, out, done
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("run exited early: %v (output %q)", err, out.String())
+		default:
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("no listening banner: %q", out.String())
+	return "", nil, nil, nil
+}
+
+func TestDaemonServesAndDrains(t *testing.T) {
+	base, stop, out, done := startDaemon(t)
+
+	hr, err := http.Get(base + "/v1/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", hr.StatusCode)
+	}
+
+	// Two identical solves: fresh then cached.
+	var cached []bool
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(base+"/v1/solve", "application/json", strings.NewReader(testBody))
+		if err != nil {
+			t.Fatalf("solve %d: %v", i, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("solve %d = %d, want 200", i, resp.StatusCode)
+		}
+		var body struct {
+			Remote []int `json:"remote"`
+			Cached bool  `json:"cached"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatalf("solve %d: decode: %v", i, err)
+		}
+		resp.Body.Close()
+		cached = append(cached, body.Cached)
+	}
+	if cached[0] || !cached[1] {
+		t.Fatalf("cached flags = %v, want [false true]", cached)
+	}
+
+	sr, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	var stats struct {
+		Requests uint64 `json:"requests"`
+		Solved   uint64 `json:"solved"`
+		Cache    struct {
+			Hits uint64 `json:"hits"`
+		} `json:"cache"`
+	}
+	if err := json.NewDecoder(sr.Body).Decode(&stats); err != nil {
+		t.Fatalf("stats decode: %v", err)
+	}
+	sr.Body.Close()
+	if stats.Requests != 2 || stats.Solved != 2 || stats.Cache.Hits != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+
+	stop <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v (output %q)", err, out.String())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not stop after SIGTERM")
+	}
+	if s := out.String(); !strings.Contains(s, "drained: 2 requests, 2 solved") {
+		t.Fatalf("drain summary missing: %q", s)
+	}
+}
+
+func TestDaemonDebugMux(t *testing.T) {
+	base, stop, out, done := startDaemon(t, "-debug-addr", "127.0.0.1:0")
+
+	re := regexp.MustCompile(`pprof on (\S+)/debug/pprof/`)
+	m := re.FindStringSubmatch(out.String())
+	if m == nil {
+		t.Fatalf("no pprof banner: %q", out.String())
+	}
+	dr, err := http.Get("http://" + m[1] + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatalf("pprof cmdline: %v", err)
+	}
+	dr.Body.Close()
+	if dr.StatusCode != http.StatusOK {
+		t.Fatalf("pprof cmdline = %d, want 200", dr.StatusCode)
+	}
+	// The service mux must NOT expose pprof.
+	sr, err := http.Get(base + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatalf("service pprof probe: %v", err)
+	}
+	sr.Body.Close()
+	if sr.StatusCode == http.StatusOK {
+		t.Fatal("service port exposes pprof")
+	}
+
+	stop <- os.Interrupt
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not stop")
+	}
+}
+
+func TestDaemonBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-zap"}, nil, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"-engine", "bogus"}, nil, &out); err == nil {
+		t.Error("unknown engine accepted")
+	}
+	if err := run([]string{"-addr", "256.0.0.1:bad"}, nil, &out); err == nil {
+		t.Error("bad address accepted")
+	}
+	if err := run([]string{"-capacity", "-5"}, nil, &out); err == nil {
+		t.Error("negative capacity accepted")
+	}
+}
+
+func TestEngineByName(t *testing.T) {
+	for _, name := range []string{"spectral", "maxflow", "kernighan-lin", "kl", "stoer-wagner", "sw"} {
+		if _, err := engineByName(name); err != nil {
+			t.Errorf("engineByName(%q): %v", name, err)
+		}
+	}
+	if _, err := engineByName("nope"); err == nil {
+		t.Error("engineByName accepted an unknown name")
+	}
+}

@@ -1,0 +1,21 @@
+package graph
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// Fingerprint returns a stable hex digest of the graph's full content —
+// node set, node weights, edge set and edge weights — computed over the
+// canonical binary encoding (WriteBinary), whose ordering is deterministic.
+// Two graphs have equal fingerprints iff Equal reports true (up to SHA-256
+// collisions); the digest is therefore a content-addressed cache key that
+// survives encode/decode round trips and is independent of insertion order.
+func (g *Graph) Fingerprint() (string, error) {
+	h := sha256.New()
+	if err := g.WriteBinary(h); err != nil {
+		return "", fmt.Errorf("graph fingerprint: %w", err)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

@@ -1,0 +1,146 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// fpGraph builds a small weighted graph for fingerprint tests.
+func fpGraph(t *testing.T) *Graph {
+	t.Helper()
+	g := New(0)
+	for i, w := range []float64{50, 120, 200, 30} {
+		if err := g.AddNode(NodeID(i), w); err != nil {
+			t.Fatalf("AddNode(%d): %v", i, err)
+		}
+	}
+	for _, e := range [][3]float64{{0, 1, 40}, {1, 2, 5}, {2, 3, 60}} {
+		if err := g.AddEdge(NodeID(e[0]), NodeID(e[1]), e[2]); err != nil {
+			t.Fatalf("AddEdge(%v): %v", e, err)
+		}
+	}
+	return g
+}
+
+func TestFingerprintDeterministic(t *testing.T) {
+	g := fpGraph(t)
+	a, err := g.Fingerprint()
+	if err != nil {
+		t.Fatalf("Fingerprint: %v", err)
+	}
+	b, err := g.Fingerprint()
+	if err != nil {
+		t.Fatalf("Fingerprint: %v", err)
+	}
+	if a != b {
+		t.Fatalf("same graph fingerprinted twice: %s vs %s", a, b)
+	}
+	if len(a) != 64 {
+		t.Fatalf("fingerprint length = %d, want 64 hex chars", len(a))
+	}
+}
+
+func TestFingerprintCloneAndInsertionOrder(t *testing.T) {
+	g := fpGraph(t)
+	want, err := g.Fingerprint()
+	if err != nil {
+		t.Fatalf("Fingerprint: %v", err)
+	}
+
+	if got, err := g.Clone().Fingerprint(); err != nil || got != want {
+		t.Fatalf("clone fingerprint = %s (%v), want %s", got, err, want)
+	}
+
+	// Same content built in a different insertion order.
+	h := New(0)
+	for _, i := range []int{3, 1, 0, 2} {
+		w := []float64{50, 120, 200, 30}[i]
+		if err := h.AddNode(NodeID(i), w); err != nil {
+			t.Fatalf("AddNode(%d): %v", i, err)
+		}
+	}
+	for _, e := range [][3]float64{{2, 3, 60}, {0, 1, 40}, {1, 2, 5}} {
+		if err := h.AddEdge(NodeID(e[0]), NodeID(e[1]), e[2]); err != nil {
+			t.Fatalf("AddEdge(%v): %v", e, err)
+		}
+	}
+	if !g.Equal(h) {
+		t.Fatal("test graphs should be equal")
+	}
+	if got, err := h.Fingerprint(); err != nil || got != want {
+		t.Fatalf("reordered-build fingerprint = %s (%v), want %s", got, err, want)
+	}
+}
+
+func TestFingerprintSurvivesCodecRoundTrips(t *testing.T) {
+	g := fpGraph(t)
+	want, err := g.Fingerprint()
+	if err != nil {
+		t.Fatalf("Fingerprint: %v", err)
+	}
+
+	// JSON round trip.
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var fromJSON Graph
+	if err := json.Unmarshal(data, &fromJSON); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if got, err := fromJSON.Fingerprint(); err != nil || got != want {
+		t.Fatalf("JSON round-trip fingerprint = %s (%v), want %s", got, err, want)
+	}
+
+	// Binary round trip.
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	fromBin, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	if got, err := fromBin.Fingerprint(); err != nil || got != want {
+		t.Fatalf("binary round-trip fingerprint = %s (%v), want %s", got, err, want)
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := fpGraph(t)
+	want, err := base.Fingerprint()
+	if err != nil {
+		t.Fatalf("Fingerprint: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(g *Graph) error
+	}{
+		{"node weight", func(g *Graph) error { return g.SetNodeWeight(1, 121) }},
+		{"extra node", func(g *Graph) error { return g.AddNode(9, 1) }},
+		{"extra edge", func(g *Graph) error { return g.AddEdge(0, 3, 1) }},
+		{"removed edge", func(g *Graph) error {
+			if !g.RemoveEdge(1, 2) {
+				t.Fatal("RemoveEdge(1,2) = false")
+			}
+			return nil
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := base.Clone()
+			if err := tc.mutate(g); err != nil {
+				t.Fatalf("mutate: %v", err)
+			}
+			got, err := g.Fingerprint()
+			if err != nil {
+				t.Fatalf("Fingerprint: %v", err)
+			}
+			if got == want {
+				t.Fatalf("mutated graph kept fingerprint %s", want)
+			}
+		})
+	}
+}

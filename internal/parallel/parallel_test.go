@@ -246,11 +246,15 @@ func TestDriverNoExecutors(t *testing.T) {
 
 func TestWaitReady(t *testing.T) {
 	addrs := startExecutors(t, 1)
-	if err := WaitReady(addrs[0], 2*time.Second); err != nil {
-		t.Errorf("WaitReady: %v", err)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := WaitReadyContext(ctx, addrs[0]); err != nil {
+		t.Errorf("WaitReadyContext: %v", err)
 	}
-	if err := WaitReady("127.0.0.1:1", 50*time.Millisecond); err == nil {
-		t.Error("WaitReady on dead addr succeeded")
+	dead, deadCancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer deadCancel()
+	if err := WaitReadyContext(dead, "127.0.0.1:1"); err == nil {
+		t.Error("WaitReadyContext on dead addr succeeded")
 	}
 }
 

@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"copmecs/internal/core"
+	"copmecs/internal/mec"
+)
+
+// Batching defaults (overridable via Config).
+const (
+	// DefaultMaxBatch is the largest solve round the batcher assembles.
+	DefaultMaxBatch = 16
+	// DefaultBatchWait is how long a round waits for co-arrivals after its
+	// first request.
+	DefaultBatchWait = 2 * time.Millisecond
+	// DefaultQueueDepth bounds the accept queue; a full queue sheds load.
+	DefaultQueueDepth = 256
+)
+
+// pending is one singleflight cell: the first request for a key becomes
+// the leader and is enqueued for a solve round; identical requests
+// arriving while it is in flight attach as followers and share the
+// result. mult tracks the live multiplicity (leader + followers), which
+// the dispatcher expands into that many users of the solve round so the
+// paper's shared-server contention (ActiveUsers = k) reflects the real
+// concurrent load, not the deduplicated one.
+type pending struct {
+	key  string
+	done chan struct{} // closed exactly once when dec/err are set
+	dec  *Decision
+	err  error
+	mult atomic.Int64
+}
+
+// newPending returns a cell with multiplicity 1 (the leader).
+func newPending(key string) *pending {
+	p := &pending{key: key, done: make(chan struct{})}
+	p.mult.Store(1)
+	return p
+}
+
+// solveTask is one accepted leader request waiting for a solve round.
+type solveTask struct {
+	p      *pending
+	user   core.UserInput
+	params mec.Params
+	pkey   string // paramsDigest; rounds group by it
+}
+
+// batcher coalesces concurrently arriving solve tasks into multi-user
+// rounds: a round opens when the first task arrives, admits co-arrivals
+// for maxWait (or until maxBatch), and is then dispatched as one
+// multi-user core.Solve. This is the serving-path version of the paper's
+// batch setting — the users of one round share the edge server, and the
+// model's ActiveUsers comes from the live round.
+type batcher struct {
+	queue    chan *solveTask
+	maxBatch int
+	maxWait  time.Duration
+	dispatch func(context.Context, []*solveTask)
+	stop     chan struct{}
+	stopO    sync.Once
+	done     chan struct{}
+}
+
+// stopOnce closes the stop channel exactly once; run then drains the
+// queue and exits.
+func (b *batcher) stopOnce() {
+	b.stopO.Do(func() { close(b.stop) })
+}
+
+// newBatcher returns a batcher feeding dispatch. The caller starts it with
+// go b.run(ctx) and stops it with close(b.stop) after the queue is known
+// to be settled; run drains every queued task before exiting.
+func newBatcher(maxBatch, queueDepth int, maxWait time.Duration, dispatch func(context.Context, []*solveTask)) *batcher {
+	if maxBatch <= 0 {
+		maxBatch = DefaultMaxBatch
+	}
+	if queueDepth <= 0 {
+		queueDepth = DefaultQueueDepth
+	}
+	if maxWait <= 0 {
+		maxWait = DefaultBatchWait
+	}
+	return &batcher{
+		queue:    make(chan *solveTask, queueDepth),
+		maxBatch: maxBatch,
+		maxWait:  maxWait,
+		dispatch: dispatch,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// run is the dispatch loop. It exits after stop is closed and the queue
+// has been drained; every accepted task is dispatched exactly once, which
+// is what makes graceful drain lossless.
+func (b *batcher) run(ctx context.Context) {
+	defer close(b.done)
+	for {
+		var first *solveTask
+		select {
+		case first = <-b.queue:
+		case <-b.stop:
+			b.drainQueued(ctx)
+			return
+		}
+		b.dispatch(ctx, b.collect(first))
+	}
+}
+
+// collect assembles one round: first plus co-arrivals until the window
+// closes, the round fills, or the batcher is stopped.
+func (b *batcher) collect(first *solveTask) []*solveTask {
+	round := []*solveTask{first}
+	timer := time.NewTimer(b.maxWait)
+	defer timer.Stop()
+	for len(round) < b.maxBatch {
+		select {
+		case t := <-b.queue:
+			round = append(round, t)
+		case <-timer.C:
+			return round
+		case <-b.stop:
+			return round
+		}
+	}
+	return round
+}
+
+// drainQueued dispatches everything still queued at stop time in maxBatch
+// rounds, without waiting out batch windows.
+func (b *batcher) drainQueued(ctx context.Context) {
+	for {
+		select {
+		case t := <-b.queue:
+			round := []*solveTask{t}
+		fill:
+			for len(round) < b.maxBatch {
+				select {
+				case t2 := <-b.queue:
+					round = append(round, t2)
+				default:
+					break fill
+				}
+			}
+			b.dispatch(ctx, round)
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultCacheSize is the default solution-cache capacity (entries).
+const DefaultCacheSize = 1024
+
+// lruCache is a fixed-capacity LRU of solved decisions keyed by request
+// key (graph fingerprint ⊕ params digest ⊕ per-user overrides). Entries
+// are immutable *Decision values shared between the cache and in-flight
+// responses, so a hit is a pointer copy. Safe for concurrent use.
+type lruCache struct {
+	mu        sync.Mutex
+	cap       int
+	ll        *list.List // front = most recent
+	items     map[string]*list.Element
+	evictions atomic.Uint64
+}
+
+// lruEntry is one cache slot.
+type lruEntry struct {
+	key string
+	dec *Decision
+}
+
+// newLRUCache returns a cache holding at most capacity entries (≤ 0 means
+// DefaultCacheSize).
+func newLRUCache(capacity int) *lruCache {
+	if capacity <= 0 {
+		capacity = DefaultCacheSize
+	}
+	return &lruCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached decision for key, promoting it to most recent.
+func (c *lruCache) get(key string) (*Decision, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).dec, true
+}
+
+// put stores dec under key, evicting the least-recently-used entry at
+// capacity. Storing an existing key refreshes its value and recency.
+func (c *lruCache) put(key string, dec *Decision) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).dec = dec
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, dec: dec})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+		c.evictions.Add(1)
+	}
+}
+
+// len reports the current entry count.
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// evicted reports the cumulative eviction count.
+func (c *lruCache) evicted() uint64 { return c.evictions.Load() }

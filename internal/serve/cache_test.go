@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestLRUCacheBasics(t *testing.T) {
+	c := newLRUCache(2)
+	if _, ok := c.get("a"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	da, db := &Decision{LocalWork: 1}, &Decision{LocalWork: 2}
+	c.put("a", da)
+	c.put("b", db)
+	if got, ok := c.get("a"); !ok || got != da {
+		t.Fatalf("get(a) = %v, %v", got, ok)
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+
+	// "a" was just touched, so inserting "c" must evict "b".
+	c.put("c", &Decision{})
+	if _, ok := c.get("b"); ok {
+		t.Fatal("LRU evicted the wrong entry: b survived")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("recently used entry a was evicted")
+	}
+	if c.evicted() != 1 {
+		t.Fatalf("evictions = %d, want 1", c.evicted())
+	}
+}
+
+func TestLRUCacheRefresh(t *testing.T) {
+	c := newLRUCache(2)
+	c.put("a", &Decision{LocalWork: 1})
+	d2 := &Decision{LocalWork: 2}
+	c.put("a", d2)
+	if c.len() != 1 {
+		t.Fatalf("len = %d after double put, want 1", c.len())
+	}
+	if got, _ := c.get("a"); got != d2 {
+		t.Fatalf("refresh did not replace the value: %+v", got)
+	}
+}
+
+func TestLRUCacheDefaultCapacity(t *testing.T) {
+	c := newLRUCache(0)
+	if c.cap != DefaultCacheSize {
+		t.Fatalf("cap = %d, want %d", c.cap, DefaultCacheSize)
+	}
+}
+
+func TestLRUCacheConcurrent(t *testing.T) {
+	c := newLRUCache(32)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k%d", (w*31+i)%64)
+				c.put(k, &Decision{LocalWork: float64(i)})
+				c.get(k)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := c.len(); n > 32 {
+		t.Fatalf("len = %d exceeds capacity 32", n)
+	}
+}

@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"copmecs/internal/graph"
+	"copmecs/internal/mec"
+)
+
+// Decode limits (defaults; overridable via Config).
+const (
+	// DefaultMaxBodyBytes caps one request body.
+	DefaultMaxBodyBytes = 8 << 20
+	// DefaultMaxNodes caps the decoded graph's node count.
+	DefaultMaxNodes = 100_000
+	// DefaultMaxEdges caps the decoded graph's edge count.
+	DefaultMaxEdges = 1_000_000
+)
+
+// Decoder errors. Handlers map all of them to 400 Bad Request.
+var (
+	// ErrBadRequest wraps every malformed-body failure.
+	ErrBadRequest = errors.New("serve: bad request")
+	// ErrTooLarge is returned when the graph exceeds the configured node or
+	// edge limits (or the body exceeds the byte cap).
+	ErrTooLarge = errors.New("serve: request too large")
+	// ErrNoGraph is returned when the body carries no graph.
+	ErrNoGraph = errors.New("serve: request has no graph")
+)
+
+// ParamsJSON optionally overrides the daemon-wide mec.Params for the
+// request's solve round. Zero fields keep the server's defaults; requests
+// are micro-batched only with requests sharing the same resolved Params
+// (contention is only meaningful between users of the same edge server).
+type ParamsJSON struct {
+	// ServerCapacity overrides Params.ServerCapacity when positive.
+	ServerCapacity float64 `json:"server_capacity,omitempty"`
+	// DeviceCompute overrides Params.DeviceCompute when positive.
+	DeviceCompute float64 `json:"device_compute,omitempty"`
+	// PowerCompute overrides Params.PowerCompute when positive.
+	PowerCompute float64 `json:"power_compute,omitempty"`
+	// PowerTransmit overrides Params.PowerTransmit when positive.
+	PowerTransmit float64 `json:"power_transmit,omitempty"`
+	// Bandwidth overrides Params.Bandwidth when positive.
+	Bandwidth float64 `json:"bandwidth,omitempty"`
+}
+
+// merge resolves the override against the server defaults.
+func (p ParamsJSON) merge(base mec.Params) mec.Params {
+	if p.ServerCapacity > 0 {
+		base.ServerCapacity = p.ServerCapacity
+	}
+	if p.DeviceCompute > 0 {
+		base.DeviceCompute = p.DeviceCompute
+	}
+	if p.PowerCompute > 0 {
+		base.PowerCompute = p.PowerCompute
+	}
+	if p.PowerTransmit > 0 {
+		base.PowerTransmit = p.PowerTransmit
+	}
+	if p.Bandwidth > 0 {
+		base.Bandwidth = p.Bandwidth
+	}
+	return base
+}
+
+// SolveRequest is the POST /v1/solve body: one user's function data-flow
+// graph plus optional system-parameter and per-user overrides (the
+// heterogeneous-link generalisation of core.UserInput).
+type SolveRequest struct {
+	// Graph is the user's function data-flow graph (required).
+	Graph *graph.Graph `json:"graph"`
+	// Params optionally overrides the daemon's mec.Params.
+	Params *ParamsJSON `json:"params,omitempty"`
+	// FixedLocalWork is computation pinned to the device.
+	FixedLocalWork float64 `json:"fixed_local_work,omitempty"`
+	// DeviceCompute overrides the default device speed when positive.
+	DeviceCompute float64 `json:"device_compute,omitempty"`
+	// Bandwidth overrides the default uplink rate when positive.
+	Bandwidth float64 `json:"bandwidth,omitempty"`
+	// PowerTransmit overrides the default radio power when positive.
+	PowerTransmit float64 `json:"power_transmit,omitempty"`
+}
+
+// DecodeLimits bounds what DecodeSolveRequest accepts. The zero value means
+// the package defaults.
+type DecodeLimits struct {
+	// MaxNodes caps the graph's node count (≤ 0 means DefaultMaxNodes).
+	MaxNodes int
+	// MaxEdges caps the graph's edge count (≤ 0 means DefaultMaxEdges).
+	MaxEdges int
+}
+
+// withDefaults resolves zero fields to the package defaults.
+func (l DecodeLimits) withDefaults() DecodeLimits {
+	if l.MaxNodes <= 0 {
+		l.MaxNodes = DefaultMaxNodes
+	}
+	if l.MaxEdges <= 0 {
+		l.MaxEdges = DefaultMaxEdges
+	}
+	return l
+}
+
+// DecodeSolveRequest reads one JSON request body, rejecting malformed JSON,
+// unknown fields, missing graphs, and graphs over the limits. Every error
+// wraps ErrBadRequest (ErrTooLarge and ErrNoGraph do too), so handlers can
+// map the whole family to one status code; it never panics on hostile
+// input (fuzzed in fuzz_test.go).
+func DecodeSolveRequest(r io.Reader, limits DecodeLimits) (*SolveRequest, error) {
+	limits = limits.withDefaults()
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var req SolveRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	// A second JSON value after the request is a framing error.
+	if err := dec.Decode(&struct{}{}); !errors.Is(err, io.EOF) {
+		return nil, fmt.Errorf("%w: trailing data after request", ErrBadRequest)
+	}
+	if req.Graph == nil || req.Graph.NumNodes() == 0 {
+		return nil, fmt.Errorf("%w: %w", ErrBadRequest, ErrNoGraph)
+	}
+	if n := req.Graph.NumNodes(); n > limits.MaxNodes {
+		return nil, fmt.Errorf("%w: %w: %d nodes (limit %d)", ErrBadRequest, ErrTooLarge, n, limits.MaxNodes)
+	}
+	if m := req.Graph.NumEdges(); m > limits.MaxEdges {
+		return nil, fmt.Errorf("%w: %w: %d edges (limit %d)", ErrBadRequest, ErrTooLarge, m, limits.MaxEdges)
+	}
+	if req.FixedLocalWork < 0 || req.DeviceCompute < 0 || req.Bandwidth < 0 || req.PowerTransmit < 0 {
+		return nil, fmt.Errorf("%w: negative override", ErrBadRequest)
+	}
+	if p := req.Params; p != nil &&
+		(p.ServerCapacity < 0 || p.DeviceCompute < 0 || p.PowerCompute < 0 ||
+			p.PowerTransmit < 0 || p.Bandwidth < 0) {
+		return nil, fmt.Errorf("%w: negative params override", ErrBadRequest)
+	}
+	return &req, nil
+}
+
+// paramsDigest hashes the resolved system parameters; requests are batched
+// into solve rounds only with requests sharing this digest.
+func paramsDigest(p mec.Params) string {
+	h := sha256.New()
+	writeFloats(h, p.ServerCapacity, p.DeviceCompute, p.PowerCompute, p.PowerTransmit, p.Bandwidth)
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// requestKey is the solution-cache and singleflight key: the canonical
+// graph fingerprint plus the resolved params digest plus the per-user
+// overrides. Two requests with equal keys are interchangeable — same graph
+// content, same system constants, same device/link overrides.
+func requestKey(req *SolveRequest, params mec.Params) (string, error) {
+	h := sha256.New()
+	if err := req.Graph.WriteBinary(h); err != nil {
+		return "", fmt.Errorf("serve: request key: %w", err)
+	}
+	writeFloats(h,
+		params.ServerCapacity, params.DeviceCompute, params.PowerCompute,
+		params.PowerTransmit, params.Bandwidth,
+		req.FixedLocalWork, req.DeviceCompute, req.Bandwidth, req.PowerTransmit)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// writeFloats appends the canonical little-endian encoding of each value
+// to the hash. Hash writes never fail.
+func writeFloats(w io.Writer, vals ...float64) {
+	var buf [8]byte
+	for _, v := range vals {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		_, _ = w.Write(buf[:])
+	}
+}

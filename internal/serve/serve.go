@@ -1,0 +1,626 @@
+// Package serve is the online serving layer over the COPMECS solver: a
+// stdlib-only HTTP/JSON API through which many concurrent users submit
+// function data-flow graphs and receive offloading decisions from one
+// shared edge server.
+//
+// Three layers sit between the socket and core.Solve:
+//
+//   - a micro-batcher that coalesces concurrently arriving per-user
+//     requests into multi-user solve rounds, so the paper's shared-server
+//     contention (ActiveUsers = k in formulas (2) and (6)) is driven by
+//     the live batch rather than a pre-baked user list;
+//   - a solution cache keyed by the canonical graph fingerprint plus a
+//     params digest, with LRU eviction and singleflight deduplication so
+//     identical in-flight requests run once;
+//   - admission control: a bounded accept queue that sheds load with 429 +
+//     Retry-After, per-request deadlines composed with the caller's
+//     context, and graceful drain that completes every accepted request
+//     before shutdown.
+//
+// The cached decision for a key reflects the contention of the round that
+// computed it; like any TTL-free response cache this trades bounded
+// staleness for latency, and the LRU keeps the horizon short under churn.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"copmecs/internal/core"
+	"copmecs/internal/graph"
+	"copmecs/internal/mec"
+)
+
+// Admission-control defaults (overridable via Config).
+const (
+	// DefaultRequestTimeout bounds one request end to end.
+	DefaultRequestTimeout = 30 * time.Second
+	// DefaultSolveTimeout bounds one dispatched solve round.
+	DefaultSolveTimeout = 25 * time.Second
+	// DefaultRetryAfter is the Retry-After hint on 429/503 responses.
+	DefaultRetryAfter = 1 * time.Second
+)
+
+// Serving errors.
+var (
+	// ErrShed is the resolution of a request rejected by admission
+	// control (full queue); mapped to 429.
+	ErrShed = errors.New("serve: overloaded, request shed")
+	// ErrDraining is the resolution of a request arriving during graceful
+	// drain; mapped to 503.
+	ErrDraining = errors.New("serve: draining")
+)
+
+// Config tunes a Server. The zero value serves with the spectral engine,
+// mec.Defaults(), and the package's batching/admission defaults.
+type Config struct {
+	// Engine is the minimum-cut engine (nil = core.SpectralEngine{}); a
+	// parallel.FallbackRunner-backed core.ClusterEngine plugs in here to
+	// serve from an executor fleet with local degradation.
+	Engine core.Engine
+	// Params are the default MEC system constants (zero = mec.Defaults());
+	// requests may override them per call.
+	Params mec.Params
+	// Workers bounds per-round solver parallelism (0 = GOMAXPROCS).
+	Workers int
+	// MaxBatch caps the users per solve round (≤ 0 = DefaultMaxBatch).
+	MaxBatch int
+	// BatchWait is the round's co-arrival window (≤ 0 = DefaultBatchWait).
+	BatchWait time.Duration
+	// QueueDepth bounds the accept queue (≤ 0 = DefaultQueueDepth);
+	// arrivals beyond it are shed with 429.
+	QueueDepth int
+	// CacheSize caps the solution cache (≤ 0 = DefaultCacheSize).
+	CacheSize int
+	// RequestTimeout bounds one request end to end, composed with the
+	// client's own context (≤ 0 = DefaultRequestTimeout).
+	RequestTimeout time.Duration
+	// SolveTimeout bounds one dispatched solve round (≤ 0 =
+	// DefaultSolveTimeout).
+	SolveTimeout time.Duration
+	// RetryAfter is the Retry-After hint on 429/503 responses (≤ 0 =
+	// DefaultRetryAfter).
+	RetryAfter time.Duration
+	// MaxBodyBytes caps one request body (≤ 0 = DefaultMaxBodyBytes).
+	MaxBodyBytes int64
+	// Limits bounds decoded graphs (zero = package defaults).
+	Limits DecodeLimits
+	// Logf, when non-nil, receives serving diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// withDefaults resolves zero fields to the package defaults.
+func (c Config) withDefaults() Config {
+	if c.Engine == nil {
+		c.Engine = core.SpectralEngine{}
+	}
+	if c.Params == (mec.Params{}) {
+		c.Params = mec.Defaults()
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = DefaultRequestTimeout
+	}
+	if c.SolveTimeout <= 0 {
+		c.SolveTimeout = DefaultSolveTimeout
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = DefaultRetryAfter
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	return c
+}
+
+// Decision is one user's solved offloading decision: the unit the solution
+// cache stores and singleflight followers share. Decisions are immutable
+// after publication.
+type Decision struct {
+	// Remote lists the offloaded node IDs, ascending.
+	Remote []graph.NodeID
+	// LocalWork, RemoteWork and CutWeight summarise the split.
+	LocalWork, RemoteWork, CutWeight float64
+	// Cost is the user's share of formulas (1)–(5).
+	Cost mec.UserCost
+	// Objective is E + T of the whole round that produced the decision.
+	Objective float64
+	// BatchUsers is the round size (including duplicate multiplicity).
+	BatchUsers int
+	// ActiveUsers is the round's k (users with offloaded work).
+	ActiveUsers int
+	// Engine names the cut engine that produced the decision.
+	Engine string
+}
+
+// CostJSON is the wire form of mec.UserCost.
+type CostJSON struct {
+	// LocalTime is formula (1).
+	LocalTime float64 `json:"local_time"`
+	// RemoteTime is formula (2), inclusive of WaitTime.
+	RemoteTime float64 `json:"remote_time"`
+	// WaitTime is the contention share wtᵢ of formula (2).
+	WaitTime float64 `json:"wait_time"`
+	// TransmissionTime is formula (5).
+	TransmissionTime float64 `json:"transmission_time"`
+	// LocalEnergy is formula (3).
+	LocalEnergy float64 `json:"local_energy"`
+	// TransmissionEnergy is formula (4).
+	TransmissionEnergy float64 `json:"transmission_energy"`
+	// ServerShare is Iˢᵢ under processor sharing.
+	ServerShare float64 `json:"server_share"`
+}
+
+// SolveResponse is the POST /v1/solve 200 body.
+type SolveResponse struct {
+	// Remote lists the node IDs to offload, ascending.
+	Remote []graph.NodeID `json:"remote"`
+	// LocalWork is the computation kept on the device.
+	LocalWork float64 `json:"local_work"`
+	// RemoteWork is the computation offloaded to the edge server.
+	RemoteWork float64 `json:"remote_work"`
+	// CutWeight is the communication crossing the split.
+	CutWeight float64 `json:"cut_weight"`
+	// Cost is the user's cost breakdown.
+	Cost CostJSON `json:"cost"`
+	// BatchObjective is E + T of the round that solved the request.
+	BatchObjective float64 `json:"batch_objective"`
+	// BatchUsers is that round's size (including duplicate multiplicity).
+	BatchUsers int `json:"batch_users"`
+	// ActiveUsers is that round's k.
+	ActiveUsers int `json:"active_users"`
+	// Engine names the cut engine used.
+	Engine string `json:"engine"`
+	// Cached reports a solution-cache hit.
+	Cached bool `json:"cached"`
+	// Deduped reports the request was collapsed onto an in-flight twin.
+	Deduped bool `json:"deduped"`
+}
+
+// ErrorResponse is the body of every non-200 JSON reply.
+type ErrorResponse struct {
+	// Error is the human-readable failure description.
+	Error string `json:"error"`
+}
+
+// Server is the copmecsd serving core: admission control in front of a
+// micro-batcher in front of core.Solve, with a fingerprint-keyed solution
+// cache shortcutting repeat work. Construct with New, start the dispatch
+// loop with Start, expose Handler over HTTP, and stop with Drain.
+type Server struct {
+	cfg   Config
+	cache *lruCache
+	st    counters
+	b     *batcher
+
+	mu       sync.Mutex
+	inflight map[string]*pending
+
+	draining atomic.Bool
+	accepted sync.WaitGroup
+	started  atomic.Bool
+}
+
+// New returns an unstarted server. cfg.Params must validate.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	s := &Server{
+		cfg:      cfg,
+		cache:    newLRUCache(cfg.CacheSize),
+		inflight: make(map[string]*pending),
+	}
+	s.b = newBatcher(cfg.MaxBatch, cfg.QueueDepth, cfg.BatchWait, s.dispatchRound)
+	return s, nil
+}
+
+// Start launches the batcher's dispatch loop. ctx bounds every solve the
+// server will run (the PR-2 context spine): cancelling it fails in-flight
+// rounds, so for graceful shutdown call Drain before cancelling. Start is
+// idempotent; only the first call starts the loop.
+func (s *Server) Start(ctx context.Context) {
+	if s.started.CompareAndSwap(false, true) {
+		go s.b.run(ctx)
+	}
+}
+
+// logf forwards to the configured logger, if any.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Drain gracefully stops the server: new solve requests are rejected with
+// 503, every already-accepted request is solved and delivered, and the
+// dispatch loop exits. It returns nil once the drain is complete, or
+// ctx.Err() if ctx expires first (the loop is then stopped anyway and
+// unresolved requests fail with their own deadlines).
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining.Swap(true)
+	s.mu.Unlock()
+	if !already {
+		s.logf("serve: draining: rejecting new work, flushing accepted requests")
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.accepted.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	if s.started.Load() {
+		s.b.stopOnce()
+		if err == nil {
+			select {
+			case <-s.b.done:
+			case <-ctx.Done():
+				err = ctx.Err()
+			}
+		}
+	}
+	if err == nil && !already {
+		s.logf("serve: drain complete")
+	}
+	return err
+}
+
+// Draining reports whether graceful drain has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Stats snapshots the server's counters for /v1/stats.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Requests:     s.st.requests.Load(),
+		Solved:       s.st.solved.Load(),
+		BadRequests:  s.st.badRequests.Load(),
+		Shed:         s.st.shed.Load(),
+		DrainRejects: s.st.drainRejects.Load(),
+		Deduped:      s.st.deduped.Load(),
+		SolveErrors:  s.st.solveErrors.Load(),
+		Timeouts:     s.st.timeouts.Load(),
+		InFlight:     s.st.inFlight.Load(),
+		Draining:     s.draining.Load(),
+		Cache: CacheStats{
+			Hits:      s.st.cacheHits.Load(),
+			Misses:    s.st.cacheMisses.Load(),
+			Size:      s.cache.len(),
+			Capacity:  s.cache.cap,
+			Evictions: s.cache.evicted(),
+		},
+		Batch: BatchStats{
+			Rounds:     s.st.batches.Load(),
+			Users:      s.st.batchedUsers.Load(),
+			MaxUsers:   s.st.maxBatch.Load(),
+			QueueDepth: len(s.b.queue),
+		},
+		Latency: s.st.lat.snapshot(),
+	}
+}
+
+// Handler returns the service mux: POST /v1/solve, GET /v1/healthz,
+// GET /v1/stats. Profiling lives on the daemon's separate debug mux, not
+// here, so the service port never exposes pprof.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/solve", s.handleSolve)
+	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	return mux
+}
+
+// handleHealthz reports liveness; a draining server answers 503 so load
+// balancers stop routing to it while accepted work flushes.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleStats renders the counters snapshot.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// handleSolve is the serving hot path: decode → cache → singleflight →
+// admission → batch → await.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.st.requests.Add(1)
+	s.st.inFlight.Add(1)
+	defer s.st.inFlight.Add(-1)
+	defer func() { s.st.lat.observe(time.Since(start)) }()
+
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	req, err := DecodeSolveRequest(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes), s.cfg.Limits)
+	if err != nil {
+		s.st.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	params := s.cfg.Params
+	if req.Params != nil {
+		params = req.Params.merge(params)
+	}
+	if err := params.Validate(); err != nil {
+		s.st.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key, err := requestKey(req, params)
+	if err != nil {
+		s.st.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	if dec, ok := s.cache.get(key); ok {
+		s.st.cacheHits.Add(1)
+		s.st.solved.Add(1)
+		writeDecision(w, dec, true, false)
+		return
+	}
+
+	p, leader, aerr := s.admit(key, req, params)
+	if aerr != nil {
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		if errors.Is(aerr, ErrDraining) {
+			s.st.drainRejects.Add(1)
+			writeError(w, http.StatusServiceUnavailable, aerr.Error())
+		} else {
+			s.st.shed.Add(1)
+			writeError(w, http.StatusTooManyRequests, aerr.Error())
+		}
+		return
+	}
+	if leader {
+		s.st.cacheMisses.Add(1)
+	} else {
+		s.st.deduped.Add(1)
+	}
+	s.await(w, r, p, !leader)
+}
+
+// admit runs singleflight attachment and admission control under one
+// lock. It returns (cell, true, nil) for an accepted leader, (cell,
+// false, nil) for a follower sharing an in-flight cell, and (nil, false,
+// ErrShed or ErrDraining) for a rejected request. Followers are admitted
+// even while draining: their cell is already accepted work.
+func (s *Server) admit(key string, req *SolveRequest, params mec.Params) (*pending, bool, error) {
+	s.mu.Lock()
+	if p, ok := s.inflight[key]; ok {
+		p.mult.Add(1)
+		s.mu.Unlock()
+		return p, false, nil
+	}
+	if s.draining.Load() {
+		s.mu.Unlock()
+		return nil, false, ErrDraining
+	}
+	p := newPending(key)
+	task := &solveTask{
+		p: p,
+		user: core.UserInput{
+			Graph:          req.Graph,
+			FixedLocalWork: req.FixedLocalWork,
+			DeviceCompute:  req.DeviceCompute,
+			Bandwidth:      req.Bandwidth,
+			PowerTransmit:  req.PowerTransmit,
+		},
+		params: params,
+		pkey:   paramsDigest(params),
+	}
+	select {
+	case s.b.queue <- task:
+		s.inflight[key] = p
+		// Under the same lock as the draining check: Drain flips the flag
+		// before waiting, so every Add happens-before accepted.Wait can
+		// return.
+		s.accepted.Add(1)
+		s.mu.Unlock()
+		return p, true, nil
+	default:
+		s.mu.Unlock()
+		return nil, false, ErrShed
+	}
+}
+
+// await blocks until the request's cell resolves or its deadline expires,
+// then writes the response.
+func (s *Server) await(w http.ResponseWriter, r *http.Request, p *pending, deduped bool) {
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	select {
+	case <-p.done:
+	case <-ctx.Done():
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			s.st.timeouts.Add(1)
+			writeError(w, http.StatusGatewayTimeout, "deadline exceeded waiting for solve")
+		}
+		// Client cancellation: nothing useful to write; the solve still
+		// completes and fills the cache for the retry.
+		return
+	}
+	if p.err != nil {
+		writeError(w, http.StatusInternalServerError, p.err.Error())
+		return
+	}
+	s.st.solved.Add(1)
+	writeDecision(w, p.dec, false, deduped)
+}
+
+// dispatchRound solves one batcher round. Tasks with different resolved
+// params cannot share a server model, so the round is partitioned by
+// params digest (first-appearance order) into one core.Solve each.
+func (s *Server) dispatchRound(ctx context.Context, round []*solveTask) {
+	groups := make(map[string][]*solveTask)
+	var order []string
+	for _, t := range round {
+		if _, ok := groups[t.pkey]; !ok {
+			order = append(order, t.pkey)
+		}
+		groups[t.pkey] = append(groups[t.pkey], t)
+	}
+	for _, pk := range order {
+		s.solveGroup(ctx, groups[pk])
+	}
+}
+
+// solveGroup runs one multi-user core.Solve over the group's tasks,
+// expanding each task by its live multiplicity (capped at MaxBatch) so
+// singleflight-collapsed duplicates still count toward the paper's
+// ActiveUsers contention. Identical users are symmetric in the model, so
+// the representative's decision is shared across its duplicates.
+func (s *Server) solveGroup(ctx context.Context, tasks []*solveTask) {
+	sctx, cancel := context.WithTimeout(ctx, s.cfg.SolveTimeout)
+	defer cancel()
+
+	var users []core.UserInput
+	rep := make([]int, len(tasks)) // tasks[i] → index of its representative user
+	for i, t := range tasks {
+		rep[i] = len(users)
+		mult := int(t.p.mult.Load())
+		if mult < 1 {
+			mult = 1
+		}
+		if mult > s.b.maxBatch {
+			mult = s.b.maxBatch
+		}
+		for j := 0; j < mult; j++ {
+			users = append(users, t.user)
+		}
+	}
+	s.st.observeBatch(len(users))
+
+	sol, err := core.Solve(sctx, users, core.Options{
+		Engine:  s.cfg.Engine,
+		Params:  tasks[0].params,
+		Workers: s.cfg.Workers,
+	})
+	if err != nil {
+		s.st.solveErrors.Add(1)
+		s.logf("serve: round of %d users failed: %v", len(users), err)
+		for _, t := range tasks {
+			s.finish(t, nil, err)
+		}
+		return
+	}
+	for i, t := range tasks {
+		s.finish(t, decisionFor(sol, rep[i], len(users)), nil)
+	}
+}
+
+// finish publishes a task's result: cache fill first, then removal from
+// the singleflight table (so no moment exists where neither covers the
+// key), then the wakeup of every waiter.
+func (s *Server) finish(t *solveTask, dec *Decision, err error) {
+	if dec != nil {
+		s.cache.put(t.p.key, dec)
+	}
+	s.mu.Lock()
+	delete(s.inflight, t.p.key)
+	s.mu.Unlock()
+	t.p.dec, t.p.err = dec, err
+	close(t.p.done)
+	s.accepted.Done()
+}
+
+// decisionFor extracts user u's decision from a solved round of n users.
+func decisionFor(sol *core.Solution, u, n int) *Decision {
+	pl := sol.Placements[u]
+	st := pl.State()
+	remote := make([]graph.NodeID, 0, len(pl.Remote))
+	for id := range pl.Remote {
+		remote = append(remote, id)
+	}
+	sort.Slice(remote, func(a, b int) bool { return remote[a] < remote[b] })
+	return &Decision{
+		Remote:      remote,
+		LocalWork:   st.LocalWork,
+		RemoteWork:  st.RemoteWork,
+		CutWeight:   st.CutWeight,
+		Cost:        sol.Eval.PerUser[u],
+		Objective:   sol.Eval.Objective,
+		BatchUsers:  n,
+		ActiveUsers: sol.Eval.ActiveUsers,
+		Engine:      sol.Stats.EngineName,
+	}
+}
+
+// writeDecision renders a 200 solve response.
+func writeDecision(w http.ResponseWriter, dec *Decision, cached, deduped bool) {
+	writeJSON(w, http.StatusOK, SolveResponse{
+		Remote:     dec.Remote,
+		LocalWork:  dec.LocalWork,
+		RemoteWork: dec.RemoteWork,
+		CutWeight:  dec.CutWeight,
+		Cost: CostJSON{
+			LocalTime:          dec.Cost.LocalTime,
+			RemoteTime:         dec.Cost.RemoteTime,
+			WaitTime:           dec.Cost.WaitTime,
+			TransmissionTime:   dec.Cost.TransmissionTime,
+			LocalEnergy:        dec.Cost.LocalEnergy,
+			TransmissionEnergy: dec.Cost.TransmissionEnergy,
+			ServerShare:        dec.Cost.ServerShare,
+		},
+		BatchObjective: dec.Objective,
+		BatchUsers:     dec.BatchUsers,
+		ActiveUsers:    dec.ActiveUsers,
+		Engine:         dec.Engine,
+		Cached:         cached,
+		Deduped:        deduped,
+	})
+}
+
+// writeJSON writes v as a JSON response. Encoding failures after the
+// header is sent can only be reported by aborting the connection, which
+// the http server does on write error; the encode error itself is
+// deliberately dropped.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError writes a JSON error body with the given status.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: msg})
+}
+
+// retryAfterSeconds renders d as a whole-seconds Retry-After value (≥ 1).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int(d / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}

@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// latencyBoundsMs are the upper bounds (milliseconds) of the request
+// latency histogram buckets; a final implicit +Inf bucket catches the rest.
+var latencyBoundsMs = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+
+// histogram is a fixed-bucket latency histogram with atomic counters.
+type histogram struct {
+	counts [numLatencyBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sumUs  atomic.Uint64 // total microseconds
+}
+
+// numLatencyBuckets sizes the bucket array: one per entry of
+// latencyBoundsMs plus the +Inf bucket (asserted in stats tests).
+const numLatencyBuckets = 13
+
+// observe records one request duration.
+func (h *histogram) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	i := 0
+	for i < len(latencyBoundsMs) && ms > latencyBoundsMs[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumUs.Add(uint64(d / time.Microsecond))
+}
+
+// HistogramBucket is one cumulative latency bucket in a Stats snapshot.
+type HistogramBucket struct {
+	// LE is the bucket's inclusive upper bound in milliseconds; the last
+	// bucket has LE = 0 and represents +Inf.
+	LE float64 `json:"le"`
+	// Count is the cumulative number of observations ≤ LE.
+	Count uint64 `json:"count"`
+}
+
+// HistogramSnapshot is the JSON rendering of the latency histogram.
+type HistogramSnapshot struct {
+	// Count is the total number of observations.
+	Count uint64 `json:"count"`
+	// MeanMs is the mean latency in milliseconds (0 when empty).
+	MeanMs float64 `json:"mean_ms"`
+	// Buckets are the cumulative buckets, smallest bound first.
+	Buckets []HistogramBucket `json:"buckets"`
+}
+
+// snapshot renders the histogram with cumulative bucket counts.
+func (h *histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load()}
+	if s.Count > 0 {
+		s.MeanMs = float64(h.sumUs.Load()) / 1000 / float64(s.Count)
+	}
+	var cum uint64
+	for i := 0; i < numLatencyBuckets; i++ {
+		cum += h.counts[i].Load()
+		le := 0.0 // +Inf sentinel
+		if i < len(latencyBoundsMs) {
+			le = latencyBoundsMs[i]
+		}
+		s.Buckets = append(s.Buckets, HistogramBucket{LE: le, Count: cum})
+	}
+	return s
+}
+
+// counters aggregates the server's monotonic event counts and gauges.
+type counters struct {
+	requests     atomic.Uint64 // POST /v1/solve arrivals
+	solved       atomic.Uint64 // 200 responses (cached or fresh)
+	badRequests  atomic.Uint64 // 400 responses
+	shed         atomic.Uint64 // 429 responses (queue full)
+	drainRejects atomic.Uint64 // 503 responses while draining
+	deduped      atomic.Uint64 // requests collapsed onto an in-flight twin
+	cacheHits    atomic.Uint64
+	cacheMisses  atomic.Uint64
+	batches      atomic.Uint64 // solve rounds dispatched
+	batchedUsers atomic.Uint64 // users across all rounds (incl. multiplicity)
+	maxBatch     atomic.Uint64 // largest round seen
+	solveErrors  atomic.Uint64
+	timeouts     atomic.Uint64 // 504 responses
+	inFlight     atomic.Int64  // requests currently inside /v1/solve
+	lat          histogram
+}
+
+// observeBatch records one dispatched round of n users.
+func (c *counters) observeBatch(n int) {
+	c.batches.Add(1)
+	c.batchedUsers.Add(uint64(n))
+	for {
+		cur := c.maxBatch.Load()
+		if uint64(n) <= cur || c.maxBatch.CompareAndSwap(cur, uint64(n)) {
+			return
+		}
+	}
+}
+
+// CacheStats is the solution-cache section of a Stats snapshot.
+type CacheStats struct {
+	// Hits counts requests answered straight from the cache.
+	Hits uint64 `json:"hits"`
+	// Misses counts requests that went to the solver.
+	Misses uint64 `json:"misses"`
+	// Size is the current entry count.
+	Size int `json:"size"`
+	// Capacity is the configured maximum entry count.
+	Capacity int `json:"capacity"`
+	// Evictions counts LRU evictions.
+	Evictions uint64 `json:"evictions"`
+}
+
+// BatchStats is the micro-batcher section of a Stats snapshot.
+type BatchStats struct {
+	// Rounds counts dispatched solve rounds.
+	Rounds uint64 `json:"rounds"`
+	// Users counts users solved across all rounds, including the live
+	// multiplicity of singleflight-collapsed duplicates.
+	Users uint64 `json:"users"`
+	// MaxUsers is the largest round dispatched.
+	MaxUsers uint64 `json:"max_users"`
+	// QueueDepth is the number of requests currently queued.
+	QueueDepth int `json:"queue_depth"`
+}
+
+// Stats is the JSON document served at GET /v1/stats.
+type Stats struct {
+	// Requests counts POST /v1/solve arrivals.
+	Requests uint64 `json:"requests"`
+	// Solved counts 200 responses (cached or freshly solved).
+	Solved uint64 `json:"solved"`
+	// BadRequests counts 400 responses.
+	BadRequests uint64 `json:"bad_requests"`
+	// Shed counts 429 responses from admission control.
+	Shed uint64 `json:"shed"`
+	// DrainRejects counts 503 responses issued while draining.
+	DrainRejects uint64 `json:"drain_rejects"`
+	// Deduped counts requests collapsed onto an identical in-flight one.
+	Deduped uint64 `json:"deduped"`
+	// SolveErrors counts solver-side failures (500 responses).
+	SolveErrors uint64 `json:"solve_errors"`
+	// Timeouts counts requests that hit their deadline (504 responses).
+	Timeouts uint64 `json:"timeouts"`
+	// InFlight is the number of requests currently being served.
+	InFlight int64 `json:"in_flight"`
+	// Draining reports whether the server has begun graceful drain.
+	Draining bool `json:"draining"`
+	// Cache is the solution-cache section.
+	Cache CacheStats `json:"cache"`
+	// Batch is the micro-batcher section.
+	Batch BatchStats `json:"batch"`
+	// Latency is the end-to-end /v1/solve latency histogram.
+	Latency HistogramSnapshot `json:"latency_ms"`
+}

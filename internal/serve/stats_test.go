@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketArraySize(t *testing.T) {
+	// numLatencyBuckets must track latencyBoundsMs (+1 for +Inf); the
+	// array-sized constant cannot reference the slice, so assert here.
+	if numLatencyBuckets != len(latencyBoundsMs)+1 {
+		t.Fatalf("numLatencyBuckets = %d, want len(latencyBoundsMs)+1 = %d",
+			numLatencyBuckets, len(latencyBoundsMs)+1)
+	}
+}
+
+func TestHistogramObserveAndSnapshot(t *testing.T) {
+	var h histogram
+	h.observe(500 * time.Microsecond) // ≤ 1ms bucket
+	h.observe(3 * time.Millisecond)   // ≤ 5ms bucket
+	h.observe(10 * time.Second)       // +Inf bucket
+
+	s := h.snapshot()
+	if s.Count != 3 {
+		t.Fatalf("Count = %d, want 3", s.Count)
+	}
+	if len(s.Buckets) != numLatencyBuckets {
+		t.Fatalf("len(Buckets) = %d, want %d", len(s.Buckets), numLatencyBuckets)
+	}
+	// Cumulative: the 1ms bucket holds 1, the 5ms bucket holds 2, the final
+	// +Inf bucket (LE sentinel 0) holds everything.
+	if s.Buckets[0].LE != 1 || s.Buckets[0].Count != 1 {
+		t.Fatalf("bucket[0] = %+v", s.Buckets[0])
+	}
+	if s.Buckets[2].LE != 5 || s.Buckets[2].Count != 2 {
+		t.Fatalf("bucket[2] = %+v", s.Buckets[2])
+	}
+	last := s.Buckets[len(s.Buckets)-1]
+	if last.LE != 0 || last.Count != 3 {
+		t.Fatalf("+Inf bucket = %+v", last)
+	}
+	// Mean of 0.5ms + 3ms + 10000ms ≈ 3334.5ms.
+	if s.MeanMs < 3000 || s.MeanMs > 3500 {
+		t.Fatalf("MeanMs = %v", s.MeanMs)
+	}
+	// Cumulative counts never decrease.
+	for i := 1; i < len(s.Buckets); i++ {
+		if s.Buckets[i].Count < s.Buckets[i-1].Count {
+			t.Fatalf("bucket %d count %d < bucket %d count %d",
+				i, s.Buckets[i].Count, i-1, s.Buckets[i-1].Count)
+		}
+	}
+}
+
+func TestHistogramEmptySnapshot(t *testing.T) {
+	var h histogram
+	s := h.snapshot()
+	if s.Count != 0 || s.MeanMs != 0 {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+}
+
+func TestObserveBatchMax(t *testing.T) {
+	var c counters
+	c.observeBatch(3)
+	c.observeBatch(7)
+	c.observeBatch(5)
+	if got := c.batches.Load(); got != 3 {
+		t.Fatalf("batches = %d, want 3", got)
+	}
+	if got := c.batchedUsers.Load(); got != 15 {
+		t.Fatalf("batchedUsers = %d, want 15", got)
+	}
+	if got := c.maxBatch.Load(); got != 7 {
+		t.Fatalf("maxBatch = %d, want 7", got)
+	}
+}
