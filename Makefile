@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: all build test race vet lint fuzz chaos bench clean
+.PHONY: all build test race vet lint fuzz chaos bench bench-core clean
+
+# Repetitions per benchmark for bench-core; raise for tighter statistics.
+BENCH_COUNT ?= 5
 
 all: build lint test
 
@@ -43,6 +46,34 @@ bench:
 	} \
 	END { if (n) printf "\n"; print "}" }' results/bench.txt > results/BENCH_serve.json
 	@echo "wrote results/BENCH_serve.json"; cat results/BENCH_serve.json
+
+# bench-core runs the solve hot-path benchmarks the perf CI gate watches —
+# the Figure 9 solve, Table I compression, and the steady-state allocation
+# budget — and distils the mean ns/op, B/op and allocs/op per benchmark into
+# results/BENCH_core.json. The raw text lands in results/bench_core.txt;
+# regenerate the committed regression baseline with
+#   make bench-core && cp results/bench_core.txt results/bench_core_baseline.txt
+bench-core:
+	@mkdir -p results
+	$(GO) test -run=NONE -benchmem -count=$(BENCH_COUNT) \
+		-bench='^BenchmarkFig9RunningTime/ours-serial/n=1000$$|^BenchmarkTable1Compression/n=1000$$|^BenchmarkSolveAllocs$$' \
+		. | tee results/bench_core.txt
+	@awk 'BEGIN { print "{"; n = 0 } \
+	/^Benchmark/ { \
+		name = $$1; sub(/-[0-9]+$$/, "", name); \
+		for (i = 2; i <= NF; i++) { \
+			if ($$i == "ns/op") sns[name] += $$(i-1); \
+			else if ($$i == "B/op") sb[name] += $$(i-1); \
+			else if ($$i == "allocs/op") sa[name] += $$(i-1); \
+		} \
+		if (!(name in seen)) order[n++] = name; \
+		seen[name]++; \
+	} \
+	END { for (j = 0; j < n; j++) { k = order[j]; c = seen[k]; \
+		printf "  \"%s\": {\"ns_per_op\": %.0f, \"bytes_per_op\": %.0f, \"allocs_per_op\": %.1f}%s\n", \
+			k, sns[k]/c, sb[k]/c, sa[k]/c, (j < n - 1 ? "," : "") } \
+	print "}" }' results/bench_core.txt > results/BENCH_core.json
+	@echo "wrote results/BENCH_core.json"; cat results/BENCH_core.json
 
 # chaos runs the fault-injection suite — executor flapping, hung executors,
 # lossy transports — twice under the race detector to shake out

@@ -71,6 +71,7 @@ func BenchmarkTable1Compression(b *testing.B) {
 		size := size
 		b.Run(fmt.Sprintf("n=%d", size), func(b *testing.B) {
 			g := benchGraph(b, size)
+			b.ReportAllocs()
 			b.ResetTimer()
 			var last *lpa.Result
 			for i := 0; i < b.N; i++ {
@@ -96,6 +97,7 @@ func benchSingleUserEnergy(b *testing.B, metric string) {
 			size := size
 			b.Run(fmt.Sprintf("%s/n=%d", eng.Name(), size), func(b *testing.B) {
 				g := benchGraph(b, size)
+				b.ReportAllocs()
 				b.ResetTimer()
 				var ev *mec.Evaluation
 				for i := 0; i < b.N; i++ {
@@ -152,6 +154,7 @@ func benchMultiUserEnergy(b *testing.B, metric string) {
 				for i := range users {
 					users[i] = core.UserInput{Graph: pool[i%poolSize]}
 				}
+				b.ReportAllocs()
 				b.ResetTimer()
 				var ev *mec.Evaluation
 				for i := 0; i < b.N; i++ {
@@ -205,6 +208,7 @@ func BenchmarkFig9RunningTime(b *testing.B) {
 			b.Run(fmt.Sprintf("%s/n=%d", cfg.name, size), func(b *testing.B) {
 				g := benchGraph(b, size)
 				users := []core.UserInput{{Graph: g}}
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					if _, err := core.Solve(context.Background(), users, cfg.opts); err != nil {
@@ -227,6 +231,7 @@ func BenchmarkAblationNoCompression(b *testing.B) {
 	}{{"compressed", false}, {"raw", true}} {
 		mode := mode
 		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var ev *mec.Evaluation
 			for i := 0; i < b.N; i++ {
 				sol, err := core.Solve(context.Background(), []core.UserInput{{Graph: g}},
@@ -252,6 +257,7 @@ func BenchmarkAblationSweepCut(b *testing.B) {
 	}{{"sweep", false}, {"sign-only", true}} {
 		mode := mode
 		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var ev *mec.Evaluation
 			for i := 0; i < b.N; i++ {
 				sol, err := core.Solve(context.Background(), []core.UserInput{{Graph: g}},
@@ -282,6 +288,7 @@ func BenchmarkAblationGreedy(b *testing.B) {
 	}{{"greedy", false}, {"cut-split-only", true}} {
 		mode := mode
 		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var obj float64
 			for i := 0; i < b.N; i++ {
 				sol, err := core.Solve(context.Background(), users, core.Options{Params: params, DisableGreedy: mode.disable})
@@ -324,6 +331,7 @@ func BenchmarkAblationEigen(b *testing.B) {
 	}{{"jacobi-dense", len(nodes) + 1}, {"lanczos-sparse", 1}} {
 		mode := mode
 		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := eigen.Fiedler(lap, eigen.FiedlerOptions{DenseCutoff: mode.cutoff}); err != nil {
 					b.Fatal(err)
@@ -342,6 +350,7 @@ func BenchmarkSessionReuse(b *testing.B) {
 		users[i] = core.UserInput{Graph: g}
 	}
 	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := core.Solve(context.Background(), users, core.Options{}); err != nil {
 				b.Fatal(err)
@@ -353,6 +362,7 @@ func BenchmarkSessionReuse(b *testing.B) {
 		if _, err := sess.Solve(context.Background(), users); err != nil {
 			b.Fatal(err) // warm the cache outside the timer
 		}
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := sess.Solve(context.Background(), users); err != nil {
@@ -360,6 +370,39 @@ func BenchmarkSessionReuse(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkSolveAllocs enforces the hot path's steady-state allocation
+// discipline: once a Session has compiled a graph's pipeline, each further
+// solve (greedy + evaluation over cached parts) must stay under a fixed
+// allocation budget. Measured ~70 allocs/solve at n=1000 with the CSR
+// pipeline and pooled scratch; the budget leaves headroom for runtime and
+// map-iteration noise but fails loudly if per-solve work regresses to
+// per-node or per-edge allocation.
+func BenchmarkSolveAllocs(b *testing.B) {
+	const allocBudget = 256
+	g := benchGraph(b, 1000)
+	users := []core.UserInput{{Graph: g}}
+	sess := core.NewSession(core.Options{Workers: 1})
+	if _, err := sess.Solve(context.Background(), users); err != nil {
+		b.Fatal(err) // compile the pipeline outside the measurement
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := sess.Solve(context.Background(), users); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.ReportMetric(allocs, "allocs/solve")
+	if allocs > allocBudget {
+		b.Fatalf("steady-state Session.Solve = %.0f allocs, budget %d", allocs, allocBudget)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.Solve(context.Background(), users); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkAblationBalancedCut contrasts the min-cut and ratio-cut sweep
@@ -372,6 +415,7 @@ func BenchmarkAblationBalancedCut(b *testing.B) {
 	}{{"min-cut", false}, {"ratio-cut", true}} {
 		mode := mode
 		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var ev *mec.Evaluation
 			for i := 0; i < b.N; i++ {
 				sol, err := core.Solve(context.Background(), []core.UserInput{{Graph: g}},

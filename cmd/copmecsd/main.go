@@ -65,6 +65,7 @@ func run(args []string, stop <-chan os.Signal, out io.Writer) error {
 		batchWait  = fs.Duration("batch-wait", serve.DefaultBatchWait, "co-arrival window per round")
 		queueDepth = fs.Int("queue", serve.DefaultQueueDepth, "accept queue depth (beyond it: 429)")
 		cacheSize  = fs.Int("cache", serve.DefaultCacheSize, "solution cache entries")
+		graphCache = fs.Int("graph-cache", serve.DefaultGraphCacheSize, "interned graphs with warm solver pipelines")
 		reqTimeout = fs.Duration("request-timeout", serve.DefaultRequestTimeout, "per-request deadline")
 		maxNodes   = fs.Int("max-nodes", serve.DefaultMaxNodes, "max graph nodes per request")
 		maxEdges   = fs.Int("max-edges", serve.DefaultMaxEdges, "max graph edges per request")
@@ -105,6 +106,7 @@ func run(args []string, stop <-chan os.Signal, out io.Writer) error {
 		BatchWait:      *batchWait,
 		QueueDepth:     *queueDepth,
 		CacheSize:      *cacheSize,
+		GraphCacheSize: *graphCache,
 		RequestTimeout: *reqTimeout,
 		Limits:         serve.DecodeLimits{MaxNodes: *maxNodes, MaxEdges: *maxEdges},
 		Logf:           logf,

@@ -1,0 +1,375 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"copmecs/internal/graph"
+	"copmecs/internal/lpa"
+	"copmecs/internal/spectral"
+)
+
+// csrJob is one cut job of the index-based pipeline: a sub-graph (one
+// compressed component, or one raw component under DisableCompression) in
+// local CSR form over ids 0..n−1. Local ids ascend with the external ids
+// they stand for, so every ordering decision (ties, scans, summations)
+// agrees with the map pipeline bit for bit.
+type csrJob struct {
+	n     int
+	off   []int32
+	tgt   []int32
+	w     []float64
+	nodeW []float64
+
+	// cr/base identify the compressed component: local super s is global
+	// super base+s of cr. nil when running uncompressed.
+	cr   *lpa.CSRResult
+	base int32
+	// ids maps local id → original NodeID when uncompressed (nil otherwise;
+	// compressed jobs use the contracted super numbering 0..n−1 directly,
+	// matching the map pipeline's contracted sub-graphs).
+	ids []graph.NodeID
+}
+
+// extID returns the NodeID that local id v carries in the engine-facing
+// graph: the contracted super id for compressed jobs, the original NodeID
+// for raw components. Both mappings are strictly increasing in v.
+func (j *csrJob) extID(v int32) graph.NodeID {
+	if j.cr != nil {
+		return graph.NodeID(v)
+	}
+	return j.ids[v]
+}
+
+// localOf inverts extID.
+func (j *csrJob) localOf(id graph.NodeID) int32 {
+	if j.cr != nil {
+		return int32(id)
+	}
+	return int32(sort.Search(len(j.ids), func(i int) bool { return j.ids[i] >= id }))
+}
+
+// runPipelineCSR is runPipeline over the compiled view: compression via the
+// int32 kernels, cuts via the CSR-native spectral path (other engines get
+// small materialised graphs per block). Output is identical to the map
+// pipeline's — the equivalence property tests solve both ways and compare.
+func runPipelineCSR(ctx context.Context, c *graph.CSR, opts Options) ([]protoPart, pipelineStats, error) {
+	var (
+		jobs []csrJob
+		ps   pipelineStats
+	)
+	if opts.DisableCompression {
+		n := c.NumNodes()
+		localOf := make([]int32, n)
+		for _, comp := range c.Components() {
+			for li, u := range comp {
+				localOf[u] = int32(li)
+			}
+		}
+		nodeW := c.NodeWeights()
+		for _, comp := range c.Components() {
+			k := len(comp)
+			job := csrJob{
+				n:     k,
+				off:   make([]int32, k+1),
+				ids:   make([]graph.NodeID, k),
+				nodeW: make([]float64, k),
+			}
+			nnz := 0
+			for li, u := range comp {
+				job.ids[li] = c.IDOf(u)
+				job.nodeW[li] = nodeW[u]
+				nnz += c.Degree(u)
+				job.off[li+1] = int32(nnz)
+			}
+			job.tgt = make([]int32, nnz)
+			job.w = make([]float64, nnz)
+			pos := 0
+			for _, u := range comp {
+				tgt, w := c.Adj(u)
+				for e, v := range tgt {
+					job.tgt[pos] = localOf[v]
+					job.w[pos] = w[e]
+					pos++
+				}
+			}
+			ps.nodesAfter += k
+			ps.edgesAfter += nnz / 2
+			jobs = append(jobs, job)
+		}
+	} else {
+		lopts := opts.LPA
+		if lopts.Workers == 0 {
+			// Inherit the solver's parallelism so Workers=1 (the Fig. 9
+			// "without Spark" mode) is serial end to end.
+			lopts.Workers = opts.Workers
+		}
+		cr, err := lpa.CompressCSR(c, lopts)
+		if err != nil {
+			return nil, ps, fmt.Errorf("core: %w", err)
+		}
+		ps.nodesAfter = cr.NodesAfter
+		ps.edgesAfter = cr.EdgesAfter
+		for ci := 0; ci < len(cr.CompOff)-1; ci++ {
+			base, end := cr.CompOff[ci], cr.CompOff[ci+1]
+			k := int(end - base)
+			job := csrJob{n: k, cr: cr, base: base, nodeW: cr.NodeW[base:end], off: make([]int32, k+1)}
+			// A component's supers are contiguous, so its adjacency is one
+			// contiguous span of the global arrays; rebase it to local ids.
+			lo := cr.Off[base]
+			for li := 0; li <= k; li++ {
+				job.off[li] = cr.Off[int(base)+li] - lo
+			}
+			nnz := int(job.off[k])
+			job.tgt = make([]int32, nnz)
+			job.w = make([]float64, nnz)
+			copy(job.w, cr.W[lo:int(lo)+nnz])
+			for e := 0; e < nnz; e++ {
+				job.tgt[e] = cr.Tgt[int(lo)+e] - base
+			}
+			jobs = append(jobs, job)
+		}
+	}
+
+	maxParts := opts.MaxParts
+	if maxParts < 2 {
+		maxParts = 2
+	}
+	blocksOf := make([][][]int32, len(jobs))
+	if err := parallelForEach(opts.Workers, len(jobs), func(i int) error {
+		blocks, err := partitionCSR(ctx, &jobs[i], opts.Engine, maxParts)
+		if err != nil {
+			return fmt.Errorf("core: cut sub-graph: %w", err)
+		}
+		blocksOf[i] = blocks
+		return nil
+	}); err != nil {
+		return nil, ps, err
+	}
+
+	var protos []protoPart
+	expand := func(j *csrJob, side []int32) ([]graph.NodeID, float64) {
+		var nodes []graph.NodeID
+		var work float64
+		for _, s := range side {
+			work += j.nodeW[s]
+			if j.cr != nil {
+				g := j.base + s
+				for _, u := range j.cr.Members[j.cr.MemberOff[g]:j.cr.MemberOff[g+1]] {
+					nodes = append(nodes, c.IDOf(u))
+				}
+			} else {
+				nodes = append(nodes, j.ids[s])
+			}
+		}
+		sort.Slice(nodes, func(a, b int) bool { return nodes[a] < nodes[b] })
+		return nodes, work
+	}
+	for i := range jobs {
+		j := &jobs[i]
+		blocks := blocksOf[i]
+		base := len(protos)
+		blockOf := make([]int32, j.n)
+		lightest, lightestWork := -1, 0.0
+		for bi, block := range blocks {
+			nodes, work := expand(j, block)
+			protos = append(protos, protoPart{
+				nodes: nodes, work: work, sibling: -1, remote: true,
+			})
+			for _, id := range block {
+				blockOf[id] = int32(bi)
+			}
+			if lightest < 0 || work < lightestWork {
+				lightest, lightestWork = bi, work
+			}
+		}
+		// Pairwise communication between blocks of this sub-graph. The scan
+		// runs u ascending, v>u ascending — the same sequence as the map
+		// pipeline's Edges() loop, so per-pair float sums match exactly.
+		if len(blocks) > 1 {
+			cross := make(map[[2]int]float64)
+			for u := int32(0); u < int32(j.n); u++ {
+				for e := j.off[u]; e < j.off[u+1]; e++ {
+					v := j.tgt[e]
+					if v < u {
+						continue
+					}
+					a, b := int(blockOf[u]), int(blockOf[v])
+					if a == b {
+						continue
+					}
+					if a > b {
+						a, b = b, a
+					}
+					cross[[2]int{a, b}] += j.w[e]
+				}
+			}
+			for pair, w := range cross {
+				pa, pb := base+pair[0], base+pair[1]
+				protos[pa].adj = append(protos[pa].adj, PartEdge{Other: pb, Weight: w})
+				protos[pb].adj = append(protos[pb].adj, PartEdge{Other: pa, Weight: w})
+			}
+			for bi := range blocks {
+				sortPartEdges(protos[base+bi].adj)
+			}
+			// Algorithm 2's initial scheme generalised: the lightest part
+			// stays on the device, every other part offloads.
+			protos[base+lightest].remote = false
+			if len(blocks) == 2 {
+				protos[base].sibling = base + 1
+				protos[base+1].sibling = base
+				w := 0.0
+				if len(protos[base].adj) > 0 {
+					w = protos[base].adj[0].Weight
+				}
+				protos[base].crossWeight = w
+				protos[base+1].crossWeight = w
+			}
+		}
+	}
+	return protos, ps, nil
+}
+
+// partitionCSR is partitionSubgraph over a csrJob: recursive bisection of
+// the heaviest divisible block, blocks held as local-id slices. The spectral
+// engine runs CSR-native on an induced block view; every other engine gets a
+// materialised sub-graph carrying the same node ids it would see from the
+// map pipeline.
+func partitionCSR(ctx context.Context, j *csrJob, engine Engine, k int) ([][]int32, error) {
+	all := make([]int32, j.n)
+	for i := range all {
+		all[i] = int32(i)
+	}
+	blocks := [][]int32{all}
+	indivisible := make(map[int]bool)
+	spec, isSpectral := engine.(SpectralEngine)
+
+	// Per-job scratch for induced block views: rank of each member within
+	// the sorted block, and an epoch membership mark.
+	var (
+		pos   = make([]int32, j.n)
+		mark  = make([]int32, j.n)
+		epoch int32
+		ioff  []int32
+		itgt  []int32
+		iw    []float64
+	)
+
+	for len(blocks) < k {
+		// Heaviest splittable block.
+		best, bestWork := -1, -1.0
+		for bi, block := range blocks {
+			if indivisible[bi] || len(block) < 2 {
+				continue
+			}
+			var work float64
+			for _, id := range block {
+				work += j.nodeW[id]
+			}
+			if work > bestWork {
+				best, bestWork = bi, work
+			}
+		}
+		if best < 0 {
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		block := blocks[best]
+		sorted := make([]int32, len(block))
+		copy(sorted, block)
+		sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+		epoch++
+		for r, id := range sorted {
+			pos[id] = int32(r)
+			mark[id] = epoch
+		}
+
+		var sideA, sideB []int32
+		if isSpectral {
+			// Induced block CSR: members renumbered by rank. The rank map is
+			// monotone, so adjacency stays ascending without re-sorting.
+			n := len(sorted)
+			if cap(ioff) < n+1 {
+				ioff = make([]int32, n+1)
+			}
+			ioff = ioff[:n+1]
+			nnz := 0
+			ioff[0] = 0
+			for r, id := range sorted {
+				for e := j.off[id]; e < j.off[id+1]; e++ {
+					if mark[j.tgt[e]] == epoch {
+						nnz++
+					}
+				}
+				ioff[r+1] = int32(nnz)
+			}
+			if cap(itgt) < nnz {
+				itgt = make([]int32, nnz)
+				iw = make([]float64, nnz)
+			}
+			itgt, iw = itgt[:nnz], iw[:nnz]
+			p := 0
+			for _, id := range sorted {
+				for e := j.off[id]; e < j.off[id+1]; e++ {
+					if v := j.tgt[e]; mark[v] == epoch {
+						itgt[p] = pos[v]
+						iw[p] = j.w[e]
+						p++
+					}
+				}
+			}
+			subA, subB, err := spectral.BisectCSR(ioff, itgt, iw, spec.spectralOptions())
+			if err != nil {
+				return nil, fmt.Errorf("spectral engine: %w", err)
+			}
+			sideA = make([]int32, len(subA))
+			for i, r := range subA {
+				sideA[i] = sorted[r]
+			}
+			sideB = make([]int32, len(subB))
+			for i, r := range subB {
+				sideB[i] = sorted[r]
+			}
+		} else {
+			// Materialise the block for engines that take a *graph.Graph.
+			sub := graph.New(len(sorted))
+			for _, id := range sorted {
+				if err := sub.AddNode(j.extID(id), j.nodeW[id]); err != nil {
+					return nil, err
+				}
+			}
+			for _, id := range sorted {
+				for e := j.off[id]; e < j.off[id+1]; e++ {
+					if v := j.tgt[e]; v > id && mark[v] == epoch {
+						if err := sub.AddEdge(j.extID(id), j.extID(v), j.w[e]); err != nil {
+							return nil, err
+						}
+					}
+				}
+			}
+			extA, extB, err := engine.Bisect(ctx, sub)
+			if err != nil {
+				return nil, err
+			}
+			sideA = make([]int32, len(extA))
+			for i, id := range extA {
+				sideA[i] = j.localOf(id)
+			}
+			sideB = make([]int32, len(extB))
+			for i, id := range extB {
+				sideB[i] = j.localOf(id)
+			}
+		}
+		if len(sideA) == 0 || len(sideB) == 0 {
+			indivisible[best] = true
+			continue
+		}
+		blocks[best] = sideA
+		blocks = append(blocks, sideB)
+		// Indices shifted only at the tail; indivisible marks stay valid.
+	}
+	return blocks, nil
+}

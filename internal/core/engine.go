@@ -58,11 +58,10 @@ func (e SpectralEngine) Name() string {
 	return "spectral"
 }
 
-// Bisect implements Engine.
-func (e SpectralEngine) Bisect(ctx context.Context, g *graph.Graph) ([]graph.NodeID, []graph.NodeID, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, nil, err
-	}
+// spectralOptions translates the engine configuration into the spectral
+// package's options; shared by the map-path Bisect and the CSR-native path
+// so the two can never drift apart.
+func (e SpectralEngine) spectralOptions() spectral.Options {
 	opts := spectral.Options{
 		DisableSweep: e.DisableSweep,
 		Eigen:        eigen.FiedlerOptions{DenseCutoff: e.DenseCutoff},
@@ -76,7 +75,15 @@ func (e SpectralEngine) Bisect(ctx context.Context, g *graph.Graph) ([]graph.Nod
 			return parallel.MatVecOperator{M: l, Workers: workers}
 		}
 	}
-	cut, err := spectral.Bisect(g, opts)
+	return opts
+}
+
+// Bisect implements Engine.
+func (e SpectralEngine) Bisect(ctx context.Context, g *graph.Graph) ([]graph.NodeID, []graph.NodeID, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	cut, err := spectral.Bisect(g, e.spectralOptions())
 	if err != nil {
 		return nil, nil, fmt.Errorf("spectral engine: %w", err)
 	}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"testing/quick"
+
+	"copmecs/internal/lpa"
+	"copmecs/internal/netgen"
+)
+
+// solutionsIdentical compares two solutions exactly — parts, placements and
+// objective, no tolerances. The CSR pipeline is required to reproduce the
+// map pipeline bit for bit, so any drift here is a bug, not noise.
+func solutionsIdentical(t *testing.T, a, b *Solution) bool {
+	t.Helper()
+	if a.Eval.Objective != b.Eval.Objective {
+		t.Logf("objective %v vs %v", a.Eval.Objective, b.Eval.Objective)
+		return false
+	}
+	if a.InitialObjective != b.InitialObjective {
+		t.Logf("initial objective %v vs %v", a.InitialObjective, b.InitialObjective)
+		return false
+	}
+	if len(a.Parts) != len(b.Parts) {
+		t.Logf("part count %d vs %d", len(a.Parts), len(b.Parts))
+		return false
+	}
+	for i := range a.Parts {
+		pa, pb := &a.Parts[i], &b.Parts[i]
+		if pa.User != pb.User || pa.Work != pb.Work || pa.CrossWeight != pb.CrossWeight ||
+			pa.Sibling != pb.Sibling || pa.Remote != pb.Remote || pa.InitialRemote != pb.InitialRemote {
+			t.Logf("part %d differs: %+v vs %+v", i, pa, pb)
+			return false
+		}
+		if len(pa.Nodes) != len(pb.Nodes) {
+			t.Logf("part %d node count %d vs %d", i, len(pa.Nodes), len(pb.Nodes))
+			return false
+		}
+		for k := range pa.Nodes {
+			if pa.Nodes[k] != pb.Nodes[k] {
+				t.Logf("part %d node %d: %d vs %d", i, k, pa.Nodes[k], pb.Nodes[k])
+				return false
+			}
+		}
+		if len(pa.Adj) != len(pb.Adj) {
+			t.Logf("part %d adj count differs", i)
+			return false
+		}
+		for k := range pa.Adj {
+			if pa.Adj[k] != pb.Adj[k] {
+				t.Logf("part %d adj %d: %+v vs %+v", i, k, pa.Adj[k], pb.Adj[k])
+				return false
+			}
+		}
+	}
+	if len(a.Placements) != len(b.Placements) {
+		return false
+	}
+	for u := range a.Placements {
+		ra, rb := a.Placements[u].Remote, b.Placements[u].Remote
+		if len(ra) != len(rb) {
+			t.Logf("user %d remote size %d vs %d", u, len(ra), len(rb))
+			return false
+		}
+		for id := range ra {
+			if !rb[id] {
+				t.Logf("user %d remote sets differ at %d", u, id)
+				return false
+			}
+		}
+	}
+	if a.Stats.NodesAfter != b.Stats.NodesAfter || a.Stats.EdgesAfter != b.Stats.EdgesAfter {
+		t.Logf("stats differ: %d/%d vs %d/%d nodes/edges after",
+			a.Stats.NodesAfter, a.Stats.EdgesAfter, b.Stats.NodesAfter, b.Stats.EdgesAfter)
+		return false
+	}
+	return true
+}
+
+func TestPropertyCSRPipelineMatchesMapPipeline(t *testing.T) {
+	f := func(seed int64, nn, uu, engIdx, flags uint8) bool {
+		n := int(nn%80) + 20
+		g, err := netgen.Generate(netgen.Config{Nodes: n, Edges: n * 2, Components: 2, Seed: seed})
+		if err != nil {
+			return true
+		}
+		opts := Options{
+			Engine:  engines()[int(engIdx)%len(engines())],
+			Workers: 1 + int(flags%2)*3,
+		}
+		if flags&4 != 0 {
+			opts.DisableCompression = true
+		}
+		if flags&8 != 0 {
+			opts.MaxParts = 3
+		}
+		if flags&16 != 0 {
+			opts.LPA = lpa.Options{Traversal: lpa.DFS}
+		}
+		users := make([]UserInput, int(uu%3)+1)
+		for i := range users {
+			users[i] = UserInput{Graph: g, FixedLocalWork: float64(i) * 5}
+		}
+		csrSol, err := Solve(context.Background(), users, opts)
+		if err != nil {
+			return false
+		}
+		mapOpts := opts
+		mapOpts.UseMapPipeline = true
+		mapSol, err := Solve(context.Background(), users, mapOpts)
+		if err != nil {
+			return false
+		}
+		return solutionsIdentical(t, csrSol, mapSol)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCSRPipelineMatchesMapPipelineSpectralVariants(t *testing.T) {
+	g, err := netgen.Generate(netgen.Config{Nodes: 160, Edges: 320, Components: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := []struct {
+		name string
+		opts Options
+	}{
+		{"default", Options{}},
+		{"balanced", Options{Engine: SpectralEngine{Balanced: true}}},
+		{"no-sweep", Options{Engine: SpectralEngine{DisableSweep: true}}},
+		{"dense-cutoff", Options{Engine: SpectralEngine{DenseCutoff: 8}}},
+		{"parallel-matvec", Options{Engine: SpectralEngine{MatVecWorkers: 4, DenseCutoff: 8}}},
+		{"maxparts-4", Options{MaxParts: 4}},
+		{"no-compress", Options{DisableCompression: true}},
+		{"no-greedy", Options{DisableGreedy: true}},
+	}
+	users := []UserInput{{Graph: g}, {Graph: g, FixedLocalWork: 25}}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			csrSol, err := Solve(context.Background(), users, v.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mapOpts := v.opts
+			mapOpts.UseMapPipeline = true
+			mapSol, err := Solve(context.Background(), users, mapOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !solutionsIdentical(t, csrSol, mapSol) {
+				t.Error("CSR and map pipelines disagree")
+			}
+		})
+	}
+}

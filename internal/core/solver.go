@@ -68,6 +68,12 @@ type Options struct {
 	// Workers bounds the number of concurrent per-sub-graph cut jobs
 	// (0 = GOMAXPROCS; 1 = serial, the Fig. 9 "without Spark" mode).
 	Workers int
+	// UseMapPipeline runs the original map-based pipeline (mutable graphs,
+	// InducedSubgraph, map-keyed LPA) instead of the CSR hot path. The two
+	// produce identical solutions — property tests solve both ways and
+	// compare — so this exists as the reference/ablation switch, not a
+	// feature flag.
+	UseMapPipeline bool
 }
 
 // UserInput is one user's workload.
@@ -335,8 +341,19 @@ func buildParts(ctx context.Context, users []UserInput, opts Options, cache *Ses
 }
 
 // runPipeline compresses one graph (unless disabled) and cuts every
-// sub-graph, returning part templates.
+// sub-graph, returning part templates. The default path compiles the graph
+// into its frozen CSR view and runs the index-based kernels; the map path
+// below is kept as the bit-identical reference (Options.UseMapPipeline).
 func runPipeline(ctx context.Context, g *graph.Graph, opts Options) ([]protoPart, pipelineStats, error) {
+	if !opts.UseMapPipeline {
+		return runPipelineCSR(ctx, g.Compile(), opts)
+	}
+	return runPipelineMap(ctx, g, opts)
+}
+
+// runPipelineMap is the original map-based pipeline, retained as the
+// reference implementation the CSR path is tested against.
+func runPipelineMap(ctx context.Context, g *graph.Graph, opts Options) ([]protoPart, pipelineStats, error) {
 	type job struct {
 		sub       *graph.Graph
 		membersOf map[graph.NodeID][]graph.NodeID // nil when uncompressed
@@ -361,7 +378,7 @@ func runPipeline(ctx context.Context, g *graph.Graph, opts Options) ([]protoPart
 			// "without Spark" mode) is serial end to end.
 			opts.LPA.Workers = opts.Workers
 		}
-		res, err := lpa.Compress(g, opts.LPA)
+		res, err := lpa.CompressMap(g, opts.LPA)
 		if err != nil {
 			return nil, ps, fmt.Errorf("core: %w", err)
 		}

@@ -1,0 +1,51 @@
+package eigen
+
+import (
+	"sync"
+
+	"copmecs/internal/matrix"
+)
+
+// floatArena is a pooled bump allocator for the Lanczos iteration's internal
+// vectors and tridiagonal workspace. One solve allocates O(maxIter) basis
+// vectors plus the Ritz decomposition; routing them through an arena makes a
+// steady-state Fiedler call touch the heap only for the eigenvector it
+// returns (which must escape and is therefore allocated normally — arena
+// memory never leaves the solver).
+type floatArena struct {
+	chunks [][]float64
+	ci     int // chunk currently bump-allocated from
+	off    int // next free slot in chunks[ci]
+}
+
+var arenaPool = sync.Pool{New: func() any { return new(floatArena) }}
+
+func getArena() *floatArena  { return arenaPool.Get().(*floatArena) }
+func putArena(a *floatArena) { a.reset(); arenaPool.Put(a) }
+
+func (a *floatArena) reset() { a.ci, a.off = 0, 0 }
+
+// take returns a zeroed n-element slice carved from the arena. The slice is
+// valid until the arena is reset or returned to the pool.
+func (a *floatArena) take(n int) []float64 {
+	for a.ci < len(a.chunks) && len(a.chunks[a.ci])-a.off < n {
+		a.ci++
+		a.off = 0
+	}
+	if a.ci == len(a.chunks) {
+		size := 4096
+		if n > size {
+			size = n
+		}
+		a.chunks = append(a.chunks, make([]float64, size))
+	}
+	s := a.chunks[a.ci][a.off : a.off+n : a.off+n]
+	a.off += n
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// vec is take typed as a matrix.Vector.
+func (a *floatArena) vec(n int) matrix.Vector { return matrix.Vector(a.take(n)) }

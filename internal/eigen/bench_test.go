@@ -25,6 +25,7 @@ func benchLaplacian(b *testing.B, n int) *matrix.CSR {
 func BenchmarkJacobi64(b *testing.B) {
 	l := benchLaplacian(b, 64)
 	d := l.Dense()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := Jacobi(d, 1e-9); err != nil {
@@ -35,6 +36,7 @@ func BenchmarkJacobi64(b *testing.B) {
 
 func BenchmarkLanczosFiedler512(b *testing.B) {
 	l := benchLaplacian(b, 512)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := Fiedler(l, FiedlerOptions{}); err != nil {
@@ -44,6 +46,7 @@ func BenchmarkLanczosFiedler512(b *testing.B) {
 }
 
 func BenchmarkSymTridiagEigen256(b *testing.B) {
+	b.ReportAllocs()
 	n := 256
 	for i := 0; i < b.N; i++ {
 		d := make([]float64, n)

@@ -59,6 +59,12 @@ func Lanczos(op Operator, k int, opts LanczosOptions) ([]Pair, error) {
 	}
 	rng := rand.New(rand.NewSource(opts.Seed + 0x5eed))
 
+	// All internal vectors and the Ritz workspace come from a pooled arena;
+	// only the returned eigenvectors are heap-allocated (they escape, arena
+	// memory must not).
+	ar := getArena()
+	defer putArena(ar)
+
 	var (
 		basis  []matrix.Vector // orthonormal Lanczos vectors v₁..v_m
 		alphas []float64       // diagonal of T
@@ -76,7 +82,7 @@ func Lanczos(op Operator, k int, opts LanczosOptions) ([]Pair, error) {
 	newDirection := func() (matrix.Vector, error) {
 		// Random vector orthogonalised against the existing basis.
 		for attempt := 0; attempt < 8; attempt++ {
-			v := make(matrix.Vector, n)
+			v := ar.vec(n)
 			for i := range v {
 				v[i] = rng.NormFloat64()
 			}
@@ -98,7 +104,7 @@ func Lanczos(op Operator, k int, opts LanczosOptions) ([]Pair, error) {
 		return nil, err
 	}
 	basis = append(basis, v)
-	w := make(matrix.Vector, n)
+	w := ar.vec(n)
 
 	for len(basis) <= maxIter {
 		j := len(basis) - 1
@@ -142,11 +148,12 @@ func Lanczos(op Operator, k int, opts LanczosOptions) ([]Pair, error) {
 			}
 			betas = append(betas, 0)
 			basis = append(basis, nv)
-			w = make(matrix.Vector, n)
+			w = ar.vec(n)
 			continue
 		}
 		betas = append(betas, beta)
-		next := w.Clone()
+		next := ar.vec(n)
+		copy(next, w)
 		next.Scale(1 / beta)
 		basis = append(basis, next)
 	}
@@ -156,13 +163,13 @@ func Lanczos(op Operator, k int, opts LanczosOptions) ([]Pair, error) {
 		return nil, ErrNoConvergence
 	}
 	// Eigen-decompose T in the Lanczos basis.
-	d := make([]float64, m)
+	d := ar.take(m)
 	copy(d, alphas)
-	e := make([]float64, m)
+	e := ar.take(m)
 	copy(e, betas)
 	s := make([][]float64, m)
 	for i := range s {
-		s[i] = make([]float64, m)
+		s[i] = ar.take(m)
 		s[i][i] = 1
 	}
 	if err := SymTridiagEigen(d, e, s); err != nil {

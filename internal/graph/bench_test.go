@@ -28,6 +28,7 @@ func benchGraph(b *testing.B, n, edges int) *Graph {
 
 func BenchmarkComponents(b *testing.B) {
 	g := benchGraph(b, 2000, 6000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if got := g.Components(); len(got) == 0 {
@@ -42,6 +43,7 @@ func BenchmarkContract(b *testing.B) {
 	for _, id := range g.Nodes() {
 		cluster[id] = int(id) / 10
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := g.Contract(cluster); err != nil {
@@ -58,6 +60,7 @@ func BenchmarkCutWeight(b *testing.B) {
 			side[id] = true
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = g.CutWeight(side)
@@ -66,6 +69,7 @@ func BenchmarkCutWeight(b *testing.B) {
 
 func BenchmarkEdges(b *testing.B) {
 	g := benchGraph(b, 2000, 6000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if es := g.Edges(); len(es) == 0 {

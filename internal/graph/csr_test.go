@@ -1,0 +1,144 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCompileMatchesGraph(t *testing.T) {
+	g := New(6)
+	// Two components with non-contiguous, unsorted-at-insertion ids.
+	for _, n := range []struct {
+		id NodeID
+		w  float64
+	}{{10, 1.5}, {3, 2}, {7, 0}, {-2, 4.25}, {20, 3}, {15, 1}} {
+		if err := g.AddNode(n.id, n.w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range []struct {
+		u, v NodeID
+		w    float64
+	}{{10, 3, 2.5}, {3, 7, 1}, {7, 10, 0.5}, {20, 15, 4}} {
+		if err := g.AddEdge(e.u, e.v, e.w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := g.Compile()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if c.NumNodes() != g.NumNodes() || c.NumEdges() != g.NumEdges() {
+		t.Fatalf("size mismatch: %d/%d nodes, %d/%d edges",
+			c.NumNodes(), g.NumNodes(), c.NumEdges(), g.NumEdges())
+	}
+	for i, id := range c.IDs() {
+		if c.IndexOf(id) != int32(i) {
+			t.Errorf("IndexOf(%d) = %d, want %d", id, c.IndexOf(id), i)
+		}
+		if w, _ := g.NodeWeight(id); c.NodeWeights()[i] != w {
+			t.Errorf("node %d weight = %v, want %v", id, c.NodeWeights()[i], w)
+		}
+		tgt, ws := c.Adj(int32(i))
+		nbs := g.Neighbors(id)
+		if len(tgt) != len(nbs) || c.Degree(int32(i)) != len(nbs) {
+			t.Fatalf("node %d degree = %d, want %d", id, len(tgt), len(nbs))
+		}
+		for k, v := range tgt {
+			if c.IDOf(v) != nbs[k] {
+				t.Errorf("node %d neighbor %d = %d, want %d", id, k, c.IDOf(v), nbs[k])
+			}
+			if w, _ := g.EdgeWeight(id, nbs[k]); ws[k] != w {
+				t.Errorf("edge {%d,%d} weight = %v, want %v", id, nbs[k], ws[k], w)
+			}
+		}
+	}
+	if c.IndexOf(99) != -1 {
+		t.Errorf("IndexOf(absent) = %d, want -1", c.IndexOf(99))
+	}
+	gcomps := g.Components()
+	ccomps := c.Components()
+	if len(ccomps) != len(gcomps) {
+		t.Fatalf("components = %d, want %d", len(ccomps), len(gcomps))
+	}
+	for ci, comp := range ccomps {
+		if len(comp) != len(gcomps[ci]) {
+			t.Fatalf("component %d size = %d, want %d", ci, len(comp), len(gcomps[ci]))
+		}
+		for k, u := range comp {
+			if c.IDOf(u) != gcomps[ci][k] {
+				t.Errorf("component %d member %d = %d, want %d", ci, k, c.IDOf(u), gcomps[ci][k])
+			}
+			if c.ComponentOf(u) != int32(ci) {
+				t.Errorf("ComponentOf(%d) = %d, want %d", c.IDOf(u), c.ComponentOf(u), ci)
+			}
+		}
+	}
+}
+
+func TestCompileEmpty(t *testing.T) {
+	c := New(0).Compile()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if c.NumNodes() != 0 || c.NumEdges() != 0 || len(c.Components()) != 0 {
+		t.Errorf("empty compile: %d nodes, %d edges, %d components",
+			c.NumNodes(), c.NumEdges(), len(c.Components()))
+	}
+}
+
+// FuzzCSRRoundTrip feeds codec bytes through decode → Compile and checks the
+// frozen view's invariants hold for every decodable graph, and that a graph
+// rebuilt from the view re-encodes to the exact same bytes (the CSR loses
+// nothing the codec carries).
+func FuzzCSRRoundTrip(f *testing.F) {
+	for _, g := range fuzzSeedGraphs(f) {
+		var buf bytes.Buffer
+		if err := g.WriteBinary(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return // malformed input is FuzzDecode's concern
+		}
+		c := g.Compile()
+		if err := c.Validate(); err != nil {
+			t.Fatalf("Validate after Compile: %v", err)
+		}
+		if c.NumNodes() != g.NumNodes() || c.NumEdges() != g.NumEdges() {
+			t.Fatalf("size mismatch: %d/%d nodes, %d/%d edges",
+				c.NumNodes(), g.NumNodes(), c.NumEdges(), g.NumEdges())
+		}
+		// Rebuild a graph from the view and compare codec bytes — bitwise,
+		// so NaN weights round-trip too.
+		rb := New(c.NumNodes())
+		for i, id := range c.IDs() {
+			if err := rb.AddNode(id, c.NodeWeights()[i]); err != nil {
+				t.Fatalf("rebuild AddNode: %v", err)
+			}
+		}
+		for i := int32(0); i < int32(c.NumNodes()); i++ {
+			tgt, ws := c.Adj(i)
+			for k, v := range tgt {
+				if v > i {
+					if err := rb.AddEdge(c.IDOf(i), c.IDOf(v), ws[k]); err != nil {
+						t.Fatalf("rebuild AddEdge: %v", err)
+					}
+				}
+			}
+		}
+		var orig, rebuilt bytes.Buffer
+		if err := g.WriteBinary(&orig); err != nil {
+			t.Fatal(err)
+		}
+		if err := rb.WriteBinary(&rebuilt); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(orig.Bytes(), rebuilt.Bytes()) {
+			t.Fatal("rebuilt graph encodes differently")
+		}
+	})
+}

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // NodeID identifies a node within a single Graph. IDs are assigned by the
@@ -45,6 +46,29 @@ type Edge struct {
 type nodeRec struct {
 	weight float64
 	adj    map[NodeID]float64
+	// sorted latches the ascending neighbor list so repeated Neighbors /
+	// traversal calls stop paying O(d log d) per lookup. nil means stale;
+	// mutators that change the adjacency set reset it. The latch is atomic so
+	// that concurrent readers (safe per the package contract once mutation
+	// has stopped) may race to build it; the slice itself is never mutated
+	// in place after publication.
+	sorted atomic.Pointer[[]NodeID]
+}
+
+// sortedAdj returns the latched ascending neighbor list of rec, building it
+// on first use. The returned slice is shared: callers inside the package
+// must not modify it (Neighbors copies for external callers).
+func (rec *nodeRec) sortedAdj() []NodeID {
+	if p := rec.sorted.Load(); p != nil {
+		return *p
+	}
+	nbs := make([]NodeID, 0, len(rec.adj))
+	for nb := range rec.adj {
+		nbs = append(nbs, nb)
+	}
+	sort.Slice(nbs, func(i, j int) bool { return nbs[i] < nbs[j] })
+	rec.sorted.Store(&nbs)
+	return nbs
 }
 
 // Graph is a mutable weighted undirected graph. The zero value is not usable;
@@ -144,6 +168,10 @@ func (g *Graph) AddEdge(u, v NodeID, w float64) error {
 	}
 	if _, exists := ru.adj[v]; !exists {
 		g.edgeCount++
+		// The neighbor sets change only when the edge is new; re-weighting
+		// an existing edge keeps both latched adjacency lists valid.
+		ru.sorted.Store(nil)
+		rv.sorted.Store(nil)
 	}
 	ru.adj[v] += w
 	rv.adj[u] += w
@@ -173,6 +201,8 @@ func (g *Graph) RemoveEdge(u, v NodeID) bool {
 	}
 	delete(ru.adj, v)
 	delete(g.nodes[v].adj, u)
+	ru.sorted.Store(nil)
+	g.nodes[v].sorted.Store(nil)
 	g.edgeCount--
 	g.totalEdgeWeight -= w
 	return true
@@ -186,6 +216,7 @@ func (g *Graph) RemoveNode(id NodeID) bool {
 	}
 	for nb, w := range rec.adj {
 		delete(g.nodes[nb].adj, id)
+		g.nodes[nb].sorted.Store(nil)
 		g.edgeCount--
 		g.totalEdgeWeight -= w
 	}
@@ -203,17 +234,16 @@ func (g *Graph) Nodes() []NodeID {
 	return ids
 }
 
-// Neighbors returns the neighbors of id in ascending order.
+// Neighbors returns the neighbors of id in ascending order. The result is a
+// fresh copy of the latched adjacency list, so repeated calls cost O(d)
+// rather than O(d log d).
 func (g *Graph) Neighbors(id NodeID) []NodeID {
 	rec, ok := g.nodes[id]
 	if !ok {
 		return nil
 	}
-	nbs := make([]NodeID, 0, len(rec.adj))
-	for nb := range rec.adj {
-		nbs = append(nbs, nb)
-	}
-	sort.Slice(nbs, func(i, j int) bool { return nbs[i] < nbs[j] })
+	nbs := make([]NodeID, len(rec.adj))
+	copy(nbs, rec.sortedAdj())
 	return nbs
 }
 
@@ -236,7 +266,7 @@ func (g *Graph) WeightedDegree(id NodeID) float64 {
 		return 0
 	}
 	var sum float64
-	for _, nb := range g.Neighbors(id) {
+	for _, nb := range rec.sortedAdj() {
 		sum += rec.adj[nb]
 	}
 	return sum
@@ -259,6 +289,26 @@ func (g *Graph) Edges() []Edge {
 		return es[i].V < es[j].V
 	})
 	return es
+}
+
+// AppendEdgeWeights appends the weight of every distinct undirected edge to
+// dst once, in unspecified order, and returns the extended slice. It exists
+// for order-insensitive aggregations (quantiles, totals) that should not pay
+// Edges()'s sort and per-edge struct materialisation.
+func (g *Graph) AppendEdgeWeights(dst []float64) []float64 {
+	if cap(dst)-len(dst) < g.edgeCount {
+		grown := make([]float64, len(dst), len(dst)+g.edgeCount)
+		copy(grown, dst)
+		dst = grown
+	}
+	for u, rec := range g.nodes {
+		for v, w := range rec.adj {
+			if u < v {
+				dst = append(dst, w)
+			}
+		}
+	}
+	return dst
 }
 
 // TotalNodeWeight returns the sum of all node weights (total computation),

@@ -182,7 +182,7 @@ func (g *Graph) BFSOrder(start NodeID) ([]NodeID, error) {
 	seen := map[NodeID]bool{start: true}
 	order := []NodeID{start}
 	for i := 0; i < len(order); i++ {
-		for _, nb := range g.Neighbors(order[i]) {
+		for _, nb := range g.nodes[order[i]].sortedAdj() {
 			if !seen[nb] {
 				seen[nb] = true
 				order = append(order, nb)
@@ -204,7 +204,7 @@ func (g *Graph) DFSOrder(start NodeID) ([]NodeID, error) {
 	visit = func(n NodeID) {
 		seen[n] = true
 		order = append(order, n)
-		for _, nb := range g.Neighbors(n) {
+		for _, nb := range g.nodes[n].sortedAdj() {
 			if !seen[nb] {
 				visit(nb)
 			}

@@ -12,6 +12,7 @@ func benchCompress(b *testing.B, nodes, edges, comps int, workers int) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Compress(g, Options{Workers: workers}); err != nil {

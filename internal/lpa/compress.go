@@ -46,7 +46,79 @@ func (r *Result) CompressionRatio() float64 {
 // parallel within each, and contracts directly-connected same-label nodes.
 // The input graph must already have unoffloadable functions removed
 // (callgraph.Extract does this).
+//
+// Compress compiles g into its CSR view and runs the index-based kernels
+// (CompressCSR), then materialises the classic map-based Result. Callers that
+// already hold a compiled view — or that want the array form — should call
+// CompressCSR directly and skip the materialisation. CompressMap is the
+// map-based reference implementation; the two produce identical results.
 func Compress(g *graph.Graph, opts Options) (*Result, error) {
+	cr, err := CompressCSR(g.Compile(), opts)
+	if err != nil {
+		return nil, err
+	}
+	return materializeResult(cr)
+}
+
+// materializeResult converts the array-form CSR outcome into the map-based
+// Result shape, translating dense indices back to original NodeIDs.
+func materializeResult(cr *CSRResult) (*Result, error) {
+	c := cr.Input
+	nc := len(cr.CompOff) - 1
+	res := &Result{
+		Subgraphs:   make([]Subgraph, nc),
+		NodesBefore: cr.NodesBefore,
+		NodesAfter:  cr.NodesAfter,
+		EdgesBefore: cr.EdgesBefore,
+		EdgesAfter:  cr.EdgesAfter,
+	}
+	for ci := 0; ci < nc; ci++ {
+		base, end := cr.CompOff[ci], cr.CompOff[ci+1]
+		k := int(end - base)
+		sg := graph.New(k)
+		sub := Subgraph{
+			Graph:     sg,
+			MembersOf: make(map[graph.NodeID][]graph.NodeID, k),
+			NodeOf:    make(map[graph.NodeID]graph.NodeID),
+			Labels:    make(map[graph.NodeID]int),
+			Rounds:    cr.Rounds[ci],
+			Threshold: cr.Thresholds[ci],
+		}
+		for s := base; s < end; s++ {
+			local := graph.NodeID(s - base)
+			if err := sg.AddNode(local, cr.NodeW[s]); err != nil {
+				return nil, fmt.Errorf("lpa compress: %w", err)
+			}
+			members := cr.Members[cr.MemberOff[s]:cr.MemberOff[s+1]]
+			ids := make([]graph.NodeID, len(members))
+			for i, u := range members {
+				id := c.IDOf(u)
+				ids[i] = id
+				sub.NodeOf[id] = local
+				sub.Labels[id] = int(cr.Labels[u])
+			}
+			sub.MembersOf[local] = ids
+		}
+		for s := base; s < end; s++ {
+			lo, hi := cr.Off[s], cr.Off[s+1]
+			for e := lo; e < hi; e++ {
+				if t := cr.Tgt[e]; t > s {
+					if err := sg.AddEdge(graph.NodeID(s-base), graph.NodeID(t-base), cr.W[e]); err != nil {
+						return nil, fmt.Errorf("lpa compress: %w", err)
+					}
+				}
+			}
+		}
+		res.Subgraphs[ci] = sub
+	}
+	return res, nil
+}
+
+// CompressMap is the original map-based implementation of Algorithm 1, kept
+// as the reference for the CSR kernels: property tests assert that Compress
+// and CompressMap produce identical results on the same input. Production
+// callers should use Compress.
+func CompressMap(g *graph.Graph, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
 		return nil, err

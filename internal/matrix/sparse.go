@@ -76,6 +76,36 @@ func NewCSR(rows, cols int, entries []Triplet) (*CSR, error) {
 	return m, nil
 }
 
+// NewCSRFromParts wraps pre-assembled CSR arrays without copying: row i's
+// entries are colIdx[rowPtr[i]:rowPtr[i+1]] with values vals. The caller
+// promises rowPtr is monotone starting at 0 and every column index is in
+// range; only the cheap O(rows) shape checks run here (the per-entry
+// invariants are the caller's, letting hot paths assemble Laplacians into
+// pooled buffers without NewCSR's triplet bucketing and per-row sorts). The
+// matrix aliases the given slices — the caller must not modify them while
+// the matrix is in use, and may reclaim them once it is dead.
+func NewCSRFromParts(rows, cols int, rowPtr, colIdx []int, vals []float64) (*CSR, error) {
+	if rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("csr %dx%d: %w", rows, cols, ErrDimension)
+	}
+	if len(rowPtr) != rows+1 {
+		return nil, fmt.Errorf("csr %dx%d: rowPtr length %d: %w", rows, cols, len(rowPtr), ErrDimension)
+	}
+	if rows > 0 && rowPtr[0] != 0 {
+		return nil, fmt.Errorf("csr %dx%d: rowPtr[0] = %d: %w", rows, cols, rowPtr[0], ErrDimension)
+	}
+	for i := 0; i < rows; i++ {
+		if rowPtr[i] > rowPtr[i+1] {
+			return nil, fmt.Errorf("csr %dx%d: rowPtr not monotone at %d: %w", rows, cols, i, ErrDimension)
+		}
+	}
+	if nnz := rowPtr[rows]; nnz != len(colIdx) || nnz != len(vals) {
+		return nil, fmt.Errorf("csr %dx%d: nnz %d vs %d cols, %d vals: %w",
+			rows, cols, rowPtr[rows], len(colIdx), len(vals), ErrDimension)
+	}
+	return &CSR{rows: rows, cols: cols, rowPtr: rowPtr, colIdx: colIdx, vals: vals}, nil
+}
+
 // Rows returns the number of rows.
 func (m *CSR) Rows() int { return m.rows }
 

@@ -15,6 +15,7 @@ func benchRandGraph(b *testing.B, n, extra int) *graph.Graph {
 
 func BenchmarkMaxFlowBisect200(b *testing.B) {
 	g := benchRandGraph(b, 200, 400)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, _, err := MaxFlowBisect(g, 3); err != nil {
@@ -25,6 +26,7 @@ func BenchmarkMaxFlowBisect200(b *testing.B) {
 
 func BenchmarkKernighanLin200(b *testing.B) {
 	g := benchRandGraph(b, 200, 400)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, _, err := KernighanLin(g); err != nil {
@@ -35,6 +37,7 @@ func BenchmarkKernighanLin200(b *testing.B) {
 
 func BenchmarkStoerWagner200(b *testing.B) {
 	g := benchRandGraph(b, 200, 400)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, _, err := GlobalMinCut(g); err != nil {

@@ -50,7 +50,7 @@ func FuzzDecodeSolveRequest(f *testing.F) {
 			t.Fatalf("accepted negative params override: %+v", p)
 		}
 		// An accepted request must be keyable — the serving path depends on it.
-		if _, err := requestKey(req, defaultTestParams()); err != nil {
+		if _, _, err := requestKey(req, defaultTestParams()); err != nil {
 			t.Fatalf("accepted request not keyable: %v", err)
 		}
 	})

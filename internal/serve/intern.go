@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"copmecs/internal/graph"
+)
+
+// DefaultGraphCacheSize is the default graph-intern capacity (distinct
+// graphs whose solver pipeline state is kept warm).
+const DefaultGraphCacheSize = 256
+
+// graphIntern is a fixed-capacity LRU mapping canonical graph fingerprints
+// to one representative *graph.Graph instance. Decoded request graphs with
+// the same content are rewritten to the interned pointer before solving, so
+// the core.Session's identity-keyed pipeline cache hits for repeat graphs
+// even though every HTTP request decodes a fresh allocation. Eviction runs
+// onEvict with the dropped instance so the owner can release the session
+// state pinned by it. Safe for concurrent use.
+type graphIntern struct {
+	mu        sync.Mutex
+	cap       int
+	ll        *list.List // front = most recent
+	items     map[string]*list.Element
+	onEvict   func(*graph.Graph)
+	reused    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+// internEntry is one intern slot.
+type internEntry struct {
+	fp string
+	g  *graph.Graph
+}
+
+// newGraphIntern returns an intern table holding at most capacity graphs
+// (≤ 0 means DefaultGraphCacheSize). onEvict may be nil.
+func newGraphIntern(capacity int, onEvict func(*graph.Graph)) *graphIntern {
+	if capacity <= 0 {
+		capacity = DefaultGraphCacheSize
+	}
+	return &graphIntern{
+		cap:     capacity,
+		ll:      list.New(),
+		items:   make(map[string]*list.Element, capacity),
+		onEvict: onEvict,
+	}
+}
+
+// intern returns the canonical instance for fingerprint fp, installing g as
+// that instance when fp is new and evicting the least-recently-used graph
+// past capacity. The interned graph must never be mutated.
+func (c *graphIntern) intern(fp string, g *graph.Graph) *graph.Graph {
+	var evicted *graph.Graph
+	c.mu.Lock()
+	if el, ok := c.items[fp]; ok {
+		c.ll.MoveToFront(el)
+		c.mu.Unlock()
+		c.reused.Add(1)
+		return el.Value.(*internEntry).g
+	}
+	c.items[fp] = c.ll.PushFront(&internEntry{fp: fp, g: g})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		ent := oldest.Value.(*internEntry)
+		delete(c.items, ent.fp)
+		evicted = ent.g
+		c.evictions.Add(1)
+	}
+	c.mu.Unlock()
+	if evicted != nil && c.onEvict != nil {
+		c.onEvict(evicted)
+	}
+	return g
+}
+
+// len reports the current entry count.
+func (c *graphIntern) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -155,20 +155,25 @@ func paramsDigest(p mec.Params) string {
 	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 
-// requestKey is the solution-cache and singleflight key: the canonical
-// graph fingerprint plus the resolved params digest plus the per-user
-// overrides. Two requests with equal keys are interchangeable — same graph
-// content, same system constants, same device/link overrides.
-func requestKey(req *SolveRequest, params mec.Params) (string, error) {
-	h := sha256.New()
-	if err := req.Graph.WriteBinary(h); err != nil {
-		return "", fmt.Errorf("serve: request key: %w", err)
+// requestKey computes the request's two cache identities in one graph
+// encoding pass: fp is the canonical graph fingerprint (the graph-intern
+// key, matching graph.Fingerprint), and key — fp plus the resolved params
+// and the per-user overrides — is the solution-cache and singleflight key.
+// Two requests with equal keys are interchangeable: same graph content,
+// same system constants, same device/link overrides.
+func requestKey(req *SolveRequest, params mec.Params) (key, fp string, err error) {
+	gh := sha256.New()
+	if err := req.Graph.WriteBinary(gh); err != nil {
+		return "", "", fmt.Errorf("serve: request key: %w", err)
 	}
+	fp = hex.EncodeToString(gh.Sum(nil))
+	h := sha256.New()
+	_, _ = io.WriteString(h, fp)
 	writeFloats(h,
 		params.ServerCapacity, params.DeviceCompute, params.PowerCompute,
 		params.PowerTransmit, params.Bandwidth,
 		req.FixedLocalWork, req.DeviceCompute, req.Bandwidth, req.PowerTransmit)
-	return hex.EncodeToString(h.Sum(nil)), nil
+	return hex.EncodeToString(h.Sum(nil)), fp, nil
 }
 
 // writeFloats appends the canonical little-endian encoding of each value

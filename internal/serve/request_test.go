@@ -103,27 +103,36 @@ func TestRequestKeyStability(t *testing.T) {
 	if err != nil {
 		t.Fatalf("decode: %v", err)
 	}
-	ka, err := requestKey(reqA, params)
+	ka, fa, err := requestKey(reqA, params)
 	if err != nil {
 		t.Fatalf("requestKey: %v", err)
 	}
-	kb, err := requestKey(reqB, params)
+	kb, fb, err := requestKey(reqB, params)
 	if err != nil {
 		t.Fatalf("requestKey: %v", err)
 	}
 	if ka != kb {
 		t.Fatalf("equal requests keyed differently: %s vs %s", ka, kb)
 	}
+	if fa != fb {
+		t.Fatalf("equal graphs fingerprinted differently: %s vs %s", fa, fb)
+	}
+	// The graph fingerprint must match graph.Fingerprint — it is the
+	// graph-intern key and the two must agree.
+	if want, err := reqA.Graph.Fingerprint(); err != nil || fa != want {
+		t.Fatalf("fingerprint = %s (err %v), want %s", fa, err, want)
+	}
 
-	// Any input that changes the solve must change the key.
+	// Any input that changes the solve must change the key — but not the
+	// graph fingerprint, which identifies the graph alone.
 	p2 := params
 	p2.ServerCapacity *= 2
-	if k2, _ := requestKey(reqA, p2); k2 == ka {
-		t.Fatal("params change did not change the key")
+	if k2, f2, _ := requestKey(reqA, p2); k2 == ka || f2 != fa {
+		t.Fatalf("params change: key %s fp %s, want new key, same fp", k2, f2)
 	}
 	reqB.FixedLocalWork = 5
-	if k3, _ := requestKey(reqB, params); k3 == ka {
-		t.Fatal("per-user override change did not change the key")
+	if k3, f3, _ := requestKey(reqB, params); k3 == ka || f3 != fa {
+		t.Fatalf("override change: key %s fp %s, want new key, same fp", k3, f3)
 	}
 }
 

@@ -11,7 +11,11 @@
 //     the live batch rather than a pre-baked user list;
 //   - a solution cache keyed by the canonical graph fingerprint plus a
 //     params digest, with LRU eviction and singleflight deduplication so
-//     identical in-flight requests run once;
+//     identical in-flight requests run once; behind it, a graph-intern
+//     table canonicalises repeat graphs by fingerprint so one shared
+//     core.Session reuses the compiled solve pipeline (compression + cuts)
+//     across rounds and across parameter changes, and evicting a graph
+//     releases its pipeline state;
 //   - admission control: a bounded accept queue that sheds load with 429 +
 //     Retry-After, per-request deadlines composed with the caller's
 //     context, and graceful drain that completes every accepted request
@@ -80,6 +84,11 @@ type Config struct {
 	QueueDepth int
 	// CacheSize caps the solution cache (≤ 0 = DefaultCacheSize).
 	CacheSize int
+	// GraphCacheSize caps the graph-intern table — the number of distinct
+	// application graphs whose compiled solver pipeline (compression +
+	// cuts) stays warm in the shared core.Session (≤ 0 =
+	// DefaultGraphCacheSize). Evicting a graph releases its pipeline state.
+	GraphCacheSize int
 	// RequestTimeout bounds one request end to end, composed with the
 	// client's own context (≤ 0 = DefaultRequestTimeout).
 	RequestTimeout time.Duration
@@ -195,10 +204,12 @@ type ErrorResponse struct {
 // cache shortcutting repeat work. Construct with New, start the dispatch
 // loop with Start, expose Handler over HTTP, and stop with Drain.
 type Server struct {
-	cfg   Config
-	cache *lruCache
-	st    counters
-	b     *batcher
+	cfg    Config
+	cache  *lruCache
+	st     counters
+	b      *batcher
+	sess   *core.Session
+	graphs *graphIntern
 
 	mu       sync.Mutex
 	inflight map[string]*pending
@@ -219,6 +230,16 @@ func New(cfg Config) (*Server, error) {
 		cache:    newLRUCache(cfg.CacheSize),
 		inflight: make(map[string]*pending),
 	}
+	// One Session per server: rounds over a repeat graph skip compression
+	// and cuts entirely (only Algorithm 2's greedy reruns). Params vary per
+	// round via SolveWithParams — the cached pipeline is params-independent.
+	s.sess = core.NewSession(core.Options{
+		Engine:  cfg.Engine,
+		Workers: cfg.Workers,
+	})
+	s.graphs = newGraphIntern(cfg.GraphCacheSize, func(g *graph.Graph) {
+		s.sess.Invalidate(g)
+	})
 	s.b = newBatcher(cfg.MaxBatch, cfg.QueueDepth, cfg.BatchWait, s.dispatchRound)
 	return s, nil
 }
@@ -303,6 +324,13 @@ func (s *Server) Stats() Stats {
 			Capacity:  s.cache.cap,
 			Evictions: s.cache.evicted(),
 		},
+		GraphCache: GraphCacheStats{
+			Size:      s.graphs.len(),
+			Capacity:  s.graphs.cap,
+			Reused:    s.graphs.reused.Load(),
+			Evictions: s.graphs.evictions.Load(),
+			Pipelines: s.sess.CachedGraphs(),
+		},
 		Batch: BatchStats{
 			Rounds:     s.st.batches.Load(),
 			Users:      s.st.batchedUsers.Load(),
@@ -376,7 +404,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	key, err := requestKey(req, params)
+	key, fp, err := requestKey(req, params)
 	if err != nil {
 		s.st.badRequests.Add(1)
 		writeError(w, http.StatusBadRequest, err.Error())
@@ -389,6 +417,10 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeDecision(w, dec, true, false)
 		return
 	}
+
+	// Rewrite the freshly decoded graph to its interned canonical instance
+	// so the session's identity-keyed pipeline cache hits across requests.
+	req.Graph = s.graphs.intern(fp, req.Graph)
 
 	p, leader, aerr := s.admit(key, req, params)
 	if aerr != nil {
@@ -521,11 +553,7 @@ func (s *Server) solveGroup(ctx context.Context, tasks []*solveTask) {
 	}
 	s.st.observeBatch(len(users))
 
-	sol, err := core.Solve(sctx, users, core.Options{
-		Engine:  s.cfg.Engine,
-		Params:  tasks[0].params,
-		Workers: s.cfg.Workers,
-	})
+	sol, err := s.sess.SolveWithParams(sctx, users, tasks[0].params)
 	if err != nil {
 		s.st.solveErrors.Add(1)
 		s.logf("serve: round of %d users failed: %v", len(users), err)

@@ -114,6 +114,24 @@ type CacheStats struct {
 	Evictions uint64 `json:"evictions"`
 }
 
+// GraphCacheStats is the graph-intern section of a Stats snapshot: how
+// often repeat request graphs were rewritten to their canonical instance
+// (and therefore hit the session's pipeline cache instead of re-running
+// compression and cuts).
+type GraphCacheStats struct {
+	// Size is the number of distinct graphs currently interned.
+	Size int `json:"size"`
+	// Capacity is the configured maximum number of interned graphs.
+	Capacity int `json:"capacity"`
+	// Reused counts requests rewritten to an already-interned graph.
+	Reused uint64 `json:"reused"`
+	// Evictions counts graphs dropped (with their pipeline state) by LRU.
+	Evictions uint64 `json:"evictions"`
+	// Pipelines is the number of graphs with compiled pipeline state in
+	// the session (≤ Size; a graph enters on its first solved round).
+	Pipelines int `json:"pipelines"`
+}
+
 // BatchStats is the micro-batcher section of a Stats snapshot.
 type BatchStats struct {
 	// Rounds counts dispatched solve rounds.
@@ -151,6 +169,8 @@ type Stats struct {
 	Draining bool `json:"draining"`
 	// Cache is the solution-cache section.
 	Cache CacheStats `json:"cache"`
+	// GraphCache is the graph-intern / session pipeline-reuse section.
+	GraphCache GraphCacheStats `json:"graph_cache"`
 	// Batch is the micro-batcher section.
 	Batch BatchStats `json:"batch"`
 	// Latency is the end-to-end /v1/solve latency histogram.

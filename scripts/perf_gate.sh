@@ -1,0 +1,51 @@
+#!/bin/sh
+# perf_gate.sh OLD.txt NEW.txt [MAX_REGRESSION_PCT]
+#
+# Compares two `go test -bench` text outputs (e.g. the committed
+# results/bench_core_baseline.txt against a fresh results/bench_core.txt),
+# averaging ns/op per benchmark name across -count repetitions, and fails
+# when any benchmark present in both regresses by more than
+# MAX_REGRESSION_PCT (default 15) in ns/op. Benchmarks only present on one
+# side are listed but never gate, so adding or retiring a benchmark does not
+# break CI. benchstat gives the human-readable statistics in the CI log;
+# this script is the machine verdict.
+set -eu
+
+old=${1:?usage: perf_gate.sh OLD.txt NEW.txt [MAX_PCT]}
+new=${2:?usage: perf_gate.sh OLD.txt NEW.txt [MAX_PCT]}
+max=${3:-15}
+
+awk -v max="$max" '
+FNR == NR && /^Benchmark/ {
+	name = $1; sub(/-[0-9]+$/, "", name)
+	for (i = 2; i <= NF; i++) if ($i == "ns/op") { osum[name] += $(i-1); ocnt[name]++ }
+	next
+}
+/^Benchmark/ {
+	name = $1; sub(/-[0-9]+$/, "", name)
+	for (i = 2; i <= NF; i++) if ($i == "ns/op") {
+		nsum[name] += $(i-1); ncnt[name]++
+		if (!(name in idx)) { order[n++] = name; idx[name] = 1 }
+	}
+}
+END {
+	bad = 0
+	for (j = 0; j < n; j++) {
+		name = order[j]
+		nn = nsum[name] / ncnt[name]
+		if (!(name in osum)) {
+			printf "%-55s %38s %12.0f ns/op (new, not gated)\n", name, "", nn
+			continue
+		}
+		o = osum[name] / ocnt[name]
+		pct = (nn / o - 1) * 100
+		verdict = (pct > max) ? "REGRESSED" : "ok"
+		printf "%-55s %12.0f -> %12.0f ns/op %+7.1f%%  %s\n", name, o, nn, pct, verdict
+		if (pct > max) bad = 1
+	}
+	for (name in osum) if (!(name in nsum))
+		printf "%-55s %12.0f ns/op dropped from new run (not gated)\n", name, osum[name] / ocnt[name]
+	if (bad) { printf "FAIL: ns/op regression beyond %s%%\n", max; exit 1 }
+	printf "OK: no benchmark regressed more than %s%% ns/op\n", max
+}
+' "$old" "$new"
