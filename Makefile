@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: all build test race vet lint fuzz chaos bench bench-core clean
+.PHONY: all build test race vet lint fuzz chaos bench bench-core bench-serve clean
+
+# Open-loop smoke settings for bench-serve; see scripts/bench_serve.sh.
+BENCH_SERVE_QPS ?= 300
+BENCH_SERVE_DURATION ?= 10s
 
 # Repetitions per benchmark for bench-core; raise for tighter statistics.
 BENCH_COUNT ?= 5
@@ -34,7 +38,9 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzDecodeSolveRequest -fuzztime=30s ./internal/serve/
 
 # bench runs every benchmark in the repo and distils the serving-path
-# numbers into results/BENCH_serve.json for cross-commit comparison.
+# microbenchmark numbers into results/BENCH_micro.json for cross-commit
+# comparison. (results/BENCH_serve.json is the end-to-end loadgen summary
+# written by bench-serve.)
 bench:
 	@mkdir -p results
 	$(GO) test -run=NONE -bench=. -benchmem ./... | tee results/bench.txt
@@ -44,8 +50,18 @@ bench:
 		split($$1, name, "-"); \
 		printf "  \"%s\": {\"iterations\": %s, \"ns_per_op\": %s}", name[1], $$2, $$3 \
 	} \
-	END { if (n) printf "\n"; print "}" }' results/bench.txt > results/BENCH_serve.json
-	@echo "wrote results/BENCH_serve.json"; cat results/BENCH_serve.json
+	END { if (n) printf "\n"; print "}" }' results/bench.txt > results/BENCH_micro.json
+	@echo "wrote results/BENCH_micro.json"; cat results/BENCH_micro.json
+
+# bench-serve boots the real daemon and drives it over the wire with
+# cmd/copmecs-loadgen (open loop at a smoke rate), writing achieved QPS,
+# latency percentiles and shed/5xx counts to results/BENCH_serve.json.
+# CI compares that file against the committed baseline with
+# scripts/serve_gate.sh; after an intentional serving change, refresh the
+# baseline by committing the new output.
+bench-serve:
+	BENCH_SERVE_QPS=$(BENCH_SERVE_QPS) BENCH_SERVE_DURATION=$(BENCH_SERVE_DURATION) \
+		./scripts/bench_serve.sh results/BENCH_serve.json
 
 # bench-core runs the solve hot-path benchmarks the perf CI gate watches —
 # the Figure 9 solve, Table I compression, and the steady-state allocation

@@ -10,9 +10,11 @@
 //	GET  /v1/healthz  liveness (503 while draining)
 //	GET  /v1/stats    counters, cache/batch stats, latency histogram
 //
-// A separate debug address (optional, -debug-addr) serves net/http/pprof.
-// SIGINT/SIGTERM triggers graceful drain: new work is rejected, every
-// accepted request completes, then the process exits.
+// A separate debug address (optional, -debug-addr) serves net/http/pprof;
+// -mutex-profile and -block-profile additionally enable the runtime's
+// contention profilers so /debug/pprof/mutex and /debug/pprof/block carry
+// data. SIGINT/SIGTERM triggers graceful drain: new work is rejected,
+// every accepted request completes, then the process exits.
 //
 // Usage:
 //
@@ -31,6 +33,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -64,12 +67,15 @@ func run(args []string, stop <-chan os.Signal, out io.Writer) error {
 		maxBatch   = fs.Int("max-batch", serve.DefaultMaxBatch, "max users per solve round")
 		batchWait  = fs.Duration("batch-wait", serve.DefaultBatchWait, "co-arrival window per round")
 		queueDepth = fs.Int("queue", serve.DefaultQueueDepth, "accept queue depth (beyond it: 429)")
+		lanes      = fs.Int("lanes", 0, "batcher enqueue lanes (0 = derived from queue depth)")
 		cacheSize  = fs.Int("cache", serve.DefaultCacheSize, "solution cache entries")
 		graphCache = fs.Int("graph-cache", serve.DefaultGraphCacheSize, "interned graphs with warm solver pipelines")
 		reqTimeout = fs.Duration("request-timeout", serve.DefaultRequestTimeout, "per-request deadline")
 		maxNodes   = fs.Int("max-nodes", serve.DefaultMaxNodes, "max graph nodes per request")
 		maxEdges   = fs.Int("max-edges", serve.DefaultMaxEdges, "max graph edges per request")
 		drainWait  = fs.Duration("drain-timeout", 30*time.Second, "graceful drain deadline")
+		mutexFrac  = fs.Int("mutex-profile", 0, "runtime mutex profile fraction (0 = off; served at /debug/pprof/mutex)")
+		blockRate  = fs.Int("block-profile", 0, "runtime block profile rate in ns (0 = off; served at /debug/pprof/block)")
 		quiet      = fs.Bool("q", false, "suppress serving diagnostics")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -92,6 +98,15 @@ func run(args []string, stop <-chan os.Signal, out io.Writer) error {
 	if *bandwidth != 0 {
 		params.Bandwidth = *bandwidth
 	}
+	// Contention profiling is opt-in: both profilers tax the hot path, so
+	// they stay off unless explicitly requested for an investigation. The
+	// profiles are served by the debug listener's pprof mux.
+	if *mutexFrac > 0 {
+		runtime.SetMutexProfileFraction(*mutexFrac)
+	}
+	if *blockRate > 0 {
+		runtime.SetBlockProfileRate(*blockRate)
+	}
 	logf := func(format string, fargs ...any) {
 		logln(out, format, fargs...)
 	}
@@ -104,6 +119,7 @@ func run(args []string, stop <-chan os.Signal, out io.Writer) error {
 		Workers:        *workers,
 		MaxBatch:       *maxBatch,
 		BatchWait:      *batchWait,
+		BatchLanes:     *lanes,
 		QueueDepth:     *queueDepth,
 		CacheSize:      *cacheSize,
 		GraphCacheSize: *graphCache,

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"os"
 	"regexp"
+	"runtime"
 	"strings"
 	"sync"
 	"syscall"
@@ -193,5 +194,50 @@ func TestEngineByName(t *testing.T) {
 	}
 	if _, err := engineByName("nope"); err == nil {
 		t.Error("engineByName accepted an unknown name")
+	}
+}
+
+func TestDaemonContentionProfiles(t *testing.T) {
+	// -mutex-profile / -block-profile turn on the runtime's contention
+	// profilers; their pprof endpoints on the debug mux must then answer
+	// 200 with profile data.
+	base, stop, out, done := startDaemon(t,
+		"-debug-addr", "127.0.0.1:0", "-lanes", "2",
+		"-mutex-profile", "2", "-block-profile", "10000")
+	defer func() {
+		runtime.SetMutexProfileFraction(0)
+		runtime.SetBlockProfileRate(0)
+	}()
+
+	re := regexp.MustCompile(`pprof on (\S+)/debug/pprof/`)
+	m := re.FindStringSubmatch(out.String())
+	if m == nil {
+		t.Fatalf("no pprof banner: %q", out.String())
+	}
+	// Generate a little lock traffic so the profiles have something to say.
+	resp, err := http.Post(base+"/v1/solve", "application/json", strings.NewReader(testBody))
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	resp.Body.Close()
+	for _, profile := range []string{"mutex", "block"} {
+		pr, err := http.Get("http://" + m[1] + "/debug/pprof/" + profile + "?debug=1")
+		if err != nil {
+			t.Fatalf("pprof %s: %v", profile, err)
+		}
+		pr.Body.Close()
+		if pr.StatusCode != http.StatusOK {
+			t.Fatalf("pprof %s = %d, want 200", profile, pr.StatusCode)
+		}
+	}
+
+	stop <- os.Interrupt
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not stop")
 	}
 }

@@ -19,6 +19,8 @@ const (
 	DefaultBatchWait = 2 * time.Millisecond
 	// DefaultQueueDepth bounds the accept queue; a full queue sheds load.
 	DefaultQueueDepth = 256
+	// maxBatchLanes caps the enqueue lane count (power of two).
+	maxBatchLanes = 16
 )
 
 // pending is one singleflight cell: the first request for a key becomes
@@ -49,6 +51,7 @@ type solveTask struct {
 	user   core.UserInput
 	params mec.Params
 	pkey   string // paramsDigest; rounds group by it
+	lane   uint32 // enqueue lane, derived from the graph fingerprint
 }
 
 // batcher coalesces concurrently arriving solve tasks into multi-user
@@ -57,26 +60,63 @@ type solveTask struct {
 // multi-user core.Solve. This is the serving-path version of the paper's
 // batch setting — the users of one round share the edge server, and the
 // model's ActiveUsers comes from the live round.
+//
+// The accept queue is split into per-lane bounded MPSC rings (lane chosen
+// from the request's graph fingerprint, so tasks for one application
+// stream through one lane in FIFO order and singleflight dedup semantics
+// are untouched). Producers therefore never contend on a shared queue
+// mutex: a push is one CAS on the lane's ring. The single dispatch
+// goroutine sweeps the lanes round-robin, woken through a one-token
+// wake channel.
 type batcher struct {
-	queue    chan *solveTask
+	lanes    []*batchLane
+	laneMask uint32
 	maxBatch int
 	maxWait  time.Duration
 	dispatch func(context.Context, []*solveTask)
+	wake     chan struct{} // one-token producer→consumer doorbell
 	stop     chan struct{}
 	stopO    sync.Once
 	done     chan struct{}
 }
 
+// batchLane is one enqueue lane: a bounded MPSC ring plus its counters.
+type batchLane struct {
+	ring     *taskRing
+	enqueued atomic.Uint64 // tasks accepted into this lane
+	rejected atomic.Uint64 // pushes refused because the lane was full
+}
+
 // stopOnce closes the stop channel exactly once; run then drains the
-// queue and exits.
+// lanes and exits.
 func (b *batcher) stopOnce() {
 	b.stopO.Do(func() { close(b.stop) })
 }
 
-// newBatcher returns a batcher feeding dispatch. The caller starts it with
-// go b.run(ctx) and stops it with close(b.stop) after the queue is known
-// to be settled; run drains every queued task before exiting.
-func newBatcher(maxBatch, queueDepth int, maxWait time.Duration, dispatch func(context.Context, []*solveTask)) *batcher {
+// laneCountFor resolves the lane count: the largest power of two ≤
+// maxBatchLanes that keeps each lane's ring at least one deep for the
+// requested total queue depth. lanes > 0 forces an explicit count
+// (rounded up to a power of two, capped at maxBatchLanes).
+func laneCountFor(lanes, queueDepth int) int {
+	if lanes > 0 {
+		n := 1
+		for n < lanes && n < maxBatchLanes {
+			n *= 2
+		}
+		return n
+	}
+	n := 1
+	for n*2 <= maxBatchLanes && queueDepth/(n*2) >= 1 {
+		n *= 2
+	}
+	return n
+}
+
+// newBatcher returns a batcher feeding dispatch, with queueDepth split
+// over laneCountFor(lanes, queueDepth) rings. The caller starts it with
+// go b.run(ctx) and stops it with stopOnce after the queue is known to be
+// settled; run drains every queued task before exiting.
+func newBatcher(maxBatch, queueDepth, lanes int, maxWait time.Duration, dispatch func(context.Context, []*solveTask)) *batcher {
 	if maxBatch <= 0 {
 		maxBatch = DefaultMaxBatch
 	}
@@ -86,43 +126,112 @@ func newBatcher(maxBatch, queueDepth int, maxWait time.Duration, dispatch func(c
 	if maxWait <= 0 {
 		maxWait = DefaultBatchWait
 	}
-	return &batcher{
-		queue:    make(chan *solveTask, queueDepth),
+	n := laneCountFor(lanes, queueDepth)
+	perLane := (queueDepth + n - 1) / n
+	b := &batcher{
+		lanes:    make([]*batchLane, n),
+		laneMask: uint32(n - 1),
 		maxBatch: maxBatch,
 		maxWait:  maxWait,
 		dispatch: dispatch,
+		wake:     make(chan struct{}, 1),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
+	for i := range b.lanes {
+		b.lanes[i] = &batchLane{ring: newTaskRing(perLane)}
+	}
+	return b
 }
 
-// run is the dispatch loop. It exits after stop is closed and the queue
-// has been drained; every accepted task is dispatched exactly once, which
-// is what makes graceful drain lossless.
+// enqueue publishes t on its lane, returning false (shed) when the lane
+// is full. Safe for concurrent producers; a successful push rings the
+// dispatch goroutine's doorbell.
+func (b *batcher) enqueue(t *solveTask) bool {
+	lane := b.lanes[t.lane&b.laneMask]
+	if !lane.ring.push(t) {
+		lane.rejected.Add(1)
+		return false
+	}
+	lane.enqueued.Add(1)
+	select {
+	case b.wake <- struct{}{}:
+	default: // a token is already pending; the consumer will re-sweep
+	}
+	return true
+}
+
+// tryPop sweeps the lanes round-robin from *cursor, returning the first
+// queued task. Only the dispatch goroutine calls it.
+func (b *batcher) tryPop(cursor *int) (*solveTask, bool) {
+	for i := 0; i < len(b.lanes); i++ {
+		lane := b.lanes[(*cursor+i)%len(b.lanes)]
+		if t, ok := lane.ring.pop(); ok {
+			*cursor = (*cursor + i + 1) % len(b.lanes)
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// depth reports the total number of queued tasks across lanes (a
+// monitoring gauge; it races with concurrent pushes by design).
+func (b *batcher) depth() int {
+	n := 0
+	for _, lane := range b.lanes {
+		n += lane.ring.len()
+	}
+	return n
+}
+
+// laneStats snapshots the per-lane counters for /v1/stats.
+func (b *batcher) laneStats() []LaneStats {
+	stats := make([]LaneStats, len(b.lanes))
+	for i, lane := range b.lanes {
+		stats[i] = LaneStats{
+			Depth:    lane.ring.len(),
+			Capacity: lane.ring.cap(),
+			Enqueued: lane.enqueued.Load(),
+			Rejected: lane.rejected.Load(),
+		}
+	}
+	return stats
+}
+
+// run is the dispatch loop. It exits after stop is closed and the lanes
+// have been drained; every accepted task is dispatched exactly once,
+// which is what makes graceful drain lossless.
 func (b *batcher) run(ctx context.Context) {
 	defer close(b.done)
+	cursor := 0
 	for {
-		var first *solveTask
-		select {
-		case first = <-b.queue:
-		case <-b.stop:
-			b.drainQueued(ctx)
-			return
+		first, ok := b.tryPop(&cursor)
+		if !ok {
+			select {
+			case <-b.wake:
+				continue // re-sweep: the push precedes its doorbell
+			case <-b.stop:
+				b.drainQueued(ctx, &cursor)
+				return
+			}
 		}
-		b.dispatch(ctx, b.collect(first))
+		b.dispatch(ctx, b.collect(first, &cursor))
 	}
 }
 
 // collect assembles one round: first plus co-arrivals until the window
 // closes, the round fills, or the batcher is stopped.
-func (b *batcher) collect(first *solveTask) []*solveTask {
+func (b *batcher) collect(first *solveTask, cursor *int) []*solveTask {
 	round := []*solveTask{first}
 	timer := time.NewTimer(b.maxWait)
 	defer timer.Stop()
 	for len(round) < b.maxBatch {
-		select {
-		case t := <-b.queue:
+		if t, ok := b.tryPop(cursor); ok {
 			round = append(round, t)
+			continue
+		}
+		select {
+		case <-b.wake:
 		case <-timer.C:
 			return round
 		case <-b.stop:
@@ -134,23 +243,20 @@ func (b *batcher) collect(first *solveTask) []*solveTask {
 
 // drainQueued dispatches everything still queued at stop time in maxBatch
 // rounds, without waiting out batch windows.
-func (b *batcher) drainQueued(ctx context.Context) {
+func (b *batcher) drainQueued(ctx context.Context, cursor *int) {
 	for {
-		select {
-		case t := <-b.queue:
-			round := []*solveTask{t}
-		fill:
-			for len(round) < b.maxBatch {
-				select {
-				case t2 := <-b.queue:
-					round = append(round, t2)
-				default:
-					break fill
-				}
-			}
-			b.dispatch(ctx, round)
-		default:
+		first, ok := b.tryPop(cursor)
+		if !ok {
 			return
 		}
+		round := []*solveTask{first}
+		for len(round) < b.maxBatch {
+			t, ok := b.tryPop(cursor)
+			if !ok {
+				break
+			}
+			round = append(round, t)
+		}
+		b.dispatch(ctx, round)
 	}
 }

@@ -13,7 +13,7 @@ func collectRounds(t *testing.T, maxBatch int, wait time.Duration, feed func(b *
 	t.Helper()
 	var mu sync.Mutex
 	var rounds [][]*solveTask
-	b := newBatcher(maxBatch, 64, wait, func(_ context.Context, round []*solveTask) {
+	b := newBatcher(maxBatch, 64, 1, wait, func(_ context.Context, round []*solveTask) {
 		mu.Lock()
 		rounds = append(rounds, round)
 		mu.Unlock()
@@ -23,7 +23,7 @@ func collectRounds(t *testing.T, maxBatch int, wait time.Duration, feed func(b *
 	// Let the loop drain the queue, then stop and wait for exit.
 	deadline := time.After(5 * time.Second)
 	for {
-		if len(b.queue) == 0 {
+		if b.depth() == 0 {
 			break
 		}
 		select {
@@ -51,7 +51,9 @@ func TestBatcherCoalescesCoArrivals(t *testing.T) {
 	}
 	rounds := collectRounds(t, 16, 50*time.Millisecond, func(b *batcher) {
 		for _, task := range tasks {
-			b.queue <- task
+			if !b.enqueue(task) {
+				t.Fatal("enqueue rejected a task with queue headroom")
+			}
 		}
 	})
 	if len(rounds) != 1 {
@@ -66,7 +68,9 @@ func TestBatcherRespectsMaxBatch(t *testing.T) {
 	const n, maxBatch = 10, 4
 	rounds := collectRounds(t, maxBatch, 20*time.Millisecond, func(b *batcher) {
 		for i := 0; i < n; i++ {
-			b.queue <- &solveTask{p: newPending(string(rune('a' + i)))}
+			if !b.enqueue(&solveTask{p: newPending(string(rune('a' + i)))}) {
+				t.Fatal("enqueue rejected a task with queue headroom")
+			}
 		}
 	})
 	total := 0
@@ -89,14 +93,16 @@ func TestBatcherDrainIsLossless(t *testing.T) {
 	// everything queued, in maxBatch-bounded rounds.
 	var mu sync.Mutex
 	var dispatched int
-	b := newBatcher(4, 64, time.Hour /* window must not matter */, func(_ context.Context, round []*solveTask) {
+	b := newBatcher(4, 64, 1, time.Hour /* window must not matter */, func(_ context.Context, round []*solveTask) {
 		mu.Lock()
 		dispatched += len(round)
 		mu.Unlock()
 	})
 	const n = 11
 	for i := 0; i < n; i++ {
-		b.queue <- &solveTask{p: newPending(string(rune('a' + i)))}
+		if !b.enqueue(&solveTask{p: newPending(string(rune('a' + i)))}) {
+			t.Fatal("enqueue rejected a task with queue headroom")
+		}
 	}
 	b.stopOnce()
 	go b.run(context.Background())
@@ -113,7 +119,7 @@ func TestBatcherDrainIsLossless(t *testing.T) {
 }
 
 func TestBatcherStopOnceIdempotent(t *testing.T) {
-	b := newBatcher(1, 1, time.Millisecond, func(context.Context, []*solveTask) {})
+	b := newBatcher(1, 1, 1, time.Millisecond, func(context.Context, []*solveTask) {})
 	go b.run(context.Background())
 	b.stopOnce()
 	b.stopOnce() // must not panic on double close

@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// nopResponseWriter discards the response body so the handler benchmarks
+// measure the serving hot path (decode → key → cache/singleflight → batch)
+// rather than httptest.ResponseRecorder's buffer growth.
+type nopResponseWriter struct {
+	h      http.Header
+	status int
+}
+
+func (w *nopResponseWriter) Header() http.Header {
+	if w.h == nil {
+		w.h = make(http.Header)
+	}
+	return w.h
+}
+
+func (w *nopResponseWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+func (w *nopResponseWriter) WriteHeader(status int) { w.status = status }
+
+// postDirect drives handleSolve in-process: no sockets, no recorder buffer,
+// so contention between parallel callers is the dominant shared cost.
+func postDirect(s *Server, body []byte, w *nopResponseWriter, ctx context.Context) int {
+	w.status = http.StatusOK
+	req := httptest.NewRequest(http.MethodPost, "/v1/solve", bytes.NewReader(body))
+	req.Body = io.NopCloser(bytes.NewReader(body))
+	s.handleSolve(w, req.WithContext(ctx))
+	return w.status
+}
+
+// BenchmarkHandleParallel measures handler throughput under b.RunParallel
+// across the three serving regimes this package optimises for:
+//
+//   - hit: every request is a warm solution-cache hit (the common case for
+//     repeat graphs); this is the path the sharded cache and lock-free
+//     stats exist for, and the scaling subject of the PR gate.
+//   - miss: requests cycle many distinct graphs through a small cache, so
+//     most of them take the full singleflight → lane → batch → solve path.
+//   - dedupstorm: parallel callers hammer two alternating keys through a
+//     one-entry cache, so every round mixes misses with live singleflight
+//     followers (the dedup bookkeeping path).
+//
+// Run with -cpu 8 to compare scaling against the global-lock baseline.
+func BenchmarkHandleParallel(b *testing.B) {
+	b.Run("hit", func(b *testing.B) {
+		s := newTestServer(b, Config{})
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		s.Start(ctx)
+		body := solveBody(b, testGraph(b, 0))
+		w := &nopResponseWriter{}
+		if st := postDirect(s, body, w, ctx); st != http.StatusOK {
+			b.Fatalf("warm request: status %d", st)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			w := &nopResponseWriter{}
+			for pb.Next() {
+				if st := postDirect(s, body, w, ctx); st != http.StatusOK {
+					b.Fatalf("status %d", st)
+				}
+			}
+		})
+		b.StopTimer()
+		st := s.Stats()
+		if st.Cache.Hits == 0 {
+			b.Fatal("hit benchmark never hit the cache")
+		}
+	})
+
+	b.Run("miss", func(b *testing.B) {
+		// 64 distinct graphs through a 16-entry cache: ~75% of arrivals
+		// miss and exercise admission, lanes, and batch dispatch.
+		s := newTestServer(b, Config{CacheSize: 16, BatchWait: 100 * time.Microsecond})
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		s.Start(ctx)
+		bodies := make([][]byte, 64)
+		for i := range bodies {
+			bodies[i] = solveBody(b, testGraph(b, i))
+		}
+		var next atomic.Uint64
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			w := &nopResponseWriter{}
+			for pb.Next() {
+				body := bodies[next.Add(1)%uint64(len(bodies))]
+				st := postDirect(s, body, w, ctx)
+				if st != http.StatusOK && st != http.StatusTooManyRequests {
+					b.Fatalf("status %d", st)
+				}
+			}
+		})
+	})
+
+	b.Run("dedupstorm", func(b *testing.B) {
+		// A one-entry cache and two alternating bodies: each put evicts the
+		// other key, so parallel callers keep colliding on in-flight cells.
+		s := newTestServer(b, Config{CacheSize: 1, BatchWait: 100 * time.Microsecond})
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		s.Start(ctx)
+		bodies := [2][]byte{solveBody(b, testGraph(b, 0)), solveBody(b, testGraph(b, 1))}
+		var next atomic.Uint64
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			w := &nopResponseWriter{}
+			for pb.Next() {
+				body := bodies[next.Add(1)%2]
+				st := postDirect(s, body, w, ctx)
+				if st != http.StatusOK && st != http.StatusTooManyRequests {
+					b.Fatalf("status %d", st)
+				}
+			}
+		})
+	})
+}
+
+// cacheHitAllocBudget caps allocations for one warm cache-hit request
+// through handleSolve (request construction included). The hit path must
+// stay flat as the serving layers evolve; raising this number needs a
+// justification in the PR that does it. The body-digest fast path (no
+// JSON decode, no graph hashing, pre-rendered response bytes) measures
+// ~15; the budget leaves headroom for harness noise only.
+const cacheHitAllocBudget = 24
+
+func TestCacheHitAllocBudget(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.Start(ctx)
+	body := solveBody(t, testGraph(t, 0))
+	w := &nopResponseWriter{}
+	if st := postDirect(s, body, w, ctx); st != http.StatusOK {
+		t.Fatalf("warm request: status %d", st)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if st := postDirect(s, body, w, ctx); st != http.StatusOK {
+			t.Fatalf("status %d", st)
+		}
+	})
+	if allocs > cacheHitAllocBudget {
+		t.Fatalf("cache-hit path allocates %.1f objects per request, budget %d",
+			allocs, cacheHitAllocBudget)
+	}
+	t.Logf("cache-hit allocations: %.1f (budget %d)", allocs, cacheHitAllocBudget)
+}

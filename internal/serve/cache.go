@@ -12,7 +12,10 @@ const DefaultCacheSize = 1024
 // lruCache is a fixed-capacity LRU of solved decisions keyed by request
 // key (graph fingerprint ⊕ params digest ⊕ per-user overrides). Entries
 // are immutable *Decision values shared between the cache and in-flight
-// responses, so a hit is a pointer copy. Safe for concurrent use.
+// responses, so a hit is a pointer copy; alongside each decision the entry
+// carries the pre-rendered cache-hit response body, so a hit writes stored
+// bytes instead of re-encoding JSON. Safe for concurrent use; it is the
+// per-shard building block of shardedCache.
 type lruCache struct {
 	mu        sync.Mutex
 	cap       int
@@ -25,6 +28,7 @@ type lruCache struct {
 type lruEntry struct {
 	key string
 	dec *Decision
+	hit []byte // rendered cached=true response, nil until first needed
 }
 
 // newLRUCache returns a cache holding at most capacity entries (≤ 0 means
@@ -40,29 +44,33 @@ func newLRUCache(capacity int) *lruCache {
 	}
 }
 
-// get returns the cached decision for key, promoting it to most recent.
-func (c *lruCache) get(key string) (*Decision, bool) {
+// get returns the cached decision and its rendered hit body for key,
+// promoting the entry to most recent.
+func (c *lruCache) get(key string) (*Decision, []byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
-		return nil, false
+		return nil, nil, false
 	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*lruEntry).dec, true
+	ent := el.Value.(*lruEntry)
+	return ent.dec, ent.hit, true
 }
 
-// put stores dec under key, evicting the least-recently-used entry at
-// capacity. Storing an existing key refreshes its value and recency.
-func (c *lruCache) put(key string, dec *Decision) {
+// put stores dec (and its optional pre-rendered hit body) under key,
+// evicting the least-recently-used entry at capacity. Storing an existing
+// key refreshes its value and recency.
+func (c *lruCache) put(key string, dec *Decision, hit []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*lruEntry).dec = dec
+		ent := el.Value.(*lruEntry)
+		ent.dec, ent.hit = dec, hit
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.ll.PushFront(&lruEntry{key: key, dec: dec})
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, dec: dec, hit: hit})
 	if c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
@@ -80,3 +88,82 @@ func (c *lruCache) len() int {
 
 // evicted reports the cumulative eviction count.
 func (c *lruCache) evicted() uint64 { return c.evictions.Load() }
+
+// shardedCache spreads the solution cache over shardCountFor(capacity)
+// independent lruCache shards selected by key prefix, so parallel cache
+// hits for different keys never contend on one mutex. Total capacity is
+// preserved (split evenly, rounded up), eviction stays exact LRU within a
+// shard, and the aggregate counters feed the flat /v1/stats fields
+// unchanged.
+type shardedCache struct {
+	shards []*lruCache
+	mask   uint32
+}
+
+// newShardedCache returns a sharded cache with total capacity entries
+// (≤ 0 means DefaultCacheSize).
+func newShardedCache(capacity int) *shardedCache {
+	if capacity <= 0 {
+		capacity = DefaultCacheSize
+	}
+	n := shardCountFor(capacity)
+	per := (capacity + n - 1) / n
+	c := &shardedCache{shards: make([]*lruCache, n), mask: uint32(n - 1)}
+	for i := range c.shards {
+		c.shards[i] = newLRUCache(per)
+	}
+	return c
+}
+
+// shard returns the shard owning key.
+func (c *shardedCache) shard(key string) *lruCache {
+	return c.shards[shardPrefix(key)&c.mask]
+}
+
+// get returns the cached decision and rendered hit body for key.
+func (c *shardedCache) get(key string) (*Decision, []byte, bool) {
+	return c.shard(key).get(key)
+}
+
+// put stores dec and its rendered hit body under key.
+func (c *shardedCache) put(key string, dec *Decision, hit []byte) {
+	c.shard(key).put(key, dec, hit)
+}
+
+// len reports the aggregate entry count across shards.
+func (c *shardedCache) len() int {
+	n := 0
+	for _, sh := range c.shards {
+		n += sh.len()
+	}
+	return n
+}
+
+// capacity reports the aggregate configured capacity across shards.
+func (c *shardedCache) capacity() int {
+	n := 0
+	for _, sh := range c.shards {
+		n += sh.cap
+	}
+	return n
+}
+
+// evicted reports the aggregate eviction count across shards.
+func (c *shardedCache) evicted() uint64 {
+	var n uint64
+	for _, sh := range c.shards {
+		n += sh.evicted()
+	}
+	return n
+}
+
+// occupancy reports per-shard size and capacity, for the /v1/stats
+// per-shard section (skewed shards indicate a pathological key
+// distribution).
+func (c *shardedCache) occupancy() []ShardOccupancy {
+	occ := make([]ShardOccupancy, len(c.shards))
+	for i, sh := range c.shards {
+		occ[i] = ShardOccupancy{Size: sh.len(), Capacity: sh.cap}
+	}
+	return occ
+}

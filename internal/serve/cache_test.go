@@ -8,13 +8,13 @@ import (
 
 func TestLRUCacheBasics(t *testing.T) {
 	c := newLRUCache(2)
-	if _, ok := c.get("a"); ok {
+	if _, _, ok := c.get("a"); ok {
 		t.Fatal("empty cache reported a hit")
 	}
 	da, db := &Decision{LocalWork: 1}, &Decision{LocalWork: 2}
-	c.put("a", da)
-	c.put("b", db)
-	if got, ok := c.get("a"); !ok || got != da {
+	c.put("a", da, nil)
+	c.put("b", db, nil)
+	if got, _, ok := c.get("a"); !ok || got != da {
 		t.Fatalf("get(a) = %v, %v", got, ok)
 	}
 	if c.len() != 2 {
@@ -22,11 +22,11 @@ func TestLRUCacheBasics(t *testing.T) {
 	}
 
 	// "a" was just touched, so inserting "c" must evict "b".
-	c.put("c", &Decision{})
-	if _, ok := c.get("b"); ok {
+	c.put("c", &Decision{}, nil)
+	if _, _, ok := c.get("b"); ok {
 		t.Fatal("LRU evicted the wrong entry: b survived")
 	}
-	if _, ok := c.get("a"); !ok {
+	if _, _, ok := c.get("a"); !ok {
 		t.Fatal("recently used entry a was evicted")
 	}
 	if c.evicted() != 1 {
@@ -36,13 +36,13 @@ func TestLRUCacheBasics(t *testing.T) {
 
 func TestLRUCacheRefresh(t *testing.T) {
 	c := newLRUCache(2)
-	c.put("a", &Decision{LocalWork: 1})
+	c.put("a", &Decision{LocalWork: 1}, nil)
 	d2 := &Decision{LocalWork: 2}
-	c.put("a", d2)
+	c.put("a", d2, nil)
 	if c.len() != 1 {
 		t.Fatalf("len = %d after double put, want 1", c.len())
 	}
-	if got, _ := c.get("a"); got != d2 {
+	if got, _, _ := c.get("a"); got != d2 {
 		t.Fatalf("refresh did not replace the value: %+v", got)
 	}
 }
@@ -63,7 +63,7 @@ func TestLRUCacheConcurrent(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
 				k := fmt.Sprintf("k%d", (w*31+i)%64)
-				c.put(k, &Decision{LocalWork: float64(i)})
+				c.put(k, &Decision{LocalWork: float64(i)}, nil)
 				c.get(k)
 			}
 		}(w)

@@ -83,3 +83,79 @@ func (c *graphIntern) len() int {
 	defer c.mu.Unlock()
 	return c.ll.Len()
 }
+
+// shardedIntern spreads the graph-intern table over
+// shardCountFor(capacity) graphIntern shards selected by fingerprint
+// prefix, so concurrent interning of different applications never
+// contends on one mutex. Fingerprints are canonical per graph content, so
+// a graph always lands in the same shard and canonicalisation still holds
+// globally; eviction is exact LRU within the owning shard.
+type shardedIntern struct {
+	shards []*graphIntern
+	mask   uint32
+}
+
+// newShardedIntern returns a sharded intern table with total capacity
+// graphs (≤ 0 means DefaultGraphCacheSize). onEvict may be nil.
+func newShardedIntern(capacity int, onEvict func(*graph.Graph)) *shardedIntern {
+	if capacity <= 0 {
+		capacity = DefaultGraphCacheSize
+	}
+	n := shardCountFor(capacity)
+	per := (capacity + n - 1) / n
+	c := &shardedIntern{shards: make([]*graphIntern, n), mask: uint32(n - 1)}
+	for i := range c.shards {
+		c.shards[i] = newGraphIntern(per, onEvict)
+	}
+	return c
+}
+
+// intern returns the canonical instance for fingerprint fp via fp's shard.
+func (c *shardedIntern) intern(fp string, g *graph.Graph) *graph.Graph {
+	return c.shards[shardPrefix(fp)&c.mask].intern(fp, g)
+}
+
+// len reports the aggregate entry count across shards.
+func (c *shardedIntern) len() int {
+	n := 0
+	for _, sh := range c.shards {
+		n += sh.len()
+	}
+	return n
+}
+
+// capacity reports the aggregate configured capacity across shards.
+func (c *shardedIntern) capacity() int {
+	n := 0
+	for _, sh := range c.shards {
+		n += sh.cap
+	}
+	return n
+}
+
+// reusedCount reports the aggregate reuse count across shards.
+func (c *shardedIntern) reusedCount() uint64 {
+	var n uint64
+	for _, sh := range c.shards {
+		n += sh.reused.Load()
+	}
+	return n
+}
+
+// evictedCount reports the aggregate eviction count across shards.
+func (c *shardedIntern) evictedCount() uint64 {
+	var n uint64
+	for _, sh := range c.shards {
+		n += sh.evictions.Load()
+	}
+	return n
+}
+
+// occupancy reports per-shard size and capacity for /v1/stats.
+func (c *shardedIntern) occupancy() []ShardOccupancy {
+	occ := make([]ShardOccupancy, len(c.shards))
+	for i, sh := range c.shards {
+		occ[i] = ShardOccupancy{Size: sh.len(), Capacity: sh.cap}
+	}
+	return occ
+}

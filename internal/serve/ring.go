@@ -1,0 +1,108 @@
+package serve
+
+import "sync/atomic"
+
+// taskRing is a bounded multi-producer single-consumer queue of solve
+// tasks, used as one batcher lane. It is the classic bounded-array design
+// with a per-slot sequence number (Vyukov): producers claim a slot by CAS
+// on the enqueue cursor and publish the task with a release store of the
+// slot's sequence; the consumer observes that store with an acquire load
+// before reading the task, so every push happens-before the pop that
+// returns it (Go's sync/atomic gives these operations
+// sequentially-consistent ordering, which subsumes the release/acquire
+// pairs this queue needs). A full lane rejects immediately — admission
+// control turns that into a 429 — so producers never spin against a slow
+// consumer.
+type taskRing struct {
+	mask  uint64
+	slots []ringSlot
+	_     [48]byte // keep the cursors off the slots' cache lines
+	enq   atomic.Uint64
+	_     [56]byte // one cursor per cache line: producers and the consumer
+	deq   atomic.Uint64
+	_     [56]byte
+}
+
+// ringSlot is one ring cell. seq encodes the slot's state relative to the
+// cursors: seq == pos means free for the producer claiming position pos,
+// seq == pos+1 means the task is published for the consumer at pos.
+// Padding keeps neighbouring slots from sharing a cache line, so two
+// producers claiming adjacent positions do not false-share.
+type ringSlot struct {
+	seq  atomic.Uint64
+	task *solveTask
+	_    [48]byte
+}
+
+// newTaskRing returns a ring holding at least capacity tasks, rounded up
+// to a power of two. The minimum is 2: with a single slot, a producer one
+// full lap ahead would see seq == pos (the published-but-unconsumed state
+// is indistinguishable from free) and overwrite the queued task.
+func newTaskRing(capacity int) *taskRing {
+	n := 2
+	for n < capacity {
+		n *= 2
+	}
+	r := &taskRing{mask: uint64(n - 1), slots: make([]ringSlot, n)}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// cap reports the ring's capacity.
+func (r *taskRing) cap() int { return len(r.slots) }
+
+// push publishes t, returning false when the ring is full. Safe for
+// concurrent producers.
+func (r *taskRing) push(t *solveTask) bool {
+	pos := r.enq.Load()
+	for {
+		slot := &r.slots[pos&r.mask]
+		seq := slot.seq.Load()
+		switch d := int64(seq) - int64(pos); {
+		case d == 0:
+			if r.enq.CompareAndSwap(pos, pos+1) {
+				slot.task = t
+				slot.seq.Store(pos + 1) // publish: pairs with pop's acquire
+				return true
+			}
+			pos = r.enq.Load()
+		case d < 0:
+			// The slot one lap behind is still occupied: full.
+			return false
+		default:
+			// Another producer claimed pos; chase the cursor.
+			pos = r.enq.Load()
+		}
+	}
+}
+
+// pop removes the oldest task, returning false when the ring is empty.
+// Single consumer only (the batcher's dispatch goroutine).
+func (r *taskRing) pop() (*solveTask, bool) {
+	pos := r.deq.Load()
+	slot := &r.slots[pos&r.mask]
+	if int64(slot.seq.Load())-int64(pos+1) < 0 {
+		return nil, false // producer has not published pos yet
+	}
+	t := slot.task
+	slot.task = nil
+	slot.seq.Store(pos + r.mask + 1) // free the slot for the next lap
+	r.deq.Store(pos + 1)
+	return t, true
+}
+
+// len reports the number of published-but-unpopped tasks. It races with
+// concurrent pushes by design — the value is a monitoring gauge, not a
+// synchronization primitive.
+func (r *taskRing) len() int {
+	d := int64(r.enq.Load()) - int64(r.deq.Load())
+	if d < 0 {
+		d = 0
+	}
+	if d > int64(len(r.slots)) {
+		d = int64(len(r.slots))
+	}
+	return int(d)
+}

@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestTaskRingPushPopOrder(t *testing.T) {
+	r := newTaskRing(4)
+	if _, ok := r.pop(); ok {
+		t.Fatal("empty ring popped a task")
+	}
+	tasks := make([]*solveTask, 4)
+	for i := range tasks {
+		tasks[i] = &solveTask{p: newPending(string(rune('a' + i)))}
+		if !r.push(tasks[i]) {
+			t.Fatalf("push %d rejected below capacity", i)
+		}
+	}
+	if r.push(&solveTask{p: newPending("overflow")}) {
+		t.Fatal("push succeeded on a full ring")
+	}
+	for i := range tasks {
+		got, ok := r.pop()
+		if !ok || got != tasks[i] {
+			t.Fatalf("pop %d = %v, %v; want task %d", i, got, ok, i)
+		}
+	}
+	if _, ok := r.pop(); ok {
+		t.Fatal("drained ring popped a task")
+	}
+}
+
+func TestTaskRingWraparound(t *testing.T) {
+	// Push/pop far past the capacity so the cursors lap the slot array
+	// repeatedly; FIFO order must hold across laps.
+	r := newTaskRing(2)
+	for lap := 0; lap < 100; lap++ {
+		a := &solveTask{p: newPending("a")}
+		b := &solveTask{p: newPending("b")}
+		if !r.push(a) || !r.push(b) {
+			t.Fatalf("lap %d: push rejected with free slots", lap)
+		}
+		if got, _ := r.pop(); got != a {
+			t.Fatalf("lap %d: first pop out of order", lap)
+		}
+		if got, _ := r.pop(); got != b {
+			t.Fatalf("lap %d: second pop out of order", lap)
+		}
+	}
+}
+
+func TestTaskRingMinimumCapacityTwo(t *testing.T) {
+	// A one-slot Vyukov ring cannot distinguish "published, unconsumed"
+	// from "free for the next lap"; the constructor must round up to 2.
+	r := newTaskRing(1)
+	if r.cap() != 2 {
+		t.Fatalf("cap = %d, want 2", r.cap())
+	}
+	a := &solveTask{p: newPending("a")}
+	b := &solveTask{p: newPending("b")}
+	if !r.push(a) || !r.push(b) {
+		t.Fatal("two pushes must fit the minimum ring")
+	}
+	if r.push(&solveTask{p: newPending("c")}) {
+		t.Fatal("third push must be rejected, not overwrite")
+	}
+	if got, _ := r.pop(); got != a {
+		t.Fatal("first pop lost the oldest task")
+	}
+}
+
+func TestTaskRingConcurrentProducersLossless(t *testing.T) {
+	// Hammer one ring from many producers with a concurrent single
+	// consumer (the MPSC contract): every accepted push must be popped
+	// exactly once. Run under -race this also checks the publication
+	// ordering of the seq stores.
+	const producers, perProducer = 8, 500
+	r := newTaskRing(64)
+	var accepted atomic.Uint64
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if r.push(&solveTask{p: newPending("k")}) {
+					accepted.Add(1)
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	var popped uint64
+	for {
+		if _, ok := r.pop(); ok {
+			popped++
+			continue
+		}
+		select {
+		case <-done:
+			// Producers are finished; drain what is left and stop.
+			for {
+				if _, ok := r.pop(); !ok {
+					if popped != accepted.Load() {
+						t.Fatalf("popped %d of %d accepted tasks", popped, accepted.Load())
+					}
+					return
+				}
+				popped++
+			}
+		default:
+		}
+	}
+}

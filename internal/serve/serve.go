@@ -21,13 +21,27 @@
 //     context, and graceful drain that completes every accepted request
 //     before shutdown.
 //
+// The request path is built to stay contention-free at GOMAXPROCS-scale
+// concurrency: the solution cache, the raw-body identity cache, the
+// graph-intern table and the singleflight registry are all sharded by key
+// prefix (power-of-two shard counts, one mutex per shard), every counter
+// and the latency histogram are cache-line-padded atomics, and the accept
+// queue is split into per-lane bounded MPSC rings so an enqueue is one
+// CAS rather than a shared mutex. Byte-identical repeat bodies resolve
+// through a digest fast path that skips JSON decoding and graph hashing
+// entirely and replies with the pre-rendered cached response. Locks
+// remain only where exact LRU semantics need them — per shard, never
+// global. See DESIGN.md §10 for the layout and the memory-ordering notes.
+//
 // The cached decision for a key reflects the contention of the round that
 // computed it; like any TTL-free response cache this trades bounded
 // staleness for latency, and the LRU keeps the horizon short under churn.
 package serve
 
 import (
+	"bytes"
 	"context"
+	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -79,10 +93,15 @@ type Config struct {
 	MaxBatch int
 	// BatchWait is the round's co-arrival window (≤ 0 = DefaultBatchWait).
 	BatchWait time.Duration
+	// BatchLanes forces the batcher's enqueue lane count (rounded up to a
+	// power of two, capped at 16; ≤ 0 picks a count from QueueDepth).
+	BatchLanes int
 	// QueueDepth bounds the accept queue (≤ 0 = DefaultQueueDepth);
-	// arrivals beyond it are shed with 429.
+	// arrivals beyond it are shed with 429. The depth is split across the
+	// enqueue lanes.
 	QueueDepth int
-	// CacheSize caps the solution cache (≤ 0 = DefaultCacheSize).
+	// CacheSize caps the solution cache (≤ 0 = DefaultCacheSize). The
+	// raw-body identity cache shares this capacity.
 	CacheSize int
 	// GraphCacheSize caps the graph-intern table — the number of distinct
 	// application graphs whose compiled solver pipeline (compression +
@@ -205,14 +224,13 @@ type ErrorResponse struct {
 // loop with Start, expose Handler over HTTP, and stop with Drain.
 type Server struct {
 	cfg    Config
-	cache  *lruCache
+	cache  *shardedCache
+	bodies *bodyCache
 	st     counters
 	b      *batcher
 	sess   *core.Session
-	graphs *graphIntern
-
-	mu       sync.Mutex
-	inflight map[string]*pending
+	graphs *shardedIntern
+	flight *flightTable
 
 	draining atomic.Bool
 	accepted sync.WaitGroup
@@ -226,9 +244,10 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
 	s := &Server{
-		cfg:      cfg,
-		cache:    newLRUCache(cfg.CacheSize),
-		inflight: make(map[string]*pending),
+		cfg:    cfg,
+		cache:  newShardedCache(cfg.CacheSize),
+		bodies: newBodyCache(cfg.CacheSize),
+		flight: newFlightTable(),
 	}
 	// One Session per server: rounds over a repeat graph skip compression
 	// and cuts entirely (only Algorithm 2's greedy reruns). Params vary per
@@ -237,10 +256,10 @@ func New(cfg Config) (*Server, error) {
 		Engine:  cfg.Engine,
 		Workers: cfg.Workers,
 	})
-	s.graphs = newGraphIntern(cfg.GraphCacheSize, func(g *graph.Graph) {
+	s.graphs = newShardedIntern(cfg.GraphCacheSize, func(g *graph.Graph) {
 		s.sess.Invalidate(g)
 	})
-	s.b = newBatcher(cfg.MaxBatch, cfg.QueueDepth, cfg.BatchWait, s.dispatchRound)
+	s.b = newBatcher(cfg.MaxBatch, cfg.QueueDepth, cfg.BatchLanes, cfg.BatchWait, s.dispatchRound)
 	return s, nil
 }
 
@@ -267,9 +286,11 @@ func (s *Server) logf(format string, args ...any) {
 // ctx.Err() if ctx expires first (the loop is then stopped anyway and
 // unresolved requests fail with their own deadlines).
 func (s *Server) Drain(ctx context.Context) error {
-	s.mu.Lock()
 	already := s.draining.Swap(true)
-	s.mu.Unlock()
+	// Publish the flag to every admission shard: after the barrier, any
+	// admit still in flight has completed its accepted.Add, and any later
+	// admit observes draining and rejects — so Wait cannot race an Add.
+	s.flight.drainBarrier()
 	if !already {
 		s.logf("serve: draining: rejecting new work, flushing accepted requests")
 	}
@@ -304,7 +325,10 @@ func (s *Server) Drain(ctx context.Context) error {
 // Draining reports whether graceful drain has begun.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
-// Stats snapshots the server's counters for /v1/stats.
+// Stats snapshots the server's counters for /v1/stats. Every counter is
+// read individually and atomically; no lock covers the snapshot, so a
+// concurrent storm skews related counters against each other at most by
+// the requests in flight during the scan.
 func (s *Server) Stats() Stats {
 	return Stats{
 		Requests:     s.st.requests.Load(),
@@ -320,22 +344,26 @@ func (s *Server) Stats() Stats {
 		Cache: CacheStats{
 			Hits:      s.st.cacheHits.Load(),
 			Misses:    s.st.cacheMisses.Load(),
+			BodyHits:  s.st.bodyHits.Load(),
 			Size:      s.cache.len(),
-			Capacity:  s.cache.cap,
+			Capacity:  s.cache.capacity(),
 			Evictions: s.cache.evicted(),
+			Shards:    s.cache.occupancy(),
 		},
 		GraphCache: GraphCacheStats{
 			Size:      s.graphs.len(),
-			Capacity:  s.graphs.cap,
-			Reused:    s.graphs.reused.Load(),
-			Evictions: s.graphs.evictions.Load(),
+			Capacity:  s.graphs.capacity(),
+			Reused:    s.graphs.reusedCount(),
+			Evictions: s.graphs.evictedCount(),
 			Pipelines: s.sess.CachedGraphs(),
+			Shards:    s.graphs.occupancy(),
 		},
 		Batch: BatchStats{
 			Rounds:     s.st.batches.Load(),
 			Users:      s.st.batchedUsers.Load(),
 			MaxUsers:   s.st.maxBatch.Load(),
-			QueueDepth: len(s.b.queue),
+			QueueDepth: s.b.depth(),
+			Lanes:      s.b.laneStats(),
 		},
 		Latency: s.st.lat.snapshot(),
 	}
@@ -376,8 +404,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
 }
 
-// handleSolve is the serving hot path: decode → cache → singleflight →
-// admission → batch → await.
+// bodyBufPool recycles request-body buffers across /v1/solve calls, so
+// the hot path does not grow a fresh buffer per request.
+var bodyBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// handleSolve is the serving hot path: body digest → (fast path: cached
+// identity + cached decision) or (decode → key → cache) → singleflight →
+// admission → lane → batch → await.
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.st.requests.Add(1)
@@ -389,32 +422,8 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
-	req, err := DecodeSolveRequest(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes), s.cfg.Limits)
-	if err != nil {
-		s.st.badRequests.Add(1)
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	params := s.cfg.Params
-	if req.Params != nil {
-		params = req.Params.merge(params)
-	}
-	if err := params.Validate(); err != nil {
-		s.st.badRequests.Add(1)
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	key, fp, err := requestKey(req, params)
-	if err != nil {
-		s.st.badRequests.Add(1)
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-
-	if dec, ok := s.cache.get(key); ok {
-		s.st.cacheHits.Add(1)
-		s.st.solved.Add(1)
-		writeDecision(w, dec, true, false)
+	req, key, fp, params, handled := s.resolveSolve(w, r)
+	if handled {
 		return
 	}
 
@@ -422,7 +431,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// so the session's identity-keyed pipeline cache hits across requests.
 	req.Graph = s.graphs.intern(fp, req.Graph)
 
-	p, leader, aerr := s.admit(key, req, params)
+	p, leader, aerr := s.admit(key, fp, req, params)
 	if aerr != nil {
 		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
 		if errors.Is(aerr, ErrDraining) {
@@ -442,20 +451,88 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.await(w, r, p, !leader)
 }
 
-// admit runs singleflight attachment and admission control under one
-// lock. It returns (cell, true, nil) for an accepted leader, (cell,
-// false, nil) for a follower sharing an in-flight cell, and (nil, false,
-// ErrShed or ErrDraining) for a rejected request. Followers are admitted
-// even while draining: their cell is already accepted work.
-func (s *Server) admit(key string, req *SolveRequest, params mec.Params) (*pending, bool, error) {
-	s.mu.Lock()
-	if p, ok := s.inflight[key]; ok {
+// resolveSolve reads the request body and resolves it to a decoded
+// request plus its cache identities, writing the response itself (and
+// returning handled = true) for malformed bodies and for cache hits.
+//
+// The fast path: the SHA-256 digest of the raw body is looked up in the
+// body-identity cache; a byte-identical repeat of a previously valid
+// request skips JSON decoding and graph hashing entirely, and a live
+// solution-cache entry answers with its pre-rendered bytes. Any miss
+// falls through to the full decode path, which back-fills the identity
+// for the next repeat.
+func (s *Server) resolveSolve(w http.ResponseWriter, r *http.Request) (req *SolveRequest, key, fp string, params mec.Params, handled bool) {
+	buf := bodyBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer bodyBufPool.Put(buf)
+	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)); err != nil {
+		s.st.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("%v: %v", ErrBadRequest, err))
+		return nil, "", "", params, true
+	}
+	digest := sha256.Sum256(buf.Bytes())
+	if id, ok := s.bodies.get(digest); ok {
+		if dec, hit, ok := s.cache.get(id.key); ok {
+			s.st.cacheHits.Add(1)
+			s.st.bodyHits.Add(1)
+			s.st.solved.Add(1)
+			writeHit(w, dec, hit)
+			return nil, "", "", params, true
+		}
+		// Identity known but the decision was evicted: decode below and
+		// take the solve path (the identity mapping stays valid).
+	}
+
+	req, err := DecodeSolveRequest(bytes.NewReader(buf.Bytes()), s.cfg.Limits)
+	if err != nil {
+		s.st.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, err.Error())
+		return nil, "", "", params, true
+	}
+	params = s.cfg.Params
+	if req.Params != nil {
+		params = req.Params.merge(params)
+	}
+	if err := params.Validate(); err != nil {
+		s.st.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, err.Error())
+		return nil, "", "", params, true
+	}
+	key, fp, err = requestKey(req, params)
+	if err != nil {
+		s.st.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, err.Error())
+		return nil, "", "", params, true
+	}
+	// The body decoded and validated: remember its identity so the next
+	// byte-identical arrival takes the fast path.
+	s.bodies.put(digest, requestIdentity{key: key, fp: fp})
+
+	if dec, hit, ok := s.cache.get(key); ok {
+		s.st.cacheHits.Add(1)
+		s.st.solved.Add(1)
+		writeHit(w, dec, hit)
+		return nil, "", "", params, true
+	}
+	return req, key, fp, params, false
+}
+
+// admit runs singleflight attachment and admission control under the
+// key's flight-shard lock. It returns (cell, true, nil) for an accepted
+// leader, (cell, false, nil) for a follower sharing an in-flight cell,
+// and (nil, false, ErrShed or ErrDraining) for a rejected request.
+// Followers are admitted even while draining: their cell is already
+// accepted work.
+func (s *Server) admit(key, fp string, req *SolveRequest, params mec.Params) (*pending, bool, error) {
+	sh := s.flight.shard(key)
+	sh.mu.Lock()
+	if p, ok := sh.m[key]; ok {
 		p.mult.Add(1)
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		return p, false, nil
 	}
 	if s.draining.Load() {
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		return nil, false, ErrDraining
 	}
 	p := newPending(key)
@@ -470,20 +547,19 @@ func (s *Server) admit(key string, req *SolveRequest, params mec.Params) (*pendi
 		},
 		params: params,
 		pkey:   paramsDigest(params),
+		lane:   shardPrefix(fp),
 	}
-	select {
-	case s.b.queue <- task:
-		s.inflight[key] = p
-		// Under the same lock as the draining check: Drain flips the flag
-		// before waiting, so every Add happens-before accepted.Wait can
-		// return.
-		s.accepted.Add(1)
-		s.mu.Unlock()
-		return p, true, nil
-	default:
-		s.mu.Unlock()
+	if !s.b.enqueue(task) {
+		sh.mu.Unlock()
 		return nil, false, ErrShed
 	}
+	// Under the same shard lock as the draining check: Drain flips the
+	// flag and then barriers over every shard, so every Add
+	// happens-before accepted.Wait can return.
+	sh.m[key] = p
+	s.accepted.Add(1)
+	sh.mu.Unlock()
+	return p, true, nil
 }
 
 // await blocks until the request's cell resolves or its deadline expires,
@@ -567,16 +643,15 @@ func (s *Server) solveGroup(ctx context.Context, tasks []*solveTask) {
 	}
 }
 
-// finish publishes a task's result: cache fill first, then removal from
-// the singleflight table (so no moment exists where neither covers the
-// key), then the wakeup of every waiter.
+// finish publishes a task's result: cache fill first (decision plus its
+// pre-rendered hit response), then removal from the singleflight table
+// (so no moment exists where neither covers the key), then the wakeup of
+// every waiter.
 func (s *Server) finish(t *solveTask, dec *Decision, err error) {
 	if dec != nil {
-		s.cache.put(t.p.key, dec)
+		s.cache.put(t.p.key, dec, renderHit(dec))
 	}
-	s.mu.Lock()
-	delete(s.inflight, t.p.key)
-	s.mu.Unlock()
+	s.flight.remove(t.p.key)
 	t.p.dec, t.p.err = dec, err
 	close(t.p.done)
 	s.accepted.Done()
@@ -604,9 +679,9 @@ func decisionFor(sol *core.Solution, u, n int) *Decision {
 	}
 }
 
-// writeDecision renders a 200 solve response.
-func writeDecision(w http.ResponseWriter, dec *Decision, cached, deduped bool) {
-	writeJSON(w, http.StatusOK, SolveResponse{
+// solveResponseFor assembles the wire form of dec.
+func solveResponseFor(dec *Decision, cached, deduped bool) SolveResponse {
+	return SolveResponse{
 		Remote:     dec.Remote,
 		LocalWork:  dec.LocalWork,
 		RemoteWork: dec.RemoteWork,
@@ -626,7 +701,37 @@ func writeDecision(w http.ResponseWriter, dec *Decision, cached, deduped bool) {
 		Engine:         dec.Engine,
 		Cached:         cached,
 		Deduped:        deduped,
-	})
+	}
+}
+
+// renderHit pre-encodes dec's cached=true response at cache-fill time, so
+// every subsequent hit writes stored bytes instead of re-encoding JSON.
+// The bytes match writeJSON's encoder output (trailing newline included).
+// A marshal failure — impossible for these plain fields — degrades to
+// nil, which writeHit re-encodes on demand.
+func renderHit(dec *Decision) []byte {
+	b, err := json.Marshal(solveResponseFor(dec, true, false))
+	if err != nil {
+		return nil
+	}
+	return append(b, '\n')
+}
+
+// writeHit answers a cache hit: pre-rendered bytes when available, a
+// fresh encoding otherwise.
+func writeHit(w http.ResponseWriter, dec *Decision, hit []byte) {
+	if hit == nil {
+		writeDecision(w, dec, true, false)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(hit)
+}
+
+// writeDecision renders a 200 solve response.
+func writeDecision(w http.ResponseWriter, dec *Decision, cached, deduped bool) {
+	writeJSON(w, http.StatusOK, solveResponseFor(dec, cached, deduped))
 }
 
 // writeJSON writes v as a JSON response. Encoding failures after the

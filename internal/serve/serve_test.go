@@ -132,10 +132,15 @@ func TestHandlerParamsOverrideTooBigGraph(t *testing.T) {
 }
 
 func TestHandlerShedsWhenQueueFull(t *testing.T) {
-	// Queue of 1, batcher never started: stuff the queue directly, then
-	// every leader admission must shed with 429 + Retry-After.
-	s := newTestServer(t, Config{QueueDepth: 1, RetryAfter: 2 * time.Second})
-	s.b.queue <- &solveTask{p: newPending("occupier")}
+	// Single lane, batcher never started: fill the lane's ring directly
+	// (a ring holds at least two tasks), then every leader admission must
+	// shed with 429 + Retry-After.
+	s := newTestServer(t, Config{QueueDepth: 1, BatchLanes: 1, RetryAfter: 2 * time.Second})
+	for i := 0; s.b.enqueue(&solveTask{p: newPending(fmt.Sprintf("occupier%d", i))}); i++ {
+		if i > 1024 {
+			t.Fatal("lane ring never filled")
+		}
+	}
 
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()

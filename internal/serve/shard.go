@@ -1,0 +1,49 @@
+package serve
+
+// Shard-count policy for the fingerprint-keyed tables (solution cache,
+// body-identity cache, graph intern). Shard counts are powers of two so a
+// key's shard is a mask of its hashed prefix, and they scale down with the
+// configured capacity so tiny test configurations (capacity 1 or 2) keep
+// the exact single-LRU semantics the unit tests assert.
+const (
+	// maxTableShards caps the shard count of any sharded table.
+	maxTableShards = 16
+	// minShardEntries is the smallest per-shard capacity worth splitting
+	// for; below it, fewer shards with exact LRU behavior win.
+	minShardEntries = 8
+)
+
+// shardCountFor returns the power-of-two shard count for a table of the
+// given total capacity: the largest power of two ≤ maxTableShards that
+// still leaves every shard at least minShardEntries entries, and at least
+// one shard.
+func shardCountFor(capacity int) int {
+	n := 1
+	for n*2 <= maxTableShards && capacity/(n*2) >= minShardEntries {
+		n *= 2
+	}
+	return n
+}
+
+// shardPrefix hashes the leading bytes of a table key (FNV-1a over at most
+// the first 16 bytes). Cache and singleflight keys are hex SHA-256 digests,
+// so their prefix alone is uniformly distributed; hashing — rather than
+// using raw nibbles — keeps the function total over the arbitrary short
+// keys unit tests use. Masking the result with a power-of-two shard count
+// picks the shard.
+func shardPrefix(key string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	n := len(key)
+	if n > 16 {
+		n = 16
+	}
+	for i := 0; i < n; i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return h
+}

@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+
+	"copmecs/internal/graph"
+)
+
+func TestShardCountFor(t *testing.T) {
+	cases := []struct{ capacity, want int }{
+		{1, 1},       // capacity 1 must stay a single exact-LRU shard
+		{7, 1},       // below minShardEntries per extra shard
+		{16, 2},      // 2 shards × 8 entries
+		{64, 8},      //
+		{128, 16},    // hits maxTableShards
+		{100000, 16}, // capped
+		{0, 1},       // degenerate
+		{-3, 1},      // degenerate
+	}
+	for _, c := range cases {
+		if got := shardCountFor(c.capacity); got != c.want {
+			t.Fatalf("shardCountFor(%d) = %d, want %d", c.capacity, got, c.want)
+		}
+		if got := shardCountFor(c.capacity); got&(got-1) != 0 {
+			t.Fatalf("shardCountFor(%d) = %d is not a power of two", c.capacity, got)
+		}
+	}
+}
+
+func TestShardPrefixSpreads(t *testing.T) {
+	// Hex sha256 keys (the cache's real key shape) must spread across 16
+	// shards without pathological skew.
+	const n, shards = 4096, 16
+	counts := make([]int, shards)
+	for i := 0; i < n; i++ {
+		sum := sha256.Sum256([]byte(fmt.Sprintf("key-%d", i)))
+		key := fmt.Sprintf("%x", sum)
+		counts[shardPrefix(key)&(shards-1)]++
+	}
+	for i, c := range counts {
+		// Perfectly uniform is n/shards = 256; allow a generous ±60%.
+		if c < n/shards*2/5 || c > n/shards*8/5 {
+			t.Fatalf("shard %d holds %d of %d keys; distribution too skewed: %v", i, c, n, counts)
+		}
+	}
+}
+
+func TestShardPrefixDeterministic(t *testing.T) {
+	for _, key := range []string{"", "a", "0123456789abcdef0123456789abcdef"} {
+		if shardPrefix(key) != shardPrefix(key) {
+			t.Fatalf("shardPrefix(%q) not deterministic", key)
+		}
+	}
+}
+
+func TestShardedCacheCapacityOneIsExactLRU(t *testing.T) {
+	// CacheSize 1 must behave as a single-entry LRU (one shard), matching
+	// the unsharded behaviour tests elsewhere rely on.
+	c := newShardedCache(1)
+	if len(c.shards) != 1 {
+		t.Fatalf("shards = %d for capacity 1, want 1", len(c.shards))
+	}
+	c.put("a", &Decision{LocalWork: 1}, nil)
+	c.put("b", &Decision{LocalWork: 2}, nil)
+	if _, _, ok := c.get("a"); ok {
+		t.Fatal("capacity-1 cache kept two entries")
+	}
+	if _, _, ok := c.get("b"); !ok {
+		t.Fatal("capacity-1 cache lost its newest entry")
+	}
+	if c.evicted() != 1 {
+		t.Fatalf("evictions = %d, want 1", c.evicted())
+	}
+}
+
+func TestShardedCacheSpreadsAndAggregates(t *testing.T) {
+	c := newShardedCache(DefaultCacheSize)
+	if len(c.shards) != maxTableShards {
+		t.Fatalf("shards = %d, want %d", len(c.shards), maxTableShards)
+	}
+	const n = 512
+	hit := []byte("{}\n")
+	for i := 0; i < n; i++ {
+		sum := sha256.Sum256([]byte(fmt.Sprintf("k%d", i)))
+		c.put(fmt.Sprintf("%x", sum), &Decision{LocalWork: float64(i)}, hit)
+	}
+	if got := c.len(); got != n {
+		t.Fatalf("aggregate len = %d, want %d", got, n)
+	}
+	occ := c.occupancy()
+	if len(occ) != maxTableShards {
+		t.Fatalf("occupancy shards = %d, want %d", len(occ), maxTableShards)
+	}
+	total, populated := 0, 0
+	for _, o := range occ {
+		total += o.Size
+		if o.Size > 0 {
+			populated++
+		}
+		if o.Capacity <= 0 {
+			t.Fatal("shard reports non-positive capacity")
+		}
+	}
+	if total != n {
+		t.Fatalf("occupancy total = %d, want %d", total, n)
+	}
+	if populated < maxTableShards/2 {
+		t.Fatalf("only %d shards populated by %d hashed keys", populated, n)
+	}
+	// Round-trip one key, pre-rendered bytes included.
+	sum := sha256.Sum256([]byte("k7"))
+	key := fmt.Sprintf("%x", sum)
+	dec, b, ok := c.get(key)
+	if !ok || dec.LocalWork != 7 || string(b) != "{}\n" {
+		t.Fatalf("get(k7) = %+v, %q, %v", dec, b, ok)
+	}
+}
+
+func TestShardedInternCapacityOneIsExactLRU(t *testing.T) {
+	// GraphCacheSize 1 (used by the pipeline-release test) must keep the
+	// single-shard exact-LRU behaviour: a second fingerprint evicts the
+	// first regardless of which shard each key would hash to.
+	var evicted []*graph.Graph
+	c := newShardedIntern(1, func(g *graph.Graph) { evicted = append(evicted, g) })
+	if len(c.shards) != 1 {
+		t.Fatalf("shards = %d for capacity 1, want 1", len(c.shards))
+	}
+	g1, g2 := testGraph(t, 0), testGraph(t, 1)
+	c.intern("a", g1)
+	c.intern("b", g2)
+	if len(evicted) != 1 || evicted[0] != g1 {
+		t.Fatalf("evicted %v, want [g1]", evicted)
+	}
+	if c.len() != 1 || c.evictedCount() != 1 {
+		t.Fatalf("len = %d, evictions = %d, want 1, 1", c.len(), c.evictedCount())
+	}
+}
+
+func TestShardedInternAggregates(t *testing.T) {
+	c := newShardedIntern(DefaultGraphCacheSize, nil)
+	g := testGraph(t, 0)
+	for i := 0; i < 32; i++ {
+		sum := sha256.Sum256([]byte{byte(i)})
+		c.intern(fmt.Sprintf("%x", sum), g)
+	}
+	if c.len() != 32 {
+		t.Fatalf("len = %d, want 32", c.len())
+	}
+	sum := sha256.Sum256([]byte{3})
+	if got := c.intern(fmt.Sprintf("%x", sum), testGraph(t, 1)); got != g {
+		t.Fatal("repeat fingerprint did not return the canonical instance")
+	}
+	if c.reusedCount() != 1 {
+		t.Fatalf("reused = %d, want 1", c.reusedCount())
+	}
+	total := 0
+	for _, o := range c.occupancy() {
+		total += o.Size
+	}
+	if total != 32 {
+		t.Fatalf("occupancy total = %d, want 32", total)
+	}
+	if c.capacity() < DefaultGraphCacheSize {
+		t.Fatalf("aggregate capacity = %d, want ≥ %d", c.capacity(), DefaultGraphCacheSize)
+	}
+}
+
+func TestBodyCacheRoundTripAndEviction(t *testing.T) {
+	c := newBodyCache(2)
+	d1 := sha256.Sum256([]byte("body-1"))
+	d2 := sha256.Sum256([]byte("body-2"))
+	d3 := sha256.Sum256([]byte("body-3"))
+	if _, ok := c.get(d1); ok {
+		t.Fatal("empty body cache reported a hit")
+	}
+	c.put(d1, requestIdentity{key: "k1", fp: "f1"})
+	c.put(d2, requestIdentity{key: "k2", fp: "f2"})
+	if id, ok := c.get(d1); !ok || id.key != "k1" || id.fp != "f1" {
+		t.Fatalf("get(d1) = %+v, %v", id, ok)
+	}
+	// d1 was just touched; d3 must evict d2 from d2's shard — with a
+	// capacity this small there is one shard, so eviction is exact LRU.
+	c.put(d3, requestIdentity{key: "k3", fp: "f3"})
+	if c.len() > 2 {
+		t.Fatalf("len = %d exceeds capacity 2", c.len())
+	}
+}

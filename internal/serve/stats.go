@@ -5,15 +5,51 @@ import (
 	"time"
 )
 
+// padUint64 is an atomic.Uint64 padded out to its own cache line.
+// Request-path counters live in one counters struct; without padding,
+// cores bumping different counters would false-share lines and the
+// "lock-free" stats would still serialize in the cache-coherence
+// protocol. 56 bytes of tail padding after the 8-byte value gives each
+// counter a 64-byte line to itself.
+type padUint64 struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// Add atomically adds delta.
+func (p *padUint64) Add(delta uint64) uint64 { return p.v.Add(delta) }
+
+// Load atomically reads the value.
+func (p *padUint64) Load() uint64 { return p.v.Load() }
+
+// padInt64 is an atomic.Int64 padded out to its own cache line (see
+// padUint64).
+type padInt64 struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Add atomically adds delta.
+func (p *padInt64) Add(delta int64) int64 { return p.v.Add(delta) }
+
+// Load atomically reads the value.
+func (p *padInt64) Load() int64 { return p.v.Load() }
+
 // latencyBoundsMs are the upper bounds (milliseconds) of the request
 // latency histogram buckets; a final implicit +Inf bucket catches the rest.
 var latencyBoundsMs = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
 
-// histogram is a fixed-bucket latency histogram with atomic counters.
+// histogram is a fixed-bucket latency histogram with lock-free padded
+// atomic counters. observe is wait-free (three atomic adds); snapshot
+// reads each bucket atomically without any lock, so a snapshot taken
+// during a storm is a per-counter-atomic view — total, sum and buckets
+// may be mutually skewed by in-flight observations, but every value is a
+// real count that was current when read (no torn reads, no lock
+// convoy on the cold stats path stalling the hot path).
 type histogram struct {
-	counts [numLatencyBuckets]atomic.Uint64
-	count  atomic.Uint64
-	sumUs  atomic.Uint64 // total microseconds
+	counts [numLatencyBuckets]padUint64
+	count  padUint64
+	sumUs  padUint64 // total microseconds
 }
 
 // numLatencyBuckets sizes the bucket array: one per entry of
@@ -51,7 +87,8 @@ type HistogramSnapshot struct {
 	Buckets []HistogramBucket `json:"buckets"`
 }
 
-// snapshot renders the histogram with cumulative bucket counts.
+// snapshot renders the histogram with cumulative bucket counts. Each
+// counter is read atomically; no lock is held across the iteration.
 func (h *histogram) snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{Count: h.count.Load()}
 	if s.Count > 0 {
@@ -70,22 +107,27 @@ func (h *histogram) snapshot() HistogramSnapshot {
 }
 
 // counters aggregates the server's monotonic event counts and gauges.
+// Request-path counters (bumped on every /v1/solve) are cache-line padded
+// atomics; round-path counters (batches, batchedUsers, maxBatch) are
+// bumped only by the single dispatch goroutine and stay plain atomics.
 type counters struct {
-	requests     atomic.Uint64 // POST /v1/solve arrivals
-	solved       atomic.Uint64 // 200 responses (cached or fresh)
-	badRequests  atomic.Uint64 // 400 responses
-	shed         atomic.Uint64 // 429 responses (queue full)
-	drainRejects atomic.Uint64 // 503 responses while draining
-	deduped      atomic.Uint64 // requests collapsed onto an in-flight twin
-	cacheHits    atomic.Uint64
-	cacheMisses  atomic.Uint64
+	requests     padUint64 // POST /v1/solve arrivals
+	solved       padUint64 // 200 responses (cached or fresh)
+	badRequests  padUint64 // 400 responses
+	shed         padUint64 // 429 responses (queue full)
+	drainRejects padUint64 // 503 responses while draining
+	deduped      padUint64 // requests collapsed onto an in-flight twin
+	cacheHits    padUint64
+	cacheMisses  padUint64
+	bodyHits     padUint64 // cache hits resolved by raw-body digest (no decode)
+	solveErrors  padUint64
+	timeouts     padUint64 // 504 responses
+	inFlight     padInt64  // requests currently inside /v1/solve
+	lat          histogram
+
 	batches      atomic.Uint64 // solve rounds dispatched
 	batchedUsers atomic.Uint64 // users across all rounds (incl. multiplicity)
 	maxBatch     atomic.Uint64 // largest round seen
-	solveErrors  atomic.Uint64
-	timeouts     atomic.Uint64 // 504 responses
-	inFlight     atomic.Int64  // requests currently inside /v1/solve
-	lat          histogram
 }
 
 // observeBatch records one dispatched round of n users.
@@ -100,18 +142,32 @@ func (c *counters) observeBatch(n int) {
 	}
 }
 
+// ShardOccupancy is one shard's fill level in a sharded-table snapshot.
+type ShardOccupancy struct {
+	// Size is the shard's current entry count.
+	Size int `json:"size"`
+	// Capacity is the shard's configured maximum entry count.
+	Capacity int `json:"capacity"`
+}
+
 // CacheStats is the solution-cache section of a Stats snapshot.
 type CacheStats struct {
 	// Hits counts requests answered straight from the cache.
 	Hits uint64 `json:"hits"`
 	// Misses counts requests that went to the solver.
 	Misses uint64 `json:"misses"`
+	// BodyHits counts the subset of Hits resolved by the raw-body digest
+	// fast path, i.e. without JSON decoding or graph hashing.
+	BodyHits uint64 `json:"body_hits"`
 	// Size is the current entry count.
 	Size int `json:"size"`
 	// Capacity is the configured maximum entry count.
 	Capacity int `json:"capacity"`
 	// Evictions counts LRU evictions.
 	Evictions uint64 `json:"evictions"`
+	// Shards is the per-shard occupancy; a skewed distribution means the
+	// key space is pathological for the prefix shard function.
+	Shards []ShardOccupancy `json:"shards"`
 }
 
 // GraphCacheStats is the graph-intern section of a Stats snapshot: how
@@ -130,6 +186,21 @@ type GraphCacheStats struct {
 	// Pipelines is the number of graphs with compiled pipeline state in
 	// the session (≤ Size; a graph enters on its first solved round).
 	Pipelines int `json:"pipelines"`
+	// Shards is the per-shard occupancy of the intern table.
+	Shards []ShardOccupancy `json:"shards"`
+}
+
+// LaneStats is one batcher lane in a Stats snapshot.
+type LaneStats struct {
+	// Depth is the number of tasks currently queued in the lane.
+	Depth int `json:"depth"`
+	// Capacity is the lane ring's slot count.
+	Capacity int `json:"capacity"`
+	// Enqueued counts tasks accepted into the lane.
+	Enqueued uint64 `json:"enqueued"`
+	// Rejected counts pushes refused because the lane was full (each one
+	// became a 429).
+	Rejected uint64 `json:"rejected"`
 }
 
 // BatchStats is the micro-batcher section of a Stats snapshot.
@@ -141,8 +212,11 @@ type BatchStats struct {
 	Users uint64 `json:"users"`
 	// MaxUsers is the largest round dispatched.
 	MaxUsers uint64 `json:"max_users"`
-	// QueueDepth is the number of requests currently queued.
+	// QueueDepth is the number of requests currently queued across lanes.
 	QueueDepth int `json:"queue_depth"`
+	// Lanes is the per-lane queue state; persistent skew means one
+	// application's fingerprint dominates the traffic.
+	Lanes []LaneStats `json:"lanes"`
 }
 
 // Stats is the JSON document served at GET /v1/stats.

@@ -1,6 +1,10 @@
 package serve
 
 import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 	"time"
 )
@@ -73,5 +77,82 @@ func TestObserveBatchMax(t *testing.T) {
 	}
 	if got := c.maxBatch.Load(); got != 7 {
 		t.Fatalf("maxBatch = %d, want 7", got)
+	}
+}
+
+func TestStatsJSONShapeKeepsFlatFieldsAndAddsShardSections(t *testing.T) {
+	// The /v1/stats document must keep every pre-existing flat field (so
+	// dashboards and the CI serve job's jq assertions keep working) while
+	// adding the per-shard occupancy and per-lane batcher sections.
+	s := newTestServer(t, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.Start(ctx)
+	body := solveBody(t, testGraph(t, 0))
+	w := &nopResponseWriter{}
+	for i := 0; i < 2; i++ { // solve, then a body-digest cache hit
+		if st := postDirect(s, body, w, ctx); st != http.StatusOK {
+			t.Fatalf("solve %d: status %d", i, st)
+		}
+	}
+
+	rec := httptest.NewRecorder()
+	s.handleStats(rec, httptest.NewRequest(http.MethodGet, "/v1/stats", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats status = %d", rec.Code)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("stats decode: %v", err)
+	}
+	for _, key := range []string{
+		"requests", "solved", "bad_requests", "shed", "drain_rejects",
+		"deduped", "solve_errors", "timeouts", "in_flight", "draining",
+		"cache", "graph_cache", "batch", "latency_ms",
+	} {
+		if _, ok := doc[key]; !ok {
+			t.Fatalf("flat field %q missing from /v1/stats", key)
+		}
+	}
+	cache := doc["cache"].(map[string]any)
+	for _, key := range []string{"hits", "misses", "body_hits", "size", "capacity", "evictions", "shards"} {
+		if _, ok := cache[key]; !ok {
+			t.Fatalf("cache field %q missing", key)
+		}
+	}
+	if shards := cache["shards"].([]any); len(shards) == 0 {
+		t.Fatal("cache.shards is empty")
+	} else if sh := shards[0].(map[string]any); sh["capacity"].(float64) <= 0 {
+		t.Fatalf("cache shard capacity = %v", sh["capacity"])
+	}
+	if cache["body_hits"].(float64) != 1 {
+		t.Fatalf("body_hits = %v, want 1 (second request was byte-identical)", cache["body_hits"])
+	}
+	gc := doc["graph_cache"].(map[string]any)
+	if _, ok := gc["shards"]; !ok {
+		t.Fatal("graph_cache.shards missing")
+	}
+	batch := doc["batch"].(map[string]any)
+	for _, key := range []string{"rounds", "users", "max_users", "queue_depth", "lanes"} {
+		if _, ok := batch[key]; !ok {
+			t.Fatalf("batch field %q missing", key)
+		}
+	}
+	lanes := batch["lanes"].([]any)
+	if len(lanes) == 0 {
+		t.Fatal("batch.lanes is empty")
+	}
+	lane := lanes[0].(map[string]any)
+	for _, key := range []string{"depth", "capacity", "enqueued", "rejected"} {
+		if _, ok := lane[key]; !ok {
+			t.Fatalf("lane field %q missing", key)
+		}
+	}
+	var enq float64
+	for _, l := range lanes {
+		enq += l.(map[string]any)["enqueued"].(float64)
+	}
+	if enq != 1 {
+		t.Fatalf("total lane enqueued = %v, want 1 (one leader task)", enq)
 	}
 }

@@ -1,0 +1,55 @@
+#!/bin/sh
+# bench_serve.sh [OUT.json]
+#
+# End-to-end serving benchmark: builds copmecsd and copmecs-loadgen, boots
+# the daemon on a local port, drives it with an open-loop smoke load, and
+# writes the load generator's JSON summary to OUT (default
+# results/BENCH_serve.json). The loadgen runs with -fail-5xx, so any
+# server-side failure fails the benchmark itself, not just the gate.
+#
+# The smoke defaults (300 QPS for 10 s, 90% corpus repeats) are deliberately
+# modest: a healthy server on any CI machine sustains the offered rate, so
+# achieved_qps lands at the target and scripts/serve_gate.sh's 15%
+# regression threshold only trips on real serving-path breakage (shed
+# storms, 5xx, a stalled batcher), not on runner-to-runner speed noise.
+# Override via BENCH_SERVE_QPS / BENCH_SERVE_DURATION / BENCH_SERVE_REPEAT /
+# BENCH_SERVE_PORT for capacity hunts.
+set -eu
+
+out=${1:-results/BENCH_serve.json}
+qps=${BENCH_SERVE_QPS:-300}
+duration=${BENCH_SERVE_DURATION:-10s}
+repeat=${BENCH_SERVE_REPEAT:-0.9}
+port=${BENCH_SERVE_PORT:-8979}
+
+bin=$(mktemp -d)
+daemon=
+cleanup() {
+	if [ -n "$daemon" ] && kill -0 "$daemon" 2>/dev/null; then
+		kill -TERM "$daemon" 2>/dev/null || true
+		wait "$daemon" 2>/dev/null || true
+	fi
+	rm -rf "$bin"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$bin/copmecsd" ./cmd/copmecsd
+go build -o "$bin/copmecs-loadgen" ./cmd/copmecs-loadgen
+
+mkdir -p "$(dirname "$out")"
+"$bin/copmecsd" -addr "127.0.0.1:$port" >"$bin/copmecsd.log" 2>&1 &
+daemon=$!
+
+if ! "$bin/copmecs-loadgen" -addr "http://127.0.0.1:$port" \
+	-qps "$qps" -duration "$duration" -repeat "$repeat" \
+	-wait-ready 10s -fail-5xx -o "$out"; then
+	echo "bench_serve: load generation failed; daemon log follows" >&2
+	cat "$bin/copmecsd.log" >&2
+	exit 1
+fi
+
+kill -TERM "$daemon"
+wait "$daemon" || true
+daemon=
+echo "wrote $out"
+cat "$out"

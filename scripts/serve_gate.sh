@@ -1,0 +1,55 @@
+#!/bin/sh
+# serve_gate.sh BASELINE.json NEW.json [MAX_REGRESSION_PCT]
+#
+# Serving-throughput gate over two copmecs-loadgen summaries (e.g. the
+# committed results/BENCH_serve.json against a fresh bench-serve run).
+# Fails when:
+#   - the new run observed any 5xx response, or
+#   - achieved_qps dropped more than MAX_REGRESSION_PCT (default 15)
+#     below the baseline.
+# Latency percentiles are printed for the log but do not gate: at a fixed
+# open-loop smoke rate, achieved throughput is the machine-robust signal,
+# while tail latency varies with runner weather.
+set -eu
+
+old=${1:?usage: serve_gate.sh BASELINE.json NEW.json [MAX_PCT]}
+new=${2:?usage: serve_gate.sh BASELINE.json NEW.json [MAX_PCT]}
+max=${3:-15}
+
+# field FILE KEY: extract a top-level numeric value from a loadgen summary.
+# The summaries keep gate-relevant keys unique and flat precisely so this
+# works without a JSON parser.
+field() {
+	awk -v key="\"$2\"" -F': *' '
+		$1 ~ key { v = $2; sub(/,.*/, "", v); print v; exit }
+	' "$1"
+}
+
+old_qps=$(field "$old" achieved_qps)
+new_qps=$(field "$new" achieved_qps)
+new_5xx=$(field "$new" errors_5xx)
+new_shed=$(field "$new" shed)
+
+[ -n "$old_qps" ] || { echo "serve_gate: no achieved_qps in $old" >&2; exit 2; }
+[ -n "$new_qps" ] || { echo "serve_gate: no achieved_qps in $new" >&2; exit 2; }
+
+printf 'baseline achieved_qps: %s\n' "$old_qps"
+printf 'new      achieved_qps: %s (shed %s, 5xx %s)\n' "$new_qps" "${new_shed:-0}" "${new_5xx:-0}"
+printf 'new latency p50/p95/p99 ms: %s / %s / %s\n' \
+	"$(field "$new" p50)" "$(field "$new" p95)" "$(field "$new" p99)"
+
+if [ "${new_5xx:-0}" != "0" ]; then
+	echo "FAIL: $new_5xx 5xx responses in the new run" >&2
+	exit 1
+fi
+
+awk -v o="$old_qps" -v n="$new_qps" -v max="$max" 'BEGIN {
+	if (o <= 0) { print "serve_gate: non-positive baseline qps"; exit 2 }
+	drop = (1 - n / o) * 100
+	printf "throughput delta: %+.1f%% (gate: -%s%%)\n", -drop, max
+	if (drop > max) {
+		printf "FAIL: achieved_qps dropped %.1f%% (max %s%%)\n", drop, max
+		exit 1
+	}
+	print "OK: serving throughput within gate"
+}'
