@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint fuzz chaos bench bench-core bench-serve clean
+.PHONY: all build test race vet vet-json lint fuzz chaos bench bench-core bench-serve clean
 
 # Open-loop smoke settings for bench-serve; see scripts/bench_serve.sh.
 BENCH_SERVE_QPS ?= 300
@@ -20,10 +20,21 @@ test:
 race:
 	$(GO) test -race ./...
 
-# vet runs the stock toolchain checks plus the repo's own analyzer suite.
+# vet runs the stock toolchain checks plus the repo's own analyzer suite:
+# the full suite over production code, and the concurrency analyzers again
+# with _test.go files loaded (test goroutine storms hit the same atomic-
+# and lock-discipline bugs).
 vet:
 	$(GO) vet ./...
 	$(GO) run ./cmd/copmecs-vet ./...
+	$(GO) run ./cmd/copmecs-vet -tests -analyzers atomicmix,lockorder,atomicalign,unlockpath ./...
+
+# vet-json regenerates results/VET.json, the tracked machine-readable
+# report; CI diffs it so any new finding (or count drift) fails the build.
+vet-json:
+	@mkdir -p results
+	@$(GO) run ./cmd/copmecs-vet -json ./... > results/VET.json; \
+		st=$$?; cat results/VET.json; exit $$st
 
 # lint is vet plus a formatting gate; it fails if any file needs gofmt.
 lint: vet

@@ -26,7 +26,7 @@ type flightTable struct {
 type flightShard struct {
 	mu sync.Mutex
 	m  map[string]*pending
-	_  [40]byte
+	_  [48]byte
 }
 
 // newFlightTable returns an empty singleflight table.

@@ -16,7 +16,7 @@ import "sync/atomic"
 type taskRing struct {
 	mask  uint64
 	slots []ringSlot
-	_     [48]byte // keep the cursors off the slots' cache lines
+	_     [32]byte // fill the header line: cursors stay off the slots' line
 	enq   atomic.Uint64
 	_     [56]byte // one cursor per cache line: producers and the consumer
 	deq   atomic.Uint64

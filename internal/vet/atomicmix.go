@@ -1,0 +1,183 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// AtomicMix flags struct fields and package-level variables that are
+// accessed through sync/atomic somewhere in the package but read or
+// written with plain loads/stores elsewhere in it. Mixing the two voids
+// every guarantee the atomic side was buying: the plain access races with
+// the atomic one, and on weakly-ordered hardware the plain read can
+// observe a torn or stale value — the exact bug class that hides in
+// sharded-cache drain flags and ring sequence words. Fields of the
+// atomic.Uint64-style wrapper types are exempt by construction (the type
+// system already forbids plain access). Locals are skipped: their race
+// surface is one function and the function-scope analyzers cover it.
+// Taking a target's address outside an atomic call is also flagged — a
+// laundered pointer is how plain access sneaks back in; suppress with
+// //vet:ignore atomicmix where a helper provably forwards to sync/atomic.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "flag plain reads/writes of fields and vars accessed via sync/atomic elsewhere",
+	Run:  runAtomicMix,
+}
+
+// atomicTarget records where a variable was first handed to sync/atomic.
+type atomicTarget struct {
+	pos  token.Pos
+	name string
+}
+
+// atomicTargets returns every struct field and package-level variable
+// whose address is passed to a package-level sync/atomic function, plus
+// the exact operand expressions inside those calls (which pass 2 must not
+// count as plain accesses). Methods on atomic.Uint64-style types are
+// ignored: those fields cannot be accessed plainly at all.
+func atomicTargets(pass *Pass) (map[*types.Var]atomicTarget, map[ast.Expr]bool) {
+	targets := make(map[*types.Var]atomicTarget)
+	operands := make(map[ast.Expr]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			un, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				return true
+			}
+			operand := ast.Unparen(un.X)
+			v := resolveAddrVar(pass.Info, operand)
+			if v == nil {
+				return true
+			}
+			if !v.IsField() && v.Parent() != pass.Pkg.Scope() {
+				return true
+			}
+			operands[operand] = true
+			if _, ok := targets[v]; !ok {
+				targets[v] = atomicTarget{pos: call.Pos(), name: v.Name()}
+			}
+			return true
+		})
+	}
+	return targets, operands
+}
+
+// resolveAddrVar maps an address-of operand to the field or variable it
+// names; array/slice indexing attributes the access to the container.
+func resolveAddrVar(info *types.Info, e ast.Expr) *types.Var {
+	switch x := e.(type) {
+	case *ast.Ident:
+		v, _ := info.Uses[x].(*types.Var)
+		return v
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[x]; ok && s.Kind() == types.FieldVal {
+			v, _ := s.Obj().(*types.Var)
+			return v
+		}
+		v, _ := info.Uses[x.Sel].(*types.Var)
+		return v
+	case *ast.IndexExpr:
+		return resolveAddrVar(info, ast.Unparen(x.X))
+	}
+	return nil
+}
+
+func runAtomicMix(pass *Pass) []Finding {
+	if !strings.Contains(pass.Path, "internal/") && !strings.Contains(pass.Path, "cmd/") {
+		return nil
+	}
+	targets, operands := atomicTargets(pass)
+	if len(targets) == 0 {
+		return nil
+	}
+	var findings []Finding
+	flag := func(v *types.Var, n ast.Node, expr string) {
+		at := targets[v]
+		fp := pass.Fset.Position(at.pos)
+		findings = append(findings, Finding{
+			Analyzer: "atomicmix",
+			Pos:      pass.Fset.Position(n.Pos()),
+			Message: fmt.Sprintf("%s is accessed with sync/atomic at %s:%d but plainly here; every access must go through sync/atomic (or migrate the field to an atomic.%s-style type)",
+				expr, filepath.Base(fp.Filename), fp.Line, suggestedAtomicType(v.Type())),
+		})
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.IndexExpr:
+				if operands[x] {
+					return false
+				}
+			case *ast.SelectorExpr:
+				if operands[x] {
+					return false
+				}
+				if s, ok := pass.Info.Selections[x]; ok && s.Kind() == types.FieldVal {
+					if v, ok := s.Obj().(*types.Var); ok {
+						if _, hit := targets[v]; hit {
+							flag(v, x, types.ExprString(x))
+							return false
+						}
+					}
+				}
+			case *ast.Ident:
+				if operands[x] {
+					return true
+				}
+				if v, ok := pass.Info.Uses[x].(*types.Var); ok && !v.IsField() {
+					if _, hit := targets[v]; hit {
+						flag(v, x, x.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return findings
+}
+
+// suggestedAtomicType names the sync/atomic wrapper matching a plain
+// integer type, for the fix suggestion in messages.
+func suggestedAtomicType(t types.Type) string {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return "Value"
+	}
+	switch b.Kind() {
+	case types.Int32:
+		return "Int32"
+	case types.Int64:
+		return "Int64"
+	case types.Uint32:
+		return "Uint32"
+	case types.Uint64:
+		return "Uint64"
+	case types.Uintptr:
+		return "Uintptr"
+	case types.Bool:
+		return "Bool"
+	}
+	return "Value"
+}

@@ -24,24 +24,31 @@ type Package struct {
 	Dir string
 	// Fset is the file set shared by all loaded packages.
 	Fset *token.FileSet
-	// Files are the parsed non-test Go files.
+	// Files are the parsed Go files (test files included when the loader
+	// ran with IncludeTests).
 	Files []*ast.File
 	// Types is the type-checked package.
 	Types *types.Package
 	// Info carries the type-checker facts analyzers consult.
 	Info *types.Info
+	// Sizes is the layout the package was type-checked under (the
+	// canonical gc/amd64 sizes, fixed so offset findings are
+	// host-independent).
+	Sizes types.Sizes
 }
 
 // listPackage mirrors the subset of `go list -json` output the loader needs.
 type listPackage struct {
-	ImportPath string
-	Dir        string
-	Name       string
-	GoFiles    []string
-	CgoFiles   []string
-	Export     string
-	Standard   bool
-	Error      *listError
+	ImportPath   string
+	Dir          string
+	Name         string
+	GoFiles      []string
+	CgoFiles     []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Export       string
+	Standard     bool
+	Error        *listError
 }
 
 // listError mirrors the Error field of `go list -json`.
@@ -87,7 +94,17 @@ type exportImporter struct {
 // over the given patterns, run in dir. Every package the patterns
 // transitively reach becomes importable.
 func newExportImporter(fset *token.FileSet, dir string, patterns ...string) (types.Importer, error) {
-	deps, err := goList(dir, append([]string{"-deps", "-export", "-json"}, patterns...)...)
+	return newExportImporterArgs(fset, dir, []string{"-deps", "-export", "-json"}, patterns)
+}
+
+// newExportImporterTests is newExportImporter with `-test`, so export data
+// also covers dependencies only test files import.
+func newExportImporterTests(fset *token.FileSet, dir string, patterns ...string) (types.Importer, error) {
+	return newExportImporterArgs(fset, dir, []string{"-test", "-deps", "-export", "-json"}, patterns)
+}
+
+func newExportImporterArgs(fset *token.FileSet, dir string, args, patterns []string) (types.Importer, error) {
+	deps, err := goList(dir, append(args, patterns...)...)
 	if err != nil {
 		return nil, err
 	}
@@ -146,12 +163,30 @@ func checkFiles(fset *token.FileSet, imp types.Importer, path string, files []*a
 	return tpkg, info, nil
 }
 
+// LoadConfig tunes Load's package selection.
+type LoadConfig struct {
+	// IncludeTests adds each package's test files: in-package _test.go
+	// files join the package's own files, and external (package foo_test)
+	// files type-check as their own package under "<path>_test". The
+	// concurrency analyzers run over tests in CI because goroutine storms
+	// in tests have the same atomic- and lock-discipline bugs as
+	// production code.
+	IncludeTests bool
+}
+
 // Load resolves the patterns (e.g. "./...") in dir with the go tool,
 // parses every matched package's non-test files, and type-checks them
 // against export data for all transitive dependencies. Test files are
-// excluded on purpose: the invariants guard production code, and tests
-// legitimately use fixed ad-hoc randomness and exact comparisons.
+// excluded on purpose at this entry point: the reproducibility invariants
+// guard production code, and tests legitimately use fixed ad-hoc
+// randomness and exact comparisons. Use LoadConfigured with IncludeTests
+// for the analyzers that do cover tests.
 func Load(dir string, patterns []string) ([]*Package, error) {
+	return LoadConfigured(dir, patterns, LoadConfig{})
+}
+
+// LoadConfigured is Load with explicit selection options.
+func LoadConfigured(dir string, patterns []string, cfg LoadConfig) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -160,35 +195,75 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 		return nil, err
 	}
 	fset := token.NewFileSet()
-	imp, err := newExportImporter(fset, dir, patterns...)
+	var imp types.Importer
+	if cfg.IncludeTests {
+		imp, err = newExportImporterTests(fset, dir, patterns...)
+	} else {
+		imp, err = newExportImporter(fset, dir, patterns...)
+	}
 	if err != nil {
 		return nil, err
 	}
-	var pkgs []*Package
-	for _, t := range targets {
-		if len(t.GoFiles) == 0 || len(t.CgoFiles) > 0 {
-			continue
-		}
+	parse := func(t listPackage, names []string) ([]*ast.File, error) {
 		var files []*ast.File
-		for _, name := range t.GoFiles {
+		for _, name := range names {
 			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
 			if err != nil {
 				return nil, fmt.Errorf("vet: parse %s: %w", name, err)
 			}
 			files = append(files, f)
 		}
-		tpkg, info, err := checkFiles(fset, imp, t.ImportPath, files)
-		if err != nil {
-			return nil, err
+		return files, nil
+	}
+	sizes := types.SizesFor("gc", "amd64")
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.CgoFiles) > 0 {
+			continue
 		}
-		pkgs = append(pkgs, &Package{
-			Path:  t.ImportPath,
-			Dir:   t.Dir,
-			Fset:  fset,
-			Files: files,
-			Types: tpkg,
-			Info:  info,
-		})
+		names := t.GoFiles
+		if cfg.IncludeTests {
+			names = append(append([]string{}, names...), t.TestGoFiles...)
+		}
+		if len(names) > 0 {
+			files, err := parse(t, names)
+			if err != nil {
+				return nil, err
+			}
+			tpkg, info, err := checkFiles(fset, imp, t.ImportPath, files)
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, &Package{
+				Path:  t.ImportPath,
+				Dir:   t.Dir,
+				Fset:  fset,
+				Files: files,
+				Types: tpkg,
+				Info:  info,
+				Sizes: sizes,
+			})
+		}
+		if cfg.IncludeTests && len(t.XTestGoFiles) > 0 {
+			files, err := parse(t, t.XTestGoFiles)
+			if err != nil {
+				return nil, err
+			}
+			xpath := t.ImportPath + "_test"
+			tpkg, info, err := checkFiles(fset, imp, xpath, files)
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, &Package{
+				Path:  xpath,
+				Dir:   t.Dir,
+				Fset:  fset,
+				Files: files,
+				Types: tpkg,
+				Info:  info,
+				Sizes: sizes,
+			})
+		}
 	}
 	if len(pkgs) == 0 {
 		return nil, fmt.Errorf("vet: no packages matched %v", patterns)

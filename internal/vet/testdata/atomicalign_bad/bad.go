@@ -1,0 +1,33 @@
+// Package thing is an atomicalign fixture: a 64-bit atomic misaligned on
+// the 32-bit layout, and cache-line pads that do not tile 64 bytes.
+package thing
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// misaligned places a 64-bit atomic after a bool: offset 4 on GOARCH=386.
+type misaligned struct {
+	ready bool
+	n     int64 // flagged: offset 4 under the 386 layout
+}
+
+// tick is the atomic access that registers n.
+func (m *misaligned) tick() {
+	atomic.AddInt64(&m.n, 1)
+}
+
+// shortPad claims cache-line padding but the struct stops at 48 bytes.
+type shortPad struct { // flagged: 48 bytes total
+	mu sync.Mutex
+	_  [40]byte // flagged: pad ends at 48
+}
+
+// midPad tiles two lines overall, but the first pad breaks the grid.
+type midPad struct {
+	head atomic.Uint64
+	_    [48]byte // flagged: pad ends at 56, head's line leaks into tail's
+	tail atomic.Uint64
+	_    [64]byte
+}

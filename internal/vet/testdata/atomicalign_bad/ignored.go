@@ -1,0 +1,11 @@
+package thing
+
+import "sync"
+
+// ragged is deliberately under-padded: a single global instance that is
+// never placed in an array, so cache-line tiling is irrelevant.
+type ragged struct { //vet:ignore atomicalign single instance, never arrayed; tiling is irrelevant
+	mu sync.Mutex
+	_  [8]byte //vet:ignore atomicalign pad only separates mu from the map header
+	m  map[string]int
+}

@@ -1,0 +1,38 @@
+// Package thing is the atomicalign negative fixture: leading 64-bit
+// atomics, pads that tile exactly, and non-concurrent pads.
+package thing
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// counters leads with its 64-bit atomic, aligned on every layout.
+type counters struct {
+	n     int64
+	ready bool
+}
+
+// tick registers n as atomically accessed.
+func (c *counters) tick() { atomic.AddInt64(&c.n, 1) }
+
+// padded tiles exactly one cache line.
+type padded struct {
+	n atomic.Uint64
+	_ [56]byte
+}
+
+// shardLine tiles two cache lines, the mutex isolated on the first.
+type shardLine struct {
+	mu   sync.Mutex
+	_    [56]byte
+	hits atomic.Uint64
+	_    [56]byte
+}
+
+// ioBuf pads for serialization alignment, not concurrency: it has no
+// sync state, so it makes no cache-line claim.
+type ioBuf struct {
+	buf [10]byte
+	_   [6]byte
+}

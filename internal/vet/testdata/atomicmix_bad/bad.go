@@ -1,0 +1,34 @@
+// Package thing is an atomicmix fixture: fields and package-level vars
+// accessed both atomically and plainly.
+package thing
+
+import "sync/atomic"
+
+// hits counts requests, updated atomically on the hot path.
+var hits uint64
+
+// counter mixes access modes on its fields.
+type counter struct {
+	n    uint64
+	done uint32
+}
+
+// bump is the atomic side: it registers c.n, c.done, and hits.
+func (c *counter) bump() {
+	atomic.AddUint64(&c.n, 1)
+	atomic.StoreUint32(&c.done, 1)
+	atomic.AddUint64(&hits, 1)
+}
+
+// peek races: plain reads of state the hot path drives atomically.
+func (c *counter) peek() uint64 {
+	if c.done == 1 { // flagged: plain read of done
+		return c.n // flagged: plain read of n
+	}
+	return hits // flagged: plain read of hits
+}
+
+// reset runs before any goroutine is spawned, so plain stores are safe.
+func (c *counter) reset() {
+	c.n = 0 //vet:ignore atomicmix pre-publication reset; no concurrent reader exists yet
+}

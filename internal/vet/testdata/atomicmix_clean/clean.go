@@ -1,0 +1,26 @@
+// Package thing is the atomicmix negative fixture: wrapper types, plain
+// fields never touched atomically, and locals are all exempt.
+package thing
+
+import "sync/atomic"
+
+// counter keeps its shared state in an atomic wrapper type.
+type counter struct {
+	n    atomic.Uint64
+	name string
+}
+
+// bump goes through the wrapper; the type system forbids plain access.
+func (c *counter) bump() { c.n.Add(1) }
+
+// label reads the plain field, which nothing accesses atomically.
+func (c *counter) label() string { return c.name }
+
+// localOnly drives a local through sync/atomic; locals are exempt
+// because their race surface is this one function.
+func localOnly() uint64 {
+	var x uint64
+	atomic.AddUint64(&x, 1)
+	x++
+	return x
+}

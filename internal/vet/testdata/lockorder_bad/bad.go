@@ -1,0 +1,47 @@
+// Package thing is a lockorder fixture: two locks taken in both orders,
+// and a shard barrier that re-acquires its own lock class.
+package thing
+
+import "sync"
+
+// pair holds two locks taken in opposite orders by forward and backward.
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+// forward takes a then b.
+func (p *pair) forward() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.b.Lock() // flagged: backward acquires a while b is held
+	defer p.b.Unlock()
+}
+
+// backward takes b then a.
+func (p *pair) backward() {
+	p.b.Lock()
+	defer p.b.Unlock()
+	p.a.Lock() // flagged: forward acquires b while a is held
+	defer p.a.Unlock()
+}
+
+// shard is one lock shard.
+type shard struct {
+	mu sync.Mutex
+}
+
+// shardSet owns a fixed shard array.
+type shardSet struct {
+	shards [4]shard
+}
+
+// barrier holds every shard at once: a self-edge on the shard.mu class.
+func (s *shardSet) barrier() {
+	for i := range s.shards {
+		s.shards[i].mu.Lock() // flagged: same class already held
+	}
+	for i := range s.shards {
+		s.shards[i].mu.Unlock()
+	}
+}

@@ -1,0 +1,19 @@
+package thing
+
+import "sync"
+
+// lockShard is a distinct shard type for the sanctioned barrier pattern.
+type lockShard struct {
+	mu sync.Mutex
+}
+
+// ordered locks its shards in ascending index order, the fixed global
+// order that makes the self-edge safe; the directive records why.
+func ordered(shards []lockShard) {
+	for i := range shards {
+		shards[i].mu.Lock() //vet:ignore lockorder,unlockpath shards locked in ascending index order, all released below
+	}
+	for i := range shards {
+		shards[i].mu.Unlock()
+	}
+}

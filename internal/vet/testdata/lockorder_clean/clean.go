@@ -1,0 +1,42 @@
+// Package thing is the lockorder negative fixture: every multi-lock path
+// takes the locks in the same global order.
+package thing
+
+import "sync"
+
+// pair holds two locks always taken a-then-b.
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+// first takes a then b.
+func (p *pair) first() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.b.Lock()
+	defer p.b.Unlock()
+}
+
+// second also takes a then b: one direction, no cycle.
+func (p *pair) second() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.b.Lock()
+	p.b.Unlock()
+}
+
+// reader nests a write lock inside a read lock of a different class,
+// again in a single global direction.
+type reader struct {
+	state sync.RWMutex
+	cfg   sync.Mutex
+}
+
+// load reads state and briefly takes cfg.
+func (r *reader) load() {
+	r.state.RLock()
+	defer r.state.RUnlock()
+	r.cfg.Lock()
+	r.cfg.Unlock()
+}

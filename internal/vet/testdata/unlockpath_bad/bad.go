@@ -1,0 +1,56 @@
+// Package thing is an unlockpath fixture: locks that escape the function
+// (or a loop iteration) still held.
+package thing
+
+import "sync"
+
+// registry guards m with mu.
+type registry struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+// missingOnError leaks mu on the early return.
+func (r *registry) missingOnError(k string) (int, bool) {
+	r.mu.Lock() // flagged: held at the early return
+	v, ok := r.m[k]
+	if !ok {
+		return 0, false
+	}
+	r.mu.Unlock()
+	return v, true
+}
+
+// missingAtEnd falls off the end still holding mu.
+func (r *registry) missingAtEnd(k string, v int) {
+	r.mu.Lock() // flagged: held at the end of the function
+	r.m[k] = v
+}
+
+// branchOnly releases on only one arm of the if.
+func (r *registry) branchOnly(k string) int {
+	r.mu.Lock() // flagged: branches disagree
+	v := r.m[k]
+	if v > 0 {
+		r.mu.Unlock()
+	}
+	return v
+}
+
+// iterLeak re-locks every iteration without releasing.
+func (r *registry) iterLeak(keys []string) {
+	for _, k := range keys {
+		r.mu.Lock() // flagged: held at the end of a loop iteration
+		r.m[k] = 0
+	}
+}
+
+// readLeak leaks the read lock on the early return.
+func (r *registry) readLeak(k string) int {
+	r.mu.RLock() // flagged: held at the early return
+	if v, ok := r.m[k]; ok {
+		return v
+	}
+	r.mu.RUnlock()
+	return 0
+}

@@ -1,0 +1,12 @@
+package thing
+
+// handoff locks on behalf of the caller, which must call release; the
+// directive records the contract.
+func (r *registry) handoff() {
+	r.mu.Lock() //vet:ignore unlockpath intentional handoff: every caller pairs this with release()
+}
+
+// release pairs with handoff.
+func (r *registry) release() {
+	r.mu.Unlock()
+}

@@ -1,0 +1,83 @@
+// Package thing is the unlockpath negative fixture: every shape the
+// walker must accept without complaint.
+package thing
+
+import "sync"
+
+// box guards v with mu.
+type box struct {
+	mu sync.Mutex
+	v  int
+}
+
+// deferred uses the canonical defer pairing.
+func (b *box) deferred() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.v
+}
+
+// balanced releases on every branch.
+func (b *box) balanced(x int) int {
+	b.mu.Lock()
+	if x > 0 {
+		b.mu.Unlock()
+		return x
+	}
+	b.mu.Unlock()
+	return b.v
+}
+
+// litDefer unlocks inside a deferred function literal.
+func (b *box) litDefer() {
+	b.mu.Lock()
+	defer func() {
+		b.v++
+		b.mu.Unlock()
+	}()
+	b.v = 1
+}
+
+// loopBalanced locks and unlocks once per iteration.
+func (b *box) loopBalanced(n int) {
+	for i := 0; i < n; i++ {
+		b.mu.Lock()
+		b.v += i
+		b.mu.Unlock()
+	}
+}
+
+// spinExit holds the lock inside an infinite loop and releases it on the
+// only exit path.
+func (b *box) spinExit() {
+	b.mu.Lock()
+	for {
+		if b.v > 0 {
+			b.mu.Unlock()
+			break
+		}
+		b.v++
+	}
+}
+
+// switched releases in every arm, default included.
+func (b *box) switched(x int) {
+	b.mu.Lock()
+	switch x {
+	case 0:
+		b.mu.Unlock()
+	default:
+		b.v = x
+		b.mu.Unlock()
+	}
+}
+
+// earlyPanic never returns normally from the held region; panic unwinds
+// the process, so the held lock is not a leaked path.
+func (b *box) earlyPanic(x int) {
+	b.mu.Lock()
+	if x < 0 {
+		panic("negative")
+	}
+	b.mu.Unlock()
+}

@@ -1,0 +1,21 @@
+// Package thing exercises //vet:ignore directive validation: justified
+// directives suppress, unjustified or unknown ones are themselves
+// findings and suppress nothing.
+package thing
+
+import "context"
+
+// root mints a root context under a justified directive: suppressed.
+func root() context.Context {
+	return context.Background() //vet:ignore ctxbg fixture exercises a justified directive
+}
+
+// bare carries an unjustified directive: reported, suppresses nothing.
+func bare() context.Context {
+	return context.TODO() //vet:ignore ctxbg
+}
+
+// unknown names a nonexistent analyzer: reported, suppresses nothing.
+func unknown() context.Context {
+	return context.Background() //vet:ignore nosuch because reasons
+}

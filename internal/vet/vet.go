@@ -19,6 +19,23 @@
 //     cancellation chain, so cancelled solves would leave cluster RPCs in
 //     flight.
 //
+// The concurrency-invariant analyzers guard the serving hot path's lock
+// and atomic discipline (DESIGN.md §10), the bug classes the race detector
+// only catches when a test happens to exercise the interleaving:
+//
+//   - atomicmix: a struct field or package-level variable accessed through
+//     sync/atomic anywhere in a package must never be read or written with
+//     plain loads/stores elsewhere in it.
+//   - lockorder: the per-package lock-acquisition graph (locks taken while
+//     another lock is held) must be acyclic, or two goroutines taking the
+//     edges in opposite orders deadlock.
+//   - atomicalign: 64-bit fields driven through sync/atomic must sit at
+//     64-bit-aligned offsets under the GOARCH=386 layout, and cache-line
+//     padded structs (any struct with a blank `_ [N]byte` field next to
+//     sync state) must actually tile 64-byte lines.
+//   - unlockpath: a mutex Lock whose Unlock is neither deferred nor present
+//     on every path out of the function leaks the lock on the missed path.
+//
 // The driver is stdlib-only (go/ast, go/parser, go/types); imports are
 // resolved from compiler export data produced by `go list -export`, so the
 // module stays dependency-free.
@@ -53,7 +70,8 @@ func (f Finding) String() string {
 type Pass struct {
 	// Fset maps AST positions back to source locations.
 	Fset *token.FileSet
-	// Files are the package's parsed non-test files.
+	// Files are the package's parsed files (test files included when the
+	// loader ran with IncludeTests).
 	Files []*ast.File
 	// Pkg is the type-checked package.
 	Pkg *types.Package
@@ -61,6 +79,11 @@ type Pass struct {
 	Info *types.Info
 	// Path is the package's import path.
 	Path string
+	// Sizes is the canonical 64-bit (gc/amd64) layout used for struct
+	// offset and cache-line arithmetic, so findings are identical on every
+	// host. Analyzers needing another layout (atomicalign's GOARCH=386
+	// check) resolve it themselves via types.SizesFor.
+	Sizes types.Sizes
 }
 
 // Analyzer is one pluggable rule.
@@ -75,7 +98,14 @@ type Analyzer struct {
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{FloatCmp, GlobalRand, ErrDrop, ExportedDoc, CtxBg}
+	return []*Analyzer{FloatCmp, GlobalRand, ErrDrop, ExportedDoc, CtxBg, AtomicMix, LockOrder, AtomicAlign, UnlockPath}
+}
+
+// ConcurrencyAnalyzers returns the subset guarding lock and atomic
+// discipline — the analyzers CI also runs over test files, because test
+// goroutine storms hit the same bug classes as production code.
+func ConcurrencyAnalyzers() []*Analyzer {
+	return []*Analyzer{AtomicMix, LockOrder, AtomicAlign, UnlockPath}
 }
 
 // ByName resolves a comma-separated analyzer list against All; an unknown
@@ -100,23 +130,41 @@ func ByName(names string) ([]*Analyzer, error) {
 	return out, nil
 }
 
-// ignoreDirective matches `//vet:ignore name[,name...] [reason]`. The
+// ignoreDirective matches `//vet:ignore name[,name...] reason`. The
 // directive suppresses matching findings on its own source line, for the
-// rare spot where an exact comparison is semantically required (e.g.
-// testing a sentinel bit pattern).
-var ignoreDirective = regexp.MustCompile(`^//vet:ignore\s+([a-z,]+)`)
+// rare spot where the flagged pattern is semantically required (e.g.
+// testing a sentinel bit pattern, or a deliberate lock handoff). The
+// justification is mandatory: a bare directive suppresses nothing and is
+// itself reported, so every exception stays auditable at the call site.
+var ignoreDirective = regexp.MustCompile(`^//vet:ignore\s+([a-z,]+)\s*(.*)$`)
 
-// ignores collects the suppressed analyzer names per file line.
-func ignores(fset *token.FileSet, files []*ast.File) map[string]map[int]map[string]bool {
+// ignores collects the suppressed analyzer names per file line, and
+// reports malformed directives — a missing justification or an analyzer
+// name that matches nothing — as findings of the pseudo-analyzer
+// "vetignore" (emitted by every run and not themselves suppressible).
+func ignores(fset *token.FileSet, files []*ast.File) (map[string]map[int]map[string]bool, []Finding) {
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
 	out := make(map[string]map[int]map[string]bool)
+	var bad []Finding
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				m := ignoreDirective.FindStringSubmatch(c.Text)
-				if m == nil {
+				if !strings.HasPrefix(c.Text, "//vet:ignore") {
 					continue
 				}
 				pos := fset.Position(c.Pos())
+				m := ignoreDirective.FindStringSubmatch(c.Text)
+				if m == nil || strings.TrimSpace(m[2]) == "" {
+					bad = append(bad, Finding{
+						Analyzer: "vetignore",
+						Pos:      pos,
+						Message:  "//vet:ignore needs a justification: `//vet:ignore <analyzer>[,<analyzer>] <reason>`; an unjustified directive suppresses nothing",
+					})
+					continue
+				}
 				lines := out[pos.Filename]
 				if lines == nil {
 					lines = make(map[int]map[string]bool)
@@ -128,12 +176,20 @@ func ignores(fset *token.FileSet, files []*ast.File) map[string]map[int]map[stri
 					lines[pos.Line] = names
 				}
 				for _, n := range strings.Split(m[1], ",") {
+					if !known[n] {
+						bad = append(bad, Finding{
+							Analyzer: "vetignore",
+							Pos:      pos,
+							Message:  fmt.Sprintf("//vet:ignore names unknown analyzer %q", n),
+						})
+						continue
+					}
 					names[n] = true
 				}
 			}
 		}
 	}
-	return out
+	return out, bad
 }
 
 // RunAnalyzers applies each analyzer to each package, drops findings
@@ -142,8 +198,13 @@ func ignores(fset *token.FileSet, files []*ast.File) map[string]map[int]map[stri
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Finding {
 	var findings []Finding
 	for _, pkg := range pkgs {
-		pass := &Pass{Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Types, Info: pkg.Info, Path: pkg.Path}
-		ign := ignores(pkg.Fset, pkg.Files)
+		sizes := pkg.Sizes
+		if sizes == nil {
+			sizes = types.SizesFor("gc", "amd64")
+		}
+		pass := &Pass{Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Types, Info: pkg.Info, Path: pkg.Path, Sizes: sizes}
+		ign, bad := ignores(pkg.Fset, pkg.Files)
+		findings = append(findings, bad...)
 		for _, a := range analyzers {
 			for _, f := range a.Run(pass) {
 				if names, ok := ign[f.Pos.Filename][f.Pos.Line]; ok && names[f.Analyzer] {
@@ -164,7 +225,10 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Finding {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
 	return findings
 }

@@ -26,7 +26,8 @@ func fixtureImporter(t *testing.T) (*token.FileSet, types.Importer) {
 	fixtureOnce.Do(func() {
 		fixtureFset = token.NewFileSet()
 		fixtureImp, fixtureErr = newExportImporter(fixtureFset, ".",
-			"bufio", "bytes", "context", "errors", "fmt", "math", "math/rand", "os", "strings", "time")
+			"bufio", "bytes", "context", "errors", "fmt", "math", "math/rand", "os", "strings",
+			"sync", "sync/atomic", "time")
 	})
 	if fixtureErr != nil {
 		t.Fatalf("fixture importer: %v", fixtureErr)
@@ -171,6 +172,88 @@ func TestCtxBgClean(t *testing.T) {
 func TestCtxBgScopedToInternal(t *testing.T) {
 	// cmd/ and examples/ binaries legitimately own root contexts.
 	runFixture(t, CtxBg, "ctxbg_bad", "copmecs/cmd/copmecs", nil)
+}
+
+func TestAtomicMixTruePositives(t *testing.T) {
+	runFixture(t, AtomicMix, "atomicmix_bad", "copmecs/internal/thing", []want{
+		{25, "c.done is accessed with sync/atomic"},
+		{26, "c.n is accessed with sync/atomic"},
+		{28, "hits is accessed with sync/atomic"},
+	})
+}
+
+func TestAtomicMixClean(t *testing.T) {
+	runFixture(t, AtomicMix, "atomicmix_clean", "copmecs/internal/thing", nil)
+}
+
+func TestAtomicMixScopedToInternalAndCmd(t *testing.T) {
+	runFixture(t, AtomicMix, "atomicmix_bad", "example.com/outside", nil)
+}
+
+func TestLockOrderTruePositives(t *testing.T) {
+	runFixture(t, LockOrder, "lockorder_bad", "copmecs/internal/thing", []want{
+		{17, "p.b is acquired while p.a is held"},
+		{25, "p.a is acquired while p.b is held"},
+		{42, "same class"},
+	})
+}
+
+func TestLockOrderClean(t *testing.T) {
+	runFixture(t, LockOrder, "lockorder_clean", "copmecs/internal/thing", nil)
+}
+
+func TestUnlockPathTruePositives(t *testing.T) {
+	runFixture(t, UnlockPath, "unlockpath_bad", "copmecs/internal/thing", []want{
+		{15, "still held at this return"},
+		{26, "still held at the end of the function"},
+		{32, "released on only some branches"},
+		{43, "the end of a loop iteration"},
+		{50, "r.mu.RLock() is still held at this return"},
+	})
+}
+
+func TestUnlockPathClean(t *testing.T) {
+	runFixture(t, UnlockPath, "unlockpath_clean", "copmecs/internal/thing", nil)
+}
+
+func TestAtomicAlignTruePositives(t *testing.T) {
+	runFixture(t, AtomicAlign, "atomicalign_bad", "copmecs/internal/thing", []want{
+		{13, "offset 4 under GOARCH=386"},
+		{22, "48 bytes but declares cache-line padding"},
+		{24, "pad ends at offset 48"},
+		{30, "pad ends at offset 56"},
+	})
+}
+
+func TestAtomicAlignClean(t *testing.T) {
+	runFixture(t, AtomicAlign, "atomicalign_clean", "copmecs/internal/thing", nil)
+}
+
+// TestVetIgnoreJustificationRequired checks directive validation: a
+// justified directive suppresses, a bare or unknown-name directive is
+// itself a vetignore finding and suppresses nothing.
+func TestVetIgnoreJustificationRequired(t *testing.T) {
+	pkg := loadFixture(t, "vetignore_bad", "copmecs/internal/thing")
+	findings := RunAnalyzers([]*Package{pkg}, []*Analyzer{CtxBg})
+	wants := []struct {
+		line     int
+		analyzer string
+		substr   string
+	}{
+		{15, "ctxbg", "mints a root context"},
+		{15, "vetignore", "needs a justification"},
+		{20, "ctxbg", "mints a root context"},
+		{20, "vetignore", "unknown analyzer"},
+	}
+	if len(findings) != len(wants) {
+		t.Fatalf("got %d findings, want %d:\n%v", len(findings), len(wants), findings)
+	}
+	for i, w := range wants {
+		f := findings[i]
+		if f.Pos.Line != w.line || f.Analyzer != w.analyzer || !strings.Contains(f.Message, w.substr) {
+			t.Errorf("finding %d = %v, want line %d analyzer %s containing %q", i, f, w.line, w.analyzer, w.substr)
+		}
+	}
 }
 
 func TestByName(t *testing.T) {
