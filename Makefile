@@ -47,6 +47,7 @@ lint: vet
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzDecode -fuzztime=30s ./internal/graph/
 	$(GO) test -run=NONE -fuzz=FuzzDecodeSolveRequest -fuzztime=30s ./internal/serve/
+	$(GO) test -run=NONE -fuzz=FuzzJournalReplay -fuzztime=30s ./internal/durable/
 
 # bench runs every benchmark in the repo and distils the serving-path
 # microbenchmark numbers into results/BENCH_micro.json for cross-commit
@@ -103,11 +104,16 @@ bench-core:
 	@echo "wrote results/BENCH_core.json"; cat results/BENCH_core.json
 
 # chaos runs the fault-injection suite — executor flapping, hung executors,
-# lossy transports — twice under the race detector to shake out
-# order-dependent failures in the driver's recovery paths.
+# lossy transports, torn journal writes, fsync failures — twice under the
+# race detector to shake out order-dependent failures in the recovery
+# paths, then the SIGKILL crash-recovery scenarios (in-process and against
+# the real binary via scripts/crash.sh).
 chaos:
 	$(GO) test -race -count=2 -run '^TestChaos' ./internal/parallel/
 	$(GO) test -race -count=2 ./internal/faultnet/
+	$(GO) test -race -count=2 ./internal/durable/
+	$(GO) test -race -run 'TestCrashRecovery|TestDaemonDurable' ./cmd/copmecsd/
+	./scripts/crash.sh
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,325 @@
+package main
+
+// Crash-recovery suite for the durable daemon. The SIGKILL scenario needs
+// a real process to murder, so TestMain re-execs the test binary as the
+// daemon when COPMECSD_DAEMON_ARGS is set (flags joined with \x1f); the
+// parent kills it mid-round and restarts it on the same data directory,
+// asserting the crash invariant: every request that was answered 200
+// before the kill is answered from cache after recovery.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"regexp"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+const daemonArgsEnv = "COPMECSD_DAEMON_ARGS"
+
+func TestMain(m *testing.M) {
+	if raw := os.Getenv(daemonArgsEnv); raw != "" {
+		stop := make(chan os.Signal, 1)
+		signal.Notify(stop, syscall.SIGTERM, os.Interrupt)
+		if err := run(strings.Split(raw, "\x1f"), stop, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// crashBody returns the i-th of a family of distinct solve bodies: the
+// node weights vary with i, so each index has its own request key.
+func crashBody(i int) string {
+	return fmt.Sprintf(`{"graph":{"nodes":[{"id":0,"weight":%d},{"id":1,"weight":120},`+
+		`{"id":2,"weight":%d},{"id":3,"weight":30}],`+
+		`"edges":[{"u":0,"v":1,"weight":40},{"u":1,"v":2,"weight":5},{"u":2,"v":3,"weight":60}]}}`,
+		50+i, 200+(i%7)*10)
+}
+
+// daemonProc is a copmecsd child process started from the test binary.
+type daemonProc struct {
+	cmd  *exec.Cmd
+	base string
+	out  *syncBuffer
+	wait chan error
+}
+
+// startDaemonProc re-execs the test binary as a daemon with args and
+// waits for its listening banner.
+func startDaemonProc(t *testing.T, args ...string) *daemonProc {
+	t.Helper()
+	full := append([]string{"-addr", "127.0.0.1:0"}, args...)
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), daemonArgsEnv+"="+strings.Join(full, "\x1f"))
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatalf("stdout pipe: %v", err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start daemon child: %v", err)
+	}
+	out := &syncBuffer{}
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			fmt.Fprintln(out, sc.Text())
+		}
+	}()
+	wait := make(chan error, 1)
+	go func() { wait <- cmd.Wait() }()
+
+	re := regexp.MustCompile(`listening on (\S+)`)
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := re.FindStringSubmatch(out.String()); m != nil {
+			return &daemonProc{cmd: cmd, base: "http://" + m[1], out: out, wait: wait}
+		}
+		select {
+		case err := <-wait:
+			t.Fatalf("daemon child exited early: %v (output %q)", err, out.String())
+		default:
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	_ = cmd.Process.Kill()
+	t.Fatalf("no listening banner from child: %q", out.String())
+	return nil
+}
+
+// solveCached posts body and returns (status, cached flag).
+func solveCached(t *testing.T, base, body string) (int, bool) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, false
+	}
+	var out struct {
+		Cached bool `json:"cached"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode solve response: %v", err)
+	}
+	return resp.StatusCode, out.Cached
+}
+
+// statsDoc fetches and decodes /v1/stats as a generic document.
+func statsDoc(t *testing.T, base string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	defer resp.Body.Close()
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("stats decode: %v", err)
+	}
+	return doc
+}
+
+func TestCrashRecoveryZeroLostAcceptedRequests(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-execs and SIGKILLs a child process")
+	}
+	dir := t.TempDir()
+	args := []string{
+		"-data-dir", dir,
+		"-batch-wait", "20ms",
+		"-fsync-interval", "5ms",
+		"-snapshot-interval", "300ms",
+	}
+	d := startDaemonProc(t, args...)
+
+	// Phase 1: a known set of accepted requests, each answered 200 — the
+	// crash invariant is quantified over exactly these.
+	const accepted = 8
+	for i := 0; i < accepted; i++ {
+		if st, _ := solveCached(t, d.base, crashBody(i)); st != http.StatusOK {
+			t.Fatalf("pre-kill solve %d: status %d", i, st)
+		}
+	}
+
+	// Phase 2: background load so the kill lands mid-round, with solves,
+	// journal appends and (every 300ms) snapshot writes all in flight.
+	var killed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; !killed.Load(); i++ {
+				body := crashBody(accepted + w*10_000 + i)
+				resp, err := http.Post(d.base+"/v1/solve", "application/json", strings.NewReader(body))
+				if err != nil {
+					return // the kill severed the connection
+				}
+				resp.Body.Close()
+			}
+		}(w)
+	}
+	time.Sleep(500 * time.Millisecond) // span at least one snapshot cycle
+	if err := d.cmd.Process.Kill(); err != nil {
+		t.Fatalf("SIGKILL: %v", err)
+	}
+	killed.Store(true)
+	wg.Wait()
+	if err := <-d.wait; err == nil {
+		t.Fatal("SIGKILLed child reported clean exit")
+	}
+
+	// Phase 3: restart on the same data directory and hold the invariant.
+	d2 := startDaemonProc(t, args...)
+	defer func() {
+		_ = d2.cmd.Process.Signal(syscall.SIGTERM)
+		select {
+		case <-d2.wait:
+		case <-time.After(10 * time.Second):
+			_ = d2.cmd.Process.Kill()
+			t.Error("restarted daemon did not drain after SIGTERM")
+		}
+	}()
+	if s := d2.out.String(); !strings.Contains(s, "recovered") {
+		t.Fatalf("restart banner missing recovery line: %q", s)
+	}
+	for i := 0; i < accepted; i++ {
+		st, cached := solveCached(t, d2.base, crashBody(i))
+		if st != http.StatusOK {
+			t.Fatalf("post-crash solve %d: status %d", i, st)
+		}
+		if !cached {
+			t.Fatalf("accepted request %d lost across the crash (not served from cache)", i)
+		}
+	}
+	doc := statsDoc(t, d2.base)
+	dur, ok := doc["durability"].(map[string]any)
+	if !ok {
+		t.Fatalf("durability section missing after durable restart: %v", doc["durability"])
+	}
+	replay, ok := dur["replay"].(map[string]any)
+	if !ok {
+		t.Fatalf("replay section missing after recovery: %v", dur["replay"])
+	}
+	if replay["replay_errors"].(float64) != 0 || replay["decode_errors"].(float64) != 0 {
+		t.Fatalf("recovery was lossy: %v", replay)
+	}
+	// The accepted set was recovered into the cache: snapshot decisions
+	// plus journal replays must at least cover it.
+	recoveredKeys := replay["snapshot_decisions"].(float64) +
+		replay["replay_warm"].(float64) + replay["replay_solved"].(float64)
+	if recoveredKeys < accepted {
+		t.Fatalf("recovered %v keys, want >= %d", recoveredKeys, accepted)
+	}
+	if hits := doc["cache"].(map[string]any)["hits"].(float64); hits < accepted {
+		t.Fatalf("warm-cache hits = %v, want >= %d", hits, accepted)
+	}
+}
+
+func TestDaemonDurableGracefulRestartWarm(t *testing.T) {
+	// SIGTERM writes a final snapshot; a restart on the same directory
+	// must answer the old bodies from cache with zero journal replay work.
+	dir := t.TempDir()
+	args := []string{"-data-dir", dir, "-fsync-interval", "5ms"}
+	base, stop, out, done := startDaemon(t, args...)
+	const n = 3
+	for i := 0; i < n; i++ {
+		if st, cached := solveCached(t, base, crashBody(i)); st != http.StatusOK || cached {
+			t.Fatalf("solve %d = (%d, cached=%v), want fresh 200", i, st, cached)
+		}
+	}
+	stop <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v (output %q)", err, out.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not stop after SIGTERM")
+	}
+
+	base2, stop2, _, done2 := startDaemon(t, args...)
+	for i := 0; i < n; i++ {
+		st, cached := solveCached(t, base2, crashBody(i))
+		if st != http.StatusOK || !cached {
+			t.Fatalf("restarted solve %d = (%d, cached=%v), want cached 200", i, st, cached)
+		}
+	}
+	doc := statsDoc(t, base2)
+	dur, ok := doc["durability"].(map[string]any)
+	if !ok {
+		t.Fatalf("durability section missing: %v", doc["durability"])
+	}
+	if dur["snapshot_seq"].(float64) < 1 {
+		t.Fatalf("snapshot_seq = %v, want >= 1 after graceful restart", dur["snapshot_seq"])
+	}
+	replay := dur["replay"].(map[string]any)
+	if replay["snapshot_decisions"].(float64) < n {
+		t.Fatalf("snapshot restored %v decisions, want >= %d", replay["snapshot_decisions"], n)
+	}
+	if replay["replay_solved"].(float64) != 0 {
+		t.Fatalf("graceful restart re-solved %v requests, want 0 (snapshot covers the journal)",
+			replay["replay_solved"])
+	}
+	stop2 <- syscall.SIGTERM
+	select {
+	case err := <-done2:
+		if err != nil {
+			t.Fatalf("second run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("second run did not stop")
+	}
+}
+
+func TestDaemonDefaultStaysInMemory(t *testing.T) {
+	// Without -data-dir the daemon keeps PR 5's in-memory behavior: no
+	// durability stats section and no files on disk.
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatalf("getwd: %v", err)
+	}
+	before, err := os.ReadDir(cwd)
+	if err != nil {
+		t.Fatalf("readdir: %v", err)
+	}
+	base, stop, _, done := startDaemon(t)
+	if st, _ := solveCached(t, base, crashBody(0)); st != http.StatusOK {
+		t.Fatalf("solve: status %d", st)
+	}
+	doc := statsDoc(t, base)
+	if raw, ok := doc["durability"]; ok {
+		t.Fatalf("in-memory daemon exposes durability section: %v", raw)
+	}
+	stop <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not stop")
+	}
+	after, err := os.ReadDir(cwd)
+	if err != nil {
+		t.Fatalf("readdir: %v", err)
+	}
+	if len(after) != len(before) {
+		t.Fatalf("in-memory daemon changed the working directory: %d -> %d entries", len(before), len(after))
+	}
+}

@@ -16,9 +16,17 @@
 // data. SIGINT/SIGTERM triggers graceful drain: new work is rejected,
 // every accepted request completes, then the process exits.
 //
+// With -data-dir the daemon is crash-durable: accepted requests are
+// journaled write-ahead, the caches are snapshotted on -snapshot-interval
+// (and at drain), and a restart on the same directory recovers the
+// snapshot, replays the journal tail and resumes with warm caches — a
+// kill -9 loses no accepted request. An empty -data-dir (the default)
+// keeps today's purely in-memory behaviour.
+//
 // Usage:
 //
 //	copmecsd -addr :8080 -debug-addr 127.0.0.1:6060 -engine spectral
+//	copmecsd -addr :8080 -data-dir /var/lib/copmecs -fsync-interval 100ms
 //	curl -s -X POST -d @request.json http://localhost:8080/v1/solve
 package main
 
@@ -38,6 +46,7 @@ import (
 	"time"
 
 	"copmecs/internal/core"
+	"copmecs/internal/durable"
 	"copmecs/internal/mec"
 	"copmecs/internal/serve"
 )
@@ -74,6 +83,9 @@ func run(args []string, stop <-chan os.Signal, out io.Writer) error {
 		maxNodes   = fs.Int("max-nodes", serve.DefaultMaxNodes, "max graph nodes per request")
 		maxEdges   = fs.Int("max-edges", serve.DefaultMaxEdges, "max graph edges per request")
 		drainWait  = fs.Duration("drain-timeout", 30*time.Second, "graceful drain deadline")
+		dataDir    = fs.String("data-dir", "", "durability directory: journal + snapshots (empty = in-memory only)")
+		fsyncEvery = fs.Duration("fsync-interval", durable.DefaultFsyncInterval, "journal group-commit interval (<= 0 = fsync every append)")
+		snapEvery  = fs.Duration("snapshot-interval", time.Minute, "cache snapshot interval (0 = only after replay and at drain)")
 		mutexFrac  = fs.Int("mutex-profile", 0, "runtime mutex profile fraction (0 = off; served at /debug/pprof/mutex)")
 		blockRate  = fs.Int("block-profile", 0, "runtime block profile rate in ns (0 = off; served at /debug/pprof/block)")
 		quiet      = fs.Bool("q", false, "suppress serving diagnostics")
@@ -113,7 +125,14 @@ func run(args []string, stop <-chan os.Signal, out io.Writer) error {
 	if *quiet {
 		logf = nil
 	}
-	srv, err := serve.New(serve.Config{
+
+	// Durability is opt-in by directory: open the store (recovering any
+	// previous run's state) before the server exists, wire its journal and
+	// stats into the serving config, and replay the recovered records into
+	// the caches before traffic starts.
+	var store *durable.Store
+	var recovered *durable.Recovery
+	cfg := serve.Config{
 		Engine:         engine,
 		Params:         params,
 		Workers:        *workers,
@@ -126,7 +145,25 @@ func run(args []string, stop <-chan os.Signal, out io.Writer) error {
 		RequestTimeout: *reqTimeout,
 		Limits:         serve.DecodeLimits{MaxNodes: *maxNodes, MaxEdges: *maxEdges},
 		Logf:           logf,
-	})
+	}
+	if *dataDir != "" {
+		interval := *fsyncEvery
+		if interval <= 0 {
+			interval = -1 // strict mode: fsync inline on every append
+		}
+		store, recovered, err = durable.Open(durable.Options{
+			Dir:           *dataDir,
+			FsyncInterval: interval,
+			Logf:          logf,
+		})
+		if err != nil {
+			return err
+		}
+		defer func() { _ = store.Close() }()
+		cfg.Journal = store
+		cfg.DurabilityStats = func() serve.DurabilityStats { return durabilityStats(store) }
+	}
+	srv, err := serve.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -135,6 +172,40 @@ func run(args []string, stop <-chan os.Signal, out io.Writer) error {
 	// in-flight rounds finish during graceful shutdown.
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+
+	// Warm the caches from the recovered state, then compact: a snapshot
+	// right after replay folds the replayed journal tail into one file, so
+	// repeated crash/restart cycles never accumulate segments.
+	snapStop := make(chan struct{})
+	var snapDone chan struct{}
+	if store != nil {
+		rs := srv.Recover(ctx, recovered.SnapshotRecords, recovered.JournalRecords)
+		logln(out, "copmecsd: recovered %s: snapshot seq %d (%d decisions, %d graphs), journal %d records (%d warm, %d solved, %d errors, %d undecodable), %d bytes dropped",
+			*dataDir, recovered.SnapshotSeq, rs.SnapshotDecisions, rs.SnapshotGraphs,
+			rs.JournalRecords, rs.ReplayWarm, rs.ReplaySolved, rs.ReplayErrors, rs.DecodeErrors,
+			recovered.DroppedBytes)
+		if err := store.Snapshot(srv.WriteSnapshotRecords); err != nil {
+			logln(out, "copmecsd: post-recovery snapshot: %v", err)
+		}
+		if *snapEvery > 0 {
+			snapDone = make(chan struct{})
+			go func() {
+				defer close(snapDone)
+				t := time.NewTicker(*snapEvery)
+				defer t.Stop()
+				for {
+					select {
+					case <-t.C:
+						if err := store.Snapshot(srv.WriteSnapshotRecords); err != nil {
+							logln(out, "copmecsd: snapshot: %v", err)
+						}
+					case <-snapStop:
+						return
+					}
+				}
+			}()
+		}
+	}
 	srv.Start(ctx)
 
 	ln, err := net.Listen("tcp", *addr)
@@ -177,6 +248,19 @@ func run(args []string, stop <-chan os.Signal, out io.Writer) error {
 	if debugSrv != nil {
 		_ = debugSrv.Close()
 	}
+	if store != nil {
+		// The caches are settled after drain: one final snapshot captures
+		// every decision and truncates the journal, so the next boot
+		// restores without replaying.
+		close(snapStop)
+		if snapDone != nil {
+			<-snapDone
+		}
+		if err := store.Snapshot(srv.WriteSnapshotRecords); err != nil {
+			logln(out, "copmecsd: final snapshot: %v", err)
+		}
+		drainErr = errors.Join(drainErr, store.Close())
+	}
 	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
 		drainErr = errors.Join(drainErr, err)
 	}
@@ -184,6 +268,32 @@ func run(args []string, stop <-chan os.Signal, out io.Writer) error {
 	logln(out, "copmecsd: drained: %d requests, %d solved, %d shed, %d cache hits, %d deduped, %d rounds",
 		st.Requests, st.Solved, st.Shed, st.Cache.Hits, st.Deduped, st.Batch.Rounds)
 	return errors.Join(drainErr, shutErr)
+}
+
+// durabilityStats projects the durable store's counters into the
+// /v1/stats durability section (ages rendered relative to now; -1 marks
+// "never this run").
+func durabilityStats(store *durable.Store) serve.DurabilityStats {
+	st := store.Stats()
+	d := serve.DurabilityStats{
+		JournalSegments:   st.JournalSegments,
+		JournalRecords:    st.JournalRecords,
+		JournalBytes:      st.JournalBytes,
+		WriteErrors:       st.WriteErrors,
+		FsyncErrors:       st.FsyncErrors,
+		LastFsyncAgeMs:    -1,
+		SnapshotSeq:       st.SnapshotSeq,
+		SnapshotsWritten:  st.SnapshotsWritten,
+		SnapshotErrors:    st.SnapshotErrors,
+		LastSnapshotAgeMs: -1,
+	}
+	if !st.LastFsync.IsZero() {
+		d.LastFsyncAgeMs = time.Since(st.LastFsync).Milliseconds()
+	}
+	if !st.LastSnapshot.IsZero() {
+		d.LastSnapshotAgeMs = time.Since(st.LastSnapshot).Milliseconds()
+	}
+	return d
 }
 
 // logln writes one diagnostic line to the daemon's output stream; a

@@ -1,0 +1,95 @@
+package durable
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"sort"
+)
+
+// FS is the filesystem surface the durability layer writes through. It is
+// deliberately tiny — exactly the operations the journal and snapshot
+// machinery need — so tests can substitute a fault-injecting
+// implementation (faultnet.FS) that manufactures short writes, fsync
+// failures and corrupt bytes deterministically.
+type FS interface {
+	// OpenFile opens name with the given flag and permissions.
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// Rename atomically replaces newpath with oldpath (the snapshot
+	// commit point).
+	Rename(oldpath, newpath string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// ReadDir lists the file names in dir, sorted ascending.
+	ReadDir(dir string) ([]string, error)
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string, perm fs.FileMode) error
+	// SyncDir fsyncs the directory itself, making completed renames and
+	// removals durable against power loss.
+	SyncDir(dir string) error
+}
+
+// File is one open journal segment or snapshot file.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes the file's dirty pages to stable storage.
+	Sync() error
+	// Truncate cuts the file to size bytes (torn-tail repair).
+	Truncate(size int64) error
+}
+
+// OS is the production FS: a pass-through to the operating system.
+type OS struct{}
+
+// osFile adapts *os.File to File (it already satisfies it; the wrapper
+// only exists so OpenFile's return type is the interface).
+type osFile struct{ *os.File }
+
+// OpenFile opens name via os.OpenFile.
+func (OS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+// Rename forwards to os.Rename.
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove forwards to os.Remove.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// ReadDir lists dir's entry names, sorted ascending.
+func (OS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// MkdirAll forwards to os.MkdirAll.
+func (OS) MkdirAll(dir string, perm fs.FileMode) error { return os.MkdirAll(dir, perm) }
+
+// SyncDir opens dir and fsyncs it, so directory mutations (segment
+// creation, snapshot rename, truncation-by-remove) survive power loss.
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

@@ -1,0 +1,203 @@
+package faultnet
+
+import (
+	"errors"
+	"io/fs"
+	"sync"
+
+	"copmecs/internal/durable"
+)
+
+// Storage-fault errors manufactured by FS.
+var (
+	// ErrInjectedSyncFail marks an fsync failure manufactured by FS.
+	ErrInjectedSyncFail = errors.New("faultnet: injected fsync failure")
+	// ErrInjectedShortWrite marks a write cut short by FS after delivering
+	// only a prefix of the buffer — the torn-record signature of a crash
+	// or full disk mid-append.
+	ErrInjectedShortWrite = errors.New("faultnet: injected short write")
+)
+
+// FSStats counts the storage faults an FS has injected.
+type FSStats struct {
+	// Writes counts writes that passed through unharmed.
+	Writes int
+	// Syncs counts fsyncs that passed through unharmed.
+	Syncs int
+	// FailedSyncs counts fsyncs failed by injection.
+	FailedSyncs int
+	// ShortWrites counts writes truncated mid-buffer by injection.
+	ShortWrites int
+	// CorruptWrites counts writes delivered with a flipped byte.
+	CorruptWrites int
+}
+
+// FS wraps a durable.FS with armed, deterministic storage faults: the
+// next n fsyncs fail, the next n writes deliver only half the buffer
+// then error, the next n writes land with one byte flipped. Faults are
+// consumed in arming order by whichever file operation hits them first,
+// which makes single-writer tests (the journal serializes appends)
+// exactly reproducible. The zero set of armed faults is a transparent
+// pass-through.
+type FS struct {
+	inner durable.FS
+
+	mu          sync.Mutex
+	failSyncs   int
+	shortWrites int
+	corrupt     int
+	stats       FSStats
+}
+
+// WrapFS returns a fault-injecting filesystem over inner (nil means the
+// operating system).
+func WrapFS(inner durable.FS) *FS {
+	if inner == nil {
+		inner = durable.OS{}
+	}
+	return &FS{inner: inner}
+}
+
+// FailSyncs arms the next n fsyncs (file or directory) to fail with
+// ErrInjectedSyncFail.
+func (f *FS) FailSyncs(n int) {
+	f.mu.Lock()
+	f.failSyncs = n
+	f.mu.Unlock()
+}
+
+// ShortWrites arms the next n writes to deliver only the first half of
+// the buffer and then fail with ErrInjectedShortWrite, leaving a torn
+// frame on disk.
+func (f *FS) ShortWrites(n int) {
+	f.mu.Lock()
+	f.shortWrites = n
+	f.mu.Unlock()
+}
+
+// CorruptWrites arms the next n writes to land in full but with the
+// buffer's middle byte flipped — a frame whose checksum can never match.
+func (f *FS) CorruptWrites(n int) {
+	f.mu.Lock()
+	f.corrupt = n
+	f.mu.Unlock()
+}
+
+// Stats snapshots the fault counters.
+func (f *FS) Stats() FSStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// takeWriteFault consumes one armed write fault, if any: 1 = short write,
+// 2 = corrupt write, 0 = none.
+func (f *FS) takeWriteFault() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.shortWrites > 0 {
+		f.shortWrites--
+		f.stats.ShortWrites++
+		return 1
+	}
+	if f.corrupt > 0 {
+		f.corrupt--
+		f.stats.CorruptWrites++
+		return 2
+	}
+	f.stats.Writes++
+	return 0
+}
+
+// takeSyncFault consumes one armed fsync fault, if any.
+func (f *FS) takeSyncFault() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failSyncs > 0 {
+		f.failSyncs--
+		f.stats.FailedSyncs++
+		return true
+	}
+	f.stats.Syncs++
+	return false
+}
+
+// OpenFile opens name via the inner filesystem and wraps the handle so
+// its writes and fsyncs draw from the armed faults.
+func (f *FS) OpenFile(name string, flag int, perm fs.FileMode) (durable.File, error) {
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{inner: inner, fs: f}, nil
+}
+
+// Rename forwards to the inner filesystem.
+func (f *FS) Rename(oldpath, newpath string) error { return f.inner.Rename(oldpath, newpath) }
+
+// Remove forwards to the inner filesystem.
+func (f *FS) Remove(name string) error { return f.inner.Remove(name) }
+
+// ReadDir forwards to the inner filesystem.
+func (f *FS) ReadDir(dir string) ([]string, error) { return f.inner.ReadDir(dir) }
+
+// MkdirAll forwards to the inner filesystem.
+func (f *FS) MkdirAll(dir string, perm fs.FileMode) error { return f.inner.MkdirAll(dir, perm) }
+
+// SyncDir forwards to the inner filesystem, subject to armed fsync
+// faults.
+func (f *FS) SyncDir(dir string) error {
+	if f.takeSyncFault() {
+		return ErrInjectedSyncFail
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// faultFile is one open file whose writes and fsyncs draw from the
+// wrapping FS's armed faults. Reads always pass through: recovery must
+// see exactly the bytes the faults left behind.
+type faultFile struct {
+	inner durable.File
+	fs    *FS
+}
+
+// Read forwards to the inner file.
+func (ff *faultFile) Read(p []byte) (int, error) { return ff.inner.Read(p) }
+
+// Write delivers p subject to armed faults: a short write lands only the
+// first half and errors, a corrupt write lands in full with the middle
+// byte flipped (and reports success — silent corruption).
+func (ff *faultFile) Write(p []byte) (int, error) {
+	switch ff.fs.takeWriteFault() {
+	case 1:
+		n, err := ff.inner.Write(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		return n, ErrInjectedShortWrite
+	case 2:
+		if len(p) == 0 {
+			return ff.inner.Write(p)
+		}
+		mangled := make([]byte, len(p))
+		copy(mangled, p)
+		mangled[len(mangled)/2] ^= 0xff
+		return ff.inner.Write(mangled)
+	default:
+		return ff.inner.Write(p)
+	}
+}
+
+// Close forwards to the inner file.
+func (ff *faultFile) Close() error { return ff.inner.Close() }
+
+// Sync forwards to the inner file, subject to armed fsync faults.
+func (ff *faultFile) Sync() error {
+	if ff.fs.takeSyncFault() {
+		return ErrInjectedSyncFail
+	}
+	return ff.inner.Sync()
+}
+
+// Truncate forwards to the inner file.
+func (ff *faultFile) Truncate(size int64) error { return ff.inner.Truncate(size) }

@@ -1,0 +1,87 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFSPassThroughWhenUnarmed(t *testing.T) {
+	fs := WrapFS(nil)
+	dir := t.TempDir()
+	f, err := fs.OpenFile(filepath.Join(dir, "plain"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		t.Fatalf("SyncDir: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "plain"))
+	if err != nil || !bytes.Equal(data, []byte("hello")) {
+		t.Fatalf("read back %q (%v), want hello", data, err)
+	}
+	st := fs.Stats()
+	if st.Writes != 1 || st.Syncs != 2 || st.ShortWrites != 0 || st.FailedSyncs != 0 || st.CorruptWrites != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFSFaultsFireInArmingOrderAndDisarm(t *testing.T) {
+	fs := WrapFS(nil)
+	dir := t.TempDir()
+	f, err := fs.OpenFile(filepath.Join(dir, "target"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	defer f.Close()
+
+	// Short write: half the buffer lands, then the injected error.
+	fs.ShortWrites(1)
+	n, err := f.Write([]byte("12345678"))
+	if !errors.Is(err, ErrInjectedShortWrite) || n != 4 {
+		t.Fatalf("short write = (%d, %v), want (4, ErrInjectedShortWrite)", n, err)
+	}
+
+	// Corrupt write: full length, silent success, middle byte flipped.
+	fs.CorruptWrites(1)
+	if _, err := f.Write([]byte("abcd")); err != nil {
+		t.Fatalf("corrupt write reported error: %v", err)
+	}
+
+	// Fsync failure, then pass-through once disarmed.
+	fs.FailSyncs(1)
+	if err := f.Sync(); !errors.Is(err, ErrInjectedSyncFail) {
+		t.Fatalf("Sync = %v, want ErrInjectedSyncFail", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync after disarm: %v", err)
+	}
+	fs.FailSyncs(1)
+	if err := fs.SyncDir(dir); !errors.Is(err, ErrInjectedSyncFail) {
+		t.Fatalf("SyncDir = %v, want ErrInjectedSyncFail", err)
+	}
+
+	data, err := os.ReadFile(filepath.Join(dir, "target"))
+	if err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	want := append([]byte("1234"), 'a', 'b', 'c'^0xff, 'd')
+	if !bytes.Equal(data, want) {
+		t.Fatalf("on-disk bytes = %q, want %q", data, want)
+	}
+	st := fs.Stats()
+	if st.ShortWrites != 1 || st.CorruptWrites != 1 || st.FailedSyncs != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

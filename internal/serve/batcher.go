@@ -47,11 +47,13 @@ func newPending(key string) *pending {
 
 // solveTask is one accepted leader request waiting for a solve round.
 type solveTask struct {
-	p      *pending
-	user   core.UserInput
-	params mec.Params
-	pkey   string // paramsDigest; rounds group by it
-	lane   uint32 // enqueue lane, derived from the graph fingerprint
+	p         *pending
+	user      core.UserInput
+	params    mec.Params
+	pkey      string // paramsDigest; rounds group by it
+	lane      uint32 // enqueue lane, derived from the graph fingerprint
+	jseg      uint64 // journal token from Append, released in finish
+	journaled bool   // jseg is live (a write-ahead record exists)
 }
 
 // batcher coalesces concurrently arriving solve tasks into multi-user

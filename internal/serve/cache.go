@@ -86,6 +86,30 @@ func (c *lruCache) len() int {
 	return c.ll.Len()
 }
 
+// dump visits every entry oldest-to-newest (so re-putting the stream into
+// a fresh cache reproduces this cache's LRU recency). Entries are copied
+// under the lock and fn runs outside it — decisions are immutable, so the
+// copied pointers stay valid; fn returning false stops the walk.
+func (c *lruCache) dump(fn func(key string, dec *Decision) bool) bool {
+	c.mu.Lock()
+	type kv struct {
+		key string
+		dec *Decision
+	}
+	ents := make([]kv, 0, c.ll.Len())
+	for el := c.ll.Back(); el != nil; el = el.Prev() {
+		ent := el.Value.(*lruEntry)
+		ents = append(ents, kv{key: ent.key, dec: ent.dec})
+	}
+	c.mu.Unlock()
+	for _, e := range ents {
+		if !fn(e.key, e.dec) {
+			return false
+		}
+	}
+	return true
+}
+
 // evicted reports the cumulative eviction count.
 func (c *lruCache) evicted() uint64 { return c.evictions.Load() }
 
@@ -146,6 +170,16 @@ func (c *shardedCache) capacity() int {
 		n += sh.cap
 	}
 	return n
+}
+
+// dump visits every entry shard by shard, oldest-to-newest within each
+// shard (see lruCache.dump); fn returning false stops the walk.
+func (c *shardedCache) dump(fn func(key string, dec *Decision) bool) {
+	for _, sh := range c.shards {
+		if !sh.dump(fn) {
+			return
+		}
+	}
 }
 
 // evicted reports the aggregate eviction count across shards.

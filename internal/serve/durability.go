@@ -1,0 +1,449 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"copmecs/internal/core"
+	"copmecs/internal/graph"
+	"copmecs/internal/mec"
+)
+
+// Durability integration: when Config.Journal is set, every accepted
+// leader request is journaled before it is enqueued (write-ahead), and
+// the journal token is released in finish only after the solved decision
+// is published to the cache — so any record a snapshot truncation drops
+// is provably covered by that snapshot, and any record still in the
+// journal at a crash is replayed on the next boot. The warm path (cache
+// hits, followers) never touches the journal, keeping the hot-path cost
+// of durability to one append per distinct cold request.
+//
+// The record payloads reuse the canonical binary graph codec, so a
+// journal record carries exactly the identity the cache keys on:
+// replaying it reproduces the same requestKey the live request had.
+
+// Journal is the write-ahead log the server appends accepted requests
+// to. durable.Store satisfies it structurally; serve stays free of a
+// durable dependency so in-memory serving links no storage code.
+type Journal interface {
+	// Append journals one encoded accepted request, returning a token to
+	// pass to Applied once the decision is published in memory.
+	Append(payload []byte) (uint64, error)
+	// Applied releases one appended record for snapshot truncation.
+	Applied(token uint64)
+}
+
+// Durability record types (first payload byte).
+const (
+	recAccepted uint8 = 1 // journal: one accepted request
+	recDecision uint8 = 2 // snapshot: one cached decision
+	recGraph    uint8 = 3 // snapshot: one interned graph
+	recCounters uint8 = 4 // snapshot: monotonic traffic counters
+)
+
+// RecoveryStats summarises one boot-time Recover pass, surfaced under
+// /v1/stats durability.replay.
+type RecoveryStats struct {
+	// SnapshotGraphs counts graphs re-interned from the snapshot.
+	SnapshotGraphs int `json:"snapshot_graphs"`
+	// SnapshotDecisions counts decisions restored from the snapshot.
+	SnapshotDecisions int `json:"snapshot_decisions"`
+	// JournalRecords counts journal records presented for replay.
+	JournalRecords int `json:"journal_records"`
+	// ReplayWarm counts journal records whose key the restored cache (or
+	// an earlier replayed record) already covered.
+	ReplayWarm int `json:"replay_warm"`
+	// ReplaySolved counts journal records re-solved into the cache.
+	ReplaySolved int `json:"replay_solved"`
+	// ReplayErrors counts replay rounds that failed to solve.
+	ReplayErrors int `json:"replay_errors"`
+	// DecodeErrors counts records that failed to decode (CRC-valid but
+	// semantically unusable — version skew or fault injection).
+	DecodeErrors int `json:"decode_errors"`
+}
+
+// DurabilityStats is the durability section of a Stats snapshot. The
+// journal and snapshot fields come from the daemon's durable store via
+// Config.DurabilityStats; AppendErrors and Replay are the server's own.
+type DurabilityStats struct {
+	// JournalSegments is the number of on-disk journal segments.
+	JournalSegments int `json:"journal_segments"`
+	// JournalRecords counts records journaled since boot.
+	JournalRecords uint64 `json:"journal_records"`
+	// JournalBytes counts journal bytes written since boot.
+	JournalBytes uint64 `json:"journal_bytes"`
+	// AppendErrors counts accepted requests served without a journal
+	// record because Append failed (availability over durability).
+	AppendErrors uint64 `json:"append_errors"`
+	// WriteErrors counts failed journal writes inside the store.
+	WriteErrors uint64 `json:"write_errors"`
+	// FsyncErrors counts failed fsyncs.
+	FsyncErrors uint64 `json:"fsync_errors"`
+	// LastFsyncAgeMs is the age of the last successful journal fsync in
+	// milliseconds (-1 before the first).
+	LastFsyncAgeMs int64 `json:"last_fsync_age_ms"`
+	// SnapshotSeq is the newest committed snapshot's sequence number.
+	SnapshotSeq uint64 `json:"snapshot_seq"`
+	// SnapshotsWritten counts snapshots committed since boot.
+	SnapshotsWritten uint64 `json:"snapshots_written"`
+	// SnapshotErrors counts failed snapshot attempts.
+	SnapshotErrors uint64 `json:"snapshot_errors"`
+	// LastSnapshotAgeMs is the age of the newest snapshot committed this
+	// run in milliseconds (-1 before the first).
+	LastSnapshotAgeMs int64 `json:"last_snapshot_age_ms"`
+	// Replay is the boot-time recovery summary (nil when the server
+	// booted without recovering).
+	Replay *RecoveryStats `json:"replay,omitempty"`
+}
+
+// encodeAccepted renders one accepted request as a journal payload: the
+// record type, the resolved system params, the per-user overrides, and
+// the canonical binary graph — exactly the inputs requestKey hashes, so
+// replay reproduces the live request's cache identity.
+func encodeAccepted(req *SolveRequest, params mec.Params) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteByte(recAccepted)
+	var f [8]byte
+	for _, v := range []float64{
+		params.ServerCapacity, params.DeviceCompute, params.PowerCompute,
+		params.PowerTransmit, params.Bandwidth,
+		req.FixedLocalWork, req.DeviceCompute, req.Bandwidth, req.PowerTransmit,
+	} {
+		binary.LittleEndian.PutUint64(f[:], math.Float64bits(v))
+		buf.Write(f[:])
+	}
+	if err := req.Graph.WriteBinary(&buf); err != nil {
+		return nil, fmt.Errorf("serve: encode accepted: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeAccepted inverts encodeAccepted, applying the same validation as
+// the live decode path (graph limits, non-negative overrides, valid
+// params) so a hostile or version-skewed record can never enter a solve
+// round. It never panics (fuzzed by FuzzJournalReplay in the durable
+// package's integration tests and exercised by recovery).
+func decodeAccepted(payload []byte, limits DecodeLimits) (*SolveRequest, mec.Params, error) {
+	limits = limits.withDefaults()
+	const floats = 9
+	if len(payload) < 1+floats*8 || payload[0] != recAccepted {
+		return nil, mec.Params{}, fmt.Errorf("serve: not an accepted record")
+	}
+	var v [floats]float64
+	for i := 0; i < floats; i++ {
+		bits := binary.LittleEndian.Uint64(payload[1+i*8 : 9+i*8])
+		v[i] = math.Float64frombits(bits)
+		if math.IsNaN(v[i]) || math.IsInf(v[i], 0) {
+			return nil, mec.Params{}, fmt.Errorf("serve: accepted record: non-finite value")
+		}
+	}
+	params := mec.Params{
+		ServerCapacity: v[0], DeviceCompute: v[1], PowerCompute: v[2],
+		PowerTransmit: v[3], Bandwidth: v[4],
+	}
+	if err := params.Validate(); err != nil {
+		return nil, mec.Params{}, fmt.Errorf("serve: accepted record: %w", err)
+	}
+	g, err := graph.ReadBinary(bytes.NewReader(payload[1+floats*8:]))
+	if err != nil {
+		return nil, mec.Params{}, fmt.Errorf("serve: accepted record: %w", err)
+	}
+	if g.NumNodes() == 0 || g.NumNodes() > limits.MaxNodes || g.NumEdges() > limits.MaxEdges {
+		return nil, mec.Params{}, fmt.Errorf("serve: accepted record: graph out of limits")
+	}
+	req := &SolveRequest{
+		Graph:          g,
+		FixedLocalWork: v[5],
+		DeviceCompute:  v[6],
+		Bandwidth:      v[7],
+		PowerTransmit:  v[8],
+	}
+	if req.FixedLocalWork < 0 || req.DeviceCompute < 0 || req.Bandwidth < 0 || req.PowerTransmit < 0 {
+		return nil, mec.Params{}, fmt.Errorf("serve: accepted record: negative override")
+	}
+	return req, params, nil
+}
+
+// encodeGraphRecord renders one interned graph as a snapshot payload.
+func encodeGraphRecord(fp string, g *graph.Graph) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteByte(recGraph)
+	var l [4]byte
+	binary.LittleEndian.PutUint32(l[:], uint32(len(fp)))
+	buf.Write(l[:])
+	buf.WriteString(fp)
+	if err := g.WriteBinary(&buf); err != nil {
+		return nil, fmt.Errorf("serve: encode graph record: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeGraphRecord inverts encodeGraphRecord.
+func decodeGraphRecord(payload []byte, limits DecodeLimits) (string, *graph.Graph, error) {
+	limits = limits.withDefaults()
+	if len(payload) < 5 || payload[0] != recGraph {
+		return "", nil, fmt.Errorf("serve: not a graph record")
+	}
+	n := binary.LittleEndian.Uint32(payload[1:5])
+	if int64(n) > int64(len(payload)-5) {
+		return "", nil, fmt.Errorf("serve: graph record: truncated fingerprint")
+	}
+	fp := string(payload[5 : 5+n])
+	g, err := graph.ReadBinary(bytes.NewReader(payload[5+n:]))
+	if err != nil {
+		return "", nil, fmt.Errorf("serve: graph record: %w", err)
+	}
+	if g.NumNodes() == 0 || g.NumNodes() > limits.MaxNodes || g.NumEdges() > limits.MaxEdges {
+		return "", nil, fmt.Errorf("serve: graph record: graph out of limits")
+	}
+	return fp, g, nil
+}
+
+// encodeDecisionRecord renders one cached decision as a snapshot payload
+// (key length-prefixed, decision as JSON — the snapshot path is cold, so
+// schema-tolerant JSON beats a hand-rolled layout).
+func encodeDecisionRecord(key string, dec *Decision) ([]byte, error) {
+	body, err := json.Marshal(dec)
+	if err != nil {
+		return nil, fmt.Errorf("serve: encode decision record: %w", err)
+	}
+	var buf bytes.Buffer
+	buf.WriteByte(recDecision)
+	var l [4]byte
+	binary.LittleEndian.PutUint32(l[:], uint32(len(key)))
+	buf.Write(l[:])
+	buf.WriteString(key)
+	buf.Write(body)
+	return buf.Bytes(), nil
+}
+
+// decodeDecisionRecord inverts encodeDecisionRecord.
+func decodeDecisionRecord(payload []byte) (string, *Decision, error) {
+	if len(payload) < 5 || payload[0] != recDecision {
+		return "", nil, fmt.Errorf("serve: not a decision record")
+	}
+	n := binary.LittleEndian.Uint32(payload[1:5])
+	if int64(n) > int64(len(payload)-5) {
+		return "", nil, fmt.Errorf("serve: decision record: truncated key")
+	}
+	key := string(payload[5 : 5+n])
+	var dec Decision
+	if err := json.Unmarshal(payload[5+n:], &dec); err != nil {
+		return "", nil, fmt.Errorf("serve: decision record: %w", err)
+	}
+	return key, &dec, nil
+}
+
+// counterSnapshot is the JSON body of a recCounters record: the
+// monotonic traffic counters that survive a restart, so /v1/stats
+// reports service history rather than process history.
+type counterSnapshot struct {
+	Requests    uint64 `json:"requests"`
+	Solved      uint64 `json:"solved"`
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	BodyHits    uint64 `json:"body_hits"`
+	Deduped     uint64 `json:"deduped"`
+}
+
+// encodeCountersRecord renders the traffic counters as a snapshot payload.
+func encodeCountersRecord(c *counters) ([]byte, error) {
+	body, err := json.Marshal(counterSnapshot{
+		Requests:    c.requests.Load(),
+		Solved:      c.solved.Load(),
+		CacheHits:   c.cacheHits.Load(),
+		CacheMisses: c.cacheMisses.Load(),
+		BodyHits:    c.bodyHits.Load(),
+		Deduped:     c.deduped.Load(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serve: encode counters record: %w", err)
+	}
+	return append([]byte{recCounters}, body...), nil
+}
+
+// restoreCountersRecord adds a recCounters payload into the live
+// counters (which are zero at boot, so add = restore).
+func restoreCountersRecord(payload []byte, c *counters) error {
+	if len(payload) < 1 || payload[0] != recCounters {
+		return fmt.Errorf("serve: not a counters record")
+	}
+	var snap counterSnapshot
+	if err := json.Unmarshal(payload[1:], &snap); err != nil {
+		return fmt.Errorf("serve: counters record: %w", err)
+	}
+	c.requests.Add(snap.Requests)
+	c.solved.Add(snap.Solved)
+	c.cacheHits.Add(snap.CacheHits)
+	c.cacheMisses.Add(snap.CacheMisses)
+	c.bodyHits.Add(snap.BodyHits)
+	c.deduped.Add(snap.Deduped)
+	return nil
+}
+
+// WriteSnapshotRecords streams the server's warm state — interned graphs
+// first (so decisions restore against canonical instances), then cached
+// decisions oldest-to-newest (so re-putting them on load reproduces LRU
+// recency), then the traffic counters — through add, one record per
+// call. It is safe to run concurrently with serving: each shard is
+// copied under its own lock and encoded outside it.
+func (s *Server) WriteSnapshotRecords(add func([]byte) error) error {
+	var err error
+	s.graphs.dump(func(fp string, g *graph.Graph) bool {
+		var rec []byte
+		if rec, err = encodeGraphRecord(fp, g); err != nil {
+			return false
+		}
+		if err = add(rec); err != nil {
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	s.cache.dump(func(key string, dec *Decision) bool {
+		var rec []byte
+		if rec, err = encodeDecisionRecord(key, dec); err != nil {
+			return false
+		}
+		if err = add(rec); err != nil {
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	rec, err := encodeCountersRecord(&s.st)
+	if err != nil {
+		return err
+	}
+	return add(rec)
+}
+
+// Recover warms the server from recovered durable state: the snapshot's
+// graphs, decisions and counters are restored directly, then the journal
+// tail — accepted requests whose decisions never reached a snapshot — is
+// replayed through the shared session in admission-sized rounds. Records
+// whose key is already warm are skipped (journal replay is idempotent:
+// segments blocked from truncation replay again harmlessly). Call before
+// Start, before the server accepts traffic; undecodable records and
+// failed rounds are counted, never fatal — recovery prefers a cold key
+// to a dead daemon.
+func (s *Server) Recover(ctx context.Context, snapshot, journal [][]byte) RecoveryStats {
+	var rs RecoveryStats
+	for _, payload := range snapshot {
+		if len(payload) == 0 {
+			rs.DecodeErrors++
+			continue
+		}
+		switch payload[0] {
+		case recGraph:
+			fp, g, err := decodeGraphRecord(payload, s.cfg.Limits)
+			if err != nil {
+				rs.DecodeErrors++
+				continue
+			}
+			s.graphs.intern(fp, g)
+			rs.SnapshotGraphs++
+		case recDecision:
+			key, dec, err := decodeDecisionRecord(payload)
+			if err != nil {
+				rs.DecodeErrors++
+				continue
+			}
+			s.cache.put(key, dec, renderHit(dec))
+			rs.SnapshotDecisions++
+		case recCounters:
+			if err := restoreCountersRecord(payload, &s.st); err != nil {
+				rs.DecodeErrors++
+			}
+		default:
+			rs.DecodeErrors++
+		}
+	}
+	rs.JournalRecords = len(journal)
+
+	// Decode the journal tail, dropping records already warm (restored by
+	// the snapshot or duplicated within the tail), then re-solve the rest
+	// grouped by params digest — the same rounds the batcher would have
+	// formed — so replayed decisions carry live contention figures.
+	type replayItem struct {
+		key    string
+		req    *SolveRequest
+		params mec.Params
+	}
+	seen := make(map[string]bool)
+	groups := make(map[string][]replayItem)
+	var order []string
+	for _, payload := range journal {
+		req, params, err := decodeAccepted(payload, s.cfg.Limits)
+		if err != nil {
+			rs.DecodeErrors++
+			continue
+		}
+		key, fp, err := requestKey(req, params)
+		if err != nil {
+			rs.DecodeErrors++
+			continue
+		}
+		if seen[key] {
+			rs.ReplayWarm++
+			continue
+		}
+		seen[key] = true
+		if _, _, ok := s.cache.get(key); ok {
+			rs.ReplayWarm++
+			continue
+		}
+		req.Graph = s.graphs.intern(fp, req.Graph)
+		pk := paramsDigest(params)
+		if _, ok := groups[pk]; !ok {
+			order = append(order, pk)
+		}
+		groups[pk] = append(groups[pk], replayItem{key: key, req: req, params: params})
+	}
+
+	maxBatch := s.cfg.MaxBatch
+	if maxBatch <= 0 {
+		maxBatch = DefaultMaxBatch
+	}
+	for _, pk := range order {
+		items := groups[pk]
+		for len(items) > 0 {
+			round := items
+			if len(round) > maxBatch {
+				round = round[:maxBatch]
+			}
+			items = items[len(round):]
+			users := make([]core.UserInput, len(round))
+			for i, it := range round {
+				users[i] = core.UserInput{
+					Graph:          it.req.Graph,
+					FixedLocalWork: it.req.FixedLocalWork,
+					DeviceCompute:  it.req.DeviceCompute,
+					Bandwidth:      it.req.Bandwidth,
+					PowerTransmit:  it.req.PowerTransmit,
+				}
+			}
+			sol, err := s.sess.SolveWithParams(ctx, users, round[0].params)
+			if err != nil {
+				rs.ReplayErrors++
+				s.logf("serve: replay round of %d users failed: %v", len(users), err)
+				continue
+			}
+			for i, it := range round {
+				dec := decisionFor(sol, i, len(users))
+				s.cache.put(it.key, dec, renderHit(dec))
+				rs.ReplaySolved++
+			}
+		}
+	}
+	s.recovery.Store(&rs)
+	return rs
+}

@@ -84,6 +84,30 @@ func (c *graphIntern) len() int {
 	return c.ll.Len()
 }
 
+// dump visits every interned graph oldest-to-newest (so re-interning the
+// stream reproduces this table's LRU recency). Entries are copied under
+// the lock and fn runs outside it — interned graphs are immutable; fn
+// returning false stops the walk.
+func (c *graphIntern) dump(fn func(fp string, g *graph.Graph) bool) bool {
+	c.mu.Lock()
+	type kv struct {
+		fp string
+		g  *graph.Graph
+	}
+	ents := make([]kv, 0, c.ll.Len())
+	for el := c.ll.Back(); el != nil; el = el.Prev() {
+		ent := el.Value.(*internEntry)
+		ents = append(ents, kv{fp: ent.fp, g: ent.g})
+	}
+	c.mu.Unlock()
+	for _, e := range ents {
+		if !fn(e.fp, e.g) {
+			return false
+		}
+	}
+	return true
+}
+
 // shardedIntern spreads the graph-intern table over
 // shardCountFor(capacity) graphIntern shards selected by fingerprint
 // prefix, so concurrent interning of different applications never
@@ -131,6 +155,16 @@ func (c *shardedIntern) capacity() int {
 		n += sh.cap
 	}
 	return n
+}
+
+// dump visits every interned graph shard by shard, oldest-to-newest
+// within each shard (see graphIntern.dump); fn returning false stops.
+func (c *shardedIntern) dump(fn func(fp string, g *graph.Graph) bool) {
+	for _, sh := range c.shards {
+		if !sh.dump(fn) {
+			return
+		}
+	}
 }
 
 // reusedCount reports the aggregate reuse count across shards.

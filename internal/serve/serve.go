@@ -121,6 +121,16 @@ type Config struct {
 	MaxBodyBytes int64
 	// Limits bounds decoded graphs (zero = package defaults).
 	Limits DecodeLimits
+	// Journal, when non-nil, receives every accepted leader request as a
+	// write-ahead record before it is enqueued, making accepted work
+	// crash-durable (see durability.go). Nil keeps serving purely
+	// in-memory.
+	Journal Journal
+	// DurabilityStats, when non-nil, supplies the journal/snapshot fields
+	// of the /v1/stats durability section (the daemon wires it to its
+	// durable store); the server fills in its own append-error and replay
+	// fields. Setting Journal or DurabilityStats makes the section appear.
+	DurabilityStats func() DurabilityStats
 	// Logf, when non-nil, receives serving diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -235,6 +245,7 @@ type Server struct {
 	draining atomic.Bool
 	accepted sync.WaitGroup
 	started  atomic.Bool
+	recovery atomic.Pointer[RecoveryStats]
 }
 
 // New returns an unstarted server. cfg.Params must validate.
@@ -330,7 +341,18 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // concurrent storm skews related counters against each other at most by
 // the requests in flight during the scan.
 func (s *Server) Stats() Stats {
+	var durability *DurabilityStats
+	if s.cfg.Journal != nil || s.cfg.DurabilityStats != nil {
+		d := DurabilityStats{LastFsyncAgeMs: -1, LastSnapshotAgeMs: -1}
+		if s.cfg.DurabilityStats != nil {
+			d = s.cfg.DurabilityStats()
+		}
+		d.AppendErrors = s.st.journalErrors.Load()
+		d.Replay = s.recovery.Load()
+		durability = &d
+	}
 	return Stats{
+		Durability:   durability,
 		Requests:     s.st.requests.Load(),
 		Solved:       s.st.solved.Load(),
 		BadRequests:  s.st.badRequests.Load(),
@@ -431,7 +453,19 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// so the session's identity-keyed pipeline cache hits across requests.
 	req.Graph = s.graphs.intern(fp, req.Graph)
 
-	p, leader, aerr := s.admit(key, fp, req, params)
+	// Encode the write-ahead record outside the flight-shard lock; only a
+	// leader admit actually appends it. An encode failure (impossible for
+	// a graph that just decoded) degrades to serving without durability.
+	var jrec []byte
+	if s.cfg.Journal != nil {
+		var jerr error
+		if jrec, jerr = encodeAccepted(req, params); jerr != nil {
+			s.st.journalErrors.Add(1)
+			s.logf("serve: journal encode: %v", jerr)
+		}
+	}
+
+	p, leader, aerr := s.admit(key, fp, req, params, jrec)
 	if aerr != nil {
 		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
 		if errors.Is(aerr, ErrDraining) {
@@ -522,8 +556,11 @@ func (s *Server) resolveSolve(w http.ResponseWriter, r *http.Request) (req *Solv
 // leader, (cell, false, nil) for a follower sharing an in-flight cell,
 // and (nil, false, ErrShed or ErrDraining) for a rejected request.
 // Followers are admitted even while draining: their cell is already
-// accepted work.
-func (s *Server) admit(key, fp string, req *SolveRequest, params mec.Params) (*pending, bool, error) {
+// accepted work. A leader's jrec (when non-nil) is journaled before the
+// task is enqueued — write-ahead: once the solve can produce a 200, the
+// record is already in the OS page cache — and released immediately if
+// the enqueue sheds (a 429 is not accepted work).
+func (s *Server) admit(key, fp string, req *SolveRequest, params mec.Params, jrec []byte) (*pending, bool, error) {
 	sh := s.flight.shard(key)
 	sh.mu.Lock()
 	if p, ok := sh.m[key]; ok {
@@ -549,7 +586,19 @@ func (s *Server) admit(key, fp string, req *SolveRequest, params mec.Params) (*p
 		pkey:   paramsDigest(params),
 		lane:   shardPrefix(fp),
 	}
+	if jrec != nil {
+		if seg, jerr := s.cfg.Journal.Append(jrec); jerr != nil {
+			// Serve anyway: durability degrades, availability does not.
+			s.st.journalErrors.Add(1)
+			s.logf("serve: journal append: %v", jerr)
+		} else {
+			task.jseg, task.journaled = seg, true
+		}
+	}
 	if !s.b.enqueue(task) {
+		if task.journaled {
+			s.cfg.Journal.Applied(task.jseg)
+		}
 		sh.mu.Unlock()
 		return nil, false, ErrShed
 	}
@@ -644,12 +693,19 @@ func (s *Server) solveGroup(ctx context.Context, tasks []*solveTask) {
 }
 
 // finish publishes a task's result: cache fill first (decision plus its
-// pre-rendered hit response), then removal from the singleflight table
-// (so no moment exists where neither covers the key), then the wakeup of
-// every waiter.
+// pre-rendered hit response), then release of the task's journal record
+// — strictly after the cache fill, so a snapshot scan that could observe
+// the segment as fully applied necessarily sees the decision — then
+// removal from the singleflight table (so no moment exists where neither
+// covers the key), then the wakeup of every waiter. A failed task's
+// record is released too: the 500 is a delivered response, and a crash
+// before this point replays (and retries) the request anyway.
 func (s *Server) finish(t *solveTask, dec *Decision, err error) {
 	if dec != nil {
 		s.cache.put(t.p.key, dec, renderHit(dec))
+	}
+	if t.journaled {
+		s.cfg.Journal.Applied(t.jseg)
 	}
 	s.flight.remove(t.p.key)
 	t.p.dec, t.p.err = dec, err

@@ -111,19 +111,20 @@ func (h *histogram) snapshot() HistogramSnapshot {
 // atomics; round-path counters (batches, batchedUsers, maxBatch) are
 // bumped only by the single dispatch goroutine and stay plain atomics.
 type counters struct {
-	requests     padUint64 // POST /v1/solve arrivals
-	solved       padUint64 // 200 responses (cached or fresh)
-	badRequests  padUint64 // 400 responses
-	shed         padUint64 // 429 responses (queue full)
-	drainRejects padUint64 // 503 responses while draining
-	deduped      padUint64 // requests collapsed onto an in-flight twin
-	cacheHits    padUint64
-	cacheMisses  padUint64
-	bodyHits     padUint64 // cache hits resolved by raw-body digest (no decode)
-	solveErrors  padUint64
-	timeouts     padUint64 // 504 responses
-	inFlight     padInt64  // requests currently inside /v1/solve
-	lat          histogram
+	requests      padUint64 // POST /v1/solve arrivals
+	solved        padUint64 // 200 responses (cached or fresh)
+	badRequests   padUint64 // 400 responses
+	shed          padUint64 // 429 responses (queue full)
+	drainRejects  padUint64 // 503 responses while draining
+	deduped       padUint64 // requests collapsed onto an in-flight twin
+	cacheHits     padUint64
+	cacheMisses   padUint64
+	bodyHits      padUint64 // cache hits resolved by raw-body digest (no decode)
+	solveErrors   padUint64
+	timeouts      padUint64 // 504 responses
+	journalErrors padUint64 // accepted requests served without a journal record
+	inFlight      padInt64  // requests currently inside /v1/solve
+	lat           histogram
 
 	batches      atomic.Uint64 // solve rounds dispatched
 	batchedUsers atomic.Uint64 // users across all rounds (incl. multiplicity)
@@ -249,4 +250,8 @@ type Stats struct {
 	Batch BatchStats `json:"batch"`
 	// Latency is the end-to-end /v1/solve latency histogram.
 	Latency HistogramSnapshot `json:"latency_ms"`
+	// Durability is the journal/snapshot/recovery section; nil (omitted)
+	// when the server runs purely in memory, so the flat fields and the
+	// existing sections are byte-identical to a durability-free build.
+	Durability *DurabilityStats `json:"durability,omitempty"`
 }

@@ -155,4 +155,9 @@ func TestStatsJSONShapeKeepsFlatFieldsAndAddsShardSections(t *testing.T) {
 	if enq != 1 {
 		t.Fatalf("total lane enqueued = %v, want 1 (one leader task)", enq)
 	}
+	// The in-memory default carries no durability section: the key is
+	// omitted entirely, not rendered as null.
+	if raw, ok := doc["durability"]; ok {
+		t.Fatalf("durability key present on in-memory server: %v", raw)
+	}
 }

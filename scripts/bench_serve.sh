@@ -37,7 +37,10 @@ go build -o "$bin/copmecsd" ./cmd/copmecsd
 go build -o "$bin/copmecs-loadgen" ./cmd/copmecs-loadgen
 
 mkdir -p "$(dirname "$out")"
-"$bin/copmecsd" -addr "127.0.0.1:$port" >"$bin/copmecsd.log" 2>&1 &
+# The daemon runs with journaling on (group-commit fsync at the default
+# interval), so the QPS gate also guards the durable admit path's cost.
+"$bin/copmecsd" -addr "127.0.0.1:$port" -data-dir "$bin/data" \
+	>"$bin/copmecsd.log" 2>&1 &
 daemon=$!
 
 if ! "$bin/copmecs-loadgen" -addr "http://127.0.0.1:$port" \
