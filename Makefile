@@ -1,10 +1,15 @@
 GO ?= go
 
-.PHONY: all build test race vet vet-json lint fuzz chaos bench bench-core bench-serve clean
+.PHONY: all build test race vet vet-json lint fuzz chaos bench bench-core bench-serve bench-fleet fleet-smoke clean
 
 # Open-loop smoke settings for bench-serve; see scripts/bench_serve.sh.
 BENCH_SERVE_QPS ?= 300
 BENCH_SERVE_DURATION ?= 10s
+
+# Per-backend admission cap and per-size run length for bench-fleet; see
+# scripts/bench_fleet.sh for the capacity-capped methodology.
+BENCH_FLEET_CAP ?= 300
+BENCH_FLEET_DURATION ?= 10s
 
 # Repetitions per benchmark for bench-core; raise for tighter statistics.
 BENCH_COUNT ?= 5
@@ -74,6 +79,19 @@ bench:
 bench-serve:
 	BENCH_SERVE_QPS=$(BENCH_SERVE_QPS) BENCH_SERVE_DURATION=$(BENCH_SERVE_DURATION) \
 		./scripts/bench_serve.sh results/BENCH_serve.json
+
+# bench-fleet measures horizontal scaling through copmecs-router at 1, 2
+# and 4 capacity-capped backends and writes results/BENCH_fleet.json; the
+# script self-gates on >= 1.6x achieved QPS at 2 backends vs 1. After an
+# intentional routing change, refresh the committed file from this target.
+bench-fleet:
+	BENCH_FLEET_CAP=$(BENCH_FLEET_CAP) BENCH_FLEET_DURATION=$(BENCH_FLEET_DURATION) \
+		./scripts/bench_fleet.sh results/BENCH_fleet.json
+
+# fleet-smoke is the fault-tolerance gate CI runs: two backends behind the
+# router, a SIGKILL mid-run, a restart, and zero lost accepted requests.
+fleet-smoke:
+	./scripts/fleet_smoke.sh
 
 # bench-core runs the solve hot-path benchmarks the perf CI gate watches —
 # the Figure 9 solve, Table I compression, and the steady-state allocation

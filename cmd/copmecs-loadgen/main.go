@@ -18,6 +18,12 @@
 // (exercising the full solve path). The same -seed replays the same
 // mixture.
 //
+// Fleet mode (-addrs url1,url2,...) spreads the same workload round-robin
+// over several targets — each copmecsd of a fleet directly, or several
+// copmecs-router fronts — and adds a per-target breakdown to the summary;
+// the top-level fields still aggregate the whole run, so existing gates
+// keep working. scripts/bench_fleet.sh uses it to measure router scaling.
+//
 // The summary is one JSON object (see the result type) written to -o or
 // stdout; scripts/serve_gate.sh compares its achieved_qps against the
 // committed baseline. -fail-5xx makes any 5xx response fatal so CI smoke
@@ -26,6 +32,7 @@
 // Usage:
 //
 //	copmecs-loadgen -addr http://127.0.0.1:8080 -duration 10s -qps 300 -repeat 0.9
+//	copmecs-loadgen -addrs http://127.0.0.1:8081,http://127.0.0.1:8082 -duration 10s
 package main
 
 import (
@@ -39,6 +46,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -94,11 +102,36 @@ type result struct {
 	AchievedQPS float64 `json:"achieved_qps"`
 	// LatencyMs summarises OK-response latency.
 	LatencyMs latencySummary `json:"latency_ms"`
+	// Targets is the per-target breakdown in fleet mode (-addrs with more
+	// than one URL); omitted for single-target runs so the summary shape
+	// is unchanged for existing consumers.
+	Targets []targetSummary `json:"targets,omitempty"`
+}
+
+// targetSummary is one target's slice of a fleet-mode run.
+type targetSummary struct {
+	// Addr is the target's base URL.
+	Addr string `json:"addr"`
+	// Requests counts requests issued to this target.
+	Requests uint64 `json:"requests"`
+	// OK counts 200 responses from this target.
+	OK uint64 `json:"ok"`
+	// Cached counts 200 responses answered from the target's cache.
+	Cached uint64 `json:"cached"`
+	// Shed counts 429 responses from this target.
+	Shed uint64 `json:"shed"`
+	// Errors5xx counts 5xx responses from this target.
+	Errors5xx uint64 `json:"errors_5xx"`
+	// ErrorsOther counts transport failures and unexpected statuses.
+	ErrorsOther uint64 `json:"errors_other"`
+	// AchievedQPS is this target's OK responses per second of run time.
+	AchievedQPS float64 `json:"achieved_qps"`
 }
 
 // sample is one completed request: its outcome and, for OK responses, the
 // observed latency.
 type sample struct {
+	target  int // index into the run's target list
 	status  int
 	cached  bool
 	latency time.Duration
@@ -110,6 +143,7 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("copmecs-loadgen", flag.ContinueOnError)
 	var (
 		addr        = fs.String("addr", "http://127.0.0.1:8080", "copmecsd base URL")
+		addrs       = fs.String("addrs", "", "comma-separated target URLs for fleet mode (overrides -addr)")
 		duration    = fs.Duration("duration", 10*time.Second, "measured run length")
 		qps         = fs.Float64("qps", 0, "open-loop arrival rate (0 = closed loop)")
 		concurrency = fs.Int("concurrency", 8, "closed-loop workers / open-loop max in-flight")
@@ -134,16 +168,30 @@ func run(args []string, out io.Writer) error {
 	if *repeat < 0 || *repeat > 1 {
 		return fmt.Errorf("-repeat must be in [0, 1]")
 	}
+	targets := []string{*addr}
+	if *addrs != "" {
+		targets = targets[:0]
+		for _, a := range strings.Split(*addrs, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				targets = append(targets, a)
+			}
+		}
+		if len(targets) == 0 {
+			return fmt.Errorf("-addrs has no URLs")
+		}
+	}
 
 	client := &http.Client{Timeout: *timeout}
 	if *waitReady > 0 {
-		if err := awaitReady(client, *addr, *waitReady); err != nil {
-			return err
+		for _, target := range targets {
+			if err := awaitReady(client, target, *waitReady); err != nil {
+				return err
+			}
 		}
 	}
 
 	gen := newTrafficGen(*corpus, *nodes, *repeat, *seed)
-	res, err := drive(client, *addr, gen, *duration, *qps, *concurrency)
+	res, err := drive(client, targets, gen, *duration, *qps, *concurrency)
 	if err != nil {
 		return err
 	}
@@ -265,11 +313,11 @@ func graphBody(rng *rand.Rand, nodes int, tag uint64) []byte {
 
 // drive runs the measurement: closed loop when qps == 0, open loop
 // otherwise. It returns the aggregated summary.
-func drive(client *http.Client, addr string, gen *trafficGen, duration time.Duration, qps float64, concurrency int) (*result, error) {
+func drive(client *http.Client, targets []string, gen *trafficGen, duration time.Duration, qps float64, concurrency int) (*result, error) {
 	results := make(chan sample, 4096)
 	var collectorWG sync.WaitGroup
 	collectorWG.Add(1)
-	agg := &aggregator{}
+	agg := newAggregator(len(targets))
 	go func() {
 		defer collectorWG.Done()
 		for s := range results {
@@ -283,15 +331,15 @@ func drive(client *http.Client, addr string, gen *trafficGen, duration time.Dura
 	mode := "closed"
 	if qps > 0 {
 		mode = "open"
-		openLoop(ctx, client, addr, gen, qps, concurrency, results)
+		openLoop(ctx, client, targets, gen, qps, concurrency, results)
 	} else {
-		closedLoop(ctx, client, addr, gen, concurrency, results)
+		closedLoop(ctx, client, targets, gen, concurrency, results)
 	}
 	elapsed := time.Since(start)
 	close(results)
 	collectorWG.Wait()
 
-	res := agg.summary()
+	res := agg.summary(targets, elapsed)
 	res.Mode = mode
 	res.DurationS = elapsed.Seconds()
 	res.TargetQPS = qps
@@ -303,15 +351,18 @@ func drive(client *http.Client, addr string, gen *trafficGen, duration time.Dura
 }
 
 // closedLoop keeps exactly concurrency requests in flight until ctx ends.
-func closedLoop(ctx context.Context, client *http.Client, addr string, gen *trafficGen, concurrency int, results chan<- sample) {
+// In fleet mode each worker pins to one target round-robin, so offered
+// load splits evenly without cross-target coordination.
+func closedLoop(ctx context.Context, client *http.Client, targets []string, gen *trafficGen, concurrency int, results chan<- sample) {
 	var wg sync.WaitGroup
 	for w := 0; w < concurrency; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			target := w % len(targets)
 			rng := rand.New(rand.NewSource(int64(w) + 1))
 			for ctx.Err() == nil {
-				results <- post(ctx, client, addr, gen.body(rng))
+				results <- post(ctx, client, targets[target], target, gen.body(rng))
 			}
 		}(w)
 	}
@@ -323,7 +374,8 @@ func closedLoop(ctx context.Context, client *http.Client, addr string, gen *traf
 // arrivals), with concurrency as a safety cap on in-flight requests —
 // arrivals beyond it are recorded as local sheds rather than crashing the
 // generator on an unresponsive server.
-func openLoop(ctx context.Context, client *http.Client, addr string, gen *trafficGen, qps float64, concurrency int, results chan<- sample) {
+// In fleet mode arrivals rotate round-robin across the targets.
+func openLoop(ctx context.Context, client *http.Client, targets []string, gen *trafficGen, qps float64, concurrency int, results chan<- sample) {
 	interval := time.Duration(float64(time.Second) / qps)
 	if interval <= 0 {
 		interval = time.Microsecond
@@ -339,6 +391,7 @@ func openLoop(ctx context.Context, client *http.Client, addr string, gen *traffi
 	defer ticker.Stop()
 	var wg sync.WaitGroup
 	rng := rand.New(rand.NewSource(7))
+	arrivals := 0
 	for {
 		select {
 		case <-ctx.Done():
@@ -346,27 +399,29 @@ func openLoop(ctx context.Context, client *http.Client, addr string, gen *traffi
 			return
 		case <-ticker.C:
 			body := gen.body(rng)
+			target := arrivals % len(targets)
+			arrivals++
 			select {
 			case sem <- struct{}{}:
 			default:
-				results <- sample{err: fmt.Errorf("in-flight cap %d exceeded", capInflight)}
+				results <- sample{target: target, err: fmt.Errorf("in-flight cap %d exceeded", capInflight)}
 				continue
 			}
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				defer func() { <-sem }()
-				results <- post(ctx, client, addr, body)
+				results <- post(ctx, client, targets[target], target, body)
 			}()
 		}
 	}
 }
 
 // post issues one solve request and classifies the outcome.
-func post(ctx context.Context, client *http.Client, addr string, body []byte) sample {
+func post(ctx context.Context, client *http.Client, addr string, target int, body []byte) sample {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+"/v1/solve", bytes.NewReader(body))
 	if err != nil {
-		return sample{err: err}
+		return sample{target: target, err: err}
 	}
 	req.Header.Set("Content-Type", "application/json")
 	start := time.Now()
@@ -374,12 +429,12 @@ func post(ctx context.Context, client *http.Client, addr string, body []byte) sa
 	if err != nil {
 		if ctx.Err() != nil {
 			// The run ended mid-request; not a server failure.
-			return sample{status: -1}
+			return sample{target: target, status: -1}
 		}
-		return sample{err: err}
+		return sample{target: target, err: err}
 	}
 	defer func() { _ = resp.Body.Close() }()
-	s := sample{status: resp.StatusCode, latency: time.Since(start)}
+	s := sample{target: target, status: resp.StatusCode, latency: time.Since(start)}
 	if resp.StatusCode == http.StatusOK {
 		var ok struct {
 			Cached bool `json:"cached"`
@@ -398,6 +453,17 @@ func post(ctx context.Context, client *http.Client, addr string, body []byte) sa
 type aggregator struct {
 	requests, ok, cached, shed, e5xx, other uint64
 	latencies                               []time.Duration
+	perTarget                               []targetCounts
+}
+
+// targetCounts is one target's slice of the aggregate in fleet mode.
+type targetCounts struct {
+	requests, ok, cached, shed, e5xx, other uint64
+}
+
+// newAggregator sizes the per-target breakdown for n targets.
+func newAggregator(n int) *aggregator {
+	return &aggregator{perTarget: make([]targetCounts, n)}
 }
 
 // add folds one sample.
@@ -406,27 +472,36 @@ func (a *aggregator) add(s sample) {
 		return // cut off by the run deadline; not offered load
 	}
 	a.requests++
+	tc := &a.perTarget[s.target]
+	tc.requests++
 	switch {
 	case s.err != nil:
 		a.other++
+		tc.other++
 	case s.status == http.StatusOK:
 		a.ok++
+		tc.ok++
 		if s.cached {
 			a.cached++
+			tc.cached++
 		}
 		a.latencies = append(a.latencies, s.latency)
 	case s.status == http.StatusTooManyRequests:
 		a.shed++
+		tc.shed++
 	case s.status >= 500 && s.status < 600:
 		a.e5xx++
+		tc.e5xx++
 	default:
 		a.other++
+		tc.other++
 	}
 }
 
 // summary renders the aggregate (AchievedQPS and run metadata are filled
-// by the caller).
-func (a *aggregator) summary() *result {
+// by the caller). The per-target breakdown appears only in fleet mode so
+// single-target consumers see the unchanged summary shape.
+func (a *aggregator) summary(targets []string, elapsed time.Duration) *result {
 	res := &result{
 		Requests:    a.requests,
 		OK:          a.ok,
@@ -434,6 +509,23 @@ func (a *aggregator) summary() *result {
 		Shed:        a.shed,
 		Errors5xx:   a.e5xx,
 		ErrorsOther: a.other,
+	}
+	if len(targets) > 1 {
+		for i, tc := range a.perTarget {
+			ts := targetSummary{
+				Addr:        targets[i],
+				Requests:    tc.requests,
+				OK:          tc.ok,
+				Cached:      tc.cached,
+				Shed:        tc.shed,
+				Errors5xx:   tc.e5xx,
+				ErrorsOther: tc.other,
+			}
+			if elapsed > 0 {
+				ts.AchievedQPS = float64(tc.ok) / elapsed.Seconds()
+			}
+			res.Targets = append(res.Targets, ts)
+		}
 	}
 	if len(a.latencies) == 0 {
 		return res

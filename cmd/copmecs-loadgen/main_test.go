@@ -105,6 +105,51 @@ func TestOpenLoopWritesSummaryFile(t *testing.T) {
 	}
 }
 
+func TestFleetModeSplitsLoadAcrossTargets(t *testing.T) {
+	a := startTarget(t)
+	b := startTarget(t)
+	res := runSummary(t, []string{
+		"-addrs", a.URL + "," + b.URL, "-duration", "400ms", "-concurrency", "4",
+		"-corpus", "4", "-wait-ready", "2s", "-fail-5xx",
+	})
+	if len(res.Targets) != 2 {
+		t.Fatalf("targets = %+v, want a 2-entry breakdown", res.Targets)
+	}
+	var sumOK, sumReq uint64
+	for _, ts := range res.Targets {
+		if ts.OK == 0 {
+			t.Fatalf("target %s saw no successful requests: %+v", ts.Addr, res.Targets)
+		}
+		sumOK += ts.OK
+		sumReq += ts.Requests
+	}
+	if sumOK != res.OK || sumReq != res.Requests {
+		t.Fatalf("per-target sums (ok %d, req %d) != totals (ok %d, req %d)",
+			sumOK, sumReq, res.OK, res.Requests)
+	}
+	if res.Targets[0].Addr != a.URL || res.Targets[1].Addr != b.URL {
+		t.Fatalf("target addrs = %q, %q; want %q, %q",
+			res.Targets[0].Addr, res.Targets[1].Addr, a.URL, b.URL)
+	}
+}
+
+func TestSingleTargetSummaryOmitsTargets(t *testing.T) {
+	ts := startTarget(t)
+	var out bytes.Buffer
+	if err := run([]string{"-addr", ts.URL, "-duration", "200ms", "-concurrency", "2"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(out.Bytes(), &raw); err != nil {
+		t.Fatalf("summary decode: %v", err)
+	}
+	// Single-target consumers (serve gate scripts) parse the summary by
+	// shape; fleet mode must not leak a targets section into their runs.
+	if _, present := raw["targets"]; present {
+		t.Fatalf("single-target summary contains targets: %s", out.String())
+	}
+}
+
 func TestFail5xxPropagates(t *testing.T) {
 	// A target that always answers 500 must fail the run under -fail-5xx.
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {

@@ -8,7 +8,12 @@
 //
 //	POST /v1/solve    {"graph": {...}, "params": {...}} → offloading decision
 //	GET  /v1/healthz  liveness (503 while draining)
+//	GET  /v1/health   probe document: ready/draining state, identity, uptime
 //	GET  /v1/stats    counters, cache/batch stats, latency histogram
+//
+// In a fleet behind copmecs-router, give each backend an -id and
+// optionally cap its throughput with -max-qps so fleet capacity is
+// additive; the router probes /v1/health for quarantine/re-admission.
 //
 // A separate debug address (optional, -debug-addr) serves net/http/pprof;
 // -mutex-profile and -block-profile additionally enable the runtime's
@@ -67,6 +72,9 @@ func run(args []string, stop <-chan os.Signal, out io.Writer) error {
 	fs := flag.NewFlagSet("copmecsd", flag.ContinueOnError)
 	var (
 		addr       = fs.String("addr", ":8080", "service listen address")
+		id         = fs.String("id", "", "backend identity reported by /v1/health (empty = anonymous)")
+		maxQPS     = fs.Float64("max-qps", 0, "admission rate cap in requests/s (0 = unlimited)")
+		rateBurst  = fs.Int("rate-burst", 0, "max-qps burst allowance in requests (0 = max-qps/2)")
 		debugAddr  = fs.String("debug-addr", "", "pprof debug listen address (empty = disabled)")
 		engineName = fs.String("engine", "spectral", "cut engine: spectral, maxflow, kernighan-lin, stoer-wagner")
 		capacity   = fs.Float64("capacity", 0, "edge server capacity (0 = default)")
@@ -133,6 +141,9 @@ func run(args []string, stop <-chan os.Signal, out io.Writer) error {
 	var store *durable.Store
 	var recovered *durable.Recovery
 	cfg := serve.Config{
+		ID:             *id,
+		MaxQPS:         *maxQPS,
+		RateBurst:      *rateBurst,
 		Engine:         engine,
 		Params:         params,
 		Workers:        *workers,

@@ -76,6 +76,30 @@ func TestDaemonServesAndDrains(t *testing.T) {
 		t.Fatalf("healthz = %d, want 200", hr.StatusCode)
 	}
 
+	// The cheap probe endpoint reports readiness and uptime without
+	// touching the solve path; the fleet router's prober polls it.
+	pr, err := http.Get(base + "/v1/health")
+	if err != nil {
+		t.Fatalf("health: %v", err)
+	}
+	if pr.StatusCode != http.StatusOK {
+		t.Fatalf("health = %d, want 200", pr.StatusCode)
+	}
+	var health struct {
+		Status  string  `json:"status"`
+		UptimeS float64 `json:"uptime_s"`
+	}
+	if err := json.NewDecoder(pr.Body).Decode(&health); err != nil {
+		t.Fatalf("health decode: %v", err)
+	}
+	pr.Body.Close()
+	if health.Status != "ready" {
+		t.Fatalf("health status = %q, want ready", health.Status)
+	}
+	if health.UptimeS < 0 {
+		t.Fatalf("health uptime_s = %v, want ≥ 0", health.UptimeS)
+	}
+
 	// Two identical solves: fresh then cached.
 	var cached []bool
 	for i := 0; i < 2; i++ {

@@ -1,0 +1,80 @@
+package router
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLatencyTrackerQuantile(t *testing.T) {
+	var lt latencyTracker
+	if _, ok := lt.quantile(0.99); ok {
+		t.Fatal("empty tracker produced a quantile")
+	}
+	// 99 fast observations and 1 slow one: p50 stays in the fast bucket,
+	// p99 (ceiling semantics) reaches the slow one's bucket bound.
+	for i := 0; i < 99; i++ {
+		lt.observe(200 * time.Microsecond)
+	}
+	lt.observe(40 * time.Millisecond)
+	p50, ok := lt.quantile(0.50)
+	if !ok || p50 != 250*time.Microsecond {
+		t.Fatalf("p50 = %v/%v, want 250µs", p50, ok)
+	}
+	p995, ok := lt.quantile(0.995)
+	if !ok || p995 != 50*time.Millisecond {
+		t.Fatalf("p99.5 = %v/%v, want 50ms bucket bound", p995, ok)
+	}
+}
+
+func TestLatencyTrackerOverflowBucket(t *testing.T) {
+	var lt latencyTracker
+	lt.observe(time.Hour)
+	q, ok := lt.quantile(0.99)
+	if !ok || q != 5*time.Second {
+		t.Fatalf("overflow quantile = %v/%v, want 2× last bound (5s)", q, ok)
+	}
+}
+
+func TestHedgerBudgetColdThenDerived(t *testing.T) {
+	h := &hedger{
+		enabled:    true,
+		mult:       3,
+		min:        10 * time.Millisecond,
+		max:        2 * time.Second,
+		cold:       500 * time.Millisecond,
+		minSamples: 8,
+	}
+	if b := h.budget(); b != h.cold {
+		t.Fatalf("cold budget = %v, want %v", b, h.cold)
+	}
+	// Feed fast samples: the derived budget (3 × p99) falls below the
+	// floor and clamps up to min.
+	for i := 0; i < 100; i++ {
+		h.lat.observe(300 * time.Microsecond)
+	}
+	if b := h.budget(); b != h.min {
+		t.Fatalf("fast-traffic budget = %v, want clamp to %v", b, h.min)
+	}
+	// Slow samples push the budget up to 3 × p99 bucket bound.
+	for i := 0; i < 1000; i++ {
+		h.lat.observe(80 * time.Millisecond)
+	}
+	want := 3 * 100 * time.Millisecond // 80ms lands in the 100ms bucket
+	if b := h.budget(); b != want {
+		t.Fatalf("slow-traffic budget = %v, want %v", b, want)
+	}
+	// A pathological p99 clamps down to max.
+	for i := 0; i < 10000; i++ {
+		h.lat.observe(4 * time.Second)
+	}
+	if b := h.budget(); b != h.max {
+		t.Fatalf("pathological budget = %v, want clamp to %v", b, h.max)
+	}
+}
+
+func TestHedgerDisabled(t *testing.T) {
+	h := &hedger{enabled: false, cold: time.Second}
+	if b := h.budget(); b != 0 {
+		t.Fatalf("disabled hedger budget = %v, want 0", b)
+	}
+}

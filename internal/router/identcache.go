@@ -1,0 +1,107 @@
+package router
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"sync"
+)
+
+// identShards is the fixed shard count of the identity cache. The router's
+// stats path never aggregates under a global lock, so a small power of two
+// is enough to keep digest lookups from serializing.
+const identShards = 16
+
+// defaultIdentCapacity bounds the identity cache when Config leaves it 0.
+const defaultIdentCapacity = 65536
+
+// identCache maps raw-body SHA-256 digests to graph fingerprints so repeat
+// bodies route without a JSON decode — the router-side twin of the
+// backend's body-digest cache. Sharded LRU: digest's leading bytes pick a
+// shard; each shard is an independently locked map + recency list.
+type identCache struct {
+	shards [identShards]identShard
+}
+
+// identShard is one independently locked slice of the identity cache.
+// Lock discipline: shard mutexes are leaves and never held together.
+type identShard struct {
+	mu  sync.Mutex
+	cap int
+	m   map[[sha256.Size]byte]*list.Element
+	lru *list.List // front = most recent; values are *identEntry
+}
+
+// identEntry is one digest → fingerprint binding.
+type identEntry struct {
+	digest [sha256.Size]byte
+	fp     string
+}
+
+// newIdentCache sizes the cache to capacity total entries (≤ 0 = default),
+// split evenly across shards.
+func newIdentCache(capacity int) *identCache {
+	if capacity <= 0 {
+		capacity = defaultIdentCapacity
+	}
+	per := capacity / identShards
+	if per < 1 {
+		per = 1
+	}
+	c := &identCache{}
+	for i := range c.shards {
+		c.shards[i].cap = per
+		c.shards[i].m = make(map[[sha256.Size]byte]*list.Element, per)
+		c.shards[i].lru = list.New()
+	}
+	return c
+}
+
+// shardFor picks the shard owning a digest. SHA-256 output is uniform, so
+// the leading bytes are an unbiased shard index.
+func (c *identCache) shardFor(digest [sha256.Size]byte) *identShard {
+	return &c.shards[(uint(digest[0])|uint(digest[1])<<8)%identShards]
+}
+
+// get returns the fingerprint bound to digest, refreshing its recency.
+func (c *identCache) get(digest [sha256.Size]byte) (fp string, ok bool) {
+	s := c.shardFor(digest)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.m[digest]
+	if !ok {
+		return "", false
+	}
+	s.lru.MoveToFront(el)
+	return el.Value.(*identEntry).fp, true
+}
+
+// put binds digest → fp, evicting the shard's least-recent entry at cap.
+func (c *identCache) put(digest [sha256.Size]byte, fp string) {
+	s := c.shardFor(digest)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.m[digest]; ok {
+		s.lru.MoveToFront(el)
+		el.Value.(*identEntry).fp = fp
+		return
+	}
+	if s.lru.Len() >= s.cap {
+		if back := s.lru.Back(); back != nil {
+			delete(s.m, back.Value.(*identEntry).digest)
+			s.lru.Remove(back)
+		}
+	}
+	s.m[digest] = s.lru.PushFront(&identEntry{digest: digest, fp: fp})
+}
+
+// size reports the total entry count across shards (stats only).
+func (c *identCache) size() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.lru.Len()
+		s.mu.Unlock()
+	}
+	return n
+}

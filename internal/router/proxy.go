@@ -1,0 +1,259 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"copmecs/internal/serve"
+)
+
+// errNoBackend marks a request that found no routable replica at all.
+var errNoBackend = errors.New("router: no ready backend")
+
+// attemptResult is one backend attempt's outcome, delivered on the
+// forward loop's channel.
+type attemptResult struct {
+	idx      int // position in the replica list (0 = owner)
+	status   int
+	ctype    string
+	body     []byte
+	b        *backend
+	err      error // transport/read failure; nil on any HTTP response
+	canceled bool  // err caused by our own context cancel (hedge loser)
+	began    time.Time
+}
+
+// errorJSON renders the router's own error responses in the backends'
+// {"error": ...} shape so clients see one vocabulary.
+func errorJSON(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+	}{Error: msg})
+}
+
+// handleSolve proxies one solve: resolve the body's graph fingerprint
+// (identity cache first, JSON decode only on a miss), pick the replica
+// list from the ring, and forward the raw bytes with failover and hedging.
+func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		errorJSON(w, http.StatusMethodNotAllowed, "router: POST only")
+		return
+	}
+	rt.requests.Add(1)
+	rt.inflight.Add(1)
+	defer rt.inflight.Add(-1)
+	if rt.draining.Load() {
+		rt.drainRejects.Add(1)
+		w.Header().Set("Retry-After", "1")
+		errorJSON(w, http.StatusServiceUnavailable, "router: draining")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes))
+	if err != nil {
+		rt.badRequests.Add(1)
+		errorJSON(w, http.StatusBadRequest, "router: unreadable or oversized body")
+		return
+	}
+
+	digest := sha256.Sum256(body)
+	fp, ok := rt.ident.get(digest)
+	if ok {
+		rt.identHits.Add(1)
+	} else {
+		req, err := serve.DecodeSolveRequest(bytes.NewReader(body), rt.cfg.Limits)
+		if err != nil {
+			rt.badRequests.Add(1)
+			errorJSON(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		fp, err = req.Graph.Fingerprint()
+		if err != nil {
+			rt.badRequests.Add(1)
+			errorJSON(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		rt.ident.put(digest, fp)
+		rt.identMisses.Add(1)
+	}
+
+	res := rt.forward(r.Context(), fp, body)
+	switch {
+	case errors.Is(res.err, errNoBackend):
+		rt.noBackend.Add(1)
+		w.Header().Set("Retry-After", "1")
+		errorJSON(w, http.StatusServiceUnavailable, errNoBackend.Error())
+	case res.err != nil:
+		rt.unreachable.Add(1)
+		errorJSON(w, http.StatusBadGateway,
+			fmt.Sprintf("router: all replicas failed: %v", res.err))
+	default:
+		if res.ctype != "" {
+			w.Header().Set("Content-Type", res.ctype)
+		}
+		w.WriteHeader(res.status)
+		_, _ = w.Write(res.body)
+	}
+}
+
+// replicasFor resolves the attempt order for a fingerprint. The ready ring
+// decides; if quarantine emptied it, every configured backend becomes a
+// last-resort candidate (ordered by a full-membership ring) — a crashed
+// fleet member may be back before its probes say so, and trying beats a
+// guaranteed 503.
+func (rt *Router) replicasFor(fp string) []*backend {
+	ring := rt.ring.Load()
+	names := ring.Replicas(fp, rt.cfg.MaxAttempts)
+	if len(names) == 0 {
+		names = NewRing(backendNames(rt.backends), rt.cfg.Vnodes).
+			Replicas(fp, rt.cfg.MaxAttempts)
+	}
+	reps := make([]*backend, 0, len(names))
+	for _, n := range names {
+		reps = append(reps, rt.byName[n])
+	}
+	return reps
+}
+
+// backendNames projects a backend slice onto its names.
+func backendNames(bs []*backend) []string {
+	names := make([]string, len(bs))
+	for i, b := range bs {
+		names[i] = b.name
+	}
+	return names
+}
+
+// forward tries the fingerprint's replicas until one returns a usable
+// response. Three escalation paths share the replica list:
+//
+//   - hard failure (transport error, 503): launch the next replica
+//     immediately and report the failure to the prober;
+//   - slow primary: after the hedge budget, launch the next replica
+//     speculatively while the primary keeps running — first usable
+//     response wins, the loser's context is canceled on return;
+//   - client gone: every attempt dies with the request context.
+func (rt *Router) forward(ctx context.Context, fp string, body []byte) attemptResult {
+	reps := rt.replicasFor(fp)
+	if len(reps) == 0 {
+		return attemptResult{err: errNoBackend}
+	}
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel() // reaps hedge losers and abandoned attempts
+
+	results := make(chan attemptResult, len(reps))
+	next := 0
+	launch := func() {
+		idx := next
+		next++
+		rt.forwards.Add(1)
+		go rt.attempt(actx, reps[idx], idx, body, results)
+	}
+	launch()
+
+	var hedgeC <-chan time.Time
+	if b := rt.hedge.budget(); b > 0 && len(reps) > 1 {
+		t := time.NewTimer(b)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+	hedgedFrom := len(reps) + 1 // attempts at/after this index are hedges
+	outstanding := 1
+	var lastFail attemptResult
+	for {
+		select {
+		case res := <-results:
+			outstanding--
+			if res.err == nil && res.status != http.StatusServiceUnavailable {
+				if res.idx >= hedgedFrom {
+					rt.hedge.won.Add(1)
+				}
+				rt.hedge.lat.observe(time.Since(res.began))
+				return res
+			}
+			// Hard failure: report transport errors for fast quarantine
+			// (a 503 means draining — the prober will see that itself).
+			if res.err != nil && !res.canceled {
+				rt.prober.noteFailure(res.b, res.err.Error())
+			}
+			lastFail = res
+			if next < len(reps) {
+				rt.failovers.Add(1)
+				launch()
+				outstanding++
+			} else if outstanding == 0 {
+				if lastFail.err == nil {
+					// Every replica answered 503: surface the last one
+					// verbatim (it carries the backend's Retry-After body).
+					return lastFail
+				}
+				return attemptResult{err: lastFail.err}
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if next < len(reps) {
+				rt.hedge.fired.Add(1)
+				hedgedFrom = next
+				launch()
+				outstanding++
+			}
+		case <-ctx.Done():
+			return attemptResult{err: ctx.Err()}
+		}
+	}
+}
+
+// attempt sends the raw body to one backend and reports the outcome. The
+// response body is read fully here so the forward loop can race attempts
+// without holding response streams open.
+func (rt *Router) attempt(ctx context.Context, b *backend, idx int, body []byte, out chan<- attemptResult) {
+	res := attemptResult{idx: idx, b: b, began: time.Now()}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.url+"/v1/solve", bytes.NewReader(body))
+	if err != nil {
+		res.err = err
+		out <- res
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.ContentLength = int64(len(body))
+	b.forwarded.Add(1)
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		res.err = err
+		// If our context died first, this is a loss to a faster replica
+		// (or the client hanging up) — our own cancel, not the backend's
+		// fault: don't count it against the backend.
+		if ctx.Err() != nil {
+			res.canceled = true
+		} else {
+			b.errors.Add(1)
+		}
+		out <- res
+		return
+	}
+	rb, err := io.ReadAll(io.LimitReader(resp.Body, rt.cfg.MaxBodyBytes))
+	_ = resp.Body.Close()
+	if err != nil {
+		res.err = err
+		if ctx.Err() != nil {
+			res.canceled = true
+		} else {
+			b.errors.Add(1)
+		}
+		out <- res
+		return
+	}
+	res.status = resp.StatusCode
+	res.ctype = resp.Header.Get("Content-Type")
+	res.body = rb
+	out <- res
+}

@@ -1,0 +1,343 @@
+// Package router is the horizontal serving tier in front of a copmecsd
+// fleet: a stateless reverse proxy that routes each solve request to the
+// backend owning its graph fingerprint on a consistent-hash ring.
+//
+// Fingerprint routing is what makes a fleet of independent copmecsd
+// processes behave like one big cache: every repeat of a graph lands on
+// the same backend, so that backend's solution cache, body-digest cache,
+// and interned session pipelines stay hot while the others never waste
+// memory on the key. The router keeps its own raw-body digest → fingerprint
+// cache, so repeat bodies are routed without JSON decoding — the same
+// identity trick the backends use, applied one tier up.
+//
+// Three mechanisms keep the tier available while backends come and go:
+//
+//   - Health probing. A prober sweeps every backend's GET /v1/health;
+//     repeated failures quarantine a backend (it leaves the ring, its arcs
+//     flow to ring neighbours), repeated successes re-admit it. Proxy
+//     transport errors feed the same state machine, so a crashed backend
+//     is ejected on first contact.
+//   - Failover. A transport error or a 503 on one attempt retries the
+//     next distinct replica clockwise on the ring, deterministically.
+//   - Hedging. An attempt outliving a p99-derived latency budget earns a
+//     speculative duplicate on the next replica; first success wins and
+//     the loser is canceled. Solves are idempotent and cached, so the
+//     duplicate is safe and usually cheap for the second backend.
+//
+// GET /v1/stats aggregates the fleet: every backend's stats document is
+// fetched, summed (latency histograms merged bucket-wise), and returned
+// alongside the router's own routing/probe/hedge sections.
+package router
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"copmecs/internal/serve"
+)
+
+// Default tuning. Every value is overridable through Config.
+const (
+	// DefaultProbeInterval is the health sweep period.
+	DefaultProbeInterval = 500 * time.Millisecond
+	// DefaultProbeTimeout bounds one health check.
+	DefaultProbeTimeout = 2 * time.Second
+	// DefaultQuarantineAfter is the consecutive-failure threshold.
+	DefaultQuarantineAfter = 2
+	// DefaultReadmitAfter is the consecutive-success threshold.
+	DefaultReadmitAfter = 2
+	// DefaultHedgeMultiplier scales the observed p99 into the hedge budget.
+	DefaultHedgeMultiplier = 3
+	// DefaultHedgeMin floors the hedge budget so hedges never fire inside
+	// normal cache-hit latency jitter.
+	DefaultHedgeMin = 10 * time.Millisecond
+	// DefaultHedgeMax caps the hedge budget.
+	DefaultHedgeMax = 2 * time.Second
+	// DefaultHedgeCold is the budget before enough samples exist.
+	DefaultHedgeCold = 500 * time.Millisecond
+	// DefaultHedgeMinSamples is how many forward latencies must be observed
+	// before the p99-derived budget replaces the cold-start one.
+	DefaultHedgeMinSamples = 32
+	// DefaultForwardTimeout bounds one proxied solve attempt end to end.
+	DefaultForwardTimeout = 30 * time.Second
+	// DefaultStatsTimeout bounds one backend's stats fetch during
+	// aggregation.
+	DefaultStatsTimeout = 2 * time.Second
+	// DefaultMaxAttempts caps the distinct replicas tried per request
+	// (failover plus hedge), unless the ring is smaller.
+	DefaultMaxAttempts = 3
+)
+
+// BackendConfig names one fleet member.
+type BackendConfig struct {
+	// Name is the backend's stable identity on the ring. Ring placement
+	// hashes the name, not the URL, so a backend keeps its arcs across
+	// address changes (restart on a new port).
+	Name string
+	// URL is the backend's base URL, e.g. "http://127.0.0.1:8080".
+	URL string
+}
+
+// Config parameterizes a Router. The zero value of each field means its
+// package default; Backends is the only required field.
+type Config struct {
+	// Backends is the fleet (at least one member, unique names).
+	Backends []BackendConfig
+	// Vnodes is the virtual nodes per backend on the ring.
+	Vnodes int
+	// MaxAttempts caps distinct replicas tried per request.
+	MaxAttempts int
+	// ProbeInterval is the health sweep period.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one health check.
+	ProbeTimeout time.Duration
+	// QuarantineAfter is the consecutive-failure threshold for ejection.
+	QuarantineAfter int
+	// ReadmitAfter is the consecutive-success threshold for re-admission.
+	ReadmitAfter int
+	// DisableHedge turns speculative duplicates off (failover retry on
+	// hard errors still applies).
+	DisableHedge bool
+	// HedgeMultiplier scales the observed p99 into the hedge budget.
+	HedgeMultiplier float64
+	// HedgeMin floors the hedge budget.
+	HedgeMin time.Duration
+	// HedgeMax caps the hedge budget.
+	HedgeMax time.Duration
+	// HedgeCold is the hedge budget before HedgeMinSamples observations.
+	HedgeCold time.Duration
+	// HedgeMinSamples gates the p99-derived budget.
+	HedgeMinSamples int
+	// ForwardTimeout bounds one proxied attempt.
+	ForwardTimeout time.Duration
+	// StatsTimeout bounds one backend stats fetch during aggregation.
+	StatsTimeout time.Duration
+	// MaxBodyBytes caps one request body (≤ 0 = serve.DefaultMaxBodyBytes).
+	MaxBodyBytes int64
+	// Limits bounds request decoding on the identity-cache miss path.
+	Limits serve.DecodeLimits
+	// IdentCacheSize caps the digest → fingerprint identity cache.
+	IdentCacheSize int
+	// Logf receives operational log lines (nil = discard).
+	Logf func(format string, args ...any)
+}
+
+// withDefaults resolves zero fields to package defaults.
+func (c Config) withDefaults() Config {
+	if c.Vnodes <= 0 {
+		c.Vnodes = DefaultVnodes
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = DefaultMaxAttempts
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = DefaultProbeInterval
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = DefaultProbeTimeout
+	}
+	if c.QuarantineAfter <= 0 {
+		c.QuarantineAfter = DefaultQuarantineAfter
+	}
+	if c.ReadmitAfter <= 0 {
+		c.ReadmitAfter = DefaultReadmitAfter
+	}
+	if c.HedgeMultiplier <= 0 {
+		c.HedgeMultiplier = DefaultHedgeMultiplier
+	}
+	if c.HedgeMin <= 0 {
+		c.HedgeMin = DefaultHedgeMin
+	}
+	if c.HedgeMax <= 0 {
+		c.HedgeMax = DefaultHedgeMax
+	}
+	if c.HedgeCold <= 0 {
+		c.HedgeCold = DefaultHedgeCold
+	}
+	if c.HedgeMinSamples <= 0 {
+		c.HedgeMinSamples = DefaultHedgeMinSamples
+	}
+	if c.ForwardTimeout <= 0 {
+		c.ForwardTimeout = DefaultForwardTimeout
+	}
+	if c.StatsTimeout <= 0 {
+		c.StatsTimeout = DefaultStatsTimeout
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = serve.DefaultMaxBodyBytes
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Router fronts a copmecsd fleet: fingerprint-consistent routing, health
+// probing with quarantine, failover, hedging, and fleet-wide stats.
+type Router struct {
+	cfg      Config
+	backends []*backend
+	byName   map[string]*backend
+	ring     atomic.Pointer[Ring] // ready members only; swapped on transitions
+	prober   *prober
+	hedge    *hedger
+	ident    *identCache
+	client   *http.Client
+	begin    time.Time
+
+	mu        sync.Mutex         // guards stopProbe
+	stopProbe context.CancelFunc // cancels the prober; nil before Start
+
+	draining atomic.Bool
+	inflight atomic.Int64
+
+	requests     atomic.Uint64 // POST /v1/solve arrivals
+	forwards     atomic.Uint64 // attempts sent to backends
+	failovers    atomic.Uint64 // attempts relaunched after a hard failure
+	badRequests  atomic.Uint64 // 400 responses (undecodable on ident miss)
+	noBackend    atomic.Uint64 // 503 responses with an empty ring
+	unreachable  atomic.Uint64 // 502 responses after exhausting replicas
+	drainRejects atomic.Uint64 // 503 responses while draining
+	identHits    atomic.Uint64 // bodies routed without JSON decode
+	identMisses  atomic.Uint64 // bodies decoded to learn their fingerprint
+}
+
+// New validates cfg and builds a Router. All backends start ready (the
+// first probe sweep corrects optimism within one interval); call Start to
+// begin probing, then serve Handler.
+func New(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("router: no backends configured")
+	}
+	rt := &Router{
+		cfg:    cfg,
+		byName: make(map[string]*backend, len(cfg.Backends)),
+		ident:  newIdentCache(cfg.IdentCacheSize),
+		begin:  time.Now(),
+		client: &http.Client{
+			Timeout: cfg.ForwardTimeout,
+			Transport: &http.Transport{
+				MaxIdleConns:        256,
+				MaxIdleConnsPerHost: 64,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		},
+	}
+	for _, bc := range cfg.Backends {
+		if bc.Name == "" {
+			return nil, fmt.Errorf("router: backend with empty name")
+		}
+		if _, dup := rt.byName[bc.Name]; dup {
+			return nil, fmt.Errorf("router: duplicate backend name %q", bc.Name)
+		}
+		u, err := url.Parse(bc.URL)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return nil, fmt.Errorf("router: backend %s: bad URL %q", bc.Name, bc.URL)
+		}
+		b := &backend{name: bc.Name, url: strings.TrimRight(bc.URL, "/")}
+		rt.backends = append(rt.backends, b)
+		rt.byName[bc.Name] = b
+	}
+	rt.hedge = &hedger{
+		enabled:    !cfg.DisableHedge,
+		mult:       cfg.HedgeMultiplier,
+		min:        cfg.HedgeMin,
+		max:        cfg.HedgeMax,
+		cold:       cfg.HedgeCold,
+		minSamples: uint64(cfg.HedgeMinSamples),
+	}
+	rt.prober = &prober{
+		backends:     rt.backends,
+		client:       rt.client,
+		interval:     cfg.ProbeInterval,
+		timeout:      cfg.ProbeTimeout,
+		failAfter:    cfg.QuarantineAfter,
+		readmitAfter: cfg.ReadmitAfter,
+		onChange:     rt.rebuildRing,
+		logf:         cfg.Logf,
+		done:         make(chan struct{}),
+	}
+	rt.rebuildRing()
+	return rt, nil
+}
+
+// rebuildRing swaps in a fresh ring over the currently ready backends.
+// Called at construction and on every quarantine/re-admission; requests in
+// flight keep the ring they loaded (immutable), new requests see the swap.
+func (rt *Router) rebuildRing() {
+	names := make([]string, 0, len(rt.backends))
+	for _, b := range rt.backends {
+		if b.ready() {
+			names = append(names, b.name)
+		}
+	}
+	rt.ring.Store(NewRing(names, rt.cfg.Vnodes))
+}
+
+// Start launches the health prober. The prober stops when ctx is canceled
+// or Drain runs, whichever comes first.
+func (rt *Router) Start(ctx context.Context) {
+	pctx, cancel := context.WithCancel(ctx)
+	rt.mu.Lock()
+	rt.stopProbe = cancel
+	rt.mu.Unlock()
+	go rt.prober.run(pctx)
+}
+
+// Drain stops admitting solves (503 with Retry-After), stops the prober,
+// and waits for in-flight requests to finish or ctx to expire.
+func (rt *Router) Drain(ctx context.Context) error {
+	rt.draining.Store(true)
+	rt.mu.Lock()
+	cancel := rt.stopProbe
+	rt.mu.Unlock()
+	if cancel != nil {
+		cancel()
+		<-rt.prober.done
+	}
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for rt.inflight.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("router: drain: %d requests still in flight: %w",
+				rt.inflight.Load(), ctx.Err())
+		case <-tick.C:
+		}
+	}
+	return nil
+}
+
+// Handler returns the router's HTTP mux: POST /v1/solve (proxy),
+// GET /v1/stats (fleet aggregate), GET /v1/health (probe document), and
+// GET /v1/healthz (load-balancer liveness: 503 once draining).
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/solve", rt.handleSolve)
+	mux.HandleFunc("/v1/stats", rt.handleStats)
+	mux.HandleFunc("/v1/health", rt.handleHealth)
+	mux.HandleFunc("/v1/healthz", rt.handleHealthz)
+	return mux
+}
+
+// handleHealthz is the binary liveness probe: 200 until draining, then 503.
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	if rt.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = io.WriteString(w, "draining\n")
+		return
+	}
+	_, _ = io.WriteString(w, "ok\n")
+}

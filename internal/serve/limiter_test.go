@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRateLimiterNilAllowsEverything(t *testing.T) {
+	var l *rateLimiter
+	for i := 0; i < 1000; i++ {
+		if !l.allow() {
+			t.Fatal("nil limiter refused a request")
+		}
+	}
+}
+
+func TestRateLimiterBurstThenRefill(t *testing.T) {
+	// 100 QPS with a burst of 10: the first ~10 immediate requests pass,
+	// the 50th immediate request cannot.
+	l := newRateLimiter(100, 10)
+	allowed := 0
+	for i := 0; i < 50; i++ {
+		if l.allow() {
+			allowed++
+		}
+	}
+	if allowed < 10 || allowed > 12 {
+		t.Fatalf("immediate burst admitted %d, want ≈10", allowed)
+	}
+	// After the emission interval passes, capacity returns.
+	time.Sleep(25 * time.Millisecond)
+	if !l.allow() {
+		t.Fatal("no admission after refill interval")
+	}
+}
+
+func TestRateLimiterSustainedRate(t *testing.T) {
+	// Hammer a 200 QPS limiter for 250ms: admissions must stay within the
+	// burst plus the rate budget for the window (generous upper bound to
+	// stay robust on a loaded runner).
+	l := newRateLimiter(200, 5)
+	start := time.Now()
+	allowed := 0
+	for time.Since(start) < 250*time.Millisecond {
+		if l.allow() {
+			allowed++
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	max := int(200*elapsed) + 5 + 2
+	if allowed > max {
+		t.Fatalf("admitted %d in %.0fms, budget %d", allowed, elapsed*1000, max)
+	}
+	if allowed < 5 {
+		t.Fatalf("admitted only %d, want at least the burst", allowed)
+	}
+}
+
+func TestRateLimiterConcurrentBudget(t *testing.T) {
+	// 16 goroutines racing the CAS loop must not over-admit: the total
+	// stays within burst + rate×elapsed, and nobody deadlocks.
+	l := newRateLimiter(500, 8)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	total := 0
+	start := time.Now()
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := 0
+			for i := 0; i < 2000; i++ {
+				if l.allow() {
+					n++
+				}
+			}
+			mu.Lock()
+			total += n
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	max := int(500*elapsed) + 8 + 2
+	if total > max {
+		t.Fatalf("concurrent admissions %d exceed budget %d (%.0fms run)", total, max, elapsed*1000)
+	}
+}
+
+func TestServerRateLimitSheds429(t *testing.T) {
+	// A capped server sheds excess offered load with 429 + Retry-After
+	// before reading the body, and counts it under rate_limited (not shed).
+	s := newTestServer(t, Config{MaxQPS: 50, RateBurst: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.Start(ctx)
+	defer func() {
+		dctx, dcancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer dcancel()
+		_ = s.Drain(dctx)
+	}()
+
+	body := solveBody(t, testGraph(t, 0))
+	limited := 0
+	for i := 0; i < 40; i++ {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/v1/solve", bytes.NewReader(body))
+		s.handleSolve(rec, req.WithContext(ctx))
+		switch rec.Code {
+		case http.StatusOK:
+		case http.StatusTooManyRequests:
+			limited++
+			if rec.Header().Get("Retry-After") == "" {
+				t.Fatal("429 without Retry-After")
+			}
+		default:
+			t.Fatalf("request %d: status %d", i, rec.Code)
+		}
+	}
+	if limited == 0 {
+		t.Fatal("no request was rate limited at 40 back-to-back arrivals against a 50 QPS cap")
+	}
+	st := s.Stats()
+	if st.RateLimited != uint64(limited) {
+		t.Fatalf("stats.RateLimited = %d, want %d", st.RateLimited, limited)
+	}
+	if st.Shed != 0 {
+		t.Fatalf("stats.Shed = %d, want 0 (rate-limit sheds are counted separately)", st.Shed)
+	}
+}
+
+func TestHealthEndpointReportsStateAndUptime(t *testing.T) {
+	s := newTestServer(t, Config{ID: "backend-7"})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.Start(ctx)
+
+	rec := httptest.NewRecorder()
+	s.handleHealth(rec, httptest.NewRequest(http.MethodGet, "/v1/health", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("health status = %d, want 200", rec.Code)
+	}
+	var h HealthResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatalf("decode health: %v", err)
+	}
+	if h.Status != "ready" {
+		t.Fatalf("status = %q, want ready", h.Status)
+	}
+	if h.ID != "backend-7" {
+		t.Fatalf("id = %q, want backend-7", h.ID)
+	}
+	if h.UptimeS < 0 {
+		t.Fatalf("uptime_s = %v, want ≥ 0", h.UptimeS)
+	}
+
+	// POST is rejected; the endpoint is a read-only probe.
+	rec = httptest.NewRecorder()
+	s.handleHealth(rec, httptest.NewRequest(http.MethodPost, "/v1/health", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST health = %d, want 405", rec.Code)
+	}
+
+	// A draining server still answers 200 but reports it, unlike
+	// /v1/healthz which flips to 503 — that contrast is the point of
+	// having both endpoints.
+	dctx, dcancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer dcancel()
+	if err := s.Drain(dctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	rec = httptest.NewRecorder()
+	s.handleHealth(rec, httptest.NewRequest(http.MethodGet, "/v1/health", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("draining health status = %d, want 200", rec.Code)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatalf("decode draining health: %v", err)
+	}
+	if h.Status != "draining" {
+		t.Fatalf("draining status = %q, want draining", h.Status)
+	}
+}

@@ -80,6 +80,18 @@ var (
 // Config tunes a Server. The zero value serves with the spectral engine,
 // mec.Defaults(), and the package's batching/admission defaults.
 type Config struct {
+	// ID names this backend in a fleet; it is reported by GET /v1/health
+	// so a router's prober can tell instances apart. Empty is fine for a
+	// standalone daemon.
+	ID string
+	// MaxQPS caps admitted /v1/solve requests per second (0 = unlimited).
+	// Arrivals beyond the cap are shed with 429 before the body is read.
+	// Capping per-backend throughput makes fleet capacity additive, which
+	// is what the fleet scaling benchmark measures.
+	MaxQPS float64
+	// RateBurst is the MaxQPS burst allowance in requests (≤ 0 picks
+	// max(1, MaxQPS/2)). Ignored when MaxQPS is 0.
+	RateBurst int
 	// Engine is the minimum-cut engine (nil = core.SpectralEngine{}); a
 	// parallel.FallbackRunner-backed core.ClusterEngine plugs in here to
 	// serve from an executor fleet with local degradation.
@@ -233,14 +245,16 @@ type ErrorResponse struct {
 // cache shortcutting repeat work. Construct with New, start the dispatch
 // loop with Start, expose Handler over HTTP, and stop with Drain.
 type Server struct {
-	cfg    Config
-	cache  *shardedCache
-	bodies *bodyCache
-	st     counters
-	b      *batcher
-	sess   *core.Session
-	graphs *shardedIntern
-	flight *flightTable
+	cfg     Config
+	cache   *shardedCache
+	bodies  *bodyCache
+	st      counters
+	b       *batcher
+	sess    *core.Session
+	graphs  *shardedIntern
+	flight  *flightTable
+	limiter *rateLimiter
+	begin   time.Time
 
 	draining atomic.Bool
 	accepted sync.WaitGroup
@@ -259,6 +273,10 @@ func New(cfg Config) (*Server, error) {
 		cache:  newShardedCache(cfg.CacheSize),
 		bodies: newBodyCache(cfg.CacheSize),
 		flight: newFlightTable(),
+		begin:  time.Now(),
+	}
+	if cfg.MaxQPS > 0 {
+		s.limiter = newRateLimiter(cfg.MaxQPS, cfg.RateBurst)
 	}
 	// One Session per server: rounds over a repeat graph skip compression
 	// and cuts entirely (only Algorithm 2's greedy reruns). Params vary per
@@ -357,6 +375,7 @@ func (s *Server) Stats() Stats {
 		Solved:       s.st.solved.Load(),
 		BadRequests:  s.st.badRequests.Load(),
 		Shed:         s.st.shed.Load(),
+		RateLimited:  s.st.rateLimited.Load(),
 		DrainRejects: s.st.drainRejects.Load(),
 		Deduped:      s.st.deduped.Load(),
 		SolveErrors:  s.st.solveErrors.Load(),
@@ -392,14 +411,48 @@ func (s *Server) Stats() Stats {
 }
 
 // Handler returns the service mux: POST /v1/solve, GET /v1/healthz,
-// GET /v1/stats. Profiling lives on the daemon's separate debug mux, not
-// here, so the service port never exposes pprof.
+// GET /v1/health, GET /v1/stats. Profiling lives on the daemon's separate
+// debug mux, not here, so the service port never exposes pprof.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/solve", s.handleSolve)
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/health", s.handleHealth)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	return mux
+}
+
+// HealthResponse is the GET /v1/health body: the cheap probe document a
+// fleet router polls. Unlike /v1/healthz (which flips to 503 for load
+// balancers), /v1/health always answers 200 and reports the state in the
+// body, so a prober can distinguish "draining" from "dead" and never
+// touches the solve path.
+type HealthResponse struct {
+	// Status is "ready" or "draining".
+	Status string `json:"status"`
+	// ID is the backend's configured identity (omitted when unset).
+	ID string `json:"id,omitempty"`
+	// UptimeS is seconds since the server was constructed.
+	UptimeS float64 `json:"uptime_s"`
+}
+
+// handleHealth reports the backend's readiness state and uptime. It does
+// no solving, no cache access and no locking: one atomic load plus a
+// small JSON encode, cheap enough to poll at any probing interval.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	status := "ready"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:  status,
+		ID:      s.cfg.ID,
+		UptimeS: time.Since(s.begin).Seconds(),
+	})
 }
 
 // handleHealthz reports liveness; a draining server answers 503 so load
@@ -442,6 +495,14 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	// The rate cap is checked before the body is even read: shedding excess
+	// offered load must not cost a body copy, a hash or a decode.
+	if !s.limiter.allow() {
+		s.st.rateLimited.Add(1)
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		writeError(w, http.StatusTooManyRequests, "serve: rate limit exceeded")
 		return
 	}
 	req, key, fp, params, handled := s.resolveSolve(w, r)

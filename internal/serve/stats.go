@@ -122,6 +122,7 @@ type counters struct {
 	bodyHits      padUint64 // cache hits resolved by raw-body digest (no decode)
 	solveErrors   padUint64
 	timeouts      padUint64 // 504 responses
+	rateLimited   padUint64 // 429 responses from the MaxQPS admission cap
 	journalErrors padUint64 // accepted requests served without a journal record
 	inFlight      padInt64  // requests currently inside /v1/solve
 	lat           histogram
@@ -228,8 +229,11 @@ type Stats struct {
 	Solved uint64 `json:"solved"`
 	// BadRequests counts 400 responses.
 	BadRequests uint64 `json:"bad_requests"`
-	// Shed counts 429 responses from admission control.
+	// Shed counts 429 responses from admission control (full queue).
 	Shed uint64 `json:"shed"`
+	// RateLimited counts 429 responses from the MaxQPS admission cap,
+	// shed before the request body was read. Disjoint from Shed.
+	RateLimited uint64 `json:"rate_limited"`
 	// DrainRejects counts 503 responses issued while draining.
 	DrainRejects uint64 `json:"drain_rejects"`
 	// Deduped counts requests collapsed onto an identical in-flight one.

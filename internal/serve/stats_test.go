@@ -106,9 +106,9 @@ func TestStatsJSONShapeKeepsFlatFieldsAndAddsShardSections(t *testing.T) {
 		t.Fatalf("stats decode: %v", err)
 	}
 	for _, key := range []string{
-		"requests", "solved", "bad_requests", "shed", "drain_rejects",
-		"deduped", "solve_errors", "timeouts", "in_flight", "draining",
-		"cache", "graph_cache", "batch", "latency_ms",
+		"requests", "solved", "bad_requests", "shed", "rate_limited",
+		"drain_rejects", "deduped", "solve_errors", "timeouts", "in_flight",
+		"draining", "cache", "graph_cache", "batch", "latency_ms",
 	} {
 		if _, ok := doc[key]; !ok {
 			t.Fatalf("flat field %q missing from /v1/stats", key)

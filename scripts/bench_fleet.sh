@@ -1,0 +1,113 @@
+#!/bin/sh
+# bench_fleet.sh [OUT.json]
+#
+# Horizontal-scaling benchmark: measures achieved QPS through
+# copmecs-router at fleet sizes of 1, 2, and 4 copmecsd backends and
+# writes results/BENCH_fleet.json (plus the per-size loadgen summaries'
+# shed/error counts and scaling factors vs the 1-backend run).
+#
+# Methodology: on a shared-core runner the solve path itself cannot scale
+# across processes, so raw throughput would measure scheduler contention,
+# not the routing tier. Instead every backend runs with an admission cap
+# (-max-qps, default 300) and the open-loop load offers N x cap x 1.25 —
+# each backend saturates its cap and the fleet's achieved QPS is the sum
+# of the caps the router actually reached. Scaling below ~N then means the
+# router failed to spread keys (a ring imbalance would starve one backend
+# below its cap) or burned requests on errors, which is exactly what this
+# benchmark exists to catch. The 90% repeat ratio keeps per-backend caches
+# hot so the capped admission rate, not solve cost, is the bottleneck.
+#
+# The script self-gates: achieved QPS at 2 backends must be at least 1.6x
+# the 1-backend run (override via BENCH_FLEET_GATE).
+set -eu
+
+out=${1:-results/BENCH_fleet.json}
+cap=${BENCH_FLEET_CAP:-300}
+duration=${BENCH_FLEET_DURATION:-10s}
+repeat=${BENCH_FLEET_REPEAT:-0.9}
+baseport=${BENCH_FLEET_PORT:-8981}
+sizes=${BENCH_FLEET_SIZES:-1 2 4}
+overdrive=${BENCH_FLEET_OVERDRIVE:-1.25}
+gate=${BENCH_FLEET_GATE:-1.6}
+
+bin=$(mktemp -d)
+pids=
+cleanup() {
+	for p in $pids; do
+		kill -TERM "$p" 2>/dev/null || true
+	done
+	for p in $pids; do
+		wait "$p" 2>/dev/null || true
+	done
+	pids=
+	rm -rf "$bin"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$bin/copmecsd" ./cmd/copmecsd
+go build -o "$bin/copmecs-router" ./cmd/copmecs-router
+go build -o "$bin/copmecs-loadgen" ./cmd/copmecs-loadgen
+
+mkdir -p "$(dirname "$out")"
+entries="$bin/entries.jsonl"
+: > "$entries"
+base_achieved=0
+
+for n in $sizes; do
+	backends=
+	i=1
+	while [ "$i" -le "$n" ]; do
+		port=$((baseport + i))
+		"$bin/copmecsd" -addr "127.0.0.1:$port" -id "be-$i" -max-qps "$cap" \
+			>"$bin/copmecsd-$n-$i.log" 2>&1 &
+		pids="$pids $!"
+		backends="${backends}${backends:+,}be-$i=http://127.0.0.1:$port"
+		i=$((i + 1))
+	done
+	"$bin/copmecs-router" -addr "127.0.0.1:$baseport" -backends "$backends" \
+		>"$bin/router-$n.log" 2>&1 &
+	pids="$pids $!"
+
+	offered=$(awk "BEGIN { printf \"%d\", $n * $cap * $overdrive }")
+	echo "bench_fleet: $n backend(s), cap $cap QPS each, offering $offered QPS for $duration" >&2
+	if ! "$bin/copmecs-loadgen" -addr "http://127.0.0.1:$baseport" \
+		-qps "$offered" -duration "$duration" -repeat "$repeat" \
+		-wait-ready 10s -fail-5xx -o "$bin/fleet_$n.json"; then
+		echo "bench_fleet: load generation failed at $n backends; router log follows" >&2
+		cat "$bin/router-$n.log" >&2
+		exit 1
+	fi
+	# Tear this fleet down before booting the next size.
+	cleanup_pids=$pids
+	pids=
+	for p in $cleanup_pids; do kill -TERM "$p" 2>/dev/null || true; done
+	for p in $cleanup_pids; do wait "$p" 2>/dev/null || true; done
+
+	achieved=$(jq '.achieved_qps' "$bin/fleet_$n.json")
+	if [ "$base_achieved" = 0 ]; then
+		base_achieved=$achieved
+	fi
+	jq --argjson n "$n" --argjson offered "$offered" --argjson base "$base_achieved" \
+		'{backends: $n, offered_qps: $offered, achieved_qps: .achieved_qps,
+		  ok: .ok, shed: .shed, errors_5xx: .errors_5xx, errors_other: .errors_other,
+		  latency_p99_ms: .latency_ms.p99,
+		  scaling_vs_1: (if $base > 0 then .achieved_qps / $base else 0 end)}' \
+		"$bin/fleet_$n.json" >> "$entries"
+done
+
+jq -s --argjson cap "$cap" --argjson overdrive "$overdrive" \
+	--arg duration "$duration" --argjson repeat "$repeat" \
+	'{cap_qps_per_backend: $cap, overdrive: $overdrive, duration: $duration,
+	  repeat: $repeat, fleets: .}' "$entries" > "$out"
+
+echo "wrote $out"
+cat "$out"
+
+scaling2=$(jq -r '.fleets[] | select(.backends == 2) | .scaling_vs_1' "$out")
+if [ -n "$scaling2" ]; then
+	if ! awk "BEGIN { exit !($scaling2 >= $gate) }"; then
+		echo "bench_fleet: FAIL: 2-backend scaling ${scaling2}x < gate ${gate}x" >&2
+		exit 1
+	fi
+	echo "bench_fleet: 2-backend scaling ${scaling2}x >= gate ${gate}x"
+fi

@@ -1,0 +1,107 @@
+#!/bin/sh
+# fleet_smoke.sh
+#
+# Fleet fault-tolerance gate: boots two copmecsd backends behind
+# copmecs-router, drives the router with copmecs-loadgen (-fail-5xx, so
+# any surfaced 5xx fails the run), SIGKILLs one backend mid-run, restarts
+# it, and asserts that
+#
+#   1. zero accepted requests were lost: every request the generator
+#      offered came back 200 (ok == requests; no shed, no 5xx, no
+#      transport errors) — the router absorbed the crash by failing over
+#      to the surviving replica;
+#   2. the crashed backend was quarantined while dead and re-admitted to
+#      the ring after its restart (router stats: quarantines >= 1,
+#      readmissions >= 1, both backends ready at the end).
+#
+# Ports via FLEET_SMOKE_PORT (router; backends take the next two).
+set -eu
+
+baseport=${FLEET_SMOKE_PORT:-8985}
+duration=${FLEET_SMOKE_DURATION:-8s}
+porta=$((baseport + 1))
+portb=$((baseport + 2))
+
+bin=$(mktemp -d)
+pids=
+cleanup() {
+	for p in $pids; do
+		kill -TERM "$p" 2>/dev/null || true
+	done
+	for p in $pids; do
+		wait "$p" 2>/dev/null || true
+	done
+	rm -rf "$bin"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$bin/copmecsd" ./cmd/copmecsd
+go build -o "$bin/copmecs-router" ./cmd/copmecs-router
+go build -o "$bin/copmecs-loadgen" ./cmd/copmecs-loadgen
+
+"$bin/copmecsd" -addr "127.0.0.1:$porta" -id be-a >"$bin/be-a.log" 2>&1 &
+BEA=$!
+"$bin/copmecsd" -addr "127.0.0.1:$portb" -id be-b >"$bin/be-b.log" 2>&1 &
+pids="$pids $!"
+# Aggressive probe settings so the dead window and the recovery both fit
+# inside the run: first failed probe quarantines, two clean ones re-admit.
+"$bin/copmecs-router" -addr "127.0.0.1:$baseport" \
+	-backends "be-a=http://127.0.0.1:$porta,be-b=http://127.0.0.1:$portb" \
+	-probe-interval 100ms -quarantine-after 1 -readmit-after 2 \
+	>"$bin/router.log" 2>&1 &
+pids="$pids $!"
+
+"$bin/copmecs-loadgen" -addr "http://127.0.0.1:$baseport" \
+	-duration "$duration" -concurrency 4 -repeat 0.9 \
+	-wait-ready 10s -fail-5xx -o "$bin/smoke.json" &
+LG=$!
+
+sleep 2
+echo "fleet_smoke: SIGKILL be-a (pid $BEA) mid-run" >&2
+kill -9 "$BEA"
+wait "$BEA" 2>/dev/null || true
+sleep 2
+echo "fleet_smoke: restarting be-a" >&2
+"$bin/copmecsd" -addr "127.0.0.1:$porta" -id be-a >"$bin/be-a2.log" 2>&1 &
+pids="$pids $!"
+
+if ! wait "$LG"; then
+	echo "fleet_smoke: loadgen failed; router log follows" >&2
+	cat "$bin/router.log" >&2
+	exit 1
+fi
+
+echo "fleet_smoke: loadgen summary" >&2
+cat "$bin/smoke.json"
+# Zero lost accepted requests across the crash.
+jq -e '.requests > 0 and .ok == .requests
+       and .shed == 0 and .errors_5xx == 0 and .errors_other == 0' \
+	"$bin/smoke.json" > /dev/null || {
+	echo "fleet_smoke: FAIL: requests were lost across the backend crash" >&2
+	exit 1
+}
+
+# The crashed backend must have been quarantined and then re-admitted.
+ok=
+i=0
+while [ "$i" -lt 100 ]; do
+	if curl -fsS "http://127.0.0.1:$baseport/v1/stats" > "$bin/stats.json" 2>/dev/null &&
+		jq -e '.router.probes.quarantines >= 1
+		       and .router.probes.readmissions >= 1
+		       and (.router.backends | all(.state == "ready"))' \
+			"$bin/stats.json" > /dev/null; then
+		ok=1
+		break
+	fi
+	i=$((i + 1))
+	sleep 0.1
+done
+if [ -z "$ok" ]; then
+	echo "fleet_smoke: FAIL: be-a was not quarantined + re-admitted; stats:" >&2
+	cat "$bin/stats.json" >&2 2>/dev/null || true
+	cat "$bin/router.log" >&2
+	exit 1
+fi
+
+jq '.router | {failovers, probes, ring: .ring.members}' "$bin/stats.json"
+echo "fleet_smoke: PASS: zero lost requests across a SIGKILLed backend; be-a re-admitted"
