@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet vet-json lint fuzz chaos bench bench-core bench-serve bench-fleet fleet-smoke clean
+.PHONY: all build test race vet vet-json lint fuzz chaos bench bench-core bench-batch bench-serve bench-fleet fleet-smoke clean
 
 # Open-loop smoke settings for bench-serve; see scripts/bench_serve.sh.
 BENCH_SERVE_QPS ?= 300
@@ -94,15 +94,17 @@ fleet-smoke:
 	./scripts/fleet_smoke.sh
 
 # bench-core runs the solve hot-path benchmarks the perf CI gate watches —
-# the Figure 9 solve, Table I compression, and the steady-state allocation
-# budget — and distils the mean ns/op, B/op and allocs/op per benchmark into
+# the Figure 9 solve, Table I compression, the steady-state allocation
+# budget, and the fused batch solver (looped vs fused throughput plus the
+# interleaved >=2x speedup ratio) — and distils the mean ns/op, B/op,
+# allocs/op and, where reported, graphs/sec and speedup_x per benchmark into
 # results/BENCH_core.json. The raw text lands in results/bench_core.txt;
 # regenerate the committed regression baseline with
 #   make bench-core && cp results/bench_core.txt results/bench_core_baseline.txt
 bench-core:
 	@mkdir -p results
 	$(GO) test -run=NONE -benchmem -count=$(BENCH_COUNT) \
-		-bench='^BenchmarkFig9RunningTime/ours-serial/n=1000$$|^BenchmarkTable1Compression/n=1000$$|^BenchmarkSolveAllocs$$' \
+		-bench='^BenchmarkFig9RunningTime/ours-serial/n=1000$$|^BenchmarkTable1Compression/n=1000$$|^BenchmarkSolveAllocs$$|^BenchmarkBatchSolveSmall$$|^BenchmarkBatchSpeedup$$' \
 		. | tee results/bench_core.txt
 	@awk 'BEGIN { print "{"; n = 0 } \
 	/^Benchmark/ { \
@@ -111,15 +113,33 @@ bench-core:
 			if ($$i == "ns/op") sns[name] += $$(i-1); \
 			else if ($$i == "B/op") sb[name] += $$(i-1); \
 			else if ($$i == "allocs/op") sa[name] += $$(i-1); \
+			else if ($$i == "graphs/sec") sg[name] += $$(i-1); \
+			else if ($$i == "speedup_x") sx[name] += $$(i-1); \
 		} \
 		if (!(name in seen)) order[n++] = name; \
 		seen[name]++; \
 	} \
 	END { for (j = 0; j < n; j++) { k = order[j]; c = seen[k]; \
-		printf "  \"%s\": {\"ns_per_op\": %.0f, \"bytes_per_op\": %.0f, \"allocs_per_op\": %.1f}%s\n", \
-			k, sns[k]/c, sb[k]/c, sa[k]/c, (j < n - 1 ? "," : "") } \
+		printf "  \"%s\": {\"ns_per_op\": %.0f, \"bytes_per_op\": %.0f, \"allocs_per_op\": %.1f", \
+			k, sns[k]/c, sb[k]/c, sa[k]/c; \
+		if (k in sg) printf ", \"graphs_per_sec\": %.0f", sg[k]/c; \
+		if (k in sx) printf ", \"speedup_x\": %.3f", sx[k]/c; \
+		printf "}%s\n", (j < n - 1 ? "," : "") } \
 	print "}" }' results/bench_core.txt > results/BENCH_core.json
 	@echo "wrote results/BENCH_core.json"; cat results/BENCH_core.json
+
+# bench-batch is the focused loop for the fused batch solver: first the
+# exactness property tests that pin BatchSolve to N independent Solve calls
+# bit for bit (including the map-pipeline oracle and the work-stealing
+# path), then the batch benchmarks — small-graph looped vs fused
+# throughput, the interleaved speedup ratio the perf gate floors at 2x, and
+# the large-graph work-stealing solve.
+bench-batch:
+	$(GO) test -count=1 \
+		-run 'TestPropertyBatchSolveMatchesLoopedSolve|TestBatchSolveMatchesMapOracle|TestBatchSolveWorkStealing' \
+		./internal/core/
+	$(GO) test -run=NONE -benchmem -count=$(BENCH_COUNT) \
+		-bench='^BenchmarkBatchSolveSmall$$|^BenchmarkBatchSpeedup$$|^BenchmarkBatchSolveLarge$$' .
 
 # chaos runs the fault-injection suite — executor flapping, hung executors,
 # lossy transports, torn journal writes, fsync failures — twice under the

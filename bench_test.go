@@ -13,7 +13,9 @@ package copmecs
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"testing"
+	"time"
 
 	"copmecs/internal/core"
 	"copmecs/internal/eigen"
@@ -403,6 +405,146 @@ func BenchmarkSolveAllocs(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// batchBenchGraphs generates `count` distinct serving-round graphs.
+func batchBenchGraphs(b *testing.B, count, nodes, comps int) []*graph.Graph {
+	b.Helper()
+	gs := make([]*graph.Graph, count)
+	for i := range gs {
+		g, err := netgen.Generate(netgen.Config{
+			Nodes: nodes, Edges: nodes * 2, Components: comps, Seed: int64(benchSeed + i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		gs[i] = g
+	}
+	return gs
+}
+
+// BenchmarkBatchSolveSmall is the batch solver's headline workload: one
+// serving round of 64 independent n=100 requests, solved request-by-request
+// (the pre-batching looped baseline) versus one fused BatchSolve. Both
+// variants report graphs/sec; scripts/perf_gate.sh enforces the fused/looped
+// ratio alongside the absolute regressions. Workers=1: the fused win is
+// constant-factor work elimination, not parallelism.
+func BenchmarkBatchSolveSmall(b *testing.B) {
+	const rounds = 64
+	gs := batchBenchGraphs(b, rounds, 100, 16)
+	ctx := context.Background()
+	opts := core.Options{Workers: 1}
+	b.Run("looped/n=100x64", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, g := range gs {
+				if _, err := core.Solve(ctx, []core.UserInput{{Graph: g}}, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(rounds)*float64(b.N)/b.Elapsed().Seconds(), "graphs/sec")
+	})
+	b.Run("fused/n=100x64", func(b *testing.B) {
+		items := make([]core.BatchItem, rounds)
+		for i, g := range gs {
+			items[i] = core.BatchItem{Users: []core.UserInput{{Graph: g}}}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, r := range core.BatchSolve(ctx, items, opts) {
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+		}
+		b.ReportMetric(float64(rounds)*float64(b.N)/b.Elapsed().Seconds(), "graphs/sec")
+	})
+}
+
+// BenchmarkBatchSpeedup measures the fused/looped throughput ratio on the
+// headline round directly: each iteration runs a block of looped-baseline
+// rounds and a block of fused BatchSolve rounds back to back, accumulating
+// each side's wall time, and reports their ratio as speedup_x. Alternating
+// inside one iteration makes the ratio immune to the clock-speed drift that
+// skews two independently timed sub-benchmarks on shared hardware. Each
+// block ends with a timed runtime.GC() so a side pays for exactly the
+// garbage it produced — without the barrier, the fused block starts with
+// mark-assist debt from the looped block's much higher allocation rate —
+// and the block length amortises that barrier so in-block steady state
+// dominates. This is the number scripts/perf_gate.sh holds to its ≥2×
+// floor.
+func BenchmarkBatchSpeedup(b *testing.B) {
+	const rounds = 64
+	const block = 8
+	gs := batchBenchGraphs(b, rounds, 100, 16)
+	items := make([]core.BatchItem, rounds)
+	for i, g := range gs {
+		items[i] = core.BatchItem{Users: []core.UserInput{{Graph: g}}}
+	}
+	ctx := context.Background()
+	opts := core.Options{Workers: 1}
+	var looped, fused time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		for r := 0; r < block; r++ {
+			for _, g := range gs {
+				if _, err := core.Solve(ctx, []core.UserInput{{Graph: g}}, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		runtime.GC()
+		looped += time.Since(start)
+		start = time.Now()
+		for r := 0; r < block; r++ {
+			for _, res := range core.BatchSolve(ctx, items, opts) {
+				if res.Err != nil {
+					b.Fatal(res.Err)
+				}
+			}
+		}
+		runtime.GC()
+		fused += time.Since(start)
+	}
+	b.ReportMetric(looped.Seconds()/fused.Seconds(), "speedup_x")
+}
+
+// BenchmarkBatchSolveLarge pits BatchSolve against Solve on one big n=5000
+// instance: the fused pipeline's overheads (span bookkeeping, per-part
+// indices) must stay negligible when there is nothing to fuse.
+func BenchmarkBatchSolveLarge(b *testing.B) {
+	ctx := context.Background()
+	opts := core.Options{Workers: 1}
+	b.Run("single/n=5000", func(b *testing.B) {
+		g := benchGraph(b, 5000)
+		users := []core.UserInput{{Graph: g}}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Solve(ctx, users, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "graphs/sec")
+	})
+	b.Run("fused/n=5000", func(b *testing.B) {
+		g := benchGraph(b, 5000)
+		items := []core.BatchItem{{Users: []core.UserInput{{Graph: g}}}}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, r := range core.BatchSolve(ctx, items, opts) {
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "graphs/sec")
+	})
 }
 
 // BenchmarkAblationBalancedCut contrasts the min-cut and ratio-cut sweep

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"copmecs/internal/graph"
+	"copmecs/internal/lpa"
+	"copmecs/internal/mec"
+	"copmecs/internal/netgen"
+)
+
+// batchItemsEqualLooped checks the batch contract: every item's result is
+// bit-for-bit the result of an independent Solve with that item's params.
+func batchItemsEqualLooped(t *testing.T, ctx context.Context, items []BatchItem, opts Options, got []BatchResult) bool {
+	t.Helper()
+	if len(got) != len(items) {
+		t.Logf("result count %d vs %d items", len(got), len(items))
+		return false
+	}
+	for i, it := range items {
+		o := opts
+		if it.Params != (mec.Params{}) {
+			o.Params = it.Params
+		}
+		want, wantErr := Solve(ctx, it.Users, o)
+		if (wantErr == nil) != (got[i].Err == nil) {
+			t.Logf("item %d: err %v vs looped %v", i, got[i].Err, wantErr)
+			return false
+		}
+		if wantErr != nil {
+			if got[i].Err.Error() != wantErr.Error() {
+				t.Logf("item %d: err text %q vs %q", i, got[i].Err, wantErr)
+				return false
+			}
+			continue
+		}
+		if !solutionsIdentical(t, got[i].Solution, want) {
+			t.Logf("item %d diverges from looped solve", i)
+			return false
+		}
+	}
+	return true
+}
+
+// TestPropertyBatchSolveMatchesLoopedSolve is the batch solver's core
+// contract: fusing a whole round into one mega-instance must be invisible —
+// every item solves to the exact solution (placements, parts, float-equal
+// objectives, stats) an independent Solve produces, across engines,
+// compression ablation, multiway splits, shared graphs and per-item params.
+func TestPropertyBatchSolveMatchesLoopedSolve(t *testing.T) {
+	ctx := context.Background()
+	f := func(seed int64, nItems, nGraphs, engIdx, flags uint8) bool {
+		rng := int64(seed)
+		graphs := make([]*graph.Graph, int(nGraphs%3)+1)
+		for gi := range graphs {
+			n := 20 + int(seed%40) + gi*7
+			g, err := netgen.Generate(netgen.Config{
+				Nodes: n, Edges: n * 2, Components: 1 + gi + int(flags%3), Seed: rng + int64(gi),
+			})
+			if err != nil {
+				return true
+			}
+			graphs[gi] = g
+		}
+		opts := Options{
+			Engine:  engines()[int(engIdx)%len(engines())],
+			Workers: 1 + int(flags>>6)*3,
+		}
+		if flags&4 != 0 {
+			opts.DisableCompression = true
+		}
+		if flags&8 != 0 {
+			opts.MaxParts = 4
+		}
+		if flags&16 != 0 {
+			opts.LPA = lpa.Options{Traversal: lpa.DFS}
+		}
+		items := make([]BatchItem, int(nItems%3)+1)
+		for i := range items {
+			users := make([]UserInput, (int(nItems)+i)%3+1)
+			for ui := range users {
+				users[ui] = UserInput{
+					Graph:          graphs[(i+ui)%len(graphs)],
+					FixedLocalWork: float64(ui) * 3,
+				}
+			}
+			items[i] = BatchItem{Users: users}
+			if i%2 == 1 {
+				p := mec.Defaults()
+				p.Bandwidth *= 1.5
+				items[i].Params = p
+			}
+		}
+		return batchItemsEqualLooped(t, ctx, items, opts, BatchSolve(ctx, items, opts))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBatchSolveMatchesMapOracle pins the fused CSR batch path to the
+// original map-based pipeline: three hops of trust (map pipeline → CSR
+// pipeline → fused batch) collapsed into one direct comparison.
+func TestBatchSolveMatchesMapOracle(t *testing.T) {
+	ctx := context.Background()
+	g1, err := netgen.Generate(netgen.Config{Nodes: 80, Edges: 160, Components: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := netgen.Generate(netgen.Config{Nodes: 50, Edges: 100, Components: 2, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := []BatchItem{
+		{Users: []UserInput{{Graph: g1}, {Graph: g2, FixedLocalWork: 4}}},
+		{Users: []UserInput{{Graph: g2}, {Graph: g2}}},
+	}
+	got := BatchSolve(ctx, items, Options{Workers: 1})
+	for i, it := range items {
+		want, err := Solve(ctx, it.Users, Options{Workers: 1, UseMapPipeline: true})
+		if err != nil {
+			t.Fatalf("map oracle item %d: %v", i, err)
+		}
+		if got[i].Err != nil {
+			t.Fatalf("batch item %d: %v", i, got[i].Err)
+		}
+		if !solutionsIdentical(t, got[i].Solution, want) {
+			t.Fatalf("batch item %d diverges from map-pipeline oracle", i)
+		}
+	}
+}
+
+// TestBatchSolveErrors: item-level failures are isolated and carry the same
+// error text an individual Solve returns.
+func TestBatchSolveErrors(t *testing.T) {
+	ctx := context.Background()
+	g, err := netgen.Generate(netgen.Config{Nodes: 30, Edges: 60, Components: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := mec.Defaults()
+	bad.Bandwidth = -1
+	items := []BatchItem{
+		{Users: []UserInput{{Graph: g}}},
+		{Users: []UserInput{{Graph: g}, {}}}, // nil graph at user 1
+		{Users: []UserInput{{Graph: g}}, Params: bad},
+	}
+	got := BatchSolve(ctx, items, Options{Workers: 1})
+	if got[0].Err != nil || got[0].Solution == nil {
+		t.Fatalf("item 0 should succeed, got err %v", got[0].Err)
+	}
+	if !errors.Is(got[1].Err, ErrNilGraph) {
+		t.Fatalf("item 1 err = %v, want ErrNilGraph", got[1].Err)
+	}
+	_, wantNil := Solve(ctx, items[1].Users, Options{Workers: 1})
+	if wantNil == nil || got[1].Err.Error() != wantNil.Error() {
+		t.Fatalf("item 1 err %q, want solve's %q", got[1].Err, wantNil)
+	}
+	if got[2].Err == nil {
+		t.Fatal("item 2 should fail params validation")
+	}
+	o := Options{Workers: 1, Params: bad}
+	if _, wantBad := Solve(ctx, items[2].Users, o); wantBad == nil || got[2].Err.Error() != wantBad.Error() {
+		t.Fatalf("item 2 err %q mismatches solve", got[2].Err)
+	}
+}
+
+// TestBatchSolveSessionCache: cache-served graphs skip the fused pass, fused
+// graphs land in the cache, and a later single Solve through those cached
+// (idx-carrying) templates still matches a fresh solve exactly.
+func TestBatchSolveSessionCache(t *testing.T) {
+	ctx := context.Background()
+	g1, err := netgen.Generate(netgen.Config{Nodes: 60, Edges: 120, Components: 2, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := netgen.Generate(netgen.Config{Nodes: 40, Edges: 80, Components: 2, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Workers: 1}
+	s := NewSession(opts)
+	if _, err := s.Solve(ctx, []UserInput{{Graph: g1}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.CachedGraphs(); got != 1 {
+		t.Fatalf("cached graphs = %d, want 1", got)
+	}
+	items := []BatchItem{
+		{Users: []UserInput{{Graph: g1}, {Graph: g2}}}, // g1 cached, g2 fused
+		{Users: []UserInput{{Graph: g2}}},
+	}
+	got := s.BatchSolve(ctx, items)
+	if !batchItemsEqualLooped(t, ctx, items, opts, got) {
+		t.Fatal("session batch diverges from looped solves")
+	}
+	if gotN := s.CachedGraphs(); gotN != 2 {
+		t.Fatalf("cached graphs after batch = %d, want 2", gotN)
+	}
+	// A later plain Solve through the batch-populated cache entry.
+	fromCache, err := s.Solve(ctx, []UserInput{{Graph: g2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Solve(ctx, []UserInput{{Graph: g2}}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !solutionsIdentical(t, fromCache, fresh) {
+		t.Fatal("solve through batch-cached templates diverges")
+	}
+}
+
+// TestBatchSolveWorkStealing drives the work-stealing cut stage hard — many
+// components, deep recursion (MaxParts 16), 8 workers stealing speculative
+// bisections — and requires the exact serial answer. Run under -race in CI,
+// this is also the stealing protocol's data-race probe.
+func TestBatchSolveWorkStealing(t *testing.T) {
+	ctx := context.Background()
+	g, err := netgen.Generate(netgen.Config{Nodes: 640, Edges: 1280, Components: 64, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := netgen.Generate(netgen.Config{Nodes: 300, Edges: 650, Components: 5, Seed: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := []BatchItem{
+		{Users: []UserInput{{Graph: g}}},
+		{Users: []UserInput{{Graph: g2}, {Graph: g}}},
+	}
+	par := BatchSolve(ctx, items, Options{Workers: 8, MaxParts: 16})
+	ser := BatchSolve(ctx, items, Options{Workers: 1, MaxParts: 16})
+	for i := range items {
+		if par[i].Err != nil || ser[i].Err != nil {
+			t.Fatalf("item %d: par err %v, ser err %v", i, par[i].Err, ser[i].Err)
+		}
+		if !solutionsIdentical(t, par[i].Solution, ser[i].Solution) {
+			t.Fatalf("item %d: work-stealing result diverges from serial", i)
+		}
+	}
+	if !batchItemsEqualLooped(t, ctx, items, Options{Workers: 8, MaxParts: 16}, par) {
+		t.Fatal("work-stealing batch diverges from looped solves")
+	}
+}
+
+// TestBatchSolveCancelled: a dead context fails every item.
+func TestBatchSolveCancelled(t *testing.T) {
+	g, err := netgen.Generate(netgen.Config{Nodes: 30, Edges: 60, Components: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	got := BatchSolve(ctx, []BatchItem{{Users: []UserInput{{Graph: g}}}}, Options{})
+	if len(got) != 1 || !errors.Is(got[0].Err, context.Canceled) {
+		t.Fatalf("got %+v, want context.Canceled", got)
+	}
+}

@@ -30,6 +30,9 @@ type csrJob struct {
 	// compressed jobs use the contracted super numbering 0..n−1 directly,
 	// matching the map pipeline's contracted sub-graphs).
 	ids []graph.NodeID
+	// vidx maps local id → index in the backing CSR view when uncompressed
+	// (nil for compressed jobs, whose members live in cr.Members already).
+	vidx []int32
 }
 
 // extID returns the NodeID that local id v carries in the engine-facing
@@ -50,86 +53,128 @@ func (j *csrJob) localOf(id graph.NodeID) int32 {
 	return int32(sort.Search(len(j.ids), func(i int) bool { return j.ids[i] >= id }))
 }
 
+// nnz returns the job's stored adjacency entry count (2× its edge count).
+func (j *csrJob) nnz() int { return int(j.off[j.n]) }
+
+// buildCSRJobs turns every component of the view into a cut job, in
+// component order. With compression enabled the components are first
+// contracted by one CompressCSR pass (a fused view compresses all graphs'
+// components in that single pass — compression is component-local, so the
+// results are identical to per-graph runs).
+func buildCSRJobs(c *graph.CSR, opts Options) ([]csrJob, error) {
+	// Job arrays are carved from per-array slabs sized by the view's totals:
+	// one allocation per array kind instead of one per job, which matters
+	// when a fused view holds hundreds of small components.
+	if opts.DisableCompression {
+		comps := c.Components()
+		jobs := make([]csrJob, 0, len(comps))
+		n := c.NumNodes()
+		totNNZ := 2 * c.NumEdges()
+		localOf := make([]int32, n)
+		for _, comp := range comps {
+			for li, u := range comp {
+				localOf[u] = int32(li)
+			}
+		}
+		offSlab := make([]int32, 0, n+len(comps))
+		idSlab := make([]graph.NodeID, 0, n)
+		vidxSlab := make([]int32, 0, n)
+		nodeWSlab := make([]float64, 0, n)
+		tgtSlab := make([]int32, 0, totNNZ)
+		wSlab := make([]float64, 0, totNNZ)
+		nodeW := c.NodeWeights()
+		for _, comp := range comps {
+			k := len(comp)
+			job := csrJob{
+				n:     k,
+				off:   offSlab[len(offSlab) : len(offSlab) : len(offSlab)+k+1],
+				ids:   idSlab[len(idSlab) : len(idSlab) : len(idSlab)+k],
+				vidx:  vidxSlab[len(vidxSlab) : len(vidxSlab) : len(vidxSlab)+k],
+				nodeW: nodeWSlab[len(nodeWSlab) : len(nodeWSlab) : len(nodeWSlab)+k],
+			}
+			job.off = append(job.off, 0)
+			nnz := 0
+			for _, u := range comp {
+				job.ids = append(job.ids, c.IDOf(u))
+				job.vidx = append(job.vidx, u)
+				job.nodeW = append(job.nodeW, nodeW[u])
+				nnz += c.Degree(u)
+				job.off = append(job.off, int32(nnz))
+			}
+			job.tgt = tgtSlab[len(tgtSlab) : len(tgtSlab) : len(tgtSlab)+nnz]
+			job.w = wSlab[len(wSlab) : len(wSlab) : len(wSlab)+nnz]
+			for _, u := range comp {
+				tgt, w := c.Adj(u)
+				for e, v := range tgt {
+					job.tgt = append(job.tgt, localOf[v])
+					job.w = append(job.w, w[e])
+				}
+			}
+			offSlab = offSlab[:len(offSlab)+k+1]
+			idSlab = idSlab[:len(idSlab)+k]
+			vidxSlab = vidxSlab[:len(vidxSlab)+k]
+			nodeWSlab = nodeWSlab[:len(nodeWSlab)+k]
+			tgtSlab = tgtSlab[:len(tgtSlab)+nnz]
+			wSlab = wSlab[:len(wSlab)+nnz]
+			jobs = append(jobs, job)
+		}
+		return jobs, nil
+	}
+
+	lopts := opts.LPA
+	if lopts.Workers == 0 {
+		// Inherit the solver's parallelism so Workers=1 (the Fig. 9
+		// "without Spark" mode) is serial end to end.
+		lopts.Workers = opts.Workers
+	}
+	cr, err := lpa.CompressCSR(c, lopts)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	nComp := len(cr.CompOff) - 1
+	jobs := make([]csrJob, 0, nComp)
+	totalK := int(cr.CompOff[nComp])
+	offSlab := make([]int32, totalK+nComp)
+	tgtSlab := make([]int32, len(cr.Tgt))
+	offAt, tgtAt := 0, 0
+	for ci := 0; ci < nComp; ci++ {
+		base, end := cr.CompOff[ci], cr.CompOff[ci+1]
+		k := int(end - base)
+		job := csrJob{n: k, cr: cr, base: base, nodeW: cr.NodeW[base:end]}
+		// A component's supers are contiguous, so its adjacency is one
+		// contiguous span of the global arrays; rebase it to local ids.
+		// The weights need no rebasing at all and alias the global array.
+		lo := cr.Off[base]
+		job.off = offSlab[offAt : offAt+k+1 : offAt+k+1]
+		offAt += k + 1
+		for li := 0; li <= k; li++ {
+			job.off[li] = cr.Off[int(base)+li] - lo
+		}
+		nnz := int(job.off[k])
+		job.tgt = tgtSlab[tgtAt : tgtAt+nnz : tgtAt+nnz]
+		tgtAt += nnz
+		job.w = cr.W[lo : int(lo)+nnz]
+		for e := 0; e < nnz; e++ {
+			job.tgt[e] = cr.Tgt[int(lo)+e] - base
+		}
+		jobs = append(jobs, job)
+	}
+	return jobs, nil
+}
+
 // runPipelineCSR is runPipeline over the compiled view: compression via the
 // int32 kernels, cuts via the CSR-native spectral path (other engines get
 // small materialised graphs per block). Output is identical to the map
 // pipeline's — the equivalence property tests solve both ways and compare.
 func runPipelineCSR(ctx context.Context, c *graph.CSR, opts Options) ([]protoPart, pipelineStats, error) {
-	var (
-		jobs []csrJob
-		ps   pipelineStats
-	)
-	if opts.DisableCompression {
-		n := c.NumNodes()
-		localOf := make([]int32, n)
-		for _, comp := range c.Components() {
-			for li, u := range comp {
-				localOf[u] = int32(li)
-			}
-		}
-		nodeW := c.NodeWeights()
-		for _, comp := range c.Components() {
-			k := len(comp)
-			job := csrJob{
-				n:     k,
-				off:   make([]int32, k+1),
-				ids:   make([]graph.NodeID, k),
-				nodeW: make([]float64, k),
-			}
-			nnz := 0
-			for li, u := range comp {
-				job.ids[li] = c.IDOf(u)
-				job.nodeW[li] = nodeW[u]
-				nnz += c.Degree(u)
-				job.off[li+1] = int32(nnz)
-			}
-			job.tgt = make([]int32, nnz)
-			job.w = make([]float64, nnz)
-			pos := 0
-			for _, u := range comp {
-				tgt, w := c.Adj(u)
-				for e, v := range tgt {
-					job.tgt[pos] = localOf[v]
-					job.w[pos] = w[e]
-					pos++
-				}
-			}
-			ps.nodesAfter += k
-			ps.edgesAfter += nnz / 2
-			jobs = append(jobs, job)
-		}
-	} else {
-		lopts := opts.LPA
-		if lopts.Workers == 0 {
-			// Inherit the solver's parallelism so Workers=1 (the Fig. 9
-			// "without Spark" mode) is serial end to end.
-			lopts.Workers = opts.Workers
-		}
-		cr, err := lpa.CompressCSR(c, lopts)
-		if err != nil {
-			return nil, ps, fmt.Errorf("core: %w", err)
-		}
-		ps.nodesAfter = cr.NodesAfter
-		ps.edgesAfter = cr.EdgesAfter
-		for ci := 0; ci < len(cr.CompOff)-1; ci++ {
-			base, end := cr.CompOff[ci], cr.CompOff[ci+1]
-			k := int(end - base)
-			job := csrJob{n: k, cr: cr, base: base, nodeW: cr.NodeW[base:end], off: make([]int32, k+1)}
-			// A component's supers are contiguous, so its adjacency is one
-			// contiguous span of the global arrays; rebase it to local ids.
-			lo := cr.Off[base]
-			for li := 0; li <= k; li++ {
-				job.off[li] = cr.Off[int(base)+li] - lo
-			}
-			nnz := int(job.off[k])
-			job.tgt = make([]int32, nnz)
-			job.w = make([]float64, nnz)
-			copy(job.w, cr.W[lo:int(lo)+nnz])
-			for e := 0; e < nnz; e++ {
-				job.tgt[e] = cr.Tgt[int(lo)+e] - base
-			}
-			jobs = append(jobs, job)
-		}
+	var ps pipelineStats
+	jobs, err := buildCSRJobs(c, opts)
+	if err != nil {
+		return nil, ps, err
+	}
+	for i := range jobs {
+		ps.nodesAfter += jobs[i].n
+		ps.edgesAfter += jobs[i].nnz() / 2
 	}
 
 	maxParts := opts.MaxParts
@@ -148,87 +193,386 @@ func runPipelineCSR(ctx context.Context, c *graph.CSR, opts Options) ([]protoPar
 		return nil, ps, err
 	}
 
-	var protos []protoPart
-	expand := func(j *csrJob, side []int32) ([]graph.NodeID, float64) {
-		var nodes []graph.NodeID
+	total := 0
+	for i := range jobs {
+		total += len(blocksOf[i])
+	}
+	protos := make([]protoPart, 0, total)
+	var sc protoScratch
+	sc.prime(c.NumNodes(), len(jobs), false)
+	for i := range jobs {
+		protos = appendJobProtos(protos, &jobs[i], blocksOf[i], c.IDs(), 0, false, &sc)
+	}
+	return protos, ps, nil
+}
+
+// protoScratch is the reusable workspace for appendJobProtos: the per-node
+// block assignment, the index staging buffer for the path that does not
+// retain indices, and carve-forward chunk arenas for the small slabs that
+// escape into protos (node lists, retained index lists, bisection edge
+// pairs). Callers loop over jobs serially and own one instance.
+//
+// The chunks are carve-only: a window, once handed out, is never rewound or
+// reused, so escaping windows stay valid even after the arena moves on to a
+// fresh chunk. One pipeline run's worth of per-job slabs collapses into a
+// handful of chunk allocations.
+type protoScratch struct {
+	blockOf []int32
+	idx     []int32
+
+	nodeChunk []graph.NodeID
+	idxChunk  []int32
+	peChunk   []PartEdge
+}
+
+// protoChunkSize is the arena chunk granularity. Large enough to amortise
+// dozens of per-job slabs per allocation, small enough that a solution
+// pinning its chunk holds only a few KiB of slack.
+const protoChunkSize = 2048
+
+// prime sizes the arenas for one pipeline run so they never overshoot:
+// every job's node (and retained index) slabs together cover the run's
+// original nodes exactly once, and each bisected job carves at most one
+// two-entry edge pair. withIdx mirrors the appendJobProtos flag.
+func (sc *protoScratch) prime(nodes, jobs int, withIdx bool) {
+	if cap(sc.nodeChunk) < nodes {
+		sc.nodeChunk = make([]graph.NodeID, 0, nodes)
+	}
+	if withIdx && cap(sc.idxChunk) < nodes {
+		sc.idxChunk = make([]int32, 0, nodes)
+	}
+	if cap(sc.peChunk) < 2*jobs {
+		sc.peChunk = make([]PartEdge, 0, 2*jobs)
+	}
+}
+
+// nodeSlab carves a zero-length, capacity-n window for one job's node lists.
+func (sc *protoScratch) nodeSlab(n int) []graph.NodeID {
+	if cap(sc.nodeChunk)-len(sc.nodeChunk) < n {
+		size := protoChunkSize
+		if n > size {
+			size = n
+		}
+		sc.nodeChunk = make([]graph.NodeID, 0, size)
+	}
+	off := len(sc.nodeChunk)
+	sc.nodeChunk = sc.nodeChunk[:off+n]
+	return sc.nodeChunk[off : off : off+n]
+}
+
+// idxSlab is nodeSlab for the retained graph-local index lists.
+func (sc *protoScratch) idxSlab(n int) []int32 {
+	if cap(sc.idxChunk)-len(sc.idxChunk) < n {
+		size := protoChunkSize
+		if n > size {
+			size = n
+		}
+		sc.idxChunk = make([]int32, 0, size)
+	}
+	off := len(sc.idxChunk)
+	sc.idxChunk = sc.idxChunk[:off+n]
+	return sc.idxChunk[off : off : off+n]
+}
+
+// pePair carves the two-entry cross-edge slab a bisected job records.
+func (sc *protoScratch) pePair() []PartEdge {
+	if cap(sc.peChunk)-len(sc.peChunk) < 2 {
+		sc.peChunk = make([]PartEdge, 0, protoChunkSize)
+	}
+	off := len(sc.peChunk)
+	sc.peChunk = sc.peChunk[:off+2]
+	return sc.peChunk[off : off+2 : off+2]
+}
+
+// appendJobProtos expands one cut job's blocks into proto parts and appends
+// them to protos: per-block original-node expansion, pairwise cross weights,
+// the lightest-part-local initial placement, and two-way sibling links.
+// Proto adjacency indexes within the final protos slice of the same graph
+// (base-relative), exactly as the map pipeline emits it.
+//
+// ids is the backing view's index→NodeID array and rebase the graph's node
+// offset within it (0 for a single-graph view). With withIdx set each proto
+// additionally records its members as graph-local CSR indices — the batch
+// evaluator's input; the single-solve path skips it to stay
+// allocation-neutral. sc is the caller's reusable workspace.
+func appendJobProtos(protos []protoPart, j *csrJob, blocks [][]int32, ids []graph.NodeID, rebase int32, withIdx bool, sc *protoScratch) []protoPart {
+	// All blocks together cover the job's original nodes exactly once, so
+	// the per-block node lists carve one exactly-sized slab from the scratch
+	// arena instead of allocating per block. The index staging buffer
+	// escapes only on the withIdx path; the single-solve path stages
+	// through scratch.
+	totN := j.n
+	if j.cr != nil {
+		totN = int(j.cr.MemberOff[j.base+int32(j.n)] - j.cr.MemberOff[j.base])
+	}
+	nodesSlab := sc.nodeSlab(totN)
+	var idxBuf []int32
+	if withIdx {
+		idxBuf = sc.idxSlab(totN)
+	} else {
+		if cap(sc.idx) < totN {
+			sc.idx = make([]int32, 0, totN)
+		}
+		idxBuf = sc.idx[:0]
+	}
+	expand := func(side []int32) ([]graph.NodeID, []int32, float64) {
 		var work float64
+		start := len(idxBuf)
 		for _, s := range side {
 			work += j.nodeW[s]
 			if j.cr != nil {
 				g := j.base + s
 				for _, u := range j.cr.Members[j.cr.MemberOff[g]:j.cr.MemberOff[g+1]] {
-					nodes = append(nodes, c.IDOf(u))
+					idxBuf = append(idxBuf, u-rebase)
 				}
 			} else {
-				nodes = append(nodes, j.ids[s])
+				idxBuf = append(idxBuf, j.vidx[s]-rebase)
 			}
 		}
-		sort.Slice(nodes, func(a, b int) bool { return nodes[a] < nodes[b] })
-		return nodes, work
+		gidx := idxBuf[start:len(idxBuf):len(idxBuf)]
+		// Graph-local index order is NodeID order (both ascend together), so
+		// sorting the indices yields the same node ordering the map pipeline
+		// produces by sorting NodeIDs.
+		sortInt32s(gidx)
+		nstart := len(nodesSlab)
+		for _, li := range gidx {
+			nodesSlab = append(nodesSlab, ids[rebase+li])
+		}
+		nodes := nodesSlab[nstart:len(nodesSlab):len(nodesSlab)]
+		if !withIdx {
+			gidx = nil
+		}
+		return nodes, gidx, work
 	}
-	for i := range jobs {
-		j := &jobs[i]
-		blocks := blocksOf[i]
-		base := len(protos)
-		blockOf := make([]int32, j.n)
-		lightest, lightestWork := -1, 0.0
-		for bi, block := range blocks {
-			nodes, work := expand(j, block)
-			protos = append(protos, protoPart{
-				nodes: nodes, work: work, sibling: -1, remote: true,
-			})
-			for _, id := range block {
-				blockOf[id] = int32(bi)
-			}
-			if lightest < 0 || work < lightestWork {
-				lightest, lightestWork = bi, work
-			}
+
+	base := len(protos)
+	if cap(sc.blockOf) < j.n {
+		sc.blockOf = make([]int32, j.n)
+	}
+	blockOf := sc.blockOf[:j.n]
+	lightest, lightestWork := -1, 0.0
+	for bi, block := range blocks {
+		nodes, gidx, work := expand(block)
+		protos = append(protos, protoPart{
+			nodes: nodes, idx: gidx, work: work, sibling: -1, remote: true,
+		})
+		for _, id := range block {
+			blockOf[id] = int32(bi)
 		}
-		// Pairwise communication between blocks of this sub-graph. The scan
-		// runs u ascending, v>u ascending — the same sequence as the map
-		// pipeline's Edges() loop, so per-pair float sums match exactly.
-		if len(blocks) > 1 {
-			cross := make(map[[2]int]float64)
-			for u := int32(0); u < int32(j.n); u++ {
-				for e := j.off[u]; e < j.off[u+1]; e++ {
-					v := j.tgt[e]
-					if v < u {
-						continue
-					}
-					a, b := int(blockOf[u]), int(blockOf[v])
-					if a == b {
-						continue
-					}
-					if a > b {
-						a, b = b, a
-					}
-					cross[[2]int{a, b}] += j.w[e]
-				}
-			}
-			for pair, w := range cross {
-				pa, pb := base+pair[0], base+pair[1]
-				protos[pa].adj = append(protos[pa].adj, PartEdge{Other: pb, Weight: w})
-				protos[pb].adj = append(protos[pb].adj, PartEdge{Other: pa, Weight: w})
-			}
-			for bi := range blocks {
-				sortPartEdges(protos[base+bi].adj)
-			}
-			// Algorithm 2's initial scheme generalised: the lightest part
-			// stays on the device, every other part offloads.
-			protos[base+lightest].remote = false
-			if len(blocks) == 2 {
-				protos[base].sibling = base + 1
-				protos[base+1].sibling = base
-				w := 0.0
-				if len(protos[base].adj) > 0 {
-					w = protos[base].adj[0].Weight
-				}
-				protos[base].crossWeight = w
-				protos[base+1].crossWeight = w
-			}
+		if lightest < 0 || work < lightestWork {
+			lightest, lightestWork = bi, work
 		}
 	}
-	return protos, ps, nil
+	// Pairwise communication between blocks of this sub-graph. The scan
+	// runs u ascending, v>u ascending — the same sequence as the map
+	// pipeline's Edges() loop, so per-pair float sums match exactly.
+	switch {
+	case len(blocks) == 2:
+		// Bisection (the default MaxParts): one pair, summed directly in
+		// scan order — the map below would accumulate the same floats in
+		// the same sequence under a single key.
+		var w float64
+		found := false
+		for u := int32(0); u < int32(j.n); u++ {
+			for e := j.off[u]; e < j.off[u+1]; e++ {
+				v := j.tgt[e]
+				if v < u || blockOf[u] == blockOf[v] {
+					continue
+				}
+				w += j.w[e]
+				found = true
+			}
+		}
+		if found {
+			pe := sc.pePair()
+			pe[0] = PartEdge{Other: base + 1, Weight: w}
+			pe[1] = PartEdge{Other: base, Weight: w}
+			protos[base].adj = pe[:1:1]
+			protos[base+1].adj = pe[1:2]
+		} else {
+			w = 0
+		}
+		protos[base+lightest].remote = false
+		protos[base].sibling = base + 1
+		protos[base+1].sibling = base
+		protos[base].crossWeight = w
+		protos[base+1].crossWeight = w
+	case len(blocks) > 2:
+		cross := make(map[[2]int]float64)
+		for u := int32(0); u < int32(j.n); u++ {
+			for e := j.off[u]; e < j.off[u+1]; e++ {
+				v := j.tgt[e]
+				if v < u {
+					continue
+				}
+				a, b := int(blockOf[u]), int(blockOf[v])
+				if a == b {
+					continue
+				}
+				if a > b {
+					a, b = b, a
+				}
+				cross[[2]int{a, b}] += j.w[e]
+			}
+		}
+		for pair, w := range cross {
+			pa, pb := base+pair[0], base+pair[1]
+			protos[pa].adj = append(protos[pa].adj, PartEdge{Other: pb, Weight: w})
+			protos[pb].adj = append(protos[pb].adj, PartEdge{Other: pa, Weight: w})
+		}
+		for bi := range blocks {
+			sortPartEdges(protos[base+bi].adj)
+		}
+		// Algorithm 2's initial scheme generalised: the lightest part
+		// stays on the device, every other part offloads.
+		protos[base+lightest].remote = false
+	}
+	return protos
+}
+
+// splitScratch is the reusable workspace of one spectral block split: rank
+// and epoch-membership marks over the job's local ids plus the induced-CSR
+// assembly arrays. partitionCSR keeps one per job; the work-stealing batch
+// path pools them per in-flight split.
+type splitScratch struct {
+	pos    []int32
+	mark   []int32
+	epoch  int32
+	sorted []int32
+	ioff   []int32
+	itgt   []int32
+	iw     []float64
+	ident  []int32
+	indiv  []bool
+	// sideChunk is a carve-forward arena for the split side lists, which
+	// escape into block slices. Windows are never rewound, so pooled reuse
+	// of the scratch cannot clobber a live block. blockChunk is the same
+	// arena idea for the per-job block header slices.
+	sideChunk  []int32
+	blockChunk [][]int32
+}
+
+// sideSlab carves an n-length window for one split's two side lists. The
+// first chunk is sized exactly (a fresh per-job scratch bisecting once must
+// not overshoot a tiny job); replacement chunks double toward the cap so a
+// scratch shared across a whole fused round amortises quickly.
+func (sc *splitScratch) sideSlab(n int) []int32 {
+	if cap(sc.sideChunk)-len(sc.sideChunk) < n {
+		size := 2 * cap(sc.sideChunk)
+		if size > protoChunkSize {
+			size = protoChunkSize
+		}
+		if size < n {
+			size = n
+		}
+		sc.sideChunk = make([]int32, 0, size)
+	}
+	off := len(sc.sideChunk)
+	sc.sideChunk = sc.sideChunk[:off+n]
+	return sc.sideChunk[off : off+n : off+n]
+}
+
+// blockSlab carves a zero-length, capacity-k window for one job's block
+// header list (the job appends at most k block slices).
+func (sc *splitScratch) blockSlab(k int) [][]int32 {
+	if cap(sc.blockChunk)-len(sc.blockChunk) < k {
+		size := 2 * cap(sc.blockChunk)
+		if size > protoChunkSize {
+			size = protoChunkSize
+		}
+		if size < k {
+			size = k
+		}
+		sc.blockChunk = make([][]int32, 0, size)
+	}
+	off := len(sc.blockChunk)
+	sc.blockChunk = sc.blockChunk[:off+k]
+	return sc.blockChunk[off : off : off+k]
+}
+
+func (sc *splitScratch) ensure(n int) {
+	if len(sc.pos) < n {
+		sc.pos = make([]int32, n)
+		sc.mark = make([]int32, n)
+		sc.epoch = 0
+	}
+}
+
+// identity returns [0, 1, …, n) as a capacity-clamped view of a buffer that
+// only ever holds the ascending sequence. Block slices are immutable once
+// created (splits copy, never write in place), so every job a scratch serves
+// can alias the same backing array for its starting all-nodes block — even
+// the jobs that never split and carry the block into their results.
+func (sc *splitScratch) identity(n int) []int32 {
+	for len(sc.ident) < n {
+		sc.ident = append(sc.ident, int32(len(sc.ident)))
+	}
+	return sc.ident[:n:n]
+}
+
+// splitSpectralBlock bisects one block of j with the CSR-native spectral
+// path: members renumbered by rank into an induced CSR (the rank map is
+// monotone, so adjacency stays ascending without re-sorting), then
+// spectral.BisectCSR. A pure function of (j, block, spec) — scratch only
+// carries reusable buffers — which is what lets the work-stealing scheduler
+// run speculative splits on any worker with bit-identical results.
+func splitSpectralBlock(j *csrJob, block []int32, spec SpectralEngine, sc *splitScratch) (sideA, sideB []int32, err error) {
+	sc.ensure(j.n)
+	if cap(sc.sorted) < len(block) {
+		sc.sorted = make([]int32, len(block))
+	}
+	sorted := sc.sorted[:len(block)]
+	copy(sorted, block)
+	sortInt32s(sorted)
+	sc.epoch++
+	for r, id := range sorted {
+		sc.pos[id] = int32(r)
+		sc.mark[id] = sc.epoch
+	}
+	n := len(sorted)
+	if cap(sc.ioff) < n+1 {
+		sc.ioff = make([]int32, n+1)
+	}
+	sc.ioff = sc.ioff[:n+1]
+	nnz := 0
+	sc.ioff[0] = 0
+	for r, id := range sorted {
+		for e := j.off[id]; e < j.off[id+1]; e++ {
+			if sc.mark[j.tgt[e]] == sc.epoch {
+				nnz++
+			}
+		}
+		sc.ioff[r+1] = int32(nnz)
+	}
+	if cap(sc.itgt) < nnz {
+		sc.itgt = make([]int32, nnz)
+		sc.iw = make([]float64, nnz)
+	}
+	sc.itgt, sc.iw = sc.itgt[:nnz], sc.iw[:nnz]
+	p := 0
+	for _, id := range sorted {
+		for e := j.off[id]; e < j.off[id+1]; e++ {
+			if v := j.tgt[e]; sc.mark[v] == sc.epoch {
+				sc.itgt[p] = sc.pos[v]
+				sc.iw[p] = j.w[e]
+				p++
+			}
+		}
+	}
+	// BisectCSR fills the scratch-carved slab with member ranks; translating
+	// rank→local id in place turns them into the block side lists without a
+	// second slab. Sides are never appended to downstream.
+	sideA, sideB, err = spectral.BisectCSRInto(sc.ioff, sc.itgt, sc.iw, sc.sideSlab(n), spec.spectralOptions())
+	if err != nil {
+		return nil, nil, fmt.Errorf("spectral engine: %w", err)
+	}
+	for i, r := range sideA {
+		sideA[i] = sorted[r]
+	}
+	for i, r := range sideB {
+		sideB[i] = sorted[r]
+	}
+	return sideA, sideB, nil
 }
 
 // partitionCSR is partitionSubgraph over a csrJob: recursive bisection of
@@ -237,24 +581,19 @@ func runPipelineCSR(ctx context.Context, c *graph.CSR, opts Options) ([]protoPar
 // materialised sub-graph carrying the same node ids it would see from the
 // map pipeline.
 func partitionCSR(ctx context.Context, j *csrJob, engine Engine, k int) ([][]int32, error) {
-	all := make([]int32, j.n)
-	for i := range all {
-		all[i] = int32(i)
-	}
-	blocks := [][]int32{all}
-	indivisible := make(map[int]bool)
-	spec, isSpectral := engine.(SpectralEngine)
+	return partitionCSRScratch(ctx, j, engine, k, &splitScratch{})
+}
 
-	// Per-job scratch for induced block views: rank of each member within
-	// the sorted block, and an epoch membership mark.
-	var (
-		pos   = make([]int32, j.n)
-		mark  = make([]int32, j.n)
-		epoch int32
-		ioff  []int32
-		itgt  []int32
-		iw    []float64
-	)
+// partitionCSRScratch is partitionCSR with caller-owned scratch, so the
+// fused pipeline's serial loop reuses one workspace across all jobs.
+func partitionCSRScratch(ctx context.Context, j *csrJob, engine Engine, k int, sc *splitScratch) ([][]int32, error) {
+	blocks := append(sc.blockSlab(k), sc.identity(j.n))
+	// indivisible never escapes the call, so it lives in scratch.
+	if cap(sc.indiv) < k {
+		sc.indiv = make([]bool, 0, k)
+	}
+	indivisible := append(sc.indiv[:0], false)
+	spec, isSpectral := engine.(SpectralEngine)
 
 	for len(blocks) < k {
 		// Heaviest splittable block.
@@ -278,89 +617,18 @@ func partitionCSR(ctx context.Context, j *csrJob, engine Engine, k int) ([][]int
 			return nil, err
 		}
 		block := blocks[best]
-		sorted := make([]int32, len(block))
-		copy(sorted, block)
-		sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
-		epoch++
-		for r, id := range sorted {
-			pos[id] = int32(r)
-			mark[id] = epoch
-		}
 
 		var sideA, sideB []int32
+		var err error
 		if isSpectral {
-			// Induced block CSR: members renumbered by rank. The rank map is
-			// monotone, so adjacency stays ascending without re-sorting.
-			n := len(sorted)
-			if cap(ioff) < n+1 {
-				ioff = make([]int32, n+1)
-			}
-			ioff = ioff[:n+1]
-			nnz := 0
-			ioff[0] = 0
-			for r, id := range sorted {
-				for e := j.off[id]; e < j.off[id+1]; e++ {
-					if mark[j.tgt[e]] == epoch {
-						nnz++
-					}
-				}
-				ioff[r+1] = int32(nnz)
-			}
-			if cap(itgt) < nnz {
-				itgt = make([]int32, nnz)
-				iw = make([]float64, nnz)
-			}
-			itgt, iw = itgt[:nnz], iw[:nnz]
-			p := 0
-			for _, id := range sorted {
-				for e := j.off[id]; e < j.off[id+1]; e++ {
-					if v := j.tgt[e]; mark[v] == epoch {
-						itgt[p] = pos[v]
-						iw[p] = j.w[e]
-						p++
-					}
-				}
-			}
-			subA, subB, err := spectral.BisectCSR(ioff, itgt, iw, spec.spectralOptions())
-			if err != nil {
-				return nil, fmt.Errorf("spectral engine: %w", err)
-			}
-			sideA = make([]int32, len(subA))
-			for i, r := range subA {
-				sideA[i] = sorted[r]
-			}
-			sideB = make([]int32, len(subB))
-			for i, r := range subB {
-				sideB[i] = sorted[r]
-			}
-		} else {
-			// Materialise the block for engines that take a *graph.Graph.
-			sub := graph.New(len(sorted))
-			for _, id := range sorted {
-				if err := sub.AddNode(j.extID(id), j.nodeW[id]); err != nil {
-					return nil, err
-				}
-			}
-			for _, id := range sorted {
-				for e := j.off[id]; e < j.off[id+1]; e++ {
-					if v := j.tgt[e]; v > id && mark[v] == epoch {
-						if err := sub.AddEdge(j.extID(id), j.extID(v), j.w[e]); err != nil {
-							return nil, err
-						}
-					}
-				}
-			}
-			extA, extB, err := engine.Bisect(ctx, sub)
+			sideA, sideB, err = splitSpectralBlock(j, block, spec, sc)
 			if err != nil {
 				return nil, err
 			}
-			sideA = make([]int32, len(extA))
-			for i, id := range extA {
-				sideA[i] = j.localOf(id)
-			}
-			sideB = make([]int32, len(extB))
-			for i, id := range extB {
-				sideB[i] = j.localOf(id)
+		} else {
+			sideA, sideB, err = splitMaterializedBlock(ctx, j, block, engine, sc)
+			if err != nil {
+				return nil, err
 			}
 		}
 		if len(sideA) == 0 || len(sideB) == 0 {
@@ -369,7 +637,50 @@ func partitionCSR(ctx context.Context, j *csrJob, engine Engine, k int) ([][]int
 		}
 		blocks[best] = sideA
 		blocks = append(blocks, sideB)
+		indivisible = append(indivisible, false)
 		// Indices shifted only at the tail; indivisible marks stay valid.
 	}
 	return blocks, nil
+}
+
+// splitMaterializedBlock bisects one block via an engine that takes a
+// *graph.Graph, materialising the block with the same node ids the map
+// pipeline would hand it.
+func splitMaterializedBlock(ctx context.Context, j *csrJob, block []int32, engine Engine, sc *splitScratch) (sideA, sideB []int32, err error) {
+	sc.ensure(j.n)
+	sorted := make([]int32, len(block))
+	copy(sorted, block)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	sc.epoch++
+	for _, id := range sorted {
+		sc.mark[id] = sc.epoch
+	}
+	sub := graph.New(len(sorted))
+	for _, id := range sorted {
+		if err := sub.AddNode(j.extID(id), j.nodeW[id]); err != nil {
+			return nil, nil, err
+		}
+	}
+	for _, id := range sorted {
+		for e := j.off[id]; e < j.off[id+1]; e++ {
+			if v := j.tgt[e]; v > id && sc.mark[v] == sc.epoch {
+				if err := sub.AddEdge(j.extID(id), j.extID(v), j.w[e]); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+	}
+	extA, extB, err := engine.Bisect(ctx, sub)
+	if err != nil {
+		return nil, nil, err
+	}
+	sideA = make([]int32, len(extA))
+	for i, id := range extA {
+		sideA[i] = j.localOf(id)
+	}
+	sideB = make([]int32, len(extB))
+	for i, id := range extB {
+		sideB[i] = j.localOf(id)
+	}
+	return sideA, sideB, nil
 }

@@ -46,6 +46,13 @@ type SpectralEngine struct {
 	MatVecWorkers int
 	// DenseCutoff overrides the dense-eigensolver threshold (0 = default).
 	DenseCutoff int
+
+	// flatEigen routes dense Fiedler solves through the arena-backed flat
+	// kernel. Set only by the batch pipeline (the kernel is bit-identical to
+	// the reference — eigen's property tests enforce it — but the single-
+	// solve path stays on the reference so the batch-vs-looped benchmarks
+	// compare against today's committed behaviour).
+	flatEigen bool
 }
 
 var _ Engine = SpectralEngine{}
@@ -64,7 +71,7 @@ func (e SpectralEngine) Name() string {
 func (e SpectralEngine) spectralOptions() spectral.Options {
 	opts := spectral.Options{
 		DisableSweep: e.DisableSweep,
-		Eigen:        eigen.FiedlerOptions{DenseCutoff: e.DenseCutoff},
+		Eigen:        eigen.FiedlerOptions{DenseCutoff: e.DenseCutoff, Flat: e.flatEigen},
 	}
 	if e.Balanced {
 		opts.Objective = spectral.RatioCut

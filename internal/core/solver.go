@@ -115,6 +115,12 @@ type Part struct {
 	Remote bool
 	// InitialRemote records the pre-greedy placement for diagnostics.
 	InitialRemote bool
+
+	// idx carries Nodes as graph-local CSR indices (aligned with Nodes) when
+	// the part came out of the batch pipeline; the batch evaluator walks the
+	// fused CSR through it instead of re-deriving indices from NodeIDs. nil
+	// on the single-solve path.
+	idx []int32
 }
 
 // PartEdge is the communication between two parts of one sub-graph.
@@ -245,6 +251,7 @@ func evaluateWithFixedWork(p mec.Params, users []UserInput, placements []mec.Pla
 // for one distinct graph. Sibling indexes into the same template slice.
 type protoPart struct {
 	nodes       []graph.NodeID
+	idx         []int32 // graph-local CSR indices of nodes (batch pipeline only)
 	work        float64
 	crossWeight float64
 	sibling     int
@@ -317,27 +324,48 @@ func buildParts(ctx context.Context, users []UserInput, opts Options, cache *Ses
 		gi := userGraph[ui]
 		stats.NodesAfter += pstats[gi].nodesAfter
 		stats.EdgesAfter += pstats[gi].edgesAfter
-		base := len(parts)
-		for _, pp := range protos[gi] {
-			p := Part{
-				User: ui, Nodes: pp.nodes, Work: pp.work,
-				CrossWeight: pp.crossWeight, Sibling: -1,
-				Remote: pp.remote, InitialRemote: pp.remote,
-			}
-			if pp.sibling >= 0 {
-				p.Sibling = base + pp.sibling
-			}
-			if len(pp.adj) > 0 {
-				p.Adj = make([]PartEdge, len(pp.adj))
-				for i, e := range pp.adj {
-					p.Adj[i] = PartEdge{Other: base + e.Other, Weight: e.Weight}
-				}
-			}
-			parts = append(parts, p)
-		}
+		parts = instantiateProtos(parts, ui, protos[gi])
 	}
 	stats.Parts = len(parts)
 	return parts, stats, nil
+}
+
+// instantiateProtos appends user ui's copy of the graph's part templates,
+// rebasing sibling/adjacency indices to the user's offset in parts. Node
+// slices are shared with the templates (read-only downstream).
+func instantiateProtos(parts []Part, ui int, protos []protoPart) []Part {
+	base := len(parts)
+	// One adjacency slab for the whole template: each part's rebased edge
+	// list is a carve, not its own allocation. Lists are never appended to
+	// after instantiation, so sharing a backing array is safe.
+	total := 0
+	for _, pp := range protos {
+		total += len(pp.adj)
+	}
+	var slab []PartEdge
+	if total > 0 {
+		slab = make([]PartEdge, 0, total)
+	}
+	for _, pp := range protos {
+		p := Part{
+			User: ui, Nodes: pp.nodes, Work: pp.work,
+			CrossWeight: pp.crossWeight, Sibling: -1,
+			Remote: pp.remote, InitialRemote: pp.remote,
+			idx: pp.idx,
+		}
+		if pp.sibling >= 0 {
+			p.Sibling = base + pp.sibling
+		}
+		if len(pp.adj) > 0 {
+			start := len(slab)
+			for _, e := range pp.adj {
+				slab = append(slab, PartEdge{Other: base + e.Other, Weight: e.Weight})
+			}
+			p.Adj = slab[start:len(slab):len(slab)]
+		}
+		parts = append(parts, p)
+	}
+	return parts
 }
 
 // runPipeline compresses one graph (unless disabled) and cuts every
@@ -484,8 +512,19 @@ func runPipelineMap(ctx context.Context, g *graph.Graph, opts Options) ([]protoP
 }
 
 // sortPartEdges orders adjacency deterministically by target index.
+// Insertion sort: the lists are at most MaxParts−1 long and the targets are
+// distinct, so this is allocation-free and yields exactly what any sort
+// would.
 func sortPartEdges(edges []PartEdge) {
-	sort.Slice(edges, func(a, b int) bool { return edges[a].Other < edges[b].Other })
+	for i := 1; i < len(edges); i++ {
+		e := edges[i]
+		j := i - 1
+		for j >= 0 && edges[j].Other > e.Other {
+			edges[j+1] = edges[j]
+			j--
+		}
+		edges[j+1] = e
+	}
 }
 
 // partitionSubgraph splits g into at most k parts by recursive bisection

@@ -1,0 +1,81 @@
+package core
+
+// Allocation-free sorts for the batch pipeline's hot loops. sort.Slice costs
+// two heap objects per call (the closure and reflectlite's swapper); the cut
+// stage sorts thousands of tiny int32 slices per serving round, so those
+// objects dominated the allocation profile. The keys are always distinct
+// (they are indices), so any correct sort produces the identical slice and
+// swapping the algorithm cannot perturb bit-exactness.
+
+// sortInt32s sorts a ascending: insertion sort for short runs, iterative
+// median-of-three quicksort above that.
+func sortInt32s(a []int32) {
+	if len(a) < 24 {
+		insertionInt32s(a)
+		return
+	}
+	// Explicit stack of [lo,hi) ranges; small partitions fall through to
+	// insertion sort.
+	type span struct{ lo, hi int }
+	stack := [64]span{{0, len(a)}}
+	top := 1
+	for top > 0 {
+		top--
+		lo, hi := stack[top].lo, stack[top].hi
+		for hi-lo >= 24 {
+			// Median of three to the pivot slot hi-1.
+			mid := lo + (hi-lo)/2
+			if a[mid] < a[lo] {
+				a[mid], a[lo] = a[lo], a[mid]
+			}
+			if a[hi-1] < a[mid] {
+				a[hi-1], a[mid] = a[mid], a[hi-1]
+				if a[mid] < a[lo] {
+					a[mid], a[lo] = a[lo], a[mid]
+				}
+			}
+			a[mid], a[hi-2] = a[hi-2], a[mid]
+			pivot := a[hi-2]
+			i, j := lo, hi-2
+			for {
+				for i++; a[i] < pivot; i++ {
+				}
+				for j--; a[j] > pivot; j-- {
+				}
+				if i >= j {
+					break
+				}
+				a[i], a[j] = a[j], a[i]
+			}
+			a[i], a[hi-2] = a[hi-2], a[i]
+			// Recurse into the smaller side via the stack, loop on the
+			// larger; the stack depth stays O(log n).
+			if i-lo < hi-i-1 {
+				if top < len(stack) {
+					stack[top] = span{i + 1, hi}
+					top++
+				}
+				hi = i
+			} else {
+				if top < len(stack) {
+					stack[top] = span{lo, i}
+					top++
+				}
+				lo = i + 1
+			}
+		}
+		insertionInt32s(a[lo:hi])
+	}
+}
+
+func insertionInt32s(a []int32) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"copmecs/internal/parallel"
+)
+
+// The work-stealing cut stage of the fused batch pipeline. The serial
+// partitionCSR picks the heaviest splittable block, bisects it, and repeats —
+// an inherently sequential greedy whose choice depends on the previous
+// split's outcome. The parallel version keeps that greedy loop serial per
+// job (one cheap driver goroutine replaying the exact selection order) but
+// runs the expensive part — the spectral bisections themselves — as
+// speculative tasks on a shared work-stealing pool: every block that could
+// be selected next has its split already in flight. splitSpectralBlock is a
+// pure function of (job, block), so a speculative result is the result the
+// serial loop would have computed, and the replayed selection sequence — and
+// with it the final block list — is deterministic and identical to
+// partitionCSR's regardless of worker count or steal order. Splits
+// speculated for blocks the greedy never picks are cancelled (unstarted
+// tasks become no-ops); at worst they cost wasted cycles, never a different
+// answer.
+
+// splitTask is one speculative bisection: the future its driver awaits.
+type splitTask struct {
+	state int32 // splitPending → splitRunning | splitCancelled
+	done  chan struct{}
+	sideA []int32
+	sideB []int32
+	err   error
+}
+
+const (
+	splitPending int32 = iota
+	splitRunning
+	splitCancelled
+)
+
+// partitionJobsSteal cuts every job with one shared work-stealing worker
+// pool, filling blocksOf[i] with job i's final blocks (identical to
+// partitionCSR's output).
+func partitionJobsSteal(ctx context.Context, jobs []csrJob, spec SpectralEngine, k, workers int, blocksOf [][][]int32) error {
+	sched := parallel.NewStealScheduler(workers)
+	scratch := sync.Pool{New: func() any { return new(splitScratch) }}
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			blocksOf[i], errs[i] = driveJobSteal(ctx, &jobs[i], spec, k, sched, &scratch)
+		}(i)
+	}
+	wg.Wait()
+	sched.Close()
+	for _, err := range errs {
+		if err != nil {
+			return fmt.Errorf("core: cut sub-graph: %w", err)
+		}
+	}
+	return nil
+}
+
+// driveJobSteal replays partitionCSR's greedy selection for one job,
+// sourcing each bisection from a speculative task on the shared pool.
+func driveJobSteal(ctx context.Context, j *csrJob, spec SpectralEngine, k int, sched *parallel.StealScheduler, scratch *sync.Pool) ([][]int32, error) {
+	spawn := func(block []int32) *splitTask {
+		if len(block) < 2 {
+			return nil // never selected for splitting
+		}
+		t := &splitTask{done: make(chan struct{})}
+		sched.Submit(func() {
+			if !atomic.CompareAndSwapInt32(&t.state, splitPending, splitRunning) {
+				return // cancelled before a worker picked it up
+			}
+			sc := scratch.Get().(*splitScratch)
+			t.sideA, t.sideB, t.err = splitSpectralBlock(j, block, spec, sc)
+			scratch.Put(sc)
+			close(t.done)
+		})
+		return t
+	}
+	cancel := func(t *splitTask) {
+		if t != nil {
+			atomic.CompareAndSwapInt32(&t.state, splitPending, splitCancelled)
+		}
+	}
+
+	all := make([]int32, j.n)
+	for i := range all {
+		all[i] = int32(i)
+	}
+	blocks := [][]int32{all}
+	splits := []*splitTask{spawn(all)}
+	indivisible := make(map[int]bool)
+	cancelAll := func() {
+		for _, t := range splits {
+			cancel(t)
+		}
+	}
+
+	for len(blocks) < k {
+		// Heaviest splittable block — partitionCSR's selection, verbatim.
+		best, bestWork := -1, -1.0
+		for bi, block := range blocks {
+			if indivisible[bi] || len(block) < 2 {
+				continue
+			}
+			var work float64
+			for _, id := range block {
+				work += j.nodeW[id]
+			}
+			if work > bestWork {
+				best, bestWork = bi, work
+			}
+		}
+		if best < 0 {
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			cancelAll()
+			return nil, err
+		}
+		t := splits[best]
+		<-t.done
+		if t.err != nil {
+			cancelAll()
+			return nil, t.err
+		}
+		if len(t.sideA) == 0 || len(t.sideB) == 0 {
+			indivisible[best] = true
+			continue
+		}
+		blocks[best] = t.sideA
+		splits[best] = spawn(t.sideA)
+		blocks = append(blocks, t.sideB)
+		splits = append(splits, spawn(t.sideB))
+	}
+	// Speculations the greedy never consumed.
+	cancelAll()
+	return blocks, nil
+}

@@ -6,28 +6,96 @@ import (
 	"copmecs/internal/matrix"
 )
 
-// floatArena is a pooled bump allocator for the Lanczos iteration's internal
-// vectors and tridiagonal workspace. One solve allocates O(maxIter) basis
+// floatArena is a pooled bump allocator for the eigensolvers' internal
+// vectors and workspaces (the Lanczos basis and Ritz decomposition, the flat
+// dense Jacobi working matrices). One solve allocates O(maxIter) basis
 // vectors plus the Ritz decomposition; routing them through an arena makes a
 // steady-state Fiedler call touch the heap only for the eigenvector it
 // returns (which must escape and is therefore allocated normally — arena
 // memory never leaves the solver).
+//
+// Arenas are pooled per size class. A single shared pool would let one large
+// solve park a multi-megabyte chunk that every subsequent small solve then
+// pins for its lifetime (the classic sync.Pool poisoning pattern); classing
+// by the solve's float demand keeps a daemon's many small solves on small
+// arenas while the rare huge instance recycles through its own class.
 type floatArena struct {
 	chunks [][]float64
 	ci     int // chunk currently bump-allocated from
 	off    int // next free slot in chunks[ci]
+	class  int // pool class this arena returns to
+	ints   []int
+	perm   diagPerm // boxed once per arena, not once per sort.Sort call
 }
 
-var arenaPool = sync.Pool{New: func() any { return new(floatArena) }}
+// arenaClassCap[k] is the largest take-hint class k serves; retained chunk
+// capacity is trimmed to the class cap on release so an arena that grew past
+// its class (estimates are hints, not bounds) cannot poison the class pool.
+var arenaClassCap = [...]int{1 << 13, 1 << 16, 1 << 19, 1 << 22}
 
-func getArena() *floatArena  { return arenaPool.Get().(*floatArena) }
-func putArena(a *floatArena) { a.reset(); arenaPool.Put(a) }
+// arenaPools holds one pool per size class plus a final unbounded class for
+// anything larger than the last cap.
+var arenaPools [len(arenaClassCap) + 1]sync.Pool
+
+func arenaClassFor(hint int) int {
+	for k, c := range arenaClassCap {
+		if hint <= c {
+			return k
+		}
+	}
+	return len(arenaClassCap)
+}
+
+// getArena checks an arena out of the pool serving solves that need about
+// `hint` float64s in total. The hint sizes nothing up front — take still
+// grows on demand — it only picks which class pool the arena cycles through.
+func getArena(hint int) *floatArena {
+	class := arenaClassFor(hint)
+	a, _ := arenaPools[class].Get().(*floatArena)
+	if a == nil {
+		a = &floatArena{class: class}
+	}
+	return a
+}
+
+func putArena(a *floatArena) {
+	a.reset()
+	// Trim retained capacity to the class cap: an arena that outgrew its
+	// class frees the excess here instead of pinning it in the pool.
+	if a.class < len(arenaClassCap) {
+		budget := arenaClassCap[a.class]
+		total := 0
+		keep := 0
+		for _, c := range a.chunks {
+			if total+len(c) > budget {
+				break
+			}
+			total += len(c)
+			keep++
+		}
+		for i := keep; i < len(a.chunks); i++ {
+			a.chunks[i] = nil
+		}
+		a.chunks = a.chunks[:keep]
+	}
+	arenaPools[a.class].Put(a)
+}
 
 func (a *floatArena) reset() { a.ci, a.off = 0, 0 }
 
 // take returns a zeroed n-element slice carved from the arena. The slice is
 // valid until the arena is reset or returned to the pool.
 func (a *floatArena) take(n int) []float64 {
+	s := a.takeDirty(n)
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// takeDirty is take without the zeroing pass, for buffers the caller fully
+// initialises before reading (recycled chunks hold stale values).
+func (a *floatArena) takeDirty(n int) []float64 {
 	for a.ci < len(a.chunks) && len(a.chunks[a.ci])-a.off < n {
 		a.ci++
 		a.off = 0
@@ -41,11 +109,18 @@ func (a *floatArena) take(n int) []float64 {
 	}
 	s := a.chunks[a.ci][a.off : a.off+n : a.off+n]
 	a.off += n
-	for i := range s {
-		s[i] = 0
-	}
 	return s
 }
 
 // vec is take typed as a matrix.Vector.
 func (a *floatArena) vec(n int) matrix.Vector { return matrix.Vector(a.take(n)) }
+
+// takeInts returns an uninitialised n-element int scratch. Unlike take it is
+// a single grow-only buffer, so at most one takeInts slice may be live per
+// arena at a time (the eigen permutation sort is the only user).
+func (a *floatArena) takeInts(n int) []int {
+	if cap(a.ints) < n {
+		a.ints = make([]int, n)
+	}
+	return a.ints[:n]
+}

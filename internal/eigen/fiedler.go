@@ -20,6 +20,17 @@ type FiedlerOptions struct {
 	// parallel.MatVecOperator substitutes the paper's Spark-backed matrix
 	// multiplications. nil uses the serial CSR product.
 	Wrap func(*matrix.CSR) Operator
+	// Flat routes the dense path through the arena-backed flat Jacobi
+	// kernel (bit-for-bit identical results, far fewer allocations). Only
+	// valid when l is exactly symmetric, as graph Laplacians are; the flat
+	// kernel skips the tolerance-based symmetry pre-check.
+	Flat bool
+	// VecBuf, when non-nil, lets the flat kernel back the returned
+	// eigenvector with this grow-only buffer instead of a fresh
+	// allocation. The caller owns the buffer: the returned vector aliases
+	// it and is valid only until the next solve that passes the same
+	// buffer. Ignored by the reference dense and Lanczos paths.
+	VecBuf *[]float64
 }
 
 // Fiedler returns the second-smallest eigenvalue λ₂ of the Laplacian l and
@@ -42,6 +53,9 @@ func Fiedler(l *matrix.CSR, opts FiedlerOptions) (float64, matrix.Vector, error)
 		cutoff = 96
 	}
 	if n <= cutoff {
+		if opts.Flat {
+			return fiedlerDenseFlat(l, opts.VecBuf)
+		}
 		return fiedlerDense(l)
 	}
 	return fiedlerLanczos(l, opts)

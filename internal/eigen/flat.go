@@ -1,0 +1,177 @@
+package eigen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"copmecs/internal/matrix"
+)
+
+// fiedlerDenseFlat is the batch pipeline's dense Fiedler kernel: the same
+// cyclic Jacobi iteration as Jacobi/fiedlerDense, rewritten over flat
+// row-major float64 slices carved from a pooled arena instead of
+// matrix.Dense accessors, and extracting only the one eigenpair the caller
+// needs instead of materialising the full sorted eigendecomposition.
+//
+// Bit-for-bit equality with fiedlerDense is a hard requirement (the batch
+// solver is verified against N independent solves) and follows from three
+// facts, each mirrored here line for line:
+//
+//   - every floating-point sum (off-diagonal mass, Frobenius norm, the
+//     rotation updates) runs in exactly the order the reference runs it —
+//     only the address arithmetic changed, m[k*n+p] for m.At(k, p);
+//   - the eigenvalue ordering permutation is produced by the same
+//     sort.Slice comparator over the same diagonal values, and Go's
+//     sort.Slice is deterministic for a fixed input sequence;
+//   - the one skipped step, Jacobi's IsSymmetric pre-check, is a pure gate:
+//     it computes nothing the iteration reuses. The Laplacians this kernel
+//     sees are assembled from a CSR adjacency whose (u,v)/(v,u) weights are
+//     the same stored float64, so they are symmetric exactly, not just
+//     within tolerance, and the gate can never fire on them.
+func fiedlerDenseFlat(l *matrix.CSR, vecBuf *[]float64) (float64, matrix.Vector, error) {
+	n := l.Rows()
+	if n == 0 {
+		return 0, nil, ErrEmpty
+	}
+	ar := getArena(2 * n * n)
+	defer putArena(ar)
+
+	// m ← dense(l); v ← I. Same values Jacobi starts from: Dense() scatter
+	// then Clone() is entrywise identical to scattering into m directly.
+	// DenseInto zeroes the buffer itself, so it can take the arena slice
+	// dirty.
+	m := ar.takeDirty(n * n)
+	if _, err := l.DenseInto(m); err != nil {
+		return 0, nil, fmt.Errorf("fiedler dense flat: %w", err)
+	}
+	v := ar.take(n * n)
+	for i := 0; i < n; i++ {
+		v[i*n+i] = 1
+	}
+
+	off := func() float64 {
+		var s float64
+		for i := 0; i < n; i++ {
+			row := m[i*n : (i+1)*n]
+			for j := i + 1; j < n; j++ {
+				s += row[j] * row[j]
+			}
+		}
+		return s
+	}
+
+	var frob float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			frob += m[i*n+j] * m[i*n+j]
+		}
+	}
+	eps := 1e-22 * (frob + 1)
+
+	for sweep := 0; sweep < jacobiMaxSweeps; sweep++ {
+		if off() <= eps {
+			return fiedlerPairFlat(m, v, n, ar, vecBuf)
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m[p*n+q]
+				if apq == 0 { //vet:ignore floatcmp exact-zero rotation skip, mirrors Jacobi
+					continue
+				}
+				app, aqq := m[p*n+p], m[q*n+q]
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+
+				// rotate(m, p, q, c, s): column update for every row, then
+				// row update for rows p and q — the reference's exact order.
+				// Row-slice form so the compiler can drop the bounds checks.
+				for row := m; len(row) >= n; row = row[n:] {
+					mkp, mkq := row[p], row[q]
+					row[p] = c*mkp - s*mkq
+					row[q] = s*mkp + c*mkq
+				}
+				rp, rq := m[p*n:p*n+n:p*n+n], m[q*n:q*n+n:q*n+n]
+				for k, mpk := range rp {
+					mqk := rq[k]
+					rp[k] = c*mpk - s*mqk
+					rq[k] = s*mpk + c*mqk
+				}
+				// rotateCols(v, p, q, c, s).
+				for row := v; len(row) >= n; row = row[n:] {
+					vkp, vkq := row[p], row[q]
+					row[p] = c*vkp - s*vkq
+					row[q] = s*vkp + c*vkq
+				}
+			}
+		}
+	}
+	if off() <= eps*10 { // accept near-converged state, as the reference does
+		return fiedlerPairFlat(m, v, n, ar, vecBuf)
+	}
+	return 0, nil, fmt.Errorf("jacobi after %d sweeps: %w", jacobiMaxSweeps, ErrNoConvergence)
+}
+
+// diagPerm sorts an index permutation by the diagonal values of a flat n×n
+// matrix. It exists so fiedlerPairFlat can call sort.Sort instead of
+// sort.Slice: both are generated from the same pdqsort template, so for
+// identical inputs they execute the identical compare/swap sequence — the
+// resulting permutation matches the reference's sort.Slice bit for bit even
+// when diagonal values tie — while the concrete Interface avoids
+// sort.Slice's two per-call heap allocations (reflect swapper + closure).
+type diagPerm struct {
+	idx []int
+	m   []float64
+	n   int
+}
+
+func (d *diagPerm) Len() int      { return len(d.idx) }
+func (d *diagPerm) Swap(a, b int) { d.idx[a], d.idx[b] = d.idx[b], d.idx[a] }
+func (d *diagPerm) Less(a, b int) bool {
+	return d.m[d.idx[a]*d.n+d.idx[a]] < d.m[d.idx[b]*d.n+d.idx[b]]
+}
+
+// fiedlerPairFlat mirrors sortedEigen + Col(1) + Normalize, but only the
+// second-smallest pair ever leaves the arena: the permutation is the same
+// comparator over the same diagonal values, and instead of copying all n
+// columns into a fresh n×n matrix it copies the single column the Fiedler
+// computation uses. With vecBuf set the returned vector is backed by the
+// caller's buffer (see FiedlerOptions.VecBuf); arena memory still never
+// leaves the call.
+func fiedlerPairFlat(m, v []float64, n int, ar *floatArena, vecBuf *[]float64) (float64, matrix.Vector, error) {
+	if n < 2 {
+		return 0, nil, ErrEmpty
+	}
+	idx := ar.takeInts(n)
+	for i := range idx {
+		idx[i] = i
+	}
+	// The sorter lives in the (heap-resident, pooled) arena so handing it to
+	// sort.Sort boxes a pointer instead of allocating a fresh struct.
+	ar.perm = diagPerm{idx: idx, m: m, n: n}
+	sort.Sort(&ar.perm)
+	ar.perm = diagPerm{}
+
+	src := idx[1]
+	var out matrix.Vector
+	if vecBuf != nil {
+		if cap(*vecBuf) < n {
+			*vecBuf = make([]float64, n)
+		}
+		out = matrix.Vector((*vecBuf)[:n])
+	} else {
+		out = make(matrix.Vector, n)
+	}
+	for row := 0; row < n; row++ {
+		out[row] = v[row*n+src]
+	}
+	out.Normalize()
+	return m[src*n+src], out, nil
+}

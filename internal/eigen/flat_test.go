@@ -1,0 +1,165 @@
+package eigen
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+	"testing/quick"
+
+	"copmecs/internal/matrix"
+)
+
+func randLaplacian(rng *rand.Rand, n int) *matrix.CSR {
+	var edges []matrix.WeightedEdge
+	for i := 1; i < n; i++ {
+		edges = append(edges, matrix.WeightedEdge{U: rng.Intn(i), V: i, Weight: rng.Float64()*5 + 0.5})
+	}
+	for k := 0; k < n; k++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			edges = append(edges, matrix.WeightedEdge{U: u, V: v, Weight: rng.Float64()*5 + 0.5})
+		}
+	}
+	l, err := matrix.Laplacian(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// TestPropertyFlatFiedlerBitExact is the equality contract the batch solver
+// leans on: the flat arena-backed dense kernel must reproduce the reference
+// fiedlerDense to the last bit — same eigenvalue word, same vector words —
+// on the exactly-symmetric Laplacians the pipeline feeds it.
+func TestPropertyFlatFiedlerBitExact(t *testing.T) {
+	f := func(seed int64, nn uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nn%60) + 2
+		l := randLaplacian(rng, n)
+		refVal, refVec, refErr := fiedlerDense(l)
+		gotVal, gotVec, gotErr := fiedlerDenseFlat(l, nil)
+		if (refErr == nil) != (gotErr == nil) {
+			t.Logf("seed %d n %d: err mismatch ref=%v got=%v", seed, n, refErr, gotErr)
+			return false
+		}
+		if refErr != nil {
+			return true
+		}
+		if math.Float64bits(refVal) != math.Float64bits(gotVal) {
+			t.Logf("seed %d n %d: λ₂ %x vs %x", seed, n, math.Float64bits(refVal), math.Float64bits(gotVal))
+			return false
+		}
+		for i := range refVec {
+			if math.Float64bits(refVec[i]) != math.Float64bits(gotVec[i]) {
+				t.Logf("seed %d n %d: vec[%d] %x vs %x", seed, n, i,
+					math.Float64bits(refVec[i]), math.Float64bits(gotVec[i]))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArenaSizeClassing(t *testing.T) {
+	if got := arenaClassFor(1); got != 0 {
+		t.Fatalf("class for 1 = %d, want 0", got)
+	}
+	if got := arenaClassFor(arenaClassCap[0]); got != 0 {
+		t.Fatalf("class at cap 0 = %d, want 0", got)
+	}
+	if got := arenaClassFor(arenaClassCap[0] + 1); got != 1 {
+		t.Fatalf("class past cap 0 = %d, want 1", got)
+	}
+	if got := arenaClassFor(arenaClassCap[len(arenaClassCap)-1] + 1); got != len(arenaClassCap) {
+		t.Fatalf("class past last cap = %d, want %d", got, len(arenaClassCap))
+	}
+
+	// An arena that outgrows its class must shed the oversized chunks on
+	// release instead of parking them in the small-class pool.
+	a := getArena(16)
+	a.take(arenaClassCap[0] * 4) // way past the class-0 retention budget
+	if a.class != 0 {
+		t.Fatalf("arena class = %d, want 0", a.class)
+	}
+	putArena(a)
+	retained := 0
+	for _, c := range a.chunks {
+		retained += len(c)
+	}
+	if retained > arenaClassCap[0] {
+		t.Fatalf("class-0 arena retained %d floats after put, budget %d", retained, arenaClassCap[0])
+	}
+
+	// take still zeroes recycled memory.
+	b := getArena(16)
+	s := b.take(64)
+	for i := range s {
+		s[i] = 42
+	}
+	b.reset()
+	s2 := b.take(64)
+	for i, x := range s2 {
+		if x != 0 {
+			t.Fatalf("recycled slot %d = %v, want 0", i, x)
+		}
+	}
+	putArena(b)
+}
+
+// BenchmarkArenaReuse asserts the steady-state allocation budget of the flat
+// dense kernel: with size-classed arena pooling, repeated small solves reuse
+// the same chunks — even right after a large-class arena cycled through the
+// pools — so per-op allocation stays at the handful of escaping slices (the
+// result vector, the sort permutation), not fresh 32 KB working matrices.
+func BenchmarkArenaReuse(b *testing.B) {
+	l := benchLaplacian(b, 64)
+	// Cycle an oversized arena through the pool first: before size-classing
+	// this parked a multi-megabyte buffer that every small solve then pinned.
+	big := getArena(1 << 22)
+	big.take(1 << 20)
+	putArena(big)
+	if _, _, err := fiedlerDenseFlat(l, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := fiedlerDenseFlat(l, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&after)
+	allocs := float64(after.Mallocs-before.Mallocs) / float64(b.N)
+	bytes := float64(after.TotalAlloc-before.TotalAlloc) / float64(b.N)
+	if allocs > 16 || bytes > 8192 {
+		b.Fatalf("steady-state flat solve: %.1f allocs/op, %.0f B/op — arena not reused", allocs, bytes)
+	}
+}
+
+func BenchmarkFiedlerDense64(b *testing.B) {
+	l := benchLaplacian(b, 64)
+	b.Run("reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := fiedlerDense(l); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("flat", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := fiedlerDenseFlat(l, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -61,8 +61,10 @@ func Lanczos(op Operator, k int, opts LanczosOptions) ([]Pair, error) {
 
 	// All internal vectors and the Ritz workspace come from a pooled arena;
 	// only the returned eigenvectors are heap-allocated (they escape, arena
-	// memory must not).
-	ar := getArena()
+	// memory must not). The hint is the worst-case float demand — basis and
+	// work vectors plus the Ritz decomposition — so the arena comes from the
+	// matching size-class pool.
+	ar := getArena(n*(maxIter+2) + maxIter*(maxIter+2))
 	defer putArena(ar)
 
 	var (

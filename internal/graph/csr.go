@@ -62,10 +62,10 @@ func (g *Graph) Compile() *CSR {
 	c.wts = make([]float64, nnz)
 	pos := 0
 	for _, id := range c.ids {
-		rec := g.nodes[id]
-		for _, nb := range rec.sortedAdj() {
+		av := g.nodes[id].adjView()
+		for i, nb := range av.ids {
 			c.tgt[pos] = c.index[nb]
-			c.wts[pos] = rec.adj[nb]
+			c.wts[pos] = av.w[i]
 			pos++
 		}
 	}
@@ -103,15 +103,20 @@ func (c *CSR) buildComponents() {
 			}
 		}
 	}
+	// Member lists carve one n-entry slab via counting sort: sizes → offsets
+	// → capacity-clamped windows, filled by ascending node scan so each list
+	// comes out ascending.
 	c.comps = make([][]int32, next)
 	sizes := make([]int32, next)
 	for _, cid := range c.compOf {
 		sizes[cid]++
 	}
+	slab := make([]int32, n)
+	base := int32(0)
 	for cid, sz := range sizes {
-		c.comps[cid] = make([]int32, 0, sz)
+		c.comps[cid] = slab[base : base : base+sz]
+		base += sz
 	}
-	// Ascending node scan ⇒ each member list comes out ascending.
 	for i := 0; i < n; i++ {
 		cid := c.compOf[i]
 		c.comps[cid] = append(c.comps[cid], int32(i))

@@ -46,29 +46,49 @@ type Edge struct {
 type nodeRec struct {
 	weight float64
 	adj    map[NodeID]float64
-	// sorted latches the ascending neighbor list so repeated Neighbors /
-	// traversal calls stop paying O(d log d) per lookup. nil means stale;
-	// mutators that change the adjacency set reset it. The latch is atomic so
-	// that concurrent readers (safe per the package contract once mutation
-	// has stopped) may race to build it; the slice itself is never mutated
-	// in place after publication.
-	sorted atomic.Pointer[[]NodeID]
+	// sorted latches the ascending neighbor list plus the matching weights
+	// so repeated Neighbors / traversal calls stop paying O(d log d) per
+	// lookup and CSR assembly reads weights positionally instead of one map
+	// probe per edge. nil means stale; mutators that change the adjacency
+	// set or an edge weight reset it. The latch is atomic so that concurrent
+	// readers (safe per the package contract once mutation has stopped) may
+	// race to build it; the slices themselves are never mutated in place
+	// after publication.
+	sorted atomic.Pointer[adjCache]
 }
 
-// sortedAdj returns the latched ascending neighbor list of rec, building it
-// on first use. The returned slice is shared: callers inside the package
-// must not modify it (Neighbors copies for external callers).
-func (rec *nodeRec) sortedAdj() []NodeID {
+// adjCache is one node's latched adjacency: ids ascending, w[i] the weight
+// of the edge to ids[i]. Both slices are shared — never modify.
+type adjCache struct {
+	ids []NodeID
+	w   []float64
+}
+
+// adjView returns the latched adjacency cache of rec, building it on first
+// use.
+func (rec *nodeRec) adjView() *adjCache {
 	if p := rec.sorted.Load(); p != nil {
-		return *p
+		return p
 	}
 	nbs := make([]NodeID, 0, len(rec.adj))
 	for nb := range rec.adj {
 		nbs = append(nbs, nb)
 	}
-	sort.Slice(nbs, func(i, j int) bool { return nbs[i] < nbs[j] })
-	rec.sorted.Store(&nbs)
-	return nbs
+	sortNodeIDs(nbs)
+	ws := make([]float64, len(nbs))
+	for i, nb := range nbs {
+		ws[i] = rec.adj[nb]
+	}
+	c := &adjCache{ids: nbs, w: ws}
+	rec.sorted.Store(c)
+	return c
+}
+
+// sortedAdj returns the latched ascending neighbor list of rec. The returned
+// slice is shared: callers inside the package must not modify it (Neighbors
+// copies for external callers).
+func (rec *nodeRec) sortedAdj() []NodeID {
+	return rec.adjView().ids
 }
 
 // Graph is a mutable weighted undirected graph. The zero value is not usable;
@@ -168,11 +188,11 @@ func (g *Graph) AddEdge(u, v NodeID, w float64) error {
 	}
 	if _, exists := ru.adj[v]; !exists {
 		g.edgeCount++
-		// The neighbor sets change only when the edge is new; re-weighting
-		// an existing edge keeps both latched adjacency lists valid.
-		ru.sorted.Store(nil)
-		rv.sorted.Store(nil)
 	}
+	// The latch caches edge weights alongside the neighbor ids, so both a
+	// new edge and a re-weighted one reset it.
+	ru.sorted.Store(nil)
+	rv.sorted.Store(nil)
 	ru.adj[v] += w
 	rv.adj[u] += w
 	g.totalEdgeWeight += w
@@ -230,7 +250,7 @@ func (g *Graph) Nodes() []NodeID {
 	for id := range g.nodes {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	sortNodeIDs(ids)
 	return ids
 }
 

@@ -30,7 +30,7 @@ func (g *Graph) Components() [][]NodeID {
 				}
 			}
 		}
-		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		sortNodeIDs(comp)
 		comps = append(comps, comp)
 	}
 	return comps

@@ -1,0 +1,78 @@
+package graph
+
+// sortNodeIDs sorts a in ascending order without the two heap allocations
+// (reflect Swapper + comparator closure) a sort.Slice call makes. Node id
+// lists are duplicate-free wherever the package sorts them — map keys,
+// adjacency keys, component members — so the sorted result is a unique
+// permutation and swapping the algorithm cannot perturb any downstream
+// ordering. Insertion sort below a small cutoff, iterative median-of-three
+// quicksort above it.
+func sortNodeIDs(a []NodeID) {
+	if len(a) < 24 {
+		insertionNodeIDs(a)
+		return
+	}
+	type span struct{ lo, hi int }
+	var stack [64]span
+	top := 0
+	stack[top] = span{0, len(a) - 1}
+	top++
+	for top > 0 {
+		top--
+		lo, hi := stack[top].lo, stack[top].hi
+		for hi-lo >= 24 {
+			mid := lo + (hi-lo)/2
+			if a[mid] < a[lo] {
+				a[mid], a[lo] = a[lo], a[mid]
+			}
+			if a[hi] < a[lo] {
+				a[hi], a[lo] = a[lo], a[hi]
+			}
+			if a[hi] < a[mid] {
+				a[hi], a[mid] = a[mid], a[hi]
+			}
+			pivot := a[mid]
+			i, j := lo, hi
+			for i <= j {
+				for a[i] < pivot {
+					i++
+				}
+				for a[j] > pivot {
+					j--
+				}
+				if i <= j {
+					a[i], a[j] = a[j], a[i]
+					i++
+					j--
+				}
+			}
+			// Recurse into the smaller side via the stack, loop on the larger.
+			if j-lo < hi-i {
+				if lo < j {
+					stack[top] = span{lo, j}
+					top++
+				}
+				lo = i
+			} else {
+				if i < hi {
+					stack[top] = span{i, hi}
+					top++
+				}
+				hi = j
+			}
+		}
+		insertionNodeIDs(a[lo : hi+1])
+	}
+}
+
+func insertionNodeIDs(a []NodeID) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}

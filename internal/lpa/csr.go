@@ -1,7 +1,6 @@
 package lpa
 
 import (
-	"sort"
 	"sync"
 
 	"copmecs/internal/graph"
@@ -84,6 +83,59 @@ type compressScratch struct {
 	ws        []float64
 	pairKey   map[int64]int32
 	pairs     []superEdge
+	// pairSlot/pairMark form an epoch-marked dense k×k pair index used in
+	// place of pairKey when a component contracts to few enough supers; the
+	// map stays for big components where k² would dwarf the edge count.
+	pairSlot  []int32
+	pairMark  []int32
+	pairEpoch int32
+	// superChunk/pairChunk are carve-forward arenas for the per-component
+	// outputs, which outlive the component call (they escape into
+	// CompressCSR's assembly stage). Windows are never rewound, so pooled
+	// scratch reuse cannot clobber an escaped slab, and every fresh carve
+	// region is still make-zeroed. Chunks start exactly sized and double
+	// toward a cap, collapsing the two allocations per component into a
+	// handful per compression pass.
+	superChunk []float64
+	pairChunk  []superEdge
+}
+
+// outChunkCap bounds the arena chunk size (and thus the slack a pooled
+// scratch retains between compression passes).
+const outChunkCap = 4096
+
+// superSlab carves a zeroed k-entry super-weight slab.
+func (s *compressScratch) superSlab(k int) []float64 {
+	if cap(s.superChunk)-len(s.superChunk) < k {
+		size := 2 * cap(s.superChunk)
+		if size > outChunkCap {
+			size = outChunkCap
+		}
+		if size < k {
+			size = k
+		}
+		s.superChunk = make([]float64, 0, size)
+	}
+	off := len(s.superChunk)
+	s.superChunk = s.superChunk[:off+k]
+	return s.superChunk[off : off+k : off+k]
+}
+
+// pairSlab carves an m-entry contracted-edge slab.
+func (s *compressScratch) pairSlab(m int) []superEdge {
+	if cap(s.pairChunk)-len(s.pairChunk) < m {
+		size := 2 * cap(s.pairChunk)
+		if size > outChunkCap {
+			size = outChunkCap
+		}
+		if size < m {
+			size = m
+		}
+		s.pairChunk = make([]superEdge, 0, size)
+	}
+	off := len(s.pairChunk)
+	s.pairChunk = s.pairChunk[:off+m]
+	return s.pairChunk[off : off+m : off+m]
 }
 
 var compressScratchPool = sync.Pool{New: func() any { return new(compressScratch) }}
@@ -334,48 +386,158 @@ func compressComponentCSR(c *graph.CSR, comp []int32, opts Options, labels, supe
 		superOf[u] = cl
 	}
 	out := compOut{k: int(k), rounds: rounds, threshold: threshold}
-	out.superW = make([]float64, k)
+	out.superW = s.superSlab(int(k))
 	for _, u := range comp {
 		out.superW[superOf[u]] += c.NodeWeights()[u]
 	}
 
 	// Contracted edges: accumulate per super-pair in the original (u, v)
 	// edge order — the same order graph.Contract coalesces in — then sort
-	// pairs for the CSR fill.
-	clear(s.pairKey)
+	// pairs for the CSR fill. Slot assignment order (pair first-seen order)
+	// is identical through either index, so both produce the same pairs
+	// slice; the dense index just skips the per-edge map probes for the
+	// many-small-components regime.
 	s.pairs = s.pairs[:0]
-	for _, u := range comp {
-		tgt, w := c.Adj(u)
-		for ki, v := range tgt {
-			if v < u {
-				continue
+	const densePairCap = 64
+	if k <= densePairCap {
+		need := int(k) * int(k)
+		if cap(s.pairSlot) < need {
+			s.pairSlot = make([]int32, need)
+			s.pairMark = make([]int32, need)
+			s.pairEpoch = 0
+		}
+		slot, mark := s.pairSlot[:need], s.pairMark[:need]
+		s.pairEpoch++
+		epoch := s.pairEpoch
+		for _, u := range comp {
+			tgt, w := c.Adj(u)
+			for ki, v := range tgt {
+				if v < u {
+					continue
+				}
+				a, b := superOf[u], superOf[v]
+				if a == b {
+					continue // intra-cluster communication vanishes after merging
+				}
+				if a > b {
+					a, b = b, a
+				}
+				d := a*k + b
+				if mark[d] != epoch {
+					mark[d] = epoch
+					slot[d] = int32(len(s.pairs))
+					s.pairs = append(s.pairs, superEdge{a: a, b: b})
+				}
+				s.pairs[slot[d]].w += w[ki]
 			}
-			a, b := superOf[u], superOf[v]
-			if a == b {
-				continue // intra-cluster communication vanishes after merging
+		}
+	} else {
+		clear(s.pairKey)
+		for _, u := range comp {
+			tgt, w := c.Adj(u)
+			for ki, v := range tgt {
+				if v < u {
+					continue
+				}
+				a, b := superOf[u], superOf[v]
+				if a == b {
+					continue // intra-cluster communication vanishes after merging
+				}
+				if a > b {
+					a, b = b, a
+				}
+				key := int64(a)<<32 | int64(b)
+				slot, ok := s.pairKey[key]
+				if !ok {
+					slot = int32(len(s.pairs))
+					s.pairKey[key] = slot
+					s.pairs = append(s.pairs, superEdge{a: a, b: b})
+				}
+				s.pairs[slot].w += w[ki]
 			}
-			if a > b {
-				a, b = b, a
-			}
-			key := int64(a)<<32 | int64(b)
-			slot, ok := s.pairKey[key]
-			if !ok {
-				slot = int32(len(s.pairs))
-				s.pairKey[key] = slot
-				s.pairs = append(s.pairs, superEdge{a: a, b: b})
-			}
-			s.pairs[slot].w += w[ki]
 		}
 	}
-	sort.Slice(s.pairs, func(i, j int) bool {
-		if s.pairs[i].a != s.pairs[j].a {
-			return s.pairs[i].a < s.pairs[j].a
-		}
-		return s.pairs[i].b < s.pairs[j].b
-	})
-	out.pairs = make([]superEdge, len(s.pairs))
+	sortSuperEdges(s.pairs)
+	out.pairs = s.pairSlab(len(s.pairs))
 	copy(out.pairs, s.pairs)
 	return out
+}
+
+// sortSuperEdges orders pairs by (a, b) ascending. Pair keys are unique —
+// accumulation dedups through pairKey — so the sorted sequence is a unique
+// permutation and the choice of algorithm is observationally irrelevant;
+// doing it without sort.Slice saves that call's two heap allocations
+// (reflect swapper + comparator closure), paid once per component on the
+// solver's hot path. Non-negative a/b pack into one monotone int64 key.
+func sortSuperEdges(p []superEdge) {
+	if len(p) < 24 {
+		insertionSuperEdges(p)
+		return
+	}
+	key := func(e superEdge) int64 { return int64(e.a)<<32 | int64(e.b) }
+	type span struct{ lo, hi int }
+	var stack [64]span
+	top := 0
+	stack[top] = span{0, len(p) - 1}
+	top++
+	for top > 0 {
+		top--
+		lo, hi := stack[top].lo, stack[top].hi
+		for hi-lo >= 24 {
+			mid := lo + (hi-lo)/2
+			if key(p[mid]) < key(p[lo]) {
+				p[mid], p[lo] = p[lo], p[mid]
+			}
+			if key(p[hi]) < key(p[lo]) {
+				p[hi], p[lo] = p[lo], p[hi]
+			}
+			if key(p[hi]) < key(p[mid]) {
+				p[hi], p[mid] = p[mid], p[hi]
+			}
+			pivot := key(p[mid])
+			i, j := lo, hi
+			for i <= j {
+				for key(p[i]) < pivot {
+					i++
+				}
+				for key(p[j]) > pivot {
+					j--
+				}
+				if i <= j {
+					p[i], p[j] = p[j], p[i]
+					i++
+					j--
+				}
+			}
+			if j-lo < hi-i {
+				if lo < j {
+					stack[top] = span{lo, j}
+					top++
+				}
+				lo = i
+			} else {
+				if i < hi {
+					stack[top] = span{i, hi}
+					top++
+				}
+				hi = j
+			}
+		}
+		insertionSuperEdges(p[lo : hi+1])
+	}
+}
+
+func insertionSuperEdges(p []superEdge) {
+	for i := 1; i < len(p); i++ {
+		v := p[i]
+		kv := int64(v.a)<<32 | int64(v.b)
+		j := i - 1
+		for j >= 0 && int64(p[j].a)<<32|int64(p[j].b) > kv {
+			p[j+1] = p[j]
+			j--
+		}
+		p[j+1] = v
+	}
 }
 
 // traversalOrder computes the BFS or DFS visit order from start over the

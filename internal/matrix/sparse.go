@@ -85,25 +85,38 @@ func NewCSR(rows, cols int, entries []Triplet) (*CSR, error) {
 // matrix aliases the given slices — the caller must not modify them while
 // the matrix is in use, and may reclaim them once it is dead.
 func NewCSRFromParts(rows, cols int, rowPtr, colIdx []int, vals []float64) (*CSR, error) {
+	m := &CSR{}
+	if err := m.ResetParts(rows, cols, rowPtr, colIdx, vals); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ResetParts revalidates and repoints m at the given backing arrays in place
+// — NewCSRFromParts without the header allocation — for callers that funnel
+// many short-lived assemblies through one reusable CSR (the spectral cut hot
+// path builds a fresh Laplacian per bisection).
+func (m *CSR) ResetParts(rows, cols int, rowPtr, colIdx []int, vals []float64) error {
 	if rows < 0 || cols < 0 {
-		return nil, fmt.Errorf("csr %dx%d: %w", rows, cols, ErrDimension)
+		return fmt.Errorf("csr %dx%d: %w", rows, cols, ErrDimension)
 	}
 	if len(rowPtr) != rows+1 {
-		return nil, fmt.Errorf("csr %dx%d: rowPtr length %d: %w", rows, cols, len(rowPtr), ErrDimension)
+		return fmt.Errorf("csr %dx%d: rowPtr length %d: %w", rows, cols, len(rowPtr), ErrDimension)
 	}
 	if rows > 0 && rowPtr[0] != 0 {
-		return nil, fmt.Errorf("csr %dx%d: rowPtr[0] = %d: %w", rows, cols, rowPtr[0], ErrDimension)
+		return fmt.Errorf("csr %dx%d: rowPtr[0] = %d: %w", rows, cols, rowPtr[0], ErrDimension)
 	}
 	for i := 0; i < rows; i++ {
 		if rowPtr[i] > rowPtr[i+1] {
-			return nil, fmt.Errorf("csr %dx%d: rowPtr not monotone at %d: %w", rows, cols, i, ErrDimension)
+			return fmt.Errorf("csr %dx%d: rowPtr not monotone at %d: %w", rows, cols, i, ErrDimension)
 		}
 	}
 	if nnz := rowPtr[rows]; nnz != len(colIdx) || nnz != len(vals) {
-		return nil, fmt.Errorf("csr %dx%d: nnz %d vs %d cols, %d vals: %w",
+		return fmt.Errorf("csr %dx%d: nnz %d vs %d cols, %d vals: %w",
 			rows, cols, rowPtr[rows], len(colIdx), len(vals), ErrDimension)
 	}
-	return &CSR{rows: rows, cols: cols, rowPtr: rowPtr, colIdx: colIdx, vals: vals}, nil
+	*m = CSR{rows: rows, cols: cols, rowPtr: rowPtr, colIdx: colIdx, vals: vals}
+	return nil
 }
 
 // Rows returns the number of rows.
@@ -160,6 +173,25 @@ func (m *CSR) Dense() *Dense {
 		}
 	}
 	return d
+}
+
+// DenseInto scatters m's stored entries into dst, a caller-owned row-major
+// rows×cols buffer, and returns dst. dst is zeroed first, so the result is
+// exactly Dense() without the allocation — hot paths hand in pooled scratch.
+func (m *CSR) DenseInto(dst []float64) ([]float64, error) {
+	if len(dst) != m.rows*m.cols {
+		return nil, fmt.Errorf("csr dense-into %dx%d buffer %d: %w", m.rows, m.cols, len(dst), ErrDimension)
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i := 0; i < m.rows; i++ {
+		row := dst[i*m.cols : (i+1)*m.cols]
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			row[m.colIdx[k]] = m.vals[k]
+		}
+	}
+	return dst, nil
 }
 
 // QuadForm returns qᵀ·m·q.

@@ -400,11 +400,13 @@ func (s *Server) Stats() Stats {
 			Shards:    s.graphs.occupancy(),
 		},
 		Batch: BatchStats{
-			Rounds:     s.st.batches.Load(),
-			Users:      s.st.batchedUsers.Load(),
-			MaxUsers:   s.st.maxBatch.Load(),
-			QueueDepth: s.b.depth(),
-			Lanes:      s.b.laneStats(),
+			Rounds:      s.st.batches.Load(),
+			Users:       s.st.batchedUsers.Load(),
+			MaxUsers:    s.st.maxBatch.Load(),
+			FusedRounds: s.st.fusedRounds.Load(),
+			FusedGraphs: s.st.fusedGraphs.Load(),
+			QueueDepth:  s.b.depth(),
+			Lanes:       s.b.laneStats(),
 		},
 		Latency: s.st.lat.snapshot(),
 	}
@@ -698,7 +700,18 @@ func (s *Server) await(w http.ResponseWriter, r *http.Request, p *pending, dedup
 
 // dispatchRound solves one batcher round. Tasks with different resolved
 // params cannot share a server model, so the round is partitioned by
-// params digest (first-appearance order) into one core.Solve each.
+// params digest (first-appearance order) into one batch item each, and the
+// whole round goes through Session.BatchSolve in a single fused pass:
+// every cache-missing distinct graph across all items is compiled,
+// compressed and cut in one mega-instance instead of once per group. The
+// per-item solutions are bit-for-bit what per-group Solve calls would have
+// produced, so nothing downstream can tell the difference. Each task is
+// expanded by its live multiplicity (capped at MaxBatch) so
+// singleflight-collapsed duplicates still count toward the paper's
+// ActiveUsers contention; identical users are symmetric in the model, so
+// the representative's decision is shared across its duplicates.
+// SolveTimeout bounds the fused round as a whole — the round is one solve
+// now, not a sequence of them.
 func (s *Server) dispatchRound(ctx context.Context, round []*solveTask) {
 	groups := make(map[string][]*solveTask)
 	var order []string
@@ -708,48 +721,57 @@ func (s *Server) dispatchRound(ctx context.Context, round []*solveTask) {
 		}
 		groups[t.pkey] = append(groups[t.pkey], t)
 	}
-	for _, pk := range order {
-		s.solveGroup(ctx, groups[pk])
-	}
-}
 
-// solveGroup runs one multi-user core.Solve over the group's tasks,
-// expanding each task by its live multiplicity (capped at MaxBatch) so
-// singleflight-collapsed duplicates still count toward the paper's
-// ActiveUsers contention. Identical users are symmetric in the model, so
-// the representative's decision is shared across its duplicates.
-func (s *Server) solveGroup(ctx context.Context, tasks []*solveTask) {
+	items := make([]core.BatchItem, len(order))
+	reps := make([][]int, len(order)) // reps[g][i]: task i's representative user index
+	distinct := make(map[*graph.Graph]struct{}, len(round))
+	for gi, pk := range order {
+		tasks := groups[pk]
+		var users []core.UserInput
+		rep := make([]int, len(tasks))
+		for i, t := range tasks {
+			rep[i] = len(users)
+			mult := int(t.p.mult.Load())
+			if mult < 1 {
+				mult = 1
+			}
+			if mult > s.b.maxBatch {
+				mult = s.b.maxBatch
+			}
+			for j := 0; j < mult; j++ {
+				users = append(users, t.user)
+			}
+			distinct[t.user.Graph] = struct{}{}
+		}
+		s.st.observeBatch(len(users))
+		items[gi] = core.BatchItem{Users: users, Params: tasks[0].params}
+		reps[gi] = rep
+	}
+	// Interned graphs are pointer-canonical, so pointer identity counts
+	// distinct applications; a round spanning >= 2 of them is where fusion
+	// actually merged work.
+	if len(distinct) >= 2 {
+		s.st.fusedRounds.Add(1)
+		s.st.fusedGraphs.Add(uint64(len(distinct)))
+	}
+
 	sctx, cancel := context.WithTimeout(ctx, s.cfg.SolveTimeout)
 	defer cancel()
-
-	var users []core.UserInput
-	rep := make([]int, len(tasks)) // tasks[i] → index of its representative user
-	for i, t := range tasks {
-		rep[i] = len(users)
-		mult := int(t.p.mult.Load())
-		if mult < 1 {
-			mult = 1
+	results := s.sess.BatchSolve(sctx, items)
+	for gi, pk := range order {
+		tasks := groups[pk]
+		r := results[gi]
+		if r.Err != nil {
+			s.st.solveErrors.Add(1)
+			s.logf("serve: round of %d users failed: %v", len(items[gi].Users), r.Err)
+			for _, t := range tasks {
+				s.finish(t, nil, r.Err)
+			}
+			continue
 		}
-		if mult > s.b.maxBatch {
-			mult = s.b.maxBatch
+		for i, t := range tasks {
+			s.finish(t, decisionFor(r.Solution, reps[gi][i], len(items[gi].Users)), nil)
 		}
-		for j := 0; j < mult; j++ {
-			users = append(users, t.user)
-		}
-	}
-	s.st.observeBatch(len(users))
-
-	sol, err := s.sess.SolveWithParams(sctx, users, tasks[0].params)
-	if err != nil {
-		s.st.solveErrors.Add(1)
-		s.logf("serve: round of %d users failed: %v", len(users), err)
-		for _, t := range tasks {
-			s.finish(t, nil, err)
-		}
-		return
-	}
-	for i, t := range tasks {
-		s.finish(t, decisionFor(sol, rep[i], len(users)), nil)
 	}
 }
 

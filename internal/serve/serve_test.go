@@ -348,6 +348,41 @@ func TestBatchedContentionMatchesOffline(t *testing.T) {
 	}
 }
 
+// TestFusedRoundCounters checks the fusion telemetry: a round spanning two
+// distinct graphs counts as one fused round of two graphs, while a
+// single-graph round (nothing to merge) leaves both counters alone.
+func TestFusedRoundCounters(t *testing.T) {
+	params := defaultTestParams()
+	s := newTestServer(t, Config{Workers: 1})
+	ctx := context.Background()
+
+	mkTask := func(key string, gi int) *solveTask {
+		return &solveTask{
+			p:      newPending(key),
+			user:   core.UserInput{Graph: testGraph(t, gi)},
+			params: params,
+			pkey:   paramsDigest(params),
+		}
+	}
+	s.accepted.Add(2)
+	s.dispatchRound(ctx, []*solveTask{mkTask("a", 0), mkTask("b", 1)})
+	if got := s.st.fusedRounds.Load(); got != 1 {
+		t.Fatalf("fusedRounds after 2-graph round = %d, want 1", got)
+	}
+	if got := s.st.fusedGraphs.Load(); got != 2 {
+		t.Fatalf("fusedGraphs after 2-graph round = %d, want 2", got)
+	}
+
+	s.accepted.Add(1)
+	s.dispatchRound(ctx, []*solveTask{mkTask("c", 2)})
+	if got := s.st.fusedRounds.Load(); got != 1 {
+		t.Fatalf("fusedRounds after 1-graph round = %d, want 1 still", got)
+	}
+	if got := s.st.fusedGraphs.Load(); got != 2 {
+		t.Fatalf("fusedGraphs after 1-graph round = %d, want 2 still", got)
+	}
+}
+
 // TestContentionGrowsWithBatch checks the paper's processor-sharing model is
 // visible through the serving path: the same user's waiting time is
 // monotonically non-decreasing in the number of co-batched offloading users.

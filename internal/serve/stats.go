@@ -130,6 +130,8 @@ type counters struct {
 	batches      atomic.Uint64 // solve rounds dispatched
 	batchedUsers atomic.Uint64 // users across all rounds (incl. multiplicity)
 	maxBatch     atomic.Uint64 // largest round seen
+	fusedRounds  atomic.Uint64 // rounds whose BatchSolve fused >= 2 distinct graphs
+	fusedGraphs  atomic.Uint64 // distinct graphs across those fused rounds
 }
 
 // observeBatch records one dispatched round of n users.
@@ -214,6 +216,14 @@ type BatchStats struct {
 	Users uint64 `json:"users"`
 	// MaxUsers is the largest round dispatched.
 	MaxUsers uint64 `json:"max_users"`
+	// FusedRounds counts rounds whose BatchSolve pass fused two or more
+	// distinct application graphs into one mega-instance. Rounds over a
+	// single graph (or served entirely from the pipeline cache) gain
+	// nothing from fusion and are not counted.
+	FusedRounds uint64 `json:"fused_rounds"`
+	// FusedGraphs counts the distinct graphs across all fused rounds —
+	// FusedGraphs/FusedRounds is the mean fusion width.
+	FusedGraphs uint64 `json:"fused_graphs"`
 	// QueueDepth is the number of requests currently queued across lanes.
 	QueueDepth int `json:"queue_depth"`
 	// Lanes is the per-lane queue state; persistent skew means one

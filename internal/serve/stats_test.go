@@ -133,7 +133,7 @@ func TestStatsJSONShapeKeepsFlatFieldsAndAddsShardSections(t *testing.T) {
 		t.Fatal("graph_cache.shards missing")
 	}
 	batch := doc["batch"].(map[string]any)
-	for _, key := range []string{"rounds", "users", "max_users", "queue_depth", "lanes"} {
+	for _, key := range []string{"rounds", "users", "max_users", "fused_rounds", "fused_graphs", "queue_depth", "lanes"} {
 		if _, ok := batch[key]; !ok {
 			t.Fatalf("batch field %q missing", key)
 		}

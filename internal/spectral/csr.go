@@ -3,7 +3,6 @@ package spectral
 import (
 	"fmt"
 	"math"
-	"sort"
 	"sync"
 
 	"copmecs/internal/eigen"
@@ -19,6 +18,8 @@ type bisectScratch struct {
 	vals   []float64
 	order  []int
 	inA    []bool
+	lap    matrix.CSR // reusable Laplacian header over the buffers above
+	vecBuf []float64  // backing store for the flat kernel's Fiedler vector
 }
 
 var bisectScratchPool = sync.Pool{New: func() any { return new(bisectScratch) }}
@@ -47,11 +48,25 @@ func (s *bisectScratch) ensure(n, lnnz int) {
 // standing for the i-th smallest NodeID).
 func BisectCSR(off, tgt []int32, wts []float64, opts Options) (sideA, sideB []int32, err error) {
 	n := len(off) - 1
+	if n <= 0 {
+		return nil, nil, ErrEmptyGraph
+	}
+	return BisectCSRInto(off, tgt, wts, make([]int32, n), opts)
+}
+
+// BisectCSRInto is BisectCSR writing both side lists into the caller's
+// sides slab (len(sides) must be ≥ n): sideA occupies its front, sideB the
+// adjacent segment. The batch pipeline carves sides from a per-job arena,
+// which removes the one allocation per split that BisectCSR itself would
+// make.
+func BisectCSRInto(off, tgt []int32, wts []float64, sides []int32, opts Options) (sideA, sideB []int32, err error) {
+	n := len(off) - 1
 	switch n {
 	case 0:
 		return nil, nil, ErrEmptyGraph
 	case 1:
-		return []int32{0}, nil, nil
+		sides[0] = 0
+		return sides[:1:1], nil, nil
 	}
 	s := bisectScratchPool.Get().(*bisectScratch)
 	defer bisectScratchPool.Put(s)
@@ -86,11 +101,15 @@ func BisectCSR(off, tgt []int32, wts []float64, opts Options) (sideA, sideB []in
 		}
 		rowPtr[i+1] = pos
 	}
-	lap, err := matrix.NewCSRFromParts(n, n, rowPtr, colIdx[:pos], vals[:pos])
-	if err != nil {
+	if err := s.lap.ResetParts(n, n, rowPtr, colIdx[:pos], vals[:pos]); err != nil {
 		return nil, nil, fmt.Errorf("spectral: %w", err)
 	}
-	_, vec, err := eigen.Fiedler(lap, opts.Eigen)
+	// The Fiedler vector is consumed by the sweep below and never escapes
+	// this call, so the flat kernel may back it with the pooled scratch
+	// buffer instead of a fresh allocation.
+	eopts := opts.Eigen
+	eopts.VecBuf = &s.vecBuf
+	_, vec, err := eigen.Fiedler(&s.lap, eopts)
 	if err != nil {
 		return nil, nil, fmt.Errorf("spectral: %w", err)
 	}
@@ -101,6 +120,15 @@ func BisectCSR(off, tgt []int32, wts []float64, opts Options) (sideA, sideB []in
 	} else {
 		sweepCutCSR(off, tgt, wts, vec, opts.Objective, s.order[:n], inA)
 	}
+	// Both sides packed into the caller's slab: ascending fill, A from the
+	// front, B from the adjacent segment.
+	countA := 0
+	for i := 0; i < n; i++ {
+		if inA[i] {
+			countA++
+		}
+	}
+	sideA, sideB = sides[:0:countA], sides[countA:countA]
 	for i := 0; i < n; i++ {
 		if inA[i] {
 			sideA = append(sideA, int32(i))
@@ -134,6 +162,89 @@ func signSplitCSR(vec matrix.Vector, inA []bool) {
 	}
 }
 
+// sortByFiedler orders node indices by (Fiedler value, index). The index
+// tie-break makes the comparison a total order, so the sorted permutation is
+// unique and the algorithm is free to differ from the reference sweepCut's
+// sort.Slice without perturbing any downstream result; sorting without
+// sort.Slice saves its two per-call heap allocations on the cut hot path.
+// Insertion sort below a small cutoff, iterative median-of-three quicksort
+// above it.
+func sortByFiedler(order []int, vec matrix.Vector) {
+	less := func(a, b int) bool {
+		va, vb := vec[a], vec[b]
+		if va != vb { //vet:ignore floatcmp exact comparator, mirrors sweepCut
+			return va < vb
+		}
+		return a < b
+	}
+	if len(order) < 24 {
+		insertionByFiedler(order, less)
+		return
+	}
+	type span struct{ lo, hi int }
+	var stack [64]span
+	top := 0
+	stack[top] = span{0, len(order) - 1}
+	top++
+	for top > 0 {
+		top--
+		lo, hi := stack[top].lo, stack[top].hi
+		for hi-lo >= 24 {
+			mid := lo + (hi-lo)/2
+			if less(order[mid], order[lo]) {
+				order[mid], order[lo] = order[lo], order[mid]
+			}
+			if less(order[hi], order[lo]) {
+				order[hi], order[lo] = order[lo], order[hi]
+			}
+			if less(order[hi], order[mid]) {
+				order[hi], order[mid] = order[mid], order[hi]
+			}
+			pivot := order[mid]
+			i, j := lo, hi
+			for i <= j {
+				for less(order[i], pivot) {
+					i++
+				}
+				for less(pivot, order[j]) {
+					j--
+				}
+				if i <= j {
+					order[i], order[j] = order[j], order[i]
+					i++
+					j--
+				}
+			}
+			if j-lo < hi-i {
+				if lo < j {
+					stack[top] = span{lo, j}
+					top++
+				}
+				lo = i
+			} else {
+				if i < hi {
+					stack[top] = span{i, hi}
+					top++
+				}
+				hi = j
+			}
+		}
+		insertionByFiedler(order[lo:hi+1], less)
+	}
+}
+
+func insertionByFiedler(order []int, less func(a, b int) bool) {
+	for i := 1; i < len(order); i++ {
+		v := order[i]
+		j := i - 1
+		for j >= 0 && less(v, order[j]) {
+			order[j+1] = order[j]
+			j--
+		}
+		order[j+1] = v
+	}
+}
+
 // sweepCutCSR mirrors sweepCut over CSR adjacency: nodes ordered by Fiedler
 // value (index tie-break), prefix cut maintained incrementally, best prefix
 // returned as the side mask.
@@ -143,16 +254,7 @@ func sweepCutCSR(off, tgt []int32, wts []float64, vec matrix.Vector, obj Objecti
 		order[i] = i
 		inPrefix[i] = false
 	}
-	sort.Slice(order, func(a, b int) bool {
-		va, vb := vec[order[a]], vec[order[b]]
-		if va < vb {
-			return true
-		}
-		if vb < va {
-			return false
-		}
-		return order[a] < order[b]
-	})
+	sortByFiedler(order, vec)
 	var (
 		cur     float64
 		best    = math.Inf(1)

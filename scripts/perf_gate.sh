@@ -1,5 +1,5 @@
 #!/bin/sh
-# perf_gate.sh OLD.txt NEW.txt [MAX_REGRESSION_PCT]
+# perf_gate.sh OLD.txt NEW.txt [MAX_REGRESSION_PCT] [MIN_SPEEDUP_X]
 #
 # Compares two `go test -bench` text outputs (e.g. the committed
 # results/bench_core_baseline.txt against a fresh results/bench_core.txt),
@@ -9,13 +9,21 @@
 # side are listed but never gate, so adding or retiring a benchmark does not
 # break CI. benchstat gives the human-readable statistics in the CI log;
 # this script is the machine verdict.
+#
+# Additionally, any benchmark in the NEW run reporting a speedup_x metric
+# (BenchmarkBatchSpeedup: fused batch throughput over the looped
+# single-solve baseline, measured interleaved within one process so host
+# drift cancels) must average at least MIN_SPEEDUP_X (default 2.0). This is
+# an absolute floor, not a relative comparison: the batched solver's whole
+# reason to exist is the >=2x win, so the gate holds the claim itself.
 set -eu
 
-old=${1:?usage: perf_gate.sh OLD.txt NEW.txt [MAX_PCT]}
-new=${2:?usage: perf_gate.sh OLD.txt NEW.txt [MAX_PCT]}
+old=${1:?usage: perf_gate.sh OLD.txt NEW.txt [MAX_PCT] [MIN_SPEEDUP]}
+new=${2:?usage: perf_gate.sh OLD.txt NEW.txt [MAX_PCT] [MIN_SPEEDUP]}
 max=${3:-15}
+minspeed=${4:-2.0}
 
-awk -v max="$max" '
+awk -v max="$max" -v minspeed="$minspeed" '
 FNR == NR && /^Benchmark/ {
 	name = $1; sub(/-[0-9]+$/, "", name)
 	for (i = 2; i <= NF; i++) if ($i == "ns/op") { osum[name] += $(i-1); ocnt[name]++ }
@@ -27,6 +35,7 @@ FNR == NR && /^Benchmark/ {
 		nsum[name] += $(i-1); ncnt[name]++
 		if (!(name in idx)) { order[n++] = name; idx[name] = 1 }
 	}
+	for (i = 2; i <= NF; i++) if ($i == "speedup_x") { ssum[name] += $(i-1); scnt[name]++ }
 }
 END {
 	bad = 0
@@ -45,7 +54,17 @@ END {
 	}
 	for (name in osum) if (!(name in nsum))
 		printf "%-55s %12.0f ns/op dropped from new run (not gated)\n", name, osum[name] / ocnt[name]
+	slow = 0
+	for (name in ssum) {
+		s = ssum[name] / scnt[name]
+		verdict = (s < minspeed) ? "BELOW FLOOR" : "ok"
+		printf "%-55s %38.3f speedup_x (floor %s)  %s\n", name, s, minspeed, verdict
+		if (s < minspeed) slow = 1
+	}
 	if (bad) { printf "FAIL: ns/op regression beyond %s%%\n", max; exit 1 }
-	printf "OK: no benchmark regressed more than %s%% ns/op\n", max
+	if (slow) { printf "FAIL: speedup_x below floor %s\n", minspeed; exit 1 }
+	printf "OK: no benchmark regressed more than %s%% ns/op", max
+	if (length(ssum)) printf "; speedup_x floor %s held", minspeed
+	printf "\n"
 }
 ' "$old" "$new"
