@@ -572,3 +572,99 @@ func BenchmarkAblationBalancedCut(b *testing.B) {
 		})
 	}
 }
+
+// localizedEdgeDeltas picks ~frac of g's edges from a single component
+// (BFS from the median node id, a representative mid-graph component) and
+// returns a flip/flop pair of weight deltas: applying fwd then rev returns
+// the graph to its original weights, so a chain alternating them keeps
+// every SolveDelta doing real work on the same dirty component while every
+// other component stays clean.
+func localizedEdgeDeltas(b *testing.B, g *graph.Graph, frac float64) (fwd, rev *graph.Delta) {
+	b.Helper()
+	churn := int(float64(g.NumEdges()) * frac)
+	if churn < 1 {
+		churn = 1
+	}
+	nodes := g.Nodes()
+	start := nodes[len(nodes)/2]
+	visited := map[graph.NodeID]bool{start: true}
+	queue := []graph.NodeID{start}
+	var f, r []graph.EdgeDelta
+	for len(queue) > 0 && len(f) < churn {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Neighbors(u) {
+			if !visited[v] {
+				visited[v] = true
+				queue = append(queue, v)
+			}
+			if u < v && len(f) < churn {
+				w, _ := g.EdgeWeight(u, v)
+				f = append(f, graph.EdgeDelta{U: u, V: v, Weight: w * 1.5})
+				r = append(r, graph.EdgeDelta{U: u, V: v, Weight: w})
+			}
+		}
+	}
+	if len(f) < churn {
+		b.Fatalf("component too small for %.1f%% churn: got %d of %d edges", frac*100, len(f), churn)
+	}
+	return &graph.Delta{SetEdges: f}, &graph.Delta{SetEdges: r}
+}
+
+// BenchmarkIncrementalResolve measures the dynamic-graph re-solve: a chain
+// of 1% localized edge-churn deltas solved through Session.SolveDelta
+// (clean components replay cached cuts, only the dirty component re-runs
+// compression and Lanczos) versus cold Solve calls on the same mutated
+// graphs. Each iteration runs a block of chained incremental steps and
+// then cold-solves the identical graph sequence, accumulating each side's
+// wall time, and reports the ratio as speedup_x — the paper's "online
+// re-decision" cost compared to deciding from scratch.
+// scripts/perf_gate.sh floors the n=5000 ratio at 5x.
+func BenchmarkIncrementalResolve(b *testing.B) {
+	ctx := context.Background()
+	opts := core.Options{Workers: 1}
+	for _, n := range []int{1000, 5000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := benchGraph(b, n)
+			fwd, rev := localizedEdgeDeltas(b, g, 0.01)
+			sess := core.NewSession(opts)
+			users := []core.UserInput{{}}
+			base, _, _, err := sess.SolveDelta(ctx, g, &graph.Delta{}, users, core.DeltaOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			const block = 4
+			deltas := [2]*graph.Delta{fwd, rev}
+			seq := make([]*graph.Graph, block)
+			var inc, cold time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cur := base
+				start := time.Now()
+				for r := 0; r < block; r++ {
+					next, _, ds, err := sess.SolveDelta(ctx, cur, deltas[r%2], users, core.DeltaOptions{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !ds.Incremental {
+						b.Fatalf("step %d fell back to the cold path: %s", r, ds.FallbackReason)
+					}
+					seq[r] = next
+					cur = next
+				}
+				inc += time.Since(start)
+				runtime.GC()
+				start = time.Now()
+				for _, mg := range seq {
+					if _, err := core.Solve(ctx, []core.UserInput{{Graph: mg}}, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+				cold += time.Since(start)
+				runtime.GC()
+				base = cur // stays warm: cur's state was captured on its own solve
+			}
+			b.ReportMetric(cold.Seconds()/inc.Seconds(), "speedup_x")
+		})
+	}
+}

@@ -18,6 +18,14 @@
 // (exercising the full solve path). The same -seed replays the same
 // mixture.
 //
+// With -mutate-ratio > 0, that fraction of requests become POST /v1/mutate
+// calls instead: each names a graph the server has already answered (the
+// generator tracks fingerprints from solve and mutate responses) and ships
+// a one-node weight delta, exercising the incremental re-solve path end to
+// end. A mutate answered 404 (the server evicted the base) is counted as
+// mutate_not_found, not an error — the generator drops the stale handle
+// and re-seeds from fresh solves, as a real client would.
+//
 // Fleet mode (-addrs url1,url2,...) spreads the same workload round-robin
 // over several targets — each copmecsd of a fleet directly, or several
 // copmecs-router fronts — and adds a per-target breakdown to the summary;
@@ -50,6 +58,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"copmecs/internal/serve"
 )
 
 func main() {
@@ -92,6 +102,13 @@ type result struct {
 	OK uint64 `json:"ok"`
 	// Cached counts 200 responses answered from the solution cache.
 	Cached uint64 `json:"cached"`
+	// Mutates counts POST /v1/mutate requests issued.
+	Mutates uint64 `json:"mutates"`
+	// MutateOK counts 200 mutate responses.
+	MutateOK uint64 `json:"mutate_ok"`
+	// MutateNotFound counts 404 mutate responses (base evicted server-side;
+	// expected under churn, so not an error).
+	MutateNotFound uint64 `json:"mutate_not_found"`
 	// Shed counts 429 responses (admission control).
 	Shed uint64 `json:"shed"`
 	// Errors5xx counts 5xx responses.
@@ -131,11 +148,13 @@ type targetSummary struct {
 // sample is one completed request: its outcome and, for OK responses, the
 // observed latency.
 type sample struct {
-	target  int // index into the run's target list
-	status  int
-	cached  bool
-	latency time.Duration
-	err     error
+	target   int // index into the run's target list
+	status   int
+	cached   bool
+	mutate   bool // the request was a POST /v1/mutate
+	notFound bool // a mutate answered 404 (base evicted server-side)
+	latency  time.Duration
+	err      error
 }
 
 // run parses flags, drives the target, and writes the JSON summary.
@@ -150,6 +169,7 @@ func run(args []string, out io.Writer) error {
 		corpus      = fs.Int("corpus", 64, "distinct graphs in the replay corpus")
 		nodes       = fs.Int("nodes", 12, "nodes per synthetic graph")
 		repeat      = fs.Float64("repeat", 0.9, "probability a request replays a corpus graph")
+		mutateRatio = fs.Float64("mutate-ratio", 0, "probability a request mutates an already-answered graph via /v1/mutate")
 		seed        = fs.Int64("seed", 1, "corpus and schedule seed")
 		timeout     = fs.Duration("timeout", 10*time.Second, "per-request timeout")
 		waitReady   = fs.Duration("wait-ready", 0, "poll /v1/healthz this long before starting (0 = don't)")
@@ -167,6 +187,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *repeat < 0 || *repeat > 1 {
 		return fmt.Errorf("-repeat must be in [0, 1]")
+	}
+	if *mutateRatio < 0 || *mutateRatio > 1 {
+		return fmt.Errorf("-mutate-ratio must be in [0, 1]")
 	}
 	targets := []string{*addr}
 	if *addrs != "" {
@@ -190,7 +213,7 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	gen := newTrafficGen(*corpus, *nodes, *repeat, *seed)
+	gen := newTrafficGen(*corpus, *nodes, *repeat, *mutateRatio, *seed)
 	res, err := drive(client, targets, gen, *duration, *qps, *concurrency)
 	if err != nil {
 		return err
@@ -236,33 +259,140 @@ func awaitReady(client *http.Client, addr string, wait time.Duration) error {
 	}
 }
 
-// trafficGen produces request bodies: a fixed seeded corpus replayed with
-// probability repeat, fresh never-repeated graphs otherwise.
-type trafficGen struct {
-	corpus [][]byte
-	nodes  int
-	repeat float64
-	fresh  atomic.Uint64 // distinct-graph sequence; never collides with the corpus
+// requestSpec is one generated request: which endpoint, the raw body, and
+// for solves of corpus graphs the locally-computed fingerprint (so a 200
+// registers the graph as a future mutation base).
+type requestSpec struct {
+	path   string // "/v1/solve" or "/v1/mutate"
+	body   []byte
+	fp     string // corpus fingerprint ("" for fresh graphs)
+	base   string // mutate base fingerprint ("" for solves)
+	mutate bool
 }
 
-// newTrafficGen builds the seeded corpus.
-func newTrafficGen(corpus, nodes int, repeat float64, seed int64) *trafficGen {
+// fpPool is a bounded concurrency-safe ring of fingerprints the server is
+// known to have answered — the candidate bases for mutate requests. The
+// ring keeps the most recent handles, matching the server's LRU intern.
+type fpPool struct {
+	mu   sync.Mutex
+	ring []string
+	next int
+	n    int
+}
+
+// newFpPool bounds the pool to capacity entries.
+func newFpPool(capacity int) *fpPool { return &fpPool{ring: make([]string, capacity)} }
+
+// add records one answered fingerprint, overwriting the oldest at cap.
+func (p *fpPool) add(fp string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ring[p.next] = fp
+	p.next = (p.next + 1) % len(p.ring)
+	if p.n < len(p.ring) {
+		p.n++
+	}
+}
+
+// pick returns a pseudo-random pooled fingerprint, or "" when empty.
+func (p *fpPool) pick(r int) string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.n == 0 {
+		return ""
+	}
+	return p.ring[r%p.n]
+}
+
+// drop removes a stale fingerprint (the server answered 404 for it).
+func (p *fpPool) drop(fp string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := 0; i < p.n; i++ {
+		if p.ring[i] == fp {
+			p.n--
+			p.ring[i] = p.ring[p.n]
+			p.ring[p.n] = ""
+			if p.next > p.n {
+				p.next = p.n
+			}
+			return
+		}
+	}
+}
+
+// trafficGen produces requests: a fixed seeded corpus replayed with
+// probability repeat, fresh never-repeated graphs otherwise, and (with
+// probability mutateRatio, once bases exist) incremental mutations of
+// already-answered graphs.
+type trafficGen struct {
+	corpus      [][]byte
+	corpusFps   []string
+	nodes       int
+	repeat      float64
+	mutateRatio float64
+	fresh       atomic.Uint64 // distinct-graph sequence; never collides with the corpus
+	pool        *fpPool
+}
+
+// newTrafficGen builds the seeded corpus and precomputes its fingerprints
+// (the handles mutate requests will name).
+func newTrafficGen(corpus, nodes int, repeat, mutateRatio float64, seed int64) *trafficGen {
 	rng := rand.New(rand.NewSource(seed))
-	g := &trafficGen{nodes: nodes, repeat: repeat}
+	g := &trafficGen{
+		nodes:       nodes,
+		repeat:      repeat,
+		mutateRatio: mutateRatio,
+		pool:        newFpPool(128),
+	}
 	g.corpus = make([][]byte, corpus)
+	g.corpusFps = make([]string, corpus)
 	for i := range g.corpus {
 		g.corpus[i] = graphBody(rng, nodes, uint64(i))
+		g.corpusFps[i] = fingerprintOfBody(g.corpus[i])
 	}
 	g.fresh.Store(uint64(corpus)) // fresh graphs continue the tag sequence
 	return g
 }
 
-// body returns the next request body for a worker-local rng.
-func (g *trafficGen) body(rng *rand.Rand) []byte {
-	if rng.Float64() < g.repeat {
-		return g.corpus[rng.Intn(len(g.corpus))]
+// fingerprintOfBody computes the canonical fingerprint of a solve body the
+// same way the server does.
+func fingerprintOfBody(body []byte) string {
+	req, err := serve.DecodeSolveRequest(bytes.NewReader(body), serve.DecodeLimits{})
+	if err != nil {
+		panic(err) // the generator built the body; a decode failure is a bug
 	}
-	return graphBody(rng, g.nodes, g.fresh.Add(1))
+	fp, err := req.Graph.Fingerprint()
+	if err != nil {
+		panic(err)
+	}
+	return fp
+}
+
+// request returns the next request for a worker-local rng.
+func (g *trafficGen) request(rng *rand.Rand) requestSpec {
+	if g.mutateRatio > 0 && rng.Float64() < g.mutateRatio {
+		if base := g.pool.pick(rng.Intn(1 << 30)); base != "" {
+			body, err := json.Marshal(map[string]any{
+				"base": base,
+				"delta": map[string]any{
+					"set_node_weights": []map[string]any{
+						{"id": 0, "weight": 20 + rng.Float64()*200},
+					},
+				},
+			})
+			if err != nil {
+				panic(err)
+			}
+			return requestSpec{path: "/v1/mutate", body: body, base: base, mutate: true}
+		}
+		// No base answered yet; fall through to a solve that seeds one.
+	}
+	if rng.Float64() < g.repeat {
+		i := rng.Intn(len(g.corpus))
+		return requestSpec{path: "/v1/solve", body: g.corpus[i], fp: g.corpusFps[i]}
+	}
+	return requestSpec{path: "/v1/solve", body: graphBody(rng, g.nodes, g.fresh.Add(1))}
 }
 
 // graphBody encodes one synthetic solve request: a chain of nodes with a
@@ -362,7 +492,7 @@ func closedLoop(ctx context.Context, client *http.Client, targets []string, gen 
 			target := w % len(targets)
 			rng := rand.New(rand.NewSource(int64(w) + 1))
 			for ctx.Err() == nil {
-				results <- post(ctx, client, targets[target], target, gen.body(rng))
+				results <- post(ctx, client, targets[target], target, gen, gen.request(rng))
 			}
 		}(w)
 	}
@@ -398,7 +528,7 @@ func openLoop(ctx context.Context, client *http.Client, targets []string, gen *t
 			wg.Wait()
 			return
 		case <-ticker.C:
-			body := gen.body(rng)
+			spec := gen.request(rng)
 			target := arrivals % len(targets)
 			arrivals++
 			select {
@@ -411,17 +541,18 @@ func openLoop(ctx context.Context, client *http.Client, targets []string, gen *t
 			go func() {
 				defer wg.Done()
 				defer func() { <-sem }()
-				results <- post(ctx, client, targets[target], target, body)
+				results <- post(ctx, client, targets[target], target, gen, spec)
 			}()
 		}
 	}
 }
 
-// post issues one solve request and classifies the outcome.
-func post(ctx context.Context, client *http.Client, addr string, target int, body []byte) sample {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+"/v1/solve", bytes.NewReader(body))
+// post issues one request and classifies the outcome, feeding answered
+// fingerprints back into the generator's mutation-base pool.
+func post(ctx context.Context, client *http.Client, addr string, target int, gen *trafficGen, spec requestSpec) sample {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+spec.path, bytes.NewReader(spec.body))
 	if err != nil {
-		return sample{target: target, err: err}
+		return sample{target: target, mutate: spec.mutate, err: err}
 	}
 	req.Header.Set("Content-Type", "application/json")
 	start := time.Now()
@@ -431,18 +562,31 @@ func post(ctx context.Context, client *http.Client, addr string, target int, bod
 			// The run ended mid-request; not a server failure.
 			return sample{target: target, status: -1}
 		}
-		return sample{target: target, err: err}
+		return sample{target: target, mutate: spec.mutate, err: err}
 	}
 	defer func() { _ = resp.Body.Close() }()
-	s := sample{target: target, status: resp.StatusCode, latency: time.Since(start)}
-	if resp.StatusCode == http.StatusOK {
+	s := sample{target: target, mutate: spec.mutate, status: resp.StatusCode, latency: time.Since(start)}
+	switch {
+	case resp.StatusCode == http.StatusOK:
 		var ok struct {
-			Cached bool `json:"cached"`
+			Cached bool   `json:"cached"`
+			Graph  string `json:"graph"`
 		}
 		if derr := json.NewDecoder(resp.Body).Decode(&ok); derr == nil {
 			s.cached = ok.Cached
+			if spec.mutate && ok.Graph != "" {
+				gen.pool.add(ok.Graph) // the mutated graph is a fresh base
+			} else if spec.fp != "" {
+				gen.pool.add(spec.fp) // the corpus graph is now interned
+			}
 		}
-	} else {
+	case spec.mutate && resp.StatusCode == http.StatusNotFound:
+		// The server evicted the base; retire the handle and re-seed from
+		// subsequent solves.
+		s.notFound = true
+		gen.pool.drop(spec.base)
+		_, _ = io.Copy(io.Discard, resp.Body)
+	default:
 		_, _ = io.Copy(io.Discard, resp.Body)
 	}
 	return s
@@ -452,6 +596,7 @@ func post(ctx context.Context, client *http.Client, addr string, target int, bod
 // goroutine touches it.
 type aggregator struct {
 	requests, ok, cached, shed, e5xx, other uint64
+	mutates, mutateOK, mutateNotFound       uint64
 	latencies                               []time.Duration
 	perTarget                               []targetCounts
 }
@@ -474,6 +619,9 @@ func (a *aggregator) add(s sample) {
 	a.requests++
 	tc := &a.perTarget[s.target]
 	tc.requests++
+	if s.mutate {
+		a.mutates++
+	}
 	switch {
 	case s.err != nil:
 		a.other++
@@ -481,11 +629,16 @@ func (a *aggregator) add(s sample) {
 	case s.status == http.StatusOK:
 		a.ok++
 		tc.ok++
+		if s.mutate {
+			a.mutateOK++
+		}
 		if s.cached {
 			a.cached++
 			tc.cached++
 		}
 		a.latencies = append(a.latencies, s.latency)
+	case s.notFound:
+		a.mutateNotFound++
 	case s.status == http.StatusTooManyRequests:
 		a.shed++
 		tc.shed++
@@ -503,12 +656,15 @@ func (a *aggregator) add(s sample) {
 // single-target consumers see the unchanged summary shape.
 func (a *aggregator) summary(targets []string, elapsed time.Duration) *result {
 	res := &result{
-		Requests:    a.requests,
-		OK:          a.ok,
-		Cached:      a.cached,
-		Shed:        a.shed,
-		Errors5xx:   a.e5xx,
-		ErrorsOther: a.other,
+		Requests:       a.requests,
+		OK:             a.ok,
+		Cached:         a.cached,
+		Mutates:        a.mutates,
+		MutateOK:       a.mutateOK,
+		MutateNotFound: a.mutateNotFound,
+		Shed:           a.shed,
+		Errors5xx:      a.e5xx,
+		ErrorsOther:    a.other,
 	}
 	if len(targets) > 1 {
 		for i, tc := range a.perTarget {

@@ -75,6 +75,32 @@ func TestClosedLoopAgainstLiveServer(t *testing.T) {
 	}
 }
 
+func TestMutateRatioDrivesIncrementalPath(t *testing.T) {
+	ts := startTarget(t)
+	res := runSummary(t, []string{
+		"-addr", ts.URL, "-duration", "600ms", "-concurrency", "4",
+		"-corpus", "4", "-repeat", "0.8", "-mutate-ratio", "0.4",
+		"-wait-ready", "2s", "-fail-5xx",
+	})
+	if res.Mutates == 0 {
+		t.Fatalf("mutate-ratio 0.4 issued no mutates: %+v", res)
+	}
+	if res.MutateOK == 0 {
+		t.Fatalf("no mutate succeeded: %+v", res)
+	}
+	if res.Errors5xx != 0 || res.ErrorsOther != 0 {
+		t.Fatalf("errors in summary: %+v", res)
+	}
+	// Mutates of evicted bases surface as mutate_not_found, never as
+	// generic errors; against a fresh in-memory server nothing evicts.
+	if res.MutateNotFound != 0 {
+		t.Fatalf("mutate_not_found = %d against an uncontended server", res.MutateNotFound)
+	}
+	if res.OK <= res.MutateOK {
+		t.Fatalf("summary should mix solves and mutates: %+v", res)
+	}
+}
+
 func TestOpenLoopWritesSummaryFile(t *testing.T) {
 	ts := startTarget(t)
 	path := filepath.Join(t.TempDir(), "out.json")
@@ -183,11 +209,11 @@ func TestFlagValidation(t *testing.T) {
 }
 
 func TestTrafficGenRepeatMix(t *testing.T) {
-	gen := newTrafficGen(8, 10, 0.5, 42)
+	gen := newTrafficGen(8, 10, 0.5, 0, 42)
 	rng := rand.New(rand.NewSource(9))
 	seen := make(map[string]int)
 	for i := 0; i < 400; i++ {
-		seen[string(gen.body(rng))]++
+		seen[string(gen.request(rng).body)]++
 	}
 	repeats := 0
 	for _, n := range seen {

@@ -22,6 +22,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"copmecs/internal/serve"
 )
 
 const daemonArgsEnv = "COPMECSD_DAEMON_ARGS"
@@ -228,6 +230,153 @@ func TestCrashRecoveryZeroLostAcceptedRequests(t *testing.T) {
 	}
 	if hits := doc["cache"].(map[string]any)["hits"].(float64); hits < accepted {
 		t.Fatalf("warm-cache hits = %v, want >= %d", hits, accepted)
+	}
+}
+
+// mutateDoc posts a mutate body and returns (status, decoded response).
+func mutateDoc(t *testing.T, base, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/mutate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("mutate: %v", err)
+	}
+	defer resp.Body.Close()
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("decode mutate response: %v", err)
+	}
+	return resp.StatusCode, doc
+}
+
+// fingerprintOfBody resolves a solve body's graph fingerprint the same way
+// the daemon does.
+func fingerprintOfBody(t *testing.T, body string) string {
+	t.Helper()
+	req, err := serve.DecodeSolveRequest(strings.NewReader(body), serve.DecodeLimits{})
+	if err != nil {
+		t.Fatalf("decode body: %v", err)
+	}
+	fp, err := req.Graph.Fingerprint()
+	if err != nil {
+		t.Fatalf("fingerprint: %v", err)
+	}
+	return fp
+}
+
+func TestCrashRecoveryMutationsSurviveSIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-execs and SIGKILLs a child process")
+	}
+	dir := t.TempDir()
+	// The background chain interns one graph per mutation; size the caches
+	// so LRU eviction (which legitimately forgets a base) can't fire.
+	args := []string{
+		"-data-dir", dir,
+		"-batch-wait", "20ms",
+		"-fsync-interval", "5ms",
+		"-snapshot-interval", "300ms",
+		"-graph-cache", "65536",
+	}
+	d := startDaemonProc(t, args...)
+
+	// Phase 1: a known chain of mutations, each answered 200. The journal
+	// now holds mutate records whose bases are earlier records' graphs.
+	seed := crashBody(0)
+	if st, _ := solveCached(t, d.base, seed); st != http.StatusOK {
+		t.Fatalf("seed solve: status %d", st)
+	}
+	fp := fingerprintOfBody(t, seed)
+	const chain = 3
+	chainFps := make([]string, 0, chain)
+	chainObjs := make([]float64, 0, chain)
+	mutateAt := func(base string, w int) string {
+		return fmt.Sprintf(`{"base":%q,"delta":{"set_node_weights":[{"id":0,"weight":%d}]}}`, base, w)
+	}
+	for i := 0; i < chain; i++ {
+		st, doc := mutateDoc(t, d.base, mutateAt(fp, 500+i))
+		if st != http.StatusOK {
+			t.Fatalf("pre-kill mutate %d: status %d: %v", i, st, doc)
+		}
+		fp = doc["graph"].(string)
+		chainFps = append(chainFps, fp)
+		chainObjs = append(chainObjs, doc["batch_objective"].(float64))
+	}
+
+	// Phase 2: background mutation load on a second chain so the SIGKILL
+	// lands with mutate journal appends and delta solves in flight.
+	second := crashBody(1)
+	if st, _ := solveCached(t, d.base, second); st != http.StatusOK {
+		t.Fatalf("second seed solve: status %d", st)
+	}
+	var killed atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		cur := fingerprintOfBody(t, second)
+		for i := 0; !killed.Load(); i++ {
+			resp, err := http.Post(d.base+"/v1/mutate", "application/json",
+				strings.NewReader(mutateAt(cur, 1000+i)))
+			if err != nil {
+				return // the kill severed the connection
+			}
+			var doc struct {
+				Graph string `json:"graph"`
+			}
+			_ = json.NewDecoder(resp.Body).Decode(&doc)
+			resp.Body.Close()
+			if len(doc.Graph) == 64 {
+				cur = doc.Graph
+			}
+			time.Sleep(2 * time.Millisecond) // bound the chain length
+		}
+	}()
+	time.Sleep(500 * time.Millisecond) // span at least one snapshot cycle
+	if err := d.cmd.Process.Kill(); err != nil {
+		t.Fatalf("SIGKILL: %v", err)
+	}
+	killed.Store(true)
+	wg.Wait()
+	if err := <-d.wait; err == nil {
+		t.Fatal("SIGKILLed child reported clean exit")
+	}
+
+	// Phase 3: restart. Replay must reconstruct every mutated graph from
+	// base + delta and serve the chain's decisions from cache.
+	d2 := startDaemonProc(t, args...)
+	defer func() {
+		_ = d2.cmd.Process.Signal(syscall.SIGTERM)
+		select {
+		case <-d2.wait:
+		case <-time.After(10 * time.Second):
+			_ = d2.cmd.Process.Kill()
+			t.Error("restarted daemon did not drain after SIGTERM")
+		}
+	}()
+	fp = fingerprintOfBody(t, seed)
+	for i := 0; i < chain; i++ {
+		st, doc := mutateDoc(t, d2.base, mutateAt(fp, 500+i))
+		if st != http.StatusOK {
+			t.Fatalf("post-crash mutate %d: status %d: %v", i, st, doc)
+		}
+		if got := doc["graph"].(string); got != chainFps[i] {
+			t.Fatalf("post-crash mutate %d: graph %s, want %s", i, got, chainFps[i])
+		}
+		if cached, _ := doc["cached"].(bool); !cached {
+			t.Fatalf("post-crash mutate %d not served from cache", i)
+		}
+		if got := doc["batch_objective"].(float64); got != chainObjs[i] {
+			t.Fatalf("post-crash mutate %d: objective %v, want %v", i, got, chainObjs[i])
+		}
+		fp = chainFps[i]
+	}
+	doc := statsDoc(t, d2.base)
+	replay := doc["durability"].(map[string]any)["replay"].(map[string]any)
+	if replay["replay_errors"].(float64) != 0 || replay["decode_errors"].(float64) != 0 {
+		t.Fatalf("recovery was lossy: %v", replay)
+	}
+	if replay["replay_mutates"].(float64) < chain {
+		t.Fatalf("replay_mutates = %v, want >= %d", replay["replay_mutates"], chain)
 	}
 }
 

@@ -7,6 +7,7 @@
 // Endpoints (service address):
 //
 //	POST /v1/solve    {"graph": {...}, "params": {...}} → offloading decision
+//	POST /v1/mutate   {"base": "<fp>", "delta": {...}} → incremental re-solve
 //	GET  /v1/healthz  liveness (503 while draining)
 //	GET  /v1/health   probe document: ready/draining state, identity, uptime
 //	GET  /v1/stats    counters, cache/batch stats, latency histogram

@@ -62,63 +62,8 @@ func (j *csrJob) nnz() int { return int(j.off[j.n]) }
 // components in that single pass — compression is component-local, so the
 // results are identical to per-graph runs).
 func buildCSRJobs(c *graph.CSR, opts Options) ([]csrJob, error) {
-	// Job arrays are carved from per-array slabs sized by the view's totals:
-	// one allocation per array kind instead of one per job, which matters
-	// when a fused view holds hundreds of small components.
 	if opts.DisableCompression {
-		comps := c.Components()
-		jobs := make([]csrJob, 0, len(comps))
-		n := c.NumNodes()
-		totNNZ := 2 * c.NumEdges()
-		localOf := make([]int32, n)
-		for _, comp := range comps {
-			for li, u := range comp {
-				localOf[u] = int32(li)
-			}
-		}
-		offSlab := make([]int32, 0, n+len(comps))
-		idSlab := make([]graph.NodeID, 0, n)
-		vidxSlab := make([]int32, 0, n)
-		nodeWSlab := make([]float64, 0, n)
-		tgtSlab := make([]int32, 0, totNNZ)
-		wSlab := make([]float64, 0, totNNZ)
-		nodeW := c.NodeWeights()
-		for _, comp := range comps {
-			k := len(comp)
-			job := csrJob{
-				n:     k,
-				off:   offSlab[len(offSlab) : len(offSlab) : len(offSlab)+k+1],
-				ids:   idSlab[len(idSlab) : len(idSlab) : len(idSlab)+k],
-				vidx:  vidxSlab[len(vidxSlab) : len(vidxSlab) : len(vidxSlab)+k],
-				nodeW: nodeWSlab[len(nodeWSlab) : len(nodeWSlab) : len(nodeWSlab)+k],
-			}
-			job.off = append(job.off, 0)
-			nnz := 0
-			for _, u := range comp {
-				job.ids = append(job.ids, c.IDOf(u))
-				job.vidx = append(job.vidx, u)
-				job.nodeW = append(job.nodeW, nodeW[u])
-				nnz += c.Degree(u)
-				job.off = append(job.off, int32(nnz))
-			}
-			job.tgt = tgtSlab[len(tgtSlab) : len(tgtSlab) : len(tgtSlab)+nnz]
-			job.w = wSlab[len(wSlab) : len(wSlab) : len(wSlab)+nnz]
-			for _, u := range comp {
-				tgt, w := c.Adj(u)
-				for e, v := range tgt {
-					job.tgt = append(job.tgt, localOf[v])
-					job.w = append(job.w, w[e])
-				}
-			}
-			offSlab = offSlab[:len(offSlab)+k+1]
-			idSlab = idSlab[:len(idSlab)+k]
-			vidxSlab = vidxSlab[:len(vidxSlab)+k]
-			nodeWSlab = nodeWSlab[:len(nodeWSlab)+k]
-			tgtSlab = tgtSlab[:len(tgtSlab)+nnz]
-			wSlab = wSlab[:len(wSlab)+nnz]
-			jobs = append(jobs, job)
-		}
-		return jobs, nil
+		return csrJobsUncompressed(c), nil
 	}
 
 	lopts := opts.LPA
@@ -131,6 +76,72 @@ func buildCSRJobs(c *graph.CSR, opts Options) ([]csrJob, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	return csrJobsFromCompressed(cr), nil
+}
+
+// csrJobsUncompressed builds one raw-component job per component of the view.
+func csrJobsUncompressed(c *graph.CSR) []csrJob {
+	// Job arrays are carved from per-array slabs sized by the view's totals:
+	// one allocation per array kind instead of one per job, which matters
+	// when a fused view holds hundreds of small components.
+	comps := c.Components()
+	jobs := make([]csrJob, 0, len(comps))
+	n := c.NumNodes()
+	totNNZ := 2 * c.NumEdges()
+	localOf := make([]int32, n)
+	for _, comp := range comps {
+		for li, u := range comp {
+			localOf[u] = int32(li)
+		}
+	}
+	offSlab := make([]int32, 0, n+len(comps))
+	idSlab := make([]graph.NodeID, 0, n)
+	vidxSlab := make([]int32, 0, n)
+	nodeWSlab := make([]float64, 0, n)
+	tgtSlab := make([]int32, 0, totNNZ)
+	wSlab := make([]float64, 0, totNNZ)
+	nodeW := c.NodeWeights()
+	for _, comp := range comps {
+		k := len(comp)
+		job := csrJob{
+			n:     k,
+			off:   offSlab[len(offSlab) : len(offSlab) : len(offSlab)+k+1],
+			ids:   idSlab[len(idSlab) : len(idSlab) : len(idSlab)+k],
+			vidx:  vidxSlab[len(vidxSlab) : len(vidxSlab) : len(vidxSlab)+k],
+			nodeW: nodeWSlab[len(nodeWSlab) : len(nodeWSlab) : len(nodeWSlab)+k],
+		}
+		job.off = append(job.off, 0)
+		nnz := 0
+		for _, u := range comp {
+			job.ids = append(job.ids, c.IDOf(u))
+			job.vidx = append(job.vidx, u)
+			job.nodeW = append(job.nodeW, nodeW[u])
+			nnz += c.Degree(u)
+			job.off = append(job.off, int32(nnz))
+		}
+		job.tgt = tgtSlab[len(tgtSlab) : len(tgtSlab) : len(tgtSlab)+nnz]
+		job.w = wSlab[len(wSlab) : len(wSlab) : len(wSlab)+nnz]
+		for _, u := range comp {
+			tgt, w := c.Adj(u)
+			for e, v := range tgt {
+				job.tgt = append(job.tgt, localOf[v])
+				job.w = append(job.w, w[e])
+			}
+		}
+		offSlab = offSlab[:len(offSlab)+k+1]
+		idSlab = idSlab[:len(idSlab)+k]
+		vidxSlab = vidxSlab[:len(vidxSlab)+k]
+		nodeWSlab = nodeWSlab[:len(nodeWSlab)+k]
+		tgtSlab = tgtSlab[:len(tgtSlab)+nnz]
+		wSlab = wSlab[:len(wSlab)+nnz]
+		jobs = append(jobs, job)
+	}
+	return jobs
+}
+
+// csrJobsFromCompressed builds one contracted job per component of a
+// compression result, in component order.
+func csrJobsFromCompressed(cr *lpa.CSRResult) []csrJob {
 	nComp := len(cr.CompOff) - 1
 	jobs := make([]csrJob, 0, nComp)
 	totalK := int(cr.CompOff[nComp])
@@ -159,7 +170,7 @@ func buildCSRJobs(c *graph.CSR, opts Options) ([]csrJob, error) {
 		}
 		jobs = append(jobs, job)
 	}
-	return jobs, nil
+	return jobs
 }
 
 // runPipelineCSR is runPipeline over the compiled view: compression via the

@@ -53,6 +53,18 @@ type SpectralEngine struct {
 	// solve path stays on the reference so the batch-vs-looped benchmarks
 	// compare against today's committed behaviour).
 	flatEigen bool
+
+	// lanczosIters, when non-nil, accumulates the Lanczos iteration counts of
+	// every sparse Fiedler solve this engine value performs. Set per cut job
+	// by the incremental pipeline; inert with respect to results.
+	lanczosIters *int
+	// fiedlerCapture, when non-nil, receives the sub-graph-level Fiedler
+	// vector of the job's first split (see spectral.Options.FiedlerCapture).
+	fiedlerCapture *[]float64
+	// warmStart seeds the first split's Lanczos start vector — the
+	// incremental path's non-exact fast mode (DeltaOptions.WarmStart). The
+	// eigen layer ignores it on any split whose dimension differs.
+	warmStart []float64
 }
 
 var _ Engine = SpectralEngine{}
@@ -70,9 +82,11 @@ func (e SpectralEngine) Name() string {
 // so the two can never drift apart.
 func (e SpectralEngine) spectralOptions() spectral.Options {
 	opts := spectral.Options{
-		DisableSweep: e.DisableSweep,
-		Eigen:        eigen.FiedlerOptions{DenseCutoff: e.DenseCutoff, Flat: e.flatEigen},
+		DisableSweep:   e.DisableSweep,
+		Eigen:          eigen.FiedlerOptions{DenseCutoff: e.DenseCutoff, Flat: e.flatEigen, WarmStart: e.warmStart},
+		FiedlerCapture: e.fiedlerCapture,
 	}
+	opts.Eigen.Lanczos.IterOut = e.lanczosIters
 	if e.Balanced {
 		opts.Objective = spectral.RatioCut
 	}

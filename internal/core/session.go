@@ -23,6 +23,9 @@ type Session struct {
 	mu     sync.Mutex
 	protos map[*graph.Graph][]protoPart
 	stats  map[*graph.Graph]pipelineStats
+	// states holds the incremental re-solve state (frozen view, compression,
+	// per-component cuts, last placement) captured by SolveDelta's pipeline.
+	states map[*graph.Graph]*solveState
 }
 
 // NewSession returns a session solving with the given options. Options that
@@ -33,6 +36,7 @@ func NewSession(opts Options) *Session {
 		opts:   opts,
 		protos: make(map[*graph.Graph][]protoPart),
 		stats:  make(map[*graph.Graph]pipelineStats),
+		states: make(map[*graph.Graph]*solveState),
 	}
 }
 
@@ -69,7 +73,22 @@ func (s *Session) Invalidate(g *graph.Graph) bool {
 	_, ok := s.protos[g]
 	delete(s.protos, g)
 	delete(s.stats, g)
+	delete(s.states, g)
 	return ok
+}
+
+// lookupState returns the incremental state for g, if captured.
+func (s *Session) lookupState(g *graph.Graph) *solveState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.states[g]
+}
+
+// storeState records the incremental state for g.
+func (s *Session) storeState(g *graph.Graph, st *solveState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.states[g] = st
 }
 
 // lookup returns the cached pipeline output for g.

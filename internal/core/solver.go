@@ -201,6 +201,13 @@ func solve(ctx context.Context, users []UserInput, opts Options, cache *Session)
 		return nil, err
 	}
 	stats.PipelineTime = time.Since(pipelineStart)
+	return finishSolve(users, parts, stats, opts)
+}
+
+// finishSolve runs Algorithm 2's greedy scheme generation and the final model
+// evaluation over already-built parts; shared by solve and the incremental
+// path (which assembles parts itself so it can warm-start the placement).
+func finishSolve(users []UserInput, parts []Part, stats *Stats, opts Options) (*Solution, error) {
 	stats.EngineName = opts.Engine.Name()
 	stats.Users = len(users)
 
@@ -212,10 +219,16 @@ func solve(ctx context.Context, users []UserInput, opts Options, cache *Session)
 
 	sol := &Solution{Parts: parts, Stats: *stats, InitialObjective: initialObj}
 	sol.Placements = make([]mec.Placement, len(users))
+	remoteNodes := make([]int, len(users))
+	for _, p := range parts {
+		if p.Remote {
+			remoteNodes[p.User] += len(p.Nodes)
+		}
+	}
 	for i, u := range users {
 		sol.Placements[i] = mec.Placement{
 			Graph:         u.Graph,
-			Remote:        make(map[graph.NodeID]bool),
+			Remote:        make(map[graph.NodeID]bool, remoteNodes[i]),
 			DeviceCompute: u.DeviceCompute,
 			Bandwidth:     u.Bandwidth,
 			PowerTransmit: u.PowerTransmit,

@@ -31,6 +31,11 @@ type FiedlerOptions struct {
 	// it and is valid only until the next solve that passes the same
 	// buffer. Ignored by the reference dense and Lanczos paths.
 	VecBuf *[]float64
+	// WarmStart, when non-nil and of dimension l.Rows(), seeds the Lanczos
+	// starting direction (see LanczosOptions.InitialVec). Ignored on the
+	// dense path, which diagonalises directly. Warm-started results agree
+	// with cold runs only within Lanczos.Tol, not bitwise.
+	WarmStart []float64
 }
 
 // Fiedler returns the second-smallest eigenvalue λ₂ of the Laplacian l and
@@ -74,6 +79,9 @@ func fiedlerDense(l *matrix.CSR) (float64, matrix.Vector, error) {
 func fiedlerLanczos(l *matrix.CSR, fopts FiedlerOptions) (float64, matrix.Vector, error) {
 	opts := fopts.Lanczos
 	n := l.Rows()
+	if len(fopts.WarmStart) == n {
+		opts.InitialVec = fopts.WarmStart
+	}
 	ones := make(matrix.Vector, n)
 	for i := range ones {
 		ones[i] = 1

@@ -1,0 +1,123 @@
+package eigen
+
+import (
+	"math"
+	"testing"
+
+	"copmecs/internal/matrix"
+)
+
+func TestFiedlerWarmStartFewerIterations(t *testing.T) {
+	n := 200
+	l := pathLaplacian(t, n)
+
+	coldIters := 0
+	coldLam, coldVec, err := Fiedler(l, FiedlerOptions{
+		Lanczos: LanczosOptions{IterOut: &coldIters},
+	})
+	if err != nil {
+		t.Fatalf("cold Fiedler: %v", err)
+	}
+	if coldIters == 0 {
+		t.Fatal("cold run reported zero iterations")
+	}
+
+	// Perturb one edge weight slightly: the old Fiedler vector is a near
+	// eigenvector of the new Laplacian.
+	edges := make([]matrix.WeightedEdge, 0, n-1)
+	for i := 0; i < n-1; i++ {
+		w := 1.0
+		if i == n/2 {
+			w = 1.05
+		}
+		edges = append(edges, matrix.WeightedEdge{U: i, V: i + 1, Weight: w})
+	}
+	l2, err := matrix.Laplacian(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	warmIters := 0
+	warmLam, _, err := Fiedler(l2, FiedlerOptions{
+		WarmStart: coldVec,
+		Lanczos:   LanczosOptions{IterOut: &warmIters},
+	})
+	if err != nil {
+		t.Fatalf("warm Fiedler: %v", err)
+	}
+	refIters := 0
+	refLam, _, err := Fiedler(l2, FiedlerOptions{
+		Lanczos: LanczosOptions{IterOut: &refIters},
+	})
+	if err != nil {
+		t.Fatalf("reference Fiedler: %v", err)
+	}
+	if !almostEqual(warmLam, refLam, 1e-5) {
+		t.Errorf("warm λ₂ = %v, cold λ₂ = %v", warmLam, refLam)
+	}
+	if warmIters > refIters {
+		t.Errorf("warm start took %d iterations, cold took %d", warmIters, refIters)
+	}
+	if !almostEqual(coldLam, warmLam, 0.5) {
+		t.Errorf("perturbed λ₂ = %v drifted far from original %v", warmLam, coldLam)
+	}
+}
+
+func TestLanczosInitialVecExactEigenvector(t *testing.T) {
+	// Starting exactly at an eigenvector, the Krylov space is
+	// one-dimensional along that direction; convergence is immediate and
+	// the invariant-subspace restart path keeps the run well-defined.
+	n := 120
+	l := pathLaplacian(t, n)
+	_, vec, err := Fiedler(l, FiedlerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iters := 0
+	lam, vec2, err := Fiedler(l, FiedlerOptions{
+		WarmStart: vec,
+		Lanczos:   LanczosOptions{IterOut: &iters},
+	})
+	if err != nil {
+		t.Fatalf("warm Fiedler at eigenvector: %v", err)
+	}
+	if !almostEqual(lam, pathEigenvalue(n, 1), 1e-5) {
+		t.Errorf("λ₂ = %v, want %v", lam, pathEigenvalue(n, 1))
+	}
+	// Up to sign, the vector is reproduced.
+	var dot float64
+	for i := range vec {
+		dot += vec[i] * vec2[i]
+	}
+	if math.Abs(math.Abs(dot)-1) > 1e-4 {
+		t.Errorf("|⟨warm, cold⟩| = %v, want ≈ 1", math.Abs(dot))
+	}
+}
+
+func TestLanczosInitialVecWrongDimensionIgnored(t *testing.T) {
+	n := 150
+	l := pathLaplacian(t, n)
+	lam, _, err := Fiedler(l, FiedlerOptions{WarmStart: make([]float64, 7)})
+	if err != nil {
+		t.Fatalf("Fiedler with mismatched warm start: %v", err)
+	}
+	if !almostEqual(lam, pathEigenvalue(n, 1), 1e-5) {
+		t.Errorf("λ₂ = %v, want %v", lam, pathEigenvalue(n, 1))
+	}
+}
+
+func TestLanczosIterOutAccumulates(t *testing.T) {
+	l := pathLaplacian(t, 150)
+	iters := 0
+	opts := FiedlerOptions{Lanczos: LanczosOptions{IterOut: &iters}}
+	if _, _, err := Fiedler(l, opts); err != nil {
+		t.Fatal(err)
+	}
+	first := iters
+	if _, _, err := Fiedler(l, opts); err != nil {
+		t.Fatal(err)
+	}
+	if iters != 2*first {
+		t.Errorf("IterOut = %d after two identical runs, want %d", iters, 2*first)
+	}
+}

@@ -70,7 +70,12 @@ func (g *Graph) UnmarshalJSON(data []byte) error {
 			return fmt.Errorf("decode graph json: %w", err)
 		}
 	}
-	*g = *fresh
+	// Adopt fresh's contents field by field: a struct assignment would
+	// copy the nodeList latch, which must not be moved once published.
+	g.nodes = fresh.nodes
+	g.edgeCount = fresh.edgeCount
+	g.totalEdgeWeight = fresh.totalEdgeWeight
+	g.nodeList.Store(fresh.nodeList.Load())
 	return nil
 }
 

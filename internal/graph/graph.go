@@ -15,7 +15,7 @@ package graph
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"maps"
 	"sync/atomic"
 )
 
@@ -55,6 +55,13 @@ type nodeRec struct {
 	// race to build it; the slices themselves are never mutated in place
 	// after publication.
 	sorted atomic.Pointer[adjCache]
+	// shared marks a record referenced by more than one Graph (set by Clone,
+	// which copies the node table but not the records). Mutators replace a
+	// shared record with a private copy before writing, so clones stay
+	// semantically deep while Clone itself is O(nodes). The flag is sticky:
+	// it may stay set after every other owner is gone, costing at most one
+	// extra record copy on that node's next mutation.
+	shared atomic.Bool
 }
 
 // adjCache is one node's latched adjacency: ids ascending, w[i] the weight
@@ -91,6 +98,24 @@ func (rec *nodeRec) sortedAdj() []NodeID {
 	return rec.adjView().ids
 }
 
+// mutable returns id's record ready for writing: a record shared with a
+// clone is first replaced by a private copy (carrying the adjacency latch,
+// which stays valid until the caller's write resets it). Returns nil when id
+// is absent.
+func (g *Graph) mutable(id NodeID) *nodeRec {
+	rec, ok := g.nodes[id]
+	if !ok {
+		return nil
+	}
+	if rec.shared.Load() {
+		nr := &nodeRec{weight: rec.weight, adj: maps.Clone(rec.adj)}
+		nr.sorted.Store(rec.sorted.Load())
+		g.nodes[id] = nr
+		rec = nr
+	}
+	return rec
+}
+
 // Graph is a mutable weighted undirected graph. The zero value is not usable;
 // construct with New. Graph is not safe for concurrent mutation; concurrent
 // readers are safe once mutation has stopped.
@@ -98,6 +123,10 @@ type Graph struct {
 	nodes           map[NodeID]*nodeRec
 	edgeCount       int
 	totalEdgeWeight float64
+	// nodeList latches the ascending node-id list, mirroring nodeRec.sorted:
+	// nil means stale, AddNode/RemoveNode reset it, and the slice is never
+	// mutated after publication so Clone may share it.
+	nodeList atomic.Pointer[[]NodeID]
 }
 
 // New returns an empty graph with capacity hints for n nodes.
@@ -129,6 +158,7 @@ func (g *Graph) AddNode(id NodeID, weight float64) error {
 		return fmt.Errorf("add node %d: %w", id, ErrNodeExists)
 	}
 	g.nodes[id] = &nodeRec{weight: weight, adj: make(map[NodeID]float64)}
+	g.nodeList.Store(nil)
 	return nil
 }
 
@@ -159,8 +189,8 @@ func (g *Graph) SetNodeWeight(id NodeID, weight float64) error {
 	if weight < 0 {
 		return fmt.Errorf("set node weight %d: %w", id, ErrNegativeWeight)
 	}
-	rec, ok := g.nodes[id]
-	if !ok {
+	rec := g.mutable(id)
+	if rec == nil {
 		return fmt.Errorf("set node weight %d: %w", id, ErrNodeNotFound)
 	}
 	rec.weight = weight
@@ -178,14 +208,13 @@ func (g *Graph) AddEdge(u, v NodeID, w float64) error {
 	if w < 0 {
 		return fmt.Errorf("add edge {%d,%d}: %w", u, v, ErrNegativeWeight)
 	}
-	ru, ok := g.nodes[u]
-	if !ok {
+	if _, ok := g.nodes[u]; !ok {
 		return fmt.Errorf("add edge {%d,%d}: endpoint %d: %w", u, v, u, ErrNodeNotFound)
 	}
-	rv, ok := g.nodes[v]
-	if !ok {
+	if _, ok := g.nodes[v]; !ok {
 		return fmt.Errorf("add edge {%d,%d}: endpoint %d: %w", u, v, v, ErrNodeNotFound)
 	}
+	ru, rv := g.mutable(u), g.mutable(v)
 	if _, exists := ru.adj[v]; !exists {
 		g.edgeCount++
 	}
@@ -196,6 +225,35 @@ func (g *Graph) AddEdge(u, v NodeID, w float64) error {
 	ru.adj[v] += w
 	rv.adj[u] += w
 	g.totalEdgeWeight += w
+	return nil
+}
+
+// SetEdge replaces the weight of the undirected edge {u, v}, creating it if
+// absent. Both endpoints must already exist. Equivalent to RemoveEdge
+// followed by AddEdge, in one pass over the adjacency.
+func (g *Graph) SetEdge(u, v NodeID, w float64) error {
+	if u == v {
+		return fmt.Errorf("set edge {%d,%d}: %w", u, v, ErrSelfLoop)
+	}
+	if w < 0 {
+		return fmt.Errorf("set edge {%d,%d}: %w", u, v, ErrNegativeWeight)
+	}
+	if _, ok := g.nodes[u]; !ok {
+		return fmt.Errorf("set edge {%d,%d}: endpoint %d: %w", u, v, u, ErrNodeNotFound)
+	}
+	if _, ok := g.nodes[v]; !ok {
+		return fmt.Errorf("set edge {%d,%d}: endpoint %d: %w", u, v, v, ErrNodeNotFound)
+	}
+	ru, rv := g.mutable(u), g.mutable(v)
+	old, exists := ru.adj[v]
+	if !exists {
+		g.edgeCount++
+	}
+	ru.sorted.Store(nil)
+	rv.sorted.Store(nil)
+	ru.adj[v] = w
+	rv.adj[u] = w
+	g.totalEdgeWeight += w - old
 	return nil
 }
 
@@ -211,18 +269,19 @@ func (g *Graph) EdgeWeight(u, v NodeID) (float64, bool) {
 
 // RemoveEdge deletes edge {u, v} if present, reporting whether it existed.
 func (g *Graph) RemoveEdge(u, v NodeID) bool {
-	ru, ok := g.nodes[u]
+	rec, ok := g.nodes[u]
 	if !ok {
 		return false
 	}
-	w, ok := ru.adj[v]
+	w, ok := rec.adj[v]
 	if !ok {
 		return false
 	}
+	ru, rv := g.mutable(u), g.mutable(v)
 	delete(ru.adj, v)
-	delete(g.nodes[v].adj, u)
+	delete(rv.adj, u)
 	ru.sorted.Store(nil)
-	g.nodes[v].sorted.Store(nil)
+	rv.sorted.Store(nil)
 	g.edgeCount--
 	g.totalEdgeWeight -= w
 	return true
@@ -235,22 +294,37 @@ func (g *Graph) RemoveNode(id NodeID) bool {
 		return false
 	}
 	for nb, w := range rec.adj {
-		delete(g.nodes[nb].adj, id)
-		g.nodes[nb].sorted.Store(nil)
+		rnb := g.mutable(nb)
+		delete(rnb.adj, id)
+		rnb.sorted.Store(nil)
 		g.edgeCount--
 		g.totalEdgeWeight -= w
 	}
 	delete(g.nodes, id)
+	g.nodeList.Store(nil)
 	return true
 }
 
-// Nodes returns all node IDs in ascending order.
-func (g *Graph) Nodes() []NodeID {
+// sortedNodes returns the latched ascending node-id list, building it on
+// first use. The returned slice is shared: callers inside the package must
+// not modify it (Nodes copies for external callers).
+func (g *Graph) sortedNodes() []NodeID {
+	if p := g.nodeList.Load(); p != nil {
+		return *p
+	}
 	ids := make([]NodeID, 0, len(g.nodes))
 	for id := range g.nodes {
 		ids = append(ids, id)
 	}
 	sortNodeIDs(ids)
+	g.nodeList.Store(&ids)
+	return ids
+}
+
+// Nodes returns all node IDs in ascending order.
+func (g *Graph) Nodes() []NodeID {
+	ids := make([]NodeID, len(g.nodes))
+	copy(ids, g.sortedNodes())
 	return ids
 }
 
@@ -286,28 +360,26 @@ func (g *Graph) WeightedDegree(id NodeID) float64 {
 		return 0
 	}
 	var sum float64
-	for _, nb := range rec.sortedAdj() {
-		sum += rec.adj[nb]
+	av := rec.adjView()
+	for i := range av.ids {
+		sum += av.w[i]
 	}
 	return sum
 }
 
-// Edges returns every undirected edge exactly once, sorted by (U, V).
+// Edges returns every undirected edge exactly once, sorted by (U, V). The
+// list is assembled from the latched node and adjacency orders, so no sort
+// runs per call.
 func (g *Graph) Edges() []Edge {
 	es := make([]Edge, 0, g.edgeCount)
-	for u, rec := range g.nodes {
-		for v, w := range rec.adj {
+	for _, u := range g.sortedNodes() {
+		av := g.nodes[u].adjView()
+		for i, v := range av.ids {
 			if u < v {
-				es = append(es, Edge{U: u, V: v, Weight: w})
+				es = append(es, Edge{U: u, V: v, Weight: av.w[i]})
 			}
 		}
 	}
-	sort.Slice(es, func(i, j int) bool {
-		if es[i].U != es[j].U {
-			return es[i].U < es[j].U
-		}
-		return es[i].V < es[j].V
-	})
 	return es
 }
 
@@ -335,7 +407,7 @@ func (g *Graph) AppendEdgeWeights(dst []float64) []float64 {
 // accumulated in ascending node order for bitwise determinism.
 func (g *Graph) TotalNodeWeight() float64 {
 	var sum float64
-	for _, id := range g.Nodes() {
+	for _, id := range g.sortedNodes() {
 		sum += g.nodes[id].weight
 	}
 	return sum
@@ -344,18 +416,22 @@ func (g *Graph) TotalNodeWeight() float64 {
 // TotalEdgeWeight returns the sum of all edge weights (total communication).
 func (g *Graph) TotalEdgeWeight() float64 { return g.totalEdgeWeight }
 
-// Clone returns a deep copy of g.
+// Clone returns a semantically deep copy of g in O(nodes) time: the node
+// table is copied but the per-node records are shared copy-on-write, so the
+// adjacency maps are only duplicated — one node at a time — when either
+// graph later mutates them. Clone counts as a read under the concurrency
+// contract: concurrent Clones (and concurrent readers) of the same graph are
+// safe once mutation has stopped; the shared marks it plants are atomic.
 func (g *Graph) Clone() *Graph {
-	c := New(len(g.nodes))
-	c.edgeCount = g.edgeCount
-	c.totalEdgeWeight = g.totalEdgeWeight
-	for id, rec := range g.nodes {
-		adj := make(map[NodeID]float64, len(rec.adj))
-		for nb, w := range rec.adj {
-			adj[nb] = w
-		}
-		c.nodes[id] = &nodeRec{weight: rec.weight, adj: adj}
+	c := &Graph{
+		nodes:           maps.Clone(g.nodes),
+		edgeCount:       g.edgeCount,
+		totalEdgeWeight: g.totalEdgeWeight,
 	}
+	for _, rec := range g.nodes {
+		rec.shared.Store(true)
+	}
+	c.nodeList.Store(g.nodeList.Load())
 	return c
 }
 

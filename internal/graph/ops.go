@@ -145,12 +145,40 @@ func (g *Graph) Contract(cluster map[NodeID]int) (*ContractResult, error) {
 // CutWeight returns the total weight of edges with exactly one endpoint in
 // side (formula (8) of the paper). Nodes absent from the graph are ignored;
 // membership is defined by the set passed in. Edges are accumulated in
-// sorted order so the float sum is bitwise deterministic across runs.
+// (U, V)-sorted order — the latched node and adjacency orders — so the float
+// sum is bitwise deterministic across runs without materialising an edge
+// list per call.
 func (g *Graph) CutWeight(side map[NodeID]bool) float64 {
+	nodes := g.sortedNodes()
 	var cut float64
-	for _, e := range g.Edges() {
-		if side[e.U] != side[e.V] {
-			cut += e.Weight
+	if n := len(nodes); n > 0 && nodes[0] >= 0 && int(nodes[n-1]) < 2*n+64 {
+		// Dense id space: one flat membership table replaces the two map
+		// probes per edge. Entries of side outside the graph are ignored
+		// either way; a false entry and an absent one are equivalent.
+		in := make([]bool, int(nodes[n-1])+1)
+		for id, v := range side {
+			if v && id >= 0 && int(id) < len(in) {
+				in[id] = true
+			}
+		}
+		for _, u := range nodes {
+			av := g.nodes[u].adjView()
+			su := in[u]
+			for i, v := range av.ids {
+				if u < v && su != in[v] {
+					cut += av.w[i]
+				}
+			}
+		}
+		return cut
+	}
+	for _, u := range nodes {
+		av := g.nodes[u].adjView()
+		su := side[u]
+		for i, v := range av.ids {
+			if u < v && su != side[v] {
+				cut += av.w[i]
+			}
 		}
 	}
 	return cut

@@ -212,7 +212,18 @@ func CompressCSR(c *graph.CSR, opts Options) (*CSRResult, error) {
 		wg.Wait()
 	}
 
-	// Assemble the global contracted CSR from the per-component outcomes.
+	assembleCSRResult(res, comps, outs)
+	return res, nil
+}
+
+// assembleCSRResult builds the global contracted arrays of res from the
+// per-component outcomes. It is shared between the cold CompressCSR pass and
+// CompressCSRIncremental: both produce identical per-component outs, so
+// running the identical assembly keeps the incremental result bit-for-bit
+// equal to the cold one. On entry res.Labels and res.SuperOf hold per-node
+// labels and component-local super ids; assembly rebases SuperOf to global.
+func assembleCSRResult(res *CSRResult, comps [][]int32, outs []compOut) {
+	n := res.NodesBefore
 	totalK, totalPairs := 0, 0
 	for i, o := range outs {
 		res.CompOff[i+1] = res.CompOff[i] + int32(o.k)
@@ -279,7 +290,6 @@ func CompressCSR(c *graph.CSR, opts Options) (*CSRResult, error) {
 		res.Members[mcursor[sup]] = u
 		mcursor[sup]++
 	}
-	return res, nil
 }
 
 // compressComponentCSR runs propagation plus contraction for one component,

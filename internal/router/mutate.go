@@ -1,0 +1,146 @@
+package router
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// POST /v1/mutate routing. A mutate names its base graph by fingerprint
+// and ships only a delta, so the router routes it by the BASE fingerprint
+// — the ring owner of the base is the backend that served every prior
+// request for that graph and therefore has it interned.
+//
+// Chained mutations break the pure ring rule: the mutated graph lives on
+// the backend that applied the delta (the base's owner), but its new
+// fingerprint generally hashes to a different ring arc. The router bridges
+// this with a mutation-affinity cache: every successful mutate response
+// binds the new fingerprint to the backend that produced it, and a later
+// mutate naming that fingerprint as base tries the bound backend first
+// (ring replicas stay in the list as failover). A 404 after all attempts
+// means no reachable backend holds the base — the client re-seeds with a
+// full /v1/solve.
+
+// mutateEnvelope is the slice of the mutate body the router needs: just
+// the base fingerprint. The rest (delta, params, overrides) is forwarded
+// verbatim; the backend validates it.
+type mutateEnvelope struct {
+	Base string `json:"base"`
+}
+
+// mutateGraphEnvelope is the slice of the backend's 200 response the
+// router needs: the mutated graph's fingerprint, for the affinity cache.
+type mutateGraphEnvelope struct {
+	Graph string `json:"graph"`
+}
+
+// fingerprintHexLen is the length of a canonical graph fingerprint
+// (hex-encoded SHA-256), mirrored from the serve package's wire contract.
+const fingerprintHexLen = 64
+
+// validFingerprint reports whether s looks like a canonical fingerprint.
+func validFingerprint(s string) bool {
+	if len(s) != fingerprintHexLen {
+		return false
+	}
+	for _, c := range s {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// affinityDigest keys the affinity cache (an identCache, which is keyed
+// by SHA-256 digests) on a fingerprint string.
+func affinityDigest(fp string) [sha256.Size]byte {
+	return sha256.Sum256([]byte(fp))
+}
+
+// mutateReplicas resolves the attempt order for a mutate: the base's ring
+// replicas, with the affinity-bound backend (if any) moved to the front.
+func (rt *Router) mutateReplicas(base string) []*backend {
+	reps := rt.replicasFor(base)
+	name, ok := rt.affinity.get(affinityDigest(base))
+	if !ok {
+		return reps
+	}
+	b, ok := rt.byName[name]
+	if !ok {
+		return reps
+	}
+	rt.affinityHits.Add(1)
+	out := make([]*backend, 0, len(reps)+1)
+	out = append(out, b)
+	for _, r := range reps {
+		if r != b {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// handleMutate proxies one graph mutation: extract the base fingerprint,
+// pick replicas (affinity first, then the base's ring arc), and forward
+// the raw bytes with the same failover and hedging as a solve.
+func (rt *Router) handleMutate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		errorJSON(w, http.StatusMethodNotAllowed, "router: POST only")
+		return
+	}
+	rt.mutates.Add(1)
+	rt.inflight.Add(1)
+	defer rt.inflight.Add(-1)
+	if rt.draining.Load() {
+		rt.drainRejects.Add(1)
+		w.Header().Set("Retry-After", "1")
+		errorJSON(w, http.StatusServiceUnavailable, "router: draining")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes))
+	if err != nil {
+		rt.badRequests.Add(1)
+		errorJSON(w, http.StatusBadRequest, "router: unreadable or oversized body")
+		return
+	}
+	var env mutateEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		rt.badRequests.Add(1)
+		errorJSON(w, http.StatusBadRequest, fmt.Sprintf("router: %v", err))
+		return
+	}
+	if !validFingerprint(env.Base) {
+		rt.badRequests.Add(1)
+		errorJSON(w, http.StatusBadRequest,
+			fmt.Sprintf("router: base must be a %d-character lowercase hex fingerprint", fingerprintHexLen))
+		return
+	}
+
+	res := rt.forward(r.Context(), "/v1/mutate", rt.mutateReplicas(env.Base), body)
+	switch {
+	case errors.Is(res.err, errNoBackend):
+		rt.noBackend.Add(1)
+		w.Header().Set("Retry-After", "1")
+		errorJSON(w, http.StatusServiceUnavailable, errNoBackend.Error())
+	case res.err != nil:
+		rt.unreachable.Add(1)
+		errorJSON(w, http.StatusBadGateway,
+			fmt.Sprintf("router: all replicas failed: %v", res.err))
+	default:
+		if res.status == http.StatusOK {
+			var genv mutateGraphEnvelope
+			if json.Unmarshal(res.body, &genv) == nil && validFingerprint(genv.Graph) {
+				rt.affinity.put(affinityDigest(genv.Graph), res.b.name)
+			}
+		}
+		if res.ctype != "" {
+			w.Header().Set("Content-Type", res.ctype)
+		}
+		w.WriteHeader(res.status)
+		_, _ = w.Write(res.body)
+	}
+}

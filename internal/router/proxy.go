@@ -86,7 +86,7 @@ func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
 		rt.identMisses.Add(1)
 	}
 
-	res := rt.forward(r.Context(), fp, body)
+	res := rt.forward(r.Context(), "/v1/solve", rt.replicasFor(fp), body)
 	switch {
 	case errors.Is(res.err, errNoBackend):
 		rt.noBackend.Add(1)
@@ -133,8 +133,9 @@ func backendNames(bs []*backend) []string {
 	return names
 }
 
-// forward tries the fingerprint's replicas until one returns a usable
-// response. Three escalation paths share the replica list:
+// forward tries the given replicas in order until one returns a usable
+// response, POSTing body to path on each. Three escalation paths share
+// the replica list:
 //
 //   - hard failure (transport error, 503): launch the next replica
 //     immediately and report the failure to the prober;
@@ -142,8 +143,7 @@ func backendNames(bs []*backend) []string {
 //     speculatively while the primary keeps running — first usable
 //     response wins, the loser's context is canceled on return;
 //   - client gone: every attempt dies with the request context.
-func (rt *Router) forward(ctx context.Context, fp string, body []byte) attemptResult {
-	reps := rt.replicasFor(fp)
+func (rt *Router) forward(ctx context.Context, path string, reps []*backend, body []byte) attemptResult {
 	if len(reps) == 0 {
 		return attemptResult{err: errNoBackend}
 	}
@@ -156,7 +156,7 @@ func (rt *Router) forward(ctx context.Context, fp string, body []byte) attemptRe
 		idx := next
 		next++
 		rt.forwards.Add(1)
-		go rt.attempt(actx, reps[idx], idx, body, results)
+		go rt.attempt(actx, reps[idx], idx, path, body, results)
 	}
 	launch()
 
@@ -212,12 +212,12 @@ func (rt *Router) forward(ctx context.Context, fp string, body []byte) attemptRe
 	}
 }
 
-// attempt sends the raw body to one backend and reports the outcome. The
-// response body is read fully here so the forward loop can race attempts
-// without holding response streams open.
-func (rt *Router) attempt(ctx context.Context, b *backend, idx int, body []byte, out chan<- attemptResult) {
+// attempt sends the raw body to one backend's path and reports the
+// outcome. The response body is read fully here so the forward loop can
+// race attempts without holding response streams open.
+func (rt *Router) attempt(ctx context.Context, b *backend, idx int, path string, body []byte, out chan<- attemptResult) {
 	res := attemptResult{idx: idx, b: b, began: time.Now()}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.url+"/v1/solve", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.url+path, bytes.NewReader(body))
 	if err != nil {
 		res.err = err
 		out <- res

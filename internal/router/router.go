@@ -189,6 +189,7 @@ type Router struct {
 	prober   *prober
 	hedge    *hedger
 	ident    *identCache
+	affinity *identCache // mutated-graph fingerprint → backend name
 	client   *http.Client
 	begin    time.Time
 
@@ -207,6 +208,8 @@ type Router struct {
 	drainRejects atomic.Uint64 // 503 responses while draining
 	identHits    atomic.Uint64 // bodies routed without JSON decode
 	identMisses  atomic.Uint64 // bodies decoded to learn their fingerprint
+	mutates      atomic.Uint64 // POST /v1/mutate arrivals
+	affinityHits atomic.Uint64 // mutates routed via the affinity cache
 }
 
 // New validates cfg and builds a Router. All backends start ready (the
@@ -218,10 +221,11 @@ func New(cfg Config) (*Router, error) {
 		return nil, fmt.Errorf("router: no backends configured")
 	}
 	rt := &Router{
-		cfg:    cfg,
-		byName: make(map[string]*backend, len(cfg.Backends)),
-		ident:  newIdentCache(cfg.IdentCacheSize),
-		begin:  time.Now(),
+		cfg:      cfg,
+		byName:   make(map[string]*backend, len(cfg.Backends)),
+		ident:    newIdentCache(cfg.IdentCacheSize),
+		affinity: newIdentCache(cfg.IdentCacheSize),
+		begin:    time.Now(),
 		client: &http.Client{
 			Timeout: cfg.ForwardTimeout,
 			Transport: &http.Transport{
@@ -322,6 +326,7 @@ func (rt *Router) Drain(ctx context.Context) error {
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/solve", rt.handleSolve)
+	mux.HandleFunc("/v1/mutate", rt.handleMutate)
 	mux.HandleFunc("/v1/stats", rt.handleStats)
 	mux.HandleFunc("/v1/health", rt.handleHealth)
 	mux.HandleFunc("/v1/healthz", rt.handleHealthz)

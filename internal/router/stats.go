@@ -98,6 +98,11 @@ type RouterStatus struct {
 	IdentMisses uint64 `json:"ident_misses"`
 	// IdentSize is the identity cache's current entry count.
 	IdentSize int `json:"ident_size"`
+	// Mutates counts POST /v1/mutate arrivals at the router.
+	Mutates uint64 `json:"mutates"`
+	// AffinityHits counts mutates whose base was routed through the
+	// mutation-affinity cache rather than by ring position alone.
+	AffinityHits uint64 `json:"affinity_hits"`
 	// Draining reports whether the router has begun graceful drain.
 	Draining bool `json:"draining"`
 	// UptimeS is seconds since the router was constructed.
@@ -192,6 +197,8 @@ func (rt *Router) routerStatus() RouterStatus {
 		IdentHits:    rt.identHits.Load(),
 		IdentMisses:  rt.identMisses.Load(),
 		IdentSize:    rt.ident.size(),
+		Mutates:      rt.mutates.Load(),
+		AffinityHits: rt.affinityHits.Load(),
 		Draining:     rt.draining.Load(),
 		UptimeS:      time.Since(rt.begin).Seconds(),
 		Ring: RingStatus{

@@ -51,6 +51,7 @@ type solveTask struct {
 	user      core.UserInput
 	params    mec.Params
 	pkey      string // paramsDigest; rounds group by it
+	fp        string // canonical graph fingerprint, echoed in the decision
 	lane      uint32 // enqueue lane, derived from the graph fingerprint
 	jseg      uint64 // journal token from Append, released in finish
 	journaled bool   // jseg is live (a write-ahead record exists)

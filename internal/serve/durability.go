@@ -43,6 +43,7 @@ const (
 	recDecision uint8 = 2 // snapshot: one cached decision
 	recGraph    uint8 = 3 // snapshot: one interned graph
 	recCounters uint8 = 4 // snapshot: monotonic traffic counters
+	recMutate   uint8 = 5 // journal: one accepted graph mutation
 )
 
 // RecoveryStats summarises one boot-time Recover pass, surfaced under
@@ -59,6 +60,9 @@ type RecoveryStats struct {
 	ReplayWarm int `json:"replay_warm"`
 	// ReplaySolved counts journal records re-solved into the cache.
 	ReplaySolved int `json:"replay_solved"`
+	// ReplayMutates counts mutate records whose delta was re-applied to
+	// reconstruct the mutated graph during replay (warm or solved).
+	ReplayMutates int `json:"replay_mutates"`
 	// ReplayErrors counts replay rounds that failed to solve.
 	ReplayErrors int `json:"replay_errors"`
 	// DecodeErrors counts records that failed to decode (CRC-valid but
@@ -164,6 +168,82 @@ func decodeAccepted(payload []byte, limits DecodeLimits) (*SolveRequest, mec.Par
 	}
 	if req.FixedLocalWork < 0 || req.DeviceCompute < 0 || req.Bandwidth < 0 || req.PowerTransmit < 0 {
 		return nil, mec.Params{}, fmt.Errorf("serve: accepted record: negative override")
+	}
+	return req, params, nil
+}
+
+// encodeMutate renders one accepted mutation as a journal payload: the
+// record type, the resolved params and per-user overrides (same float
+// block as an accepted record), the base fingerprint, and the delta as
+// JSON. Replaying it against the interned base reconstructs the mutated
+// graph and the same cache key the live mutate published under.
+func encodeMutate(req *MutateRequest, params mec.Params) ([]byte, error) {
+	body, err := json.Marshal(req.Delta)
+	if err != nil {
+		return nil, fmt.Errorf("serve: encode mutate: %w", err)
+	}
+	var buf bytes.Buffer
+	buf.WriteByte(recMutate)
+	var f [8]byte
+	for _, v := range []float64{
+		params.ServerCapacity, params.DeviceCompute, params.PowerCompute,
+		params.PowerTransmit, params.Bandwidth,
+		req.FixedLocalWork, req.DeviceCompute, req.Bandwidth, req.PowerTransmit,
+	} {
+		binary.LittleEndian.PutUint64(f[:], math.Float64bits(v))
+		buf.Write(f[:])
+	}
+	var l [4]byte
+	binary.LittleEndian.PutUint32(l[:], uint32(len(req.Base)))
+	buf.Write(l[:])
+	buf.WriteString(req.Base)
+	buf.Write(body)
+	return buf.Bytes(), nil
+}
+
+// decodeMutate inverts encodeMutate, applying the same validation as the
+// live decode path so a hostile or version-skewed record can never drive
+// a replay solve.
+func decodeMutate(payload []byte, limits DecodeLimits) (*MutateRequest, mec.Params, error) {
+	limits = limits.withDefaults()
+	const floats = 9
+	if len(payload) < 1+floats*8+4 || payload[0] != recMutate {
+		return nil, mec.Params{}, fmt.Errorf("serve: not a mutate record")
+	}
+	var v [floats]float64
+	for i := 0; i < floats; i++ {
+		bits := binary.LittleEndian.Uint64(payload[1+i*8 : 9+i*8])
+		v[i] = math.Float64frombits(bits)
+		if math.IsNaN(v[i]) || math.IsInf(v[i], 0) {
+			return nil, mec.Params{}, fmt.Errorf("serve: mutate record: non-finite value")
+		}
+	}
+	params := mec.Params{
+		ServerCapacity: v[0], DeviceCompute: v[1], PowerCompute: v[2],
+		PowerTransmit: v[3], Bandwidth: v[4],
+	}
+	if err := params.Validate(); err != nil {
+		return nil, mec.Params{}, fmt.Errorf("serve: mutate record: %w", err)
+	}
+	rest := payload[1+floats*8:]
+	n := binary.LittleEndian.Uint32(rest[:4])
+	if int64(n) > int64(len(rest)-4) {
+		return nil, mec.Params{}, fmt.Errorf("serve: mutate record: truncated fingerprint")
+	}
+	req := &MutateRequest{
+		Base:           string(rest[4 : 4+n]),
+		FixedLocalWork: v[5],
+		DeviceCompute:  v[6],
+		Bandwidth:      v[7],
+		PowerTransmit:  v[8],
+	}
+	var delta graph.Delta
+	if err := json.Unmarshal(rest[4+n:], &delta); err != nil {
+		return nil, mec.Params{}, fmt.Errorf("serve: mutate record: %w", err)
+	}
+	req.Delta = &delta
+	if err := validateMutate(req, limits); err != nil {
+		return nil, mec.Params{}, fmt.Errorf("serve: mutate record: %w", err)
 	}
 	return req, params, nil
 }
@@ -375,6 +455,7 @@ func (s *Server) Recover(ctx context.Context, snapshot, journal [][]byte) Recove
 	// formed — so replayed decisions carry live contention figures.
 	type replayItem struct {
 		key    string
+		fp     string
 		req    *SolveRequest
 		params mec.Params
 	}
@@ -382,16 +463,47 @@ func (s *Server) Recover(ctx context.Context, snapshot, journal [][]byte) Recove
 	groups := make(map[string][]replayItem)
 	var order []string
 	for _, payload := range journal {
-		req, params, err := decodeAccepted(payload, s.cfg.Limits)
-		if err != nil {
-			rs.DecodeErrors++
-			continue
+		var (
+			req    *SolveRequest
+			params mec.Params
+			err    error
+		)
+		if len(payload) > 0 && payload[0] == recMutate {
+			// A mutate record names its base by fingerprint; the walk is in
+			// journal order, so the base is already interned (snapshot, an
+			// earlier accepted record, or an earlier mutate in this tail)
+			// and the delta re-applies to reconstruct the mutated graph.
+			var mreq *MutateRequest
+			mreq, params, err = decodeMutate(payload, s.cfg.Limits)
+			if err != nil {
+				rs.DecodeErrors++
+				continue
+			}
+			base := s.graphs.lookup(mreq.Base)
+			if base == nil {
+				rs.ReplayErrors++
+				s.logf("serve: replay mutate: %v: %s", ErrUnknownBase, mreq.Base)
+				continue
+			}
+			if req, err = mutatedRequest(mreq, base, s.cfg.Limits); err != nil {
+				rs.DecodeErrors++
+				continue
+			}
+			rs.ReplayMutates++
+		} else {
+			if req, params, err = decodeAccepted(payload, s.cfg.Limits); err != nil {
+				rs.DecodeErrors++
+				continue
+			}
 		}
 		key, fp, err := requestKey(req, params)
 		if err != nil {
 			rs.DecodeErrors++
 			continue
 		}
+		// Intern before the warm-skip: a later mutate record may name this
+		// record's graph as its base even when the decision itself is warm.
+		req.Graph = s.graphs.intern(fp, req.Graph)
 		if seen[key] {
 			rs.ReplayWarm++
 			continue
@@ -401,12 +513,11 @@ func (s *Server) Recover(ctx context.Context, snapshot, journal [][]byte) Recove
 			rs.ReplayWarm++
 			continue
 		}
-		req.Graph = s.graphs.intern(fp, req.Graph)
 		pk := paramsDigest(params)
 		if _, ok := groups[pk]; !ok {
 			order = append(order, pk)
 		}
-		groups[pk] = append(groups[pk], replayItem{key: key, req: req, params: params})
+		groups[pk] = append(groups[pk], replayItem{key: key, fp: fp, req: req, params: params})
 	}
 
 	maxBatch := s.cfg.MaxBatch
@@ -438,7 +549,7 @@ func (s *Server) Recover(ctx context.Context, snapshot, journal [][]byte) Recove
 				continue
 			}
 			for i, it := range round {
-				dec := decisionFor(sol, i, len(users))
+				dec := decisionFor(it.fp, sol, i, len(users))
 				s.cache.put(it.key, dec, renderHit(dec))
 				rs.ReplaySolved++
 			}

@@ -77,6 +77,18 @@ func (c *graphIntern) intern(fp string, g *graph.Graph) *graph.Graph {
 	return g
 }
 
+// lookup returns the canonical instance for fingerprint fp, or nil when
+// fp is not interned. A hit counts as a use for LRU purposes.
+func (c *graphIntern) lookup(fp string) *graph.Graph {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[fp]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*internEntry).g
+	}
+	return nil
+}
+
 // len reports the current entry count.
 func (c *graphIntern) len() int {
 	c.mu.Lock()
@@ -137,6 +149,12 @@ func newShardedIntern(capacity int, onEvict func(*graph.Graph)) *shardedIntern {
 // intern returns the canonical instance for fingerprint fp via fp's shard.
 func (c *shardedIntern) intern(fp string, g *graph.Graph) *graph.Graph {
 	return c.shards[shardPrefix(fp)&c.mask].intern(fp, g)
+}
+
+// lookup returns the canonical instance for fingerprint fp via fp's
+// shard, or nil when fp is not interned.
+func (c *shardedIntern) lookup(fp string) *graph.Graph {
+	return c.shards[shardPrefix(fp)&c.mask].lookup(fp)
 }
 
 // len reports the aggregate entry count across shards.

@@ -174,6 +174,10 @@ func (c Config) withDefaults() Config {
 // cache stores and singleflight followers share. Decisions are immutable
 // after publication.
 type Decision struct {
+	// Graph is the canonical fingerprint of the solved graph — the base
+	// handle for /v1/mutate deltas. Empty on decisions restored from
+	// snapshots written before the field existed.
+	Graph string
 	// Remote lists the offloaded node IDs, ascending.
 	Remote []graph.NodeID
 	// LocalWork, RemoteWork and CutWeight summarise the split.
@@ -210,6 +214,11 @@ type CostJSON struct {
 
 // SolveResponse is the POST /v1/solve 200 body.
 type SolveResponse struct {
+	// Graph is the solved graph's canonical fingerprint — the base handle
+	// for POST /v1/mutate deltas. Omitted only for decisions restored from
+	// pre-field snapshots. (MutateResponse's own Graph field, one level
+	// shallower, takes precedence there.)
+	Graph string `json:"graph,omitempty"`
 	// Remote lists the node IDs to offload, ascending.
 	Remote []graph.NodeID `json:"remote"`
 	// LocalWork is the computation kept on the device.
@@ -399,6 +408,14 @@ func (s *Server) Stats() Stats {
 			Pipelines: s.sess.CachedGraphs(),
 			Shards:    s.graphs.occupancy(),
 		},
+		Incremental: IncrementalStats{
+			Mutates:           s.st.mutates.Load(),
+			CacheHits:         s.st.mutateHits.Load(),
+			DeltaSolves:       s.st.deltaSolves.Load(),
+			ColdFallbacks:     s.st.coldFallbacks.Load(),
+			LanczosItersSaved: s.st.lanczosItersSaved.Load(),
+			Errors:            s.st.mutateErrors.Load(),
+		},
 		Batch: BatchStats{
 			Rounds:      s.st.batches.Load(),
 			Users:       s.st.batchedUsers.Load(),
@@ -412,12 +429,14 @@ func (s *Server) Stats() Stats {
 	}
 }
 
-// Handler returns the service mux: POST /v1/solve, GET /v1/healthz,
-// GET /v1/health, GET /v1/stats. Profiling lives on the daemon's separate
-// debug mux, not here, so the service port never exposes pprof.
+// Handler returns the service mux: POST /v1/solve, POST /v1/mutate,
+// GET /v1/healthz, GET /v1/health, GET /v1/stats. Profiling lives on the
+// daemon's separate debug mux, not here, so the service port never
+// exposes pprof.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/solve", s.handleSolve)
+	mux.HandleFunc("/v1/mutate", s.handleMutate)
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	mux.HandleFunc("/v1/health", s.handleHealth)
 	mux.HandleFunc("/v1/stats", s.handleStats)
@@ -647,6 +666,7 @@ func (s *Server) admit(key, fp string, req *SolveRequest, params mec.Params, jre
 		},
 		params: params,
 		pkey:   paramsDigest(params),
+		fp:     fp,
 		lane:   shardPrefix(fp),
 	}
 	if jrec != nil {
@@ -770,7 +790,7 @@ func (s *Server) dispatchRound(ctx context.Context, round []*solveTask) {
 			continue
 		}
 		for i, t := range tasks {
-			s.finish(t, decisionFor(r.Solution, reps[gi][i], len(items[gi].Users)), nil)
+			s.finish(t, decisionFor(t.fp, r.Solution, reps[gi][i], len(items[gi].Users)), nil)
 		}
 	}
 }
@@ -796,8 +816,9 @@ func (s *Server) finish(t *solveTask, dec *Decision, err error) {
 	s.accepted.Done()
 }
 
-// decisionFor extracts user u's decision from a solved round of n users.
-func decisionFor(sol *core.Solution, u, n int) *Decision {
+// decisionFor extracts user u's decision from a solved round of n users;
+// fp is the canonical fingerprint of the user's graph.
+func decisionFor(fp string, sol *core.Solution, u, n int) *Decision {
 	pl := sol.Placements[u]
 	st := pl.State()
 	remote := make([]graph.NodeID, 0, len(pl.Remote))
@@ -806,6 +827,7 @@ func decisionFor(sol *core.Solution, u, n int) *Decision {
 	}
 	sort.Slice(remote, func(a, b int) bool { return remote[a] < remote[b] })
 	return &Decision{
+		Graph:       fp,
 		Remote:      remote,
 		LocalWork:   st.LocalWork,
 		RemoteWork:  st.RemoteWork,
@@ -821,6 +843,7 @@ func decisionFor(sol *core.Solution, u, n int) *Decision {
 // solveResponseFor assembles the wire form of dec.
 func solveResponseFor(dec *Decision, cached, deduped bool) SolveResponse {
 	return SolveResponse{
+		Graph:      dec.Graph,
 		Remote:     dec.Remote,
 		LocalWork:  dec.LocalWork,
 		RemoteWork: dec.RemoteWork,

@@ -313,6 +313,7 @@ func TestBatchedContentionMatchesOffline(t *testing.T) {
 					user:   u,
 					params: params,
 					pkey:   paramsDigest(params),
+					fp:     fmt.Sprintf("fp%d", i),
 				}
 				users = append(users, u)
 			}
@@ -333,7 +334,7 @@ func TestBatchedContentionMatchesOffline(t *testing.T) {
 					t.Fatalf("task %d: %v", i, task.p.err)
 				}
 				got := task.p.dec
-				wantDec := decisionFor(want, i, roundSize)
+				wantDec := decisionFor(fmt.Sprintf("fp%d", i), want, i, roundSize)
 				if !reflect.DeepEqual(got, wantDec) {
 					t.Errorf("user %d decision differs\n got: %+v\nwant: %+v", i, got, wantDec)
 				}

@@ -127,6 +127,14 @@ type counters struct {
 	inFlight      padInt64  // requests currently inside /v1/solve
 	lat           histogram
 
+	// Incremental re-solve counters (POST /v1/mutate).
+	mutates           padUint64 // /v1/mutate arrivals
+	mutateHits        padUint64 // mutates answered from the solution cache
+	deltaSolves       padUint64 // mutates solved through Session.SolveDelta
+	coldFallbacks     padUint64 // delta solves that fell back to the cold pipeline
+	lanczosItersSaved padUint64 // Lanczos iterations replayed instead of re-run
+	mutateErrors      padUint64 // mutate solve failures (500/504 responses)
+
 	batches      atomic.Uint64 // solve rounds dispatched
 	batchedUsers atomic.Uint64 // users across all rounds (incl. multiplicity)
 	maxBatch     atomic.Uint64 // largest round seen
@@ -231,6 +239,29 @@ type BatchStats struct {
 	Lanes []LaneStats `json:"lanes"`
 }
 
+// IncrementalStats is the incremental re-solve section of a Stats
+// snapshot: what POST /v1/mutate did with the delta-patched pipeline.
+type IncrementalStats struct {
+	// Mutates counts POST /v1/mutate arrivals.
+	Mutates uint64 `json:"mutates"`
+	// CacheHits counts mutates answered from the solution cache (the
+	// mutated graph's decision was already published).
+	CacheHits uint64 `json:"cache_hits"`
+	// DeltaSolves counts mutates solved through the session's delta path
+	// (incremental or cold-fallback — ColdFallbacks separates them).
+	DeltaSolves uint64 `json:"delta_solves"`
+	// ColdFallbacks counts delta solves that abandoned the incremental
+	// pipeline (no cached base state, or the delta's touched-edge fraction
+	// exceeded the threshold) and re-solved from scratch.
+	ColdFallbacks uint64 `json:"cold_fallbacks"`
+	// LanczosItersSaved totals the recorded eigensolver iterations of
+	// replayed (untouched) components — spectral work the incremental path
+	// avoided re-running.
+	LanczosItersSaved uint64 `json:"lanczos_iters_saved"`
+	// Errors counts mutate solve failures.
+	Errors uint64 `json:"errors"`
+}
+
 // Stats is the JSON document served at GET /v1/stats.
 type Stats struct {
 	// Requests counts POST /v1/solve arrivals.
@@ -262,6 +293,8 @@ type Stats struct {
 	GraphCache GraphCacheStats `json:"graph_cache"`
 	// Batch is the micro-batcher section.
 	Batch BatchStats `json:"batch"`
+	// Incremental is the /v1/mutate incremental re-solve section.
+	Incremental IncrementalStats `json:"incremental"`
 	// Latency is the end-to-end /v1/solve latency histogram.
 	Latency HistogramSnapshot `json:"latency_ms"`
 	// Durability is the journal/snapshot/recovery section; nil (omitted)

@@ -108,7 +108,7 @@ func TestStatsJSONShapeKeepsFlatFieldsAndAddsShardSections(t *testing.T) {
 	for _, key := range []string{
 		"requests", "solved", "bad_requests", "shed", "rate_limited",
 		"drain_rejects", "deduped", "solve_errors", "timeouts", "in_flight",
-		"draining", "cache", "graph_cache", "batch", "latency_ms",
+		"draining", "cache", "graph_cache", "batch", "incremental", "latency_ms",
 	} {
 		if _, ok := doc[key]; !ok {
 			t.Fatalf("flat field %q missing from /v1/stats", key)

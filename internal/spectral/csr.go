@@ -113,6 +113,9 @@ func BisectCSRInto(off, tgt []int32, wts []float64, sides []int32, opts Options)
 	if err != nil {
 		return nil, nil, fmt.Errorf("spectral: %w", err)
 	}
+	if opts.FiedlerCapture != nil && *opts.FiedlerCapture == nil {
+		*opts.FiedlerCapture = append([]float64(nil), vec...)
+	}
 
 	inA := s.inA[:n]
 	if opts.DisableSweep {

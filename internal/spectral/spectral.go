@@ -50,6 +50,13 @@ type Options struct {
 	Objective Objective
 	// Eigen carries eigensolver options.
 	Eigen eigen.FiedlerOptions
+	// FiedlerCapture, when non-nil and pointing at a nil slice, receives a
+	// copy of the first Fiedler vector BisectCSRInto computes under these
+	// options — and only the first: recursive bisection reuses one Options
+	// value for every split of a sub-graph, so the captured vector is the
+	// full sub-graph's, the one a later incremental re-solve can feed back
+	// through Eigen.WarmStart. Capture has no effect on results.
+	FiedlerCapture *[]float64
 }
 
 // Cut is a two-way split of a graph's nodes.

@@ -14,6 +14,12 @@
 # storms, 5xx, a stalled batcher), not on runner-to-runner speed noise.
 # Override via BENCH_SERVE_QPS / BENCH_SERVE_DURATION / BENCH_SERVE_REPEAT /
 # BENCH_SERVE_PORT for capacity hunts.
+#
+# After the main scenario, a second short run drives the dynamic-graph
+# path: BENCH_SERVE_MUTATE_RATIO (default 0.3) of requests are POST
+# /v1/mutate deltas against already-answered graphs, exercising the
+# journaled incremental re-solve end to end. Its summary lands next to OUT
+# with a _mutate suffix; any 5xx or failed mutate fails the benchmark.
 set -eu
 
 out=${1:-results/BENCH_serve.json}
@@ -21,6 +27,9 @@ qps=${BENCH_SERVE_QPS:-300}
 duration=${BENCH_SERVE_DURATION:-10s}
 repeat=${BENCH_SERVE_REPEAT:-0.9}
 port=${BENCH_SERVE_PORT:-8979}
+mutate_ratio=${BENCH_SERVE_MUTATE_RATIO:-0.3}
+mutate_duration=${BENCH_SERVE_MUTATE_DURATION:-5s}
+mutate_out=$(printf '%s' "$out" | sed 's/\.json$//')_mutate.json
 
 bin=$(mktemp -d)
 daemon=
@@ -51,8 +60,25 @@ if ! "$bin/copmecs-loadgen" -addr "http://127.0.0.1:$port" \
 	exit 1
 fi
 
+# Mutate scenario: same daemon, a slice of the traffic becomes incremental
+# deltas. mutate_ok must be positive (the path actually ran) and 5xx-free.
+if ! "$bin/copmecs-loadgen" -addr "http://127.0.0.1:$port" \
+	-qps "$qps" -duration "$mutate_duration" -repeat "$repeat" \
+	-mutate-ratio "$mutate_ratio" -fail-5xx -o "$mutate_out"; then
+	echo "bench_serve: mutate load generation failed; daemon log follows" >&2
+	cat "$bin/copmecsd.log" >&2
+	exit 1
+fi
+mutate_ok=$(sed -n 's/.*"mutate_ok": *\([0-9][0-9]*\).*/\1/p' "$mutate_out" | head -1)
+if [ -z "$mutate_ok" ] || [ "$mutate_ok" -eq 0 ]; then
+	echo "bench_serve: mutate scenario completed zero mutates ($mutate_out)" >&2
+	exit 1
+fi
+
 kill -TERM "$daemon"
 wait "$daemon" || true
 daemon=
 echo "wrote $out"
 cat "$out"
+echo "wrote $mutate_out"
+cat "$mutate_out"
